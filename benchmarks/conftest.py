@@ -1,0 +1,40 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper's evaluation (or one
+ablation) against the same shared :class:`ExperimentContext`.  The context is
+session-scoped so the expensive model characterizations run exactly once per
+benchmark session.  A coarse-but-representative configuration is used so the
+full suite completes in minutes; pass ``--full-eval`` for the paper-resolution
+settings (finer grids and time steps).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.characterization import CharacterizationConfig
+from repro.experiments import ExperimentContext
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--full-eval",
+        action="store_true",
+        default=False,
+        help="run the benchmarks at full (paper) resolution instead of the quick settings",
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_context(request) -> ExperimentContext:
+    if request.config.getoption("--full-eval"):
+        return ExperimentContext(
+            characterization=CharacterizationConfig(io_grid_points=7),
+            reference_time_step=2e-12,
+            model_time_step=1e-12,
+        )
+    return ExperimentContext(
+        characterization=CharacterizationConfig(io_grid_points=5),
+        reference_time_step=4e-12,
+        model_time_step=2e-12,
+    )

@@ -1,0 +1,62 @@
+"""Ablation benchmark: lookup-table grid resolution vs model accuracy.
+
+The paper stores the current sources in 4-D lookup tables; the grid density
+is the main characterization cost/accuracy knob.  This ablation characterizes
+the MCSM at several grid resolutions and reports the delay error of each on
+the history experiment, plus the characterization cost (number of DC points).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.characterization import characterize_mcsm
+from repro.csm import CapacitiveLoad
+from repro.experiments import HISTORY_LABELS, nor2_history_patterns
+from repro.waveform import propagation_delay
+
+
+def _grid_sweep(context, grid_points_list):
+    patterns = nor2_history_patterns()[HISTORY_LABELS[1]]
+    fanout = 2
+    load_cap = context.fanout_load_capacitance(fanout)
+    _, reference = context.reference_history_run(patterns, fanout=fanout)
+    ref_delay = propagation_delay(
+        reference.waveform("A"), reference.waveform("out"), context.vdd,
+        input_direction="fall", output_direction="rise",
+    )
+    waves = context.model_history_waveforms(patterns)
+    rows = []
+    for points in grid_points_list:
+        config = context.characterization.with_grid_points(points)
+        started = time.perf_counter()
+        model = characterize_mcsm(context.nor2, "A", "B", config)
+        char_seconds = time.perf_counter() - started
+        predicted = model.simulate(waves, CapacitiveLoad(load_cap), options=context.model_options())
+        delay = propagation_delay(
+            waves["A"], predicted.output, context.vdd,
+            input_direction="fall", output_direction="rise",
+        )
+        rows.append(
+            {
+                "grid_points": points,
+                "dc_points": points ** 4,
+                "char_seconds": char_seconds,
+                "delay_error_percent": 100.0 * abs(delay - ref_delay) / ref_delay,
+            }
+        )
+    return rows
+
+
+def test_bench_ablation_grid_resolution(benchmark, bench_context):
+    rows = benchmark.pedantic(lambda: _grid_sweep(bench_context, (4, 5, 7)), rounds=1, iterations=1)
+    print()
+    print("Ablation — Io/IN table grid resolution (slow-history case, FO2):")
+    print(f"  {'points/axis':>12} {'DC points':>10} {'char time':>10} {'delay error':>12}")
+    for row in rows:
+        print(
+            f"  {row['grid_points']:>12} {row['dc_points']:>10} "
+            f"{row['char_seconds']:>9.1f}s {row['delay_error_percent']:>11.1f}%"
+        )
+    # Finer grids must not be (much) worse than the coarsest one.
+    assert rows[-1]["delay_error_percent"] <= rows[0]["delay_error_percent"] + 2.0

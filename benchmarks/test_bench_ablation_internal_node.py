@@ -1,0 +1,50 @@
+"""Ablation benchmark: what the internal-node model is worth, load by load.
+
+This is the paper's central design choice (Section 3.2): keep the stack node
+as an explicit state with its own current source and capacitance.  The
+ablation compares the complete MCSM and the baseline MIS model (identical
+except for the internal node) against the reference simulator across loads,
+reporting the worst-case delay error of each.
+"""
+
+from __future__ import annotations
+
+from repro.csm import CapacitiveLoad
+from repro.experiments import nor2_history_patterns
+from repro.waveform import propagation_delay
+
+
+def _worst_errors(context, fanouts):
+    mcsm = context.mcsm_for()
+    baseline = context.baseline_mis_for()
+    patterns = nor2_history_patterns()
+    worst = {"MCSM": 0.0, "baseline": 0.0}
+    for fanout in fanouts:
+        load_cap = context.fanout_load_capacitance(fanout)
+        for pattern_set in patterns.values():
+            _, reference = context.reference_history_run(pattern_set, fanout=fanout)
+            ref_delay = propagation_delay(
+                reference.waveform("A"), reference.waveform("out"), context.vdd,
+                input_direction="fall", output_direction="rise",
+            )
+            waves = context.model_history_waveforms(pattern_set)
+            for label, model in (("MCSM", mcsm), ("baseline", baseline)):
+                predicted = model.simulate(waves, CapacitiveLoad(load_cap), options=context.model_options())
+                delay = propagation_delay(
+                    waves["A"], predicted.output, context.vdd,
+                    input_direction="fall", output_direction="rise",
+                )
+                error = abs(delay - ref_delay) / ref_delay
+                worst[label] = max(worst[label], error)
+    return worst
+
+
+def test_bench_ablation_internal_node(benchmark, bench_context):
+    worst = benchmark.pedantic(
+        lambda: _worst_errors(bench_context, fanouts=(1, 4)), rounds=1, iterations=1
+    )
+    print()
+    print("Ablation — internal node on/off (worst |delay error| over FO1/FO4, both histories):")
+    print(f"  complete MCSM     : {100 * worst['MCSM']:.1f} %")
+    print(f"  baseline (no node): {100 * worst['baseline']:.1f} %")
+    assert worst["MCSM"] < worst["baseline"]

@@ -1,0 +1,37 @@
+"""Ablation benchmark: selective modeling (Section 3.4).
+
+The paper proposes using the complete MCSM only for lightly loaded cells and
+the cheaper baseline model otherwise.  This benchmark checks the policy's
+decisions across the FO1..FO8 range and reports which model it picks where.
+"""
+
+from __future__ import annotations
+
+from repro.csm import CapacitiveLoad, SelectiveModel, SelectiveModelPolicy
+
+
+def _selection_table(context, fanouts):
+    selective = SelectiveModel(
+        complete=context.mcsm_for(),
+        baseline=context.baseline_mis_for(),
+        policy=SelectiveModelPolicy(load_ratio_threshold=8.0),
+    )
+    rows = []
+    for fanout in fanouts:
+        load = CapacitiveLoad(context.fanout_load_capacitance(fanout))
+        chosen = type(selective.select(load)).__name__
+        rows.append({"fanout": fanout, "model": chosen})
+    return rows
+
+
+def test_bench_ablation_selective_modeling(benchmark, bench_context):
+    rows = benchmark.pedantic(
+        lambda: _selection_table(bench_context, (1, 2, 4, 6, 8, 16, 24, 32)), rounds=1, iterations=1
+    )
+    print()
+    print("Ablation — selective modeling decisions:")
+    for row in rows:
+        print(f"  FO{row['fanout']:<3} -> {row['model']}")
+    # Light loads must use the complete model, very heavy loads the baseline.
+    assert rows[0]["model"] == "MCSM"
+    assert rows[-1]["model"] == "BaselineMISCSM"

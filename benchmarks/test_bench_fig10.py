@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 10 (glitch waveform accuracy)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig10
+
+
+def test_bench_fig10_glitch(benchmark, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_fig10(bench_context, pulse_width=40e-12), rounds=1, iterations=1
+    )
+    print()
+    print(result.summary())
+    # Paper: the MCSM waveform follows the reference closely through the glitch.
+    assert result.reference_peak > 0.2
+    assert result.rmse_fraction_of_vdd < 0.08

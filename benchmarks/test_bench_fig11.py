@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 11 (MIS waveforms: MCSM vs SIS CSM vs reference)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig11
+
+
+def test_bench_fig11_mis_comparison(benchmark, bench_context):
+    result = benchmark.pedantic(lambda: run_fig11(bench_context), rounds=1, iterations=1)
+    print()
+    print(result.summary())
+    # Paper: the MCSM tracks the reference while the SIS CSM shows significant error.
+    assert abs(result.mcsm_delay_error_percent) < abs(result.sis_delay_error_percent)
+    assert result.mcsm_rmse < result.sis_rmse

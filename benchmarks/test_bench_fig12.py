@@ -1,0 +1,16 @@
+"""Benchmark: regenerate Fig. 12 (crosstalk: delay error vs noise-injection time)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig12
+
+
+def test_bench_fig12_crosstalk_sweep(benchmark, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_fig12(bench_context, num_points=9), rounds=1, iterations=1
+    )
+    print()
+    print(result.summary())
+    # Paper: average waveform RMSE 1.4 % of Vdd, delay errors of a few ps.
+    assert result.average_rmse_fraction() < 0.06
+    assert result.max_delay_error() < 12e-12

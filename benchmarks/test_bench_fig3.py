@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Fig. 3 (internal-node voltage vs input history)."""
+
+from __future__ import annotations
+
+from repro.experiments import HISTORY_LABELS, run_fig3
+
+
+def test_bench_fig3_internal_node(benchmark, bench_context):
+    result = benchmark.pedantic(lambda: run_fig3(bench_context), rounds=1, iterations=1)
+    print()
+    print(result.summary())
+    fast = result.precharge_voltages[HISTORY_LABELS[0]]
+    slow = result.precharge_voltages[HISTORY_LABELS[1]]
+    # Paper: node N sits at ~Vdd+dV1 for the '10' history and near |Vt,p|+dV2
+    # for the '01' history.
+    assert fast > 0.95 * result.vdd
+    assert slow < 0.7 * result.vdd

@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 4 (output waveforms of the two histories)."""
+
+from __future__ import annotations
+
+from repro.experiments import HISTORY_LABELS, run_fig4
+
+
+def test_bench_fig4_output_history(benchmark, bench_context):
+    result = benchmark.pedantic(lambda: run_fig4(bench_context), rounds=1, iterations=1)
+    print()
+    print(result.summary())
+    # Paper: the '10' history ("fast") switches sooner than the '01' history.
+    assert result.delays[HISTORY_LABELS[0]] < result.delays[HISTORY_LABELS[1]]
+    assert result.delay_difference_percent > 5.0

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Fig. 5 (history delay difference vs FO1..FO8 load)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig5
+
+
+def test_bench_fig5_delay_difference_vs_load(benchmark, bench_context):
+    result = benchmark.pedantic(
+        lambda: run_fig5(bench_context, fanouts=(1, 2, 3, 4, 5, 6, 7, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(result.summary())
+    # Paper: the difference is largest for light loads (~26 % at FO1) and
+    # decays toward ~8 % at FO8.
+    assert result.is_monotonically_decreasing()
+    assert result.max_difference_percent() > 8.0
+    assert result.rows[0].fanout == 1

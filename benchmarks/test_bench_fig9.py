@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Fig. 9 (MCSM vs baseline-MIS accuracy, light load)."""
+
+from __future__ import annotations
+
+from repro.experiments import run_fig9
+
+
+def test_bench_fig9_mcsm_accuracy(benchmark, bench_context):
+    result = benchmark.pedantic(lambda: run_fig9(bench_context, fanout=1), rounds=1, iterations=1)
+    print()
+    print(result.summary())
+    # Paper: max delay error 4 % (MCSM) vs ~22 % (MIS CSM without internal node).
+    assert result.max_mcsm_error_percent() < result.max_baseline_error_percent()
+    assert result.max_mcsm_error_percent() < 10.0

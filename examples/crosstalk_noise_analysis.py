@@ -1,0 +1,45 @@
+#!/usr/bin/env python3
+"""Crosstalk-noise analysis with the MCSM (paper Section 4, Fig. 12).
+
+A victim line driving input A of a NOR2 gate is capacitively coupled to an
+aggressor line; both are driven by minimum-sized inverters.  The aggressor
+launch time is swept around the victim transition, producing noisy victim
+waveforms.  Because the MCSM is characterized as a function of node voltages
+(not of slew/load), it can consume those arbitrary noisy waveforms directly —
+this is the key practical advantage of current-source models over the
+voltage-based (NLDM) approach.
+
+The script reports, for each noise-injection time, the 50 % delay predicted
+by the MCSM vs the transistor-level reference and the waveform RMSE.
+
+Run with:  python examples/crosstalk_noise_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import default_context, run_fig12
+from repro.interconnect import CrosstalkConfig
+
+
+def main() -> None:
+    context = default_context(fast=True)
+
+    config = CrosstalkConfig(
+        coupling_capacitance=50e-15,   # the paper's 50 fF coupling cap
+        victim_arrival=2.2e-9,         # victim transition launched at 2.2 ns
+        fanout=2,                      # NOR2 under test carries an FO2 load
+    )
+    print("Sweeping the aggressor (noise injection) time around the victim transition...")
+    result = run_fig12(context, num_points=7, crosstalk_config=config)
+    print(result.summary())
+    print()
+    print(
+        "Average waveform RMSE "
+        f"{100 * result.average_rmse_fraction():.2f}% of Vdd and worst delay error "
+        f"{result.max_delay_error() * 1e12:.1f} ps across the sweep — the MCSM follows the "
+        "noisy waveforms produced by crosstalk, which a slew/load delay table cannot represent."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: characterize a NOR2 MCSM and compare it against the reference simulator.
+
+This example walks through the full flow of the library in one page:
+
+1. build the synthetic 130 nm technology and the transistor-level NOR2 cell;
+2. characterize the paper's complete MCSM (4-D current tables + capacitances)
+   against the built-in reference simulator;
+3. drive the cell with a multiple-input-switching pattern that exercises the
+   stack (internal node) effect;
+4. compare the MCSM output waveform and delay against the transistor-level
+   "golden" simulation.
+
+Run with:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro.cells import build_testbench, default_library, fanout_capacitance
+from repro.characterization import CharacterizationConfig, characterize_mcsm
+from repro.csm import CapacitiveLoad, SimulationOptions
+from repro.experiments import nor2_history_patterns
+from repro.spice import TransientOptions, transient_analysis
+from repro.waveform import propagation_delay
+from repro.waveform.builders import pattern_stimulus, pattern_waveforms
+
+
+def main() -> None:
+    # 1. Technology + cell library (transistor-level netlists).
+    library = default_library()
+    nor2 = library["NOR2_X1"]
+    vdd = nor2.technology.vdd
+    print(library.summary())
+    print()
+    print(nor2.describe())
+    print()
+
+    # 2. Characterize the complete MCSM (a coarse grid keeps this quick).
+    config = CharacterizationConfig(io_grid_points=5)
+    print("Characterizing MCSM for NOR2 (this runs the reference simulator)...")
+    mcsm = characterize_mcsm(nor2, "A", "B", config)
+    print(f"  Miller caps : CmA={mcsm.miller_caps['A'] * 1e15:.2f} fF, "
+          f"CmB={mcsm.miller_caps['B'] * 1e15:.2f} fF")
+    print(f"  output cap  : Co={mcsm.output_cap * 1e15:.2f} fF")
+    print(f"  internal cap: CN={mcsm.internal_cap * 1e15:.2f} fF")
+    print()
+
+    # 3. A multiple-input-switching pattern with history: '10' -> '11' -> '00'.
+    patterns = nor2_history_patterns()
+    label, pattern_set = next(iter(patterns.items()))
+    print(f"Simulating input history: {label}")
+
+    fanout = 2
+    load_cap = fanout_capacitance(nor2.technology, fanout)
+
+    # Golden: transistor-level simulation with real fanout inverters.
+    stimuli = {pin: pattern_stimulus(p, vdd) for pin, p in pattern_set.items()}
+    bench = build_testbench(nor2, stimuli, fanout=fanout)
+    golden = transient_analysis(
+        bench.circuit, t_stop=3e-9, options=TransientOptions(time_step=2e-12)
+    )
+
+    # Model: MCSM integration of the same input waveforms.
+    waves = pattern_waveforms(pattern_set, vdd, 3e-9)
+    prediction = mcsm.simulate(
+        waves, CapacitiveLoad(load_cap), options=SimulationOptions(time_step=1e-12)
+    )
+
+    # 4. Compare.
+    golden_delay = propagation_delay(
+        golden.waveform("A"), golden.waveform("out"), vdd,
+        input_direction="fall", output_direction="rise",
+    )
+    model_delay = propagation_delay(
+        waves["A"], prediction.output, vdd,
+        input_direction="fall", output_direction="rise",
+    )
+    error = 100.0 * (model_delay - golden_delay) / golden_delay
+    print(f"  reference (transistor-level) delay: {golden_delay * 1e12:7.2f} ps")
+    print(f"  MCSM predicted delay              : {model_delay * 1e12:7.2f} ps ({error:+.1f} %)")
+    print(f"  internal node settled at          : {prediction.final_internal_voltage():.3f} V")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so that `pip install -e .` / `python setup.py develop` work offline.
+
+The environment has no network access and no `wheel` package, so the modern
+PEP-517 editable install path (which builds a wheel) is unavailable; this shim
+lets plain setuptools perform a legacy editable ("develop") install using the
+metadata from pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

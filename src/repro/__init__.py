@@ -1,0 +1,45 @@
+"""repro: reproduction of the MCSM current-source model (DATE 2008).
+
+The package implements, in pure Python:
+
+* a transistor-level reference simulator (:mod:`repro.spice`) over an
+  EKV-style device model (:mod:`repro.technology`);
+* a small standard-cell library described at transistor level
+  (:mod:`repro.cells`);
+* characterization flows (:mod:`repro.characterization`) that build
+  voltage-dependent current-source models;
+* the current-source models themselves (:mod:`repro.csm`): the classic
+  single-input-switching CSM, a baseline multi-input-switching CSM without
+  internal-node modeling, and the paper's complete MCSM;
+* interconnect / crosstalk helpers (:mod:`repro.interconnect`);
+* a waveform-propagating static timing layer (:mod:`repro.sta`);
+* experiment drivers reproducing every figure of the paper's evaluation
+  (:mod:`repro.experiments`).
+"""
+
+from .exceptions import (
+    AnalysisError,
+    CharacterizationError,
+    ConvergenceError,
+    ModelError,
+    NetlistError,
+    ReproError,
+    TableError,
+    TimingError,
+    WaveformError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "NetlistError",
+    "AnalysisError",
+    "ConvergenceError",
+    "CharacterizationError",
+    "ModelError",
+    "WaveformError",
+    "TableError",
+    "TimingError",
+]

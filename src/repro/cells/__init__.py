@@ -1,0 +1,36 @@
+"""Transistor-level standard-cell library and testbench construction."""
+
+from .builders import (
+    INPUT_NAMES,
+    build_aoi21,
+    build_inverter,
+    build_nand,
+    build_nor,
+    build_oai21,
+)
+from .cell import Cell, LogicFunction, truth_table
+from .library import CellLibrary, default_library
+from .testbench import (
+    CellTestbench,
+    attach_fanout_inverters,
+    build_testbench,
+    fanout_capacitance,
+)
+
+__all__ = [
+    "Cell",
+    "LogicFunction",
+    "truth_table",
+    "build_inverter",
+    "build_nand",
+    "build_nor",
+    "build_aoi21",
+    "build_oai21",
+    "INPUT_NAMES",
+    "CellLibrary",
+    "default_library",
+    "CellTestbench",
+    "build_testbench",
+    "attach_fanout_inverters",
+    "fanout_capacitance",
+]

@@ -1,0 +1,228 @@
+"""Transistor-level generators for the standard cells used in the paper.
+
+The paper evaluates inverters, NAND and NOR cells.  The generators below also
+provide AOI21 / OAI21 so that the STA layer and the extended tests have
+multi-stack cells to work with.
+
+Topology conventions (matching Fig. 2 of the paper for NOR2):
+
+* NOR-k: the PMOS pull-up is a series stack from ``vdd`` to ``out``; the
+  device *adjacent to the output* is gated by the first input (``A``), so the
+  stack node directly above the output device is internal node ``n1`` — the
+  node the paper calls *N*.  The NMOS pull-down devices are in parallel.
+* NAND-k: the NMOS pull-down is a series stack from ``out`` to ground with
+  the device adjacent to the output gated by ``A`` (stack node ``n1`` below
+  it); the PMOS pull-up devices are in parallel.
+
+Sizing: parallel devices use the technology's unit widths; series devices are
+up-sized by the stack depth so that the worst-case drive resistance roughly
+matches the unit inverter, which is standard practice and keeps the delays of
+different cells comparable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..exceptions import NetlistError
+from ..spice.netlist import Circuit
+from ..technology.process import Technology
+from .cell import OUTPUT_NODE, SUPPLY_NODE, Cell
+
+__all__ = [
+    "build_inverter",
+    "build_nand",
+    "build_nor",
+    "build_aoi21",
+    "build_oai21",
+    "INPUT_NAMES",
+]
+
+#: Default input pin names, in order.
+INPUT_NAMES = ("A", "B", "C", "D")
+
+
+def _input_names(count: int) -> Tuple[str, ...]:
+    if count < 1 or count > len(INPUT_NAMES):
+        raise NetlistError(f"unsupported input count {count}")
+    return INPUT_NAMES[:count]
+
+
+def build_inverter(technology: Technology, drive_strength: float = 1.0, name: str = "") -> Cell:
+    """A static CMOS inverter."""
+    cell_name = name or f"INV_X{drive_strength:g}"
+    circuit = Circuit(cell_name)
+    wn = technology.unit_nmos_width * drive_strength
+    wp = technology.unit_pmos_width * drive_strength
+    circuit.add_mosfet(OUTPUT_NODE, "A", "0", "0", technology.nmos, wn, name="MN1")
+    circuit.add_mosfet(OUTPUT_NODE, "A", SUPPLY_NODE, SUPPLY_NODE, technology.pmos, wp, name="MP1")
+    return Cell(
+        name=cell_name,
+        circuit=circuit,
+        inputs=("A",),
+        output=OUTPUT_NODE,
+        internal_nodes=(),
+        function=lambda values: 0 if values["A"] else 1,
+        technology=technology,
+        drive_strength=drive_strength,
+    )
+
+
+def build_nor(
+    technology: Technology,
+    num_inputs: int = 2,
+    drive_strength: float = 1.0,
+    name: str = "",
+) -> Cell:
+    """A NOR gate with a series PMOS stack and parallel NMOS devices."""
+    inputs = _input_names(num_inputs)
+    cell_name = name or f"NOR{num_inputs}_X{drive_strength:g}"
+    circuit = Circuit(cell_name)
+    wn = technology.unit_nmos_width * drive_strength
+    wp = technology.unit_pmos_width * drive_strength * num_inputs
+
+    # Parallel NMOS pull-down.
+    for index, pin in enumerate(inputs, start=1):
+        circuit.add_mosfet(OUTPUT_NODE, pin, "0", "0", technology.nmos, wn, name=f"MN{index}")
+
+    # Series PMOS pull-up: out - P(A) - n1 - P(B) - n2 ... - vdd.
+    internal_nodes: List[str] = []
+    lower = OUTPUT_NODE
+    for index, pin in enumerate(inputs, start=1):
+        upper = SUPPLY_NODE if index == num_inputs else f"n{index}"
+        if upper != SUPPLY_NODE:
+            internal_nodes.append(upper)
+        # PMOS: source is the node nearer vdd, drain the node nearer out.
+        circuit.add_mosfet(lower, pin, upper, SUPPLY_NODE, technology.pmos, wp, name=f"MP{index}")
+        lower = upper
+
+    def nor_function(values: Mapping[str, int], _inputs=inputs) -> int:
+        return 0 if any(values[p] for p in _inputs) else 1
+
+    return Cell(
+        name=cell_name,
+        circuit=circuit,
+        inputs=inputs,
+        output=OUTPUT_NODE,
+        internal_nodes=tuple(internal_nodes),
+        function=nor_function,
+        technology=technology,
+        drive_strength=drive_strength,
+    )
+
+
+def build_nand(
+    technology: Technology,
+    num_inputs: int = 2,
+    drive_strength: float = 1.0,
+    name: str = "",
+) -> Cell:
+    """A NAND gate with a series NMOS stack and parallel PMOS devices."""
+    inputs = _input_names(num_inputs)
+    cell_name = name or f"NAND{num_inputs}_X{drive_strength:g}"
+    circuit = Circuit(cell_name)
+    wn = technology.unit_nmos_width * drive_strength * num_inputs
+    wp = technology.unit_pmos_width * drive_strength
+
+    # Parallel PMOS pull-up.
+    for index, pin in enumerate(inputs, start=1):
+        circuit.add_mosfet(OUTPUT_NODE, pin, SUPPLY_NODE, SUPPLY_NODE, technology.pmos, wp, name=f"MP{index}")
+
+    # Series NMOS pull-down: out - N(A) - n1 - N(B) - ... - gnd.
+    internal_nodes: List[str] = []
+    upper = OUTPUT_NODE
+    for index, pin in enumerate(inputs, start=1):
+        lower = "0" if index == num_inputs else f"n{index}"
+        if lower != "0":
+            internal_nodes.append(lower)
+        circuit.add_mosfet(upper, pin, lower, "0", technology.nmos, wn, name=f"MN{index}")
+        upper = lower
+
+    def nand_function(values: Mapping[str, int], _inputs=inputs) -> int:
+        return 0 if all(values[p] for p in _inputs) else 1
+
+    return Cell(
+        name=cell_name,
+        circuit=circuit,
+        inputs=inputs,
+        output=OUTPUT_NODE,
+        internal_nodes=tuple(internal_nodes),
+        function=nand_function,
+        technology=technology,
+        drive_strength=drive_strength,
+    )
+
+
+def build_aoi21(technology: Technology, drive_strength: float = 1.0, name: str = "") -> Cell:
+    """AOI21: ``out = not(A and B or C)``.
+
+    Pull-down: series (A, B) branch in parallel with C.  Pull-up: parallel
+    (A, B) pair in series with C.  Internal nodes: ``n1`` inside the NMOS
+    series branch (between the A and B devices) and ``n2`` between the PMOS
+    pair and the C pull-up device.
+    """
+    cell_name = name or f"AOI21_X{drive_strength:g}"
+    circuit = Circuit(cell_name)
+    wn = technology.unit_nmos_width * drive_strength
+    wp = technology.unit_pmos_width * drive_strength
+
+    # NMOS: out -N(A)- n1 -N(B)- gnd, plus out -N(C)- gnd.
+    circuit.add_mosfet(OUTPUT_NODE, "A", "n1", "0", technology.nmos, 2 * wn, name="MN_A")
+    circuit.add_mosfet("n1", "B", "0", "0", technology.nmos, 2 * wn, name="MN_B")
+    circuit.add_mosfet(OUTPUT_NODE, "C", "0", "0", technology.nmos, wn, name="MN_C")
+
+    # PMOS: vdd -P(A)- n2 and vdd -P(B)- n2 (parallel), then n2 -P(C)- out.
+    circuit.add_mosfet("n2", "A", SUPPLY_NODE, SUPPLY_NODE, technology.pmos, 2 * wp, name="MP_A")
+    circuit.add_mosfet("n2", "B", SUPPLY_NODE, SUPPLY_NODE, technology.pmos, 2 * wp, name="MP_B")
+    circuit.add_mosfet(OUTPUT_NODE, "C", "n2", SUPPLY_NODE, technology.pmos, 2 * wp, name="MP_C")
+
+    def aoi_function(values: Mapping[str, int]) -> int:
+        return 0 if (values["A"] and values["B"]) or values["C"] else 1
+
+    return Cell(
+        name=cell_name,
+        circuit=circuit,
+        inputs=("A", "B", "C"),
+        output=OUTPUT_NODE,
+        internal_nodes=("n1", "n2"),
+        function=aoi_function,
+        technology=technology,
+        drive_strength=drive_strength,
+    )
+
+
+def build_oai21(technology: Technology, drive_strength: float = 1.0, name: str = "") -> Cell:
+    """OAI21: ``out = not((A or B) and C)``.
+
+    Pull-down: parallel (A, B) pair in series with C.  Pull-up: series (A, B)
+    stack in parallel with C.  Internal nodes: ``n1`` between the NMOS pair
+    and the C pull-down device, ``n2`` inside the PMOS series stack.
+    """
+    cell_name = name or f"OAI21_X{drive_strength:g}"
+    circuit = Circuit(cell_name)
+    wn = technology.unit_nmos_width * drive_strength
+    wp = technology.unit_pmos_width * drive_strength
+
+    # NMOS: out -N(A)- n1 and out -N(B)- n1 (parallel), then n1 -N(C)- gnd.
+    circuit.add_mosfet(OUTPUT_NODE, "A", "n1", "0", technology.nmos, 2 * wn, name="MN_A")
+    circuit.add_mosfet(OUTPUT_NODE, "B", "n1", "0", technology.nmos, 2 * wn, name="MN_B")
+    circuit.add_mosfet("n1", "C", "0", "0", technology.nmos, 2 * wn, name="MN_C")
+
+    # PMOS: out -P(A)- n2 -P(B)- vdd (series), plus out -P(C)- vdd.
+    circuit.add_mosfet(OUTPUT_NODE, "A", "n2", SUPPLY_NODE, technology.pmos, 2 * wp, name="MP_A")
+    circuit.add_mosfet("n2", "B", SUPPLY_NODE, SUPPLY_NODE, technology.pmos, 2 * wp, name="MP_B")
+    circuit.add_mosfet(OUTPUT_NODE, "C", SUPPLY_NODE, SUPPLY_NODE, technology.pmos, wp, name="MP_C")
+
+    def oai_function(values: Mapping[str, int]) -> int:
+        return 0 if (values["A"] or values["B"]) and values["C"] else 1
+
+    return Cell(
+        name=cell_name,
+        circuit=circuit,
+        inputs=("A", "B", "C"),
+        output=OUTPUT_NODE,
+        internal_nodes=("n1", "n2"),
+        function=oai_function,
+        technology=technology,
+        drive_strength=drive_strength,
+    )

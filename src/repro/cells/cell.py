@@ -1,0 +1,219 @@
+"""Transistor-level standard-cell description.
+
+A :class:`Cell` bundles a transistor netlist (a :class:`repro.spice.Circuit`
+without supplies or stimuli), its pin list, its logic function and the names
+of its internal (stack) nodes.  The characterization procedures and the
+reference testbenches both operate on this object.
+
+Node-name conventions inside a cell circuit:
+
+* input pins use their pin names (``"A"``, ``"B"``, ...),
+* the output node is ``"out"``,
+* the positive supply is ``"vdd"`` and ground is ``"0"``,
+* internal stack nodes are ``"n1"``, ``"n2"``, ... in order of distance from
+  the output node of their stack.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..exceptions import NetlistError
+from ..spice.elements import Mosfet
+from ..spice.netlist import Circuit
+from ..technology.mosfet import terminal_capacitances
+from ..technology.process import Technology
+
+__all__ = ["Cell", "LogicFunction", "truth_table"]
+
+#: A logic function maps a pin-name -> 0/1 assignment to the output value.
+LogicFunction = Callable[[Mapping[str, int]], int]
+
+OUTPUT_NODE = "out"
+SUPPLY_NODE = "vdd"
+
+
+def truth_table(function: LogicFunction, inputs: Sequence[str]) -> Dict[Tuple[int, ...], int]:
+    """Enumerate a cell's truth table over the given input ordering."""
+    table: Dict[Tuple[int, ...], int] = {}
+    for bits in itertools.product((0, 1), repeat=len(inputs)):
+        assignment = dict(zip(inputs, bits))
+        table[bits] = int(bool(function(assignment)))
+    return table
+
+
+@dataclass
+class Cell:
+    """A combinational standard cell described at transistor level.
+
+    Attributes
+    ----------
+    name:
+        Library cell name (e.g. ``"NOR2_X1"``).
+    circuit:
+        Transistor netlist; contains only MOSFETs (and their parasitic
+        capacitor branches).  Supplies and stimuli are added by testbenches.
+    inputs:
+        Ordered input pin names.
+    output:
+        Output node name (always ``"out"`` for library cells).
+    internal_nodes:
+        Stack-node names, ordered so that ``internal_nodes[0]`` is the node
+        the paper calls *N* for two-input gates (the node adjacent to the
+        output inside the series stack).
+    function:
+        Logic function of the cell.
+    technology:
+        Technology the transistor geometry was generated for.
+    drive_strength:
+        Relative drive (1 for X1, 2 for X2, ...).
+    """
+
+    name: str
+    circuit: Circuit
+    inputs: Tuple[str, ...]
+    output: str
+    internal_nodes: Tuple[str, ...]
+    function: LogicFunction
+    technology: Technology
+    drive_strength: float = 1.0
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.inputs:
+            raise NetlistError(f"cell {self.name!r} has no input pins")
+        for pin in self.inputs:
+            if not self.circuit.has_node(pin):
+                raise NetlistError(f"cell {self.name!r}: input pin {pin!r} missing from netlist")
+        if not self.circuit.has_node(self.output):
+            raise NetlistError(f"cell {self.name!r}: output node {self.output!r} missing from netlist")
+        for node in self.internal_nodes:
+            if not self.circuit.has_node(node):
+                raise NetlistError(f"cell {self.name!r}: internal node {node!r} missing from netlist")
+
+    # ------------------------------------------------------------------
+    # Logic helpers
+    # ------------------------------------------------------------------
+    @property
+    def num_inputs(self) -> int:
+        return len(self.inputs)
+
+    def evaluate(self, assignment: Mapping[str, int]) -> int:
+        """Evaluate the logic function for a full input assignment."""
+        missing = [pin for pin in self.inputs if pin not in assignment]
+        if missing:
+            raise NetlistError(f"cell {self.name!r}: missing input values for {missing}")
+        return int(bool(self.function(assignment)))
+
+    def truth_table(self) -> Dict[Tuple[int, ...], int]:
+        return truth_table(self.function, self.inputs)
+
+    def non_controlling_value(self, pin: str) -> int:
+        """Logic value of ``pin`` for which the output still depends on the others.
+
+        For a NOR gate this is 0, for a NAND gate 1.  Computed from the truth
+        table: a value is non-controlling if, with the pin held at that value,
+        the remaining inputs can still produce both output values (or, for a
+        single-input cell, the output follows the input).
+        """
+        others = [p for p in self.inputs if p != pin]
+        if pin not in self.inputs:
+            raise NetlistError(f"cell {self.name!r} has no input pin {pin!r}")
+        if not others:
+            return 0
+        for candidate in (0, 1):
+            outputs = set()
+            for bits in itertools.product((0, 1), repeat=len(others)):
+                assignment = dict(zip(others, bits))
+                assignment[pin] = candidate
+                outputs.add(self.evaluate(assignment))
+            if len(outputs) == 2:
+                return candidate
+        raise NetlistError(
+            f"cell {self.name!r}: pin {pin!r} has no non-controlling value "
+            "(output never depends on the other inputs)"
+        )
+
+    def controlling_value(self, pin: str) -> int:
+        """The complement of :meth:`non_controlling_value`."""
+        return 1 - self.non_controlling_value(pin)
+
+    def output_for_pin(self, pin: str, pin_value: int) -> int:
+        """Output value with ``pin`` at ``pin_value`` and others non-controlling."""
+        assignment = {p: self.non_controlling_value(p) for p in self.inputs if p != pin}
+        assignment[pin] = pin_value
+        return self.evaluate(assignment)
+
+    # ------------------------------------------------------------------
+    # Structural helpers
+    # ------------------------------------------------------------------
+    def mosfets(self) -> List[Mosfet]:
+        return self.circuit.mosfets()
+
+    def transistor_count(self) -> int:
+        return len(self.mosfets())
+
+    def stack_node(self) -> Optional[str]:
+        """The primary internal stack node (the paper's node *N*), if any."""
+        return self.internal_nodes[0] if self.internal_nodes else None
+
+    def pin_gate_capacitance(self, pin: str) -> float:
+        """Sum of gate-terminal capacitances of devices driven by ``pin`` (F).
+
+        This is a structural estimate used for fanout-load construction and
+        as a sanity bound on the characterized input capacitance ``C_A``.
+        """
+        if pin not in self.inputs:
+            raise NetlistError(f"cell {self.name!r} has no input pin {pin!r}")
+        total = 0.0
+        for device in self.mosfets():
+            if device.gate != pin:
+                continue
+            assert device.params is not None and device.length is not None
+            caps = terminal_capacitances(device.params, device.width, device.length)
+            total += caps["cgs"] + caps["cgd"] + caps["cgb"]
+        return total
+
+    def output_diffusion_capacitance(self) -> float:
+        """Sum of junction capacitances attached to the output node (F)."""
+        total = 0.0
+        for device in self.mosfets():
+            assert device.params is not None and device.length is not None
+            caps = terminal_capacitances(device.params, device.width, device.length)
+            if device.drain == self.output:
+                total += caps["cdb"]
+            if device.source == self.output:
+                total += caps["csb"]
+        return total
+
+    def internal_node_capacitance_estimate(self, node: Optional[str] = None) -> float:
+        """Structural estimate of the capacitance on an internal node (F)."""
+        node = node or self.stack_node()
+        if node is None:
+            return 0.0
+        total = 0.0
+        for device in self.mosfets():
+            assert device.params is not None and device.length is not None
+            caps = terminal_capacitances(device.params, device.width, device.length)
+            if device.drain == node:
+                total += caps["cdb"]
+            if device.source == node:
+                total += caps["csb"]
+        return total
+
+    def describe(self) -> str:
+        """Multi-line human-readable description used by reports/examples."""
+        lines = [
+            f"Cell {self.name} (drive x{self.drive_strength:g}, {self.transistor_count()} transistors)",
+            f"  inputs : {', '.join(self.inputs)}",
+            f"  output : {self.output}",
+            f"  internal nodes: {', '.join(self.internal_nodes) if self.internal_nodes else '(none)'}",
+        ]
+        table = self.truth_table()
+        header = " ".join(self.inputs) + " | " + self.output
+        lines.append("  truth table: " + header)
+        for bits, value in sorted(table.items()):
+            lines.append("               " + " ".join(str(b) for b in bits) + " | " + str(value))
+        return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""Reference testbench construction around a standard cell.
+
+These helpers build the transistor-level circuits that play the role of the
+paper's HSPICE decks: a cell instance with stimulus sources on its inputs,
+supply rails, and a load (a plain capacitor or a chain of real fanout
+inverters).  The same testbench object is reused by characterization sweeps
+and by the golden-waveform generation of each experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..exceptions import NetlistError
+from ..spice.netlist import GROUND, Circuit
+from ..spice.sources import DCValue, Stimulus
+from ..technology.process import Technology
+from .cell import OUTPUT_NODE, SUPPLY_NODE, Cell
+
+__all__ = ["CellTestbench", "build_testbench", "attach_fanout_inverters", "fanout_capacitance"]
+
+#: Capacitance loading the output of each fanout inverter in an FO-k load.
+FANOUT_STAGE_LOAD = 2e-15
+
+
+@dataclass
+class CellTestbench:
+    """A cell under test embedded in a complete, solvable circuit.
+
+    Attributes
+    ----------
+    circuit:
+        The full circuit (cell + supplies + input sources + load).
+    cell:
+        The cell under test.
+    input_source_names:
+        Pin name -> name of the voltage source driving that pin.
+    supply_source_name:
+        Name of the Vdd source (its current is the cell supply current).
+    output_node / internal_nodes:
+        Node names of the cell output and internal nodes inside ``circuit``
+        (identical to the cell's own names because the cell is merged without
+        a prefix on its ports).
+    """
+
+    circuit: Circuit
+    cell: Cell
+    input_source_names: Dict[str, str]
+    supply_source_name: str
+    output_node: str
+    internal_nodes: Tuple[str, ...]
+    load_capacitor_name: Optional[str] = None
+    fanout_cells: List[str] = field(default_factory=list)
+
+    def input_source(self, pin: str):
+        """The stimulus source element driving ``pin``."""
+        return self.circuit.element(self.input_source_names[pin])
+
+    def set_input_stimulus(self, pin: str, stimulus: Union[float, Stimulus]) -> None:
+        """Replace the stimulus of one input pin in place."""
+        source = self.input_source(pin)
+        source.stimulus = stimulus if isinstance(stimulus, Stimulus) else DCValue(float(stimulus))
+
+
+def build_testbench(
+    cell: Cell,
+    input_stimuli: Optional[Mapping[str, Union[float, Stimulus]]] = None,
+    load_capacitance: Optional[float] = None,
+    fanout: int = 0,
+    name: str = "",
+) -> CellTestbench:
+    """Instantiate a cell with supplies, input sources and an output load.
+
+    Parameters
+    ----------
+    cell:
+        The cell under test.
+    input_stimuli:
+        Pin -> stimulus (or DC float).  Unlisted pins default to 0 V.
+    load_capacitance:
+        Optional lumped capacitive load at the output.
+    fanout:
+        Number of real unit inverters attached to the output (FO-k load).
+        May be combined with ``load_capacitance``.
+    """
+    technology = cell.technology
+    tb_name = name or f"tb_{cell.name}"
+    circuit = Circuit(tb_name)
+    supply = circuit.add_voltage_source(SUPPLY_NODE, GROUND, technology.vdd, name="VDD")
+
+    input_sources: Dict[str, str] = {}
+    stimuli = dict(input_stimuli or {})
+    for pin in cell.inputs:
+        stimulus = stimuli.pop(pin, 0.0)
+        source = circuit.add_voltage_source(pin, GROUND, stimulus, name=f"V{pin}")
+        input_sources[pin] = source.name
+    if stimuli:
+        raise NetlistError(f"stimuli given for unknown pins {sorted(stimuli)} of cell {cell.name!r}")
+
+    # Merge the cell netlist: ports keep their names, internals stay unique.
+    port_map = {pin: pin for pin in cell.inputs}
+    port_map[cell.output] = cell.output
+    port_map[SUPPLY_NODE] = SUPPLY_NODE
+    for node in cell.internal_nodes:
+        port_map[node] = node
+    circuit.merge(cell.circuit, prefix="dut_", node_map=port_map)
+
+    load_name = None
+    if load_capacitance is not None and load_capacitance > 0:
+        load = circuit.add_capacitor(cell.output, GROUND, load_capacitance, name="CLOAD")
+        load_name = load.name
+
+    fanout_names: List[str] = []
+    if fanout > 0:
+        fanout_names = attach_fanout_inverters(circuit, cell.output, technology, fanout)
+
+    return CellTestbench(
+        circuit=circuit,
+        cell=cell,
+        input_source_names=input_sources,
+        supply_source_name=supply.name,
+        output_node=cell.output,
+        internal_nodes=cell.internal_nodes,
+        load_capacitor_name=load_name,
+        fanout_cells=fanout_names,
+    )
+
+
+def attach_fanout_inverters(
+    circuit: Circuit,
+    node: str,
+    technology: Technology,
+    count: int,
+    stage_load: float = FANOUT_STAGE_LOAD,
+) -> List[str]:
+    """Attach ``count`` unit inverters to ``node`` as a realistic FO-k load.
+
+    Each fanout inverter's output is loaded with a small capacitor so that its
+    own switching draws realistic Miller (kick-back) current through its input.
+    Returns the list of name prefixes used for the fanout instances.
+    """
+    if count < 0:
+        raise NetlistError("fanout count must be non-negative")
+    from .builders import build_inverter  # local import to avoid a cycle
+
+    prefixes: List[str] = []
+    for index in range(count):
+        prefix = f"fo{index}_"
+        inverter = build_inverter(technology)
+        node_map = {"A": node, SUPPLY_NODE: SUPPLY_NODE}
+        circuit.merge(inverter.circuit, prefix=prefix, node_map=node_map)
+        circuit.add_capacitor(f"{prefix}{OUTPUT_NODE}", GROUND, stage_load, name=f"{prefix}cload")
+        prefixes.append(prefix)
+    return prefixes
+
+
+def fanout_capacitance(technology: Technology, count: int) -> float:
+    """Lumped-capacitance equivalent of an FO-``count`` inverter load.
+
+    Used when a current-source model needs a single capacitive load number
+    comparable to the transistor-level FO-k testbench.
+    """
+    from .builders import build_inverter
+
+    inverter = build_inverter(technology)
+    return count * inverter.pin_gate_capacitance("A")

@@ -1,0 +1,36 @@
+"""Cell characterization flows (DC current tables, capacitances, NLDM)."""
+
+from .capacitance import (
+    characterize_input_capacitance,
+    characterize_internal_capacitance,
+    characterize_miller_capacitance,
+    characterize_output_capacitance,
+    extract_ramp_capacitance,
+)
+from .characterize import characterize_baseline_mis, characterize_mcsm, characterize_sis
+from .config import CharacterizationConfig
+from .dc_tables import (
+    characterize_mcsm_currents,
+    characterize_mis_current,
+    characterize_sis_current,
+)
+from .nldm import NLDMTable, characterize_nldm
+from .probe import ProbeBench
+
+__all__ = [
+    "CharacterizationConfig",
+    "ProbeBench",
+    "characterize_sis_current",
+    "characterize_mis_current",
+    "characterize_mcsm_currents",
+    "characterize_miller_capacitance",
+    "characterize_output_capacitance",
+    "characterize_internal_capacitance",
+    "characterize_input_capacitance",
+    "extract_ramp_capacitance",
+    "characterize_sis",
+    "characterize_baseline_mis",
+    "characterize_mcsm",
+    "characterize_nldm",
+    "NLDMTable",
+]

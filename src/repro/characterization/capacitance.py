@@ -1,0 +1,276 @@
+"""Transient characterization of the model capacitances.
+
+Section 3.3 of the paper characterizes the Miller, output, internal-node and
+input capacitances with SPICE transient analyses in which saturated ramps are
+applied to one node while the others are held at DC, monitoring the current
+of the source attached to the node of interest.
+
+The extraction used here applies the same ramp at two different slopes and
+divides the *difference* of the measured currents (at matched ramp voltage)
+by the difference of the slopes.  Because the quasi-static (DC) component of
+the current is identical at matched voltage, it cancels exactly, leaving the
+capacitive component:
+
+    i(t) = I_dc(v(t)) + C * dv/dt      =>      C = (i_fast - i_slow) / (s_fast - s_slow)
+
+The extracted C(v) samples are then averaged, matching the paper's decision
+to store an average capacitance over the characterization slopes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cells.cell import Cell
+from ..exceptions import CharacterizationError
+from ..spice.sources import SaturatedRamp
+from .config import CharacterizationConfig
+from .probe import ProbeBench
+
+__all__ = [
+    "extract_ramp_capacitance",
+    "characterize_miller_capacitance",
+    "characterize_output_capacitance",
+    "characterize_internal_capacitance",
+    "characterize_input_capacitance",
+]
+
+
+def _controlling_bias(cell: Cell, pins: Iterable[str]) -> Dict[str, float]:
+    """Bias that turns the series stack off (all listed pins at controlling value)."""
+    vdd = cell.technology.vdd
+    return {pin: cell.controlling_value(pin) * vdd for pin in pins}
+
+
+def _ramp_pair(
+    low: float, high: float, settle: float, slews: Tuple[float, float]
+) -> Tuple[SaturatedRamp, SaturatedRamp]:
+    return (
+        SaturatedRamp(low, high, settle, slews[0]),
+        SaturatedRamp(low, high, settle, slews[1]),
+    )
+
+
+def extract_ramp_capacitance(
+    bench: ProbeBench,
+    ramp_node: str,
+    measure_probe: str,
+    dc_biases: Dict[str, float],
+    output_bias: float,
+    rising: bool = True,
+    config: Optional[CharacterizationConfig] = None,
+) -> float:
+    """Two-slope capacitance extraction between ``ramp_node`` and ``measure_probe``.
+
+    Parameters
+    ----------
+    bench:
+        Probe bench with sources on all relevant nodes.
+    ramp_node:
+        Which probe gets the ramp: an input pin name, ``"output"`` or
+        ``"internal"``.
+    measure_probe:
+        Which source's current is measured (same identifiers).
+    dc_biases:
+        DC voltages for the input pins that are not ramped.
+    output_bias:
+        DC voltage of the output source (ignored if the output is ramped).
+    rising:
+        Ramp direction.
+    """
+    config = config or bench.config
+    cell = bench.cell
+    vdd = cell.technology.vdd
+    low, high = (0.0, vdd) if rising else (vdd, 0.0)
+    settle = config.cap_ramp_settle
+    ramps = _ramp_pair(low, high, settle, config.cap_ramp_slews)
+    slopes = [(high - low) / slew for slew in config.cap_ramp_slews]
+
+    sample_lo, sample_hi = config.cap_sample_fractions
+    currents_by_slew = []
+    for ramp, slew in zip(ramps, config.cap_ramp_slews):
+        stimuli: Dict[str, object] = dict(dc_biases)
+        output_stimulus: object = output_bias
+        internal_stimulus: Optional[object] = None
+        if ramp_node == "output":
+            output_stimulus = ramp
+        elif ramp_node == "internal":
+            internal_stimulus = ramp
+            if bench.internal_source_name is None:
+                raise CharacterizationError("bench has no internal-node source to ramp")
+        else:
+            stimuli[ramp_node] = ramp
+
+        t_stop = settle + slew + settle
+        result = bench.transient_with_stimulus(
+            stimuli=stimuli,
+            output_stimulus=output_stimulus,
+            t_stop=t_stop,
+            internal_stimulus=internal_stimulus,
+        )
+        source_name = bench.source_name_for(measure_probe)
+        # Sample the measured current at matched ramp voltages.
+        fractions = np.linspace(sample_lo, sample_hi, 25)
+        sample_times = settle + fractions * slew
+        current = np.interp(sample_times, result.times, result.current_trace(source_name))
+        currents_by_slew.append(current)
+
+    fast, slow = currents_by_slew[0], currents_by_slew[1]
+    capacitance = (fast - slow) / (slopes[0] - slopes[1])
+    mean_cap = float(np.mean(capacitance))
+    return mean_cap
+
+
+def characterize_miller_capacitance(
+    cell: Cell,
+    pin: str,
+    other_pins: Dict[str, float],
+    config: Optional[CharacterizationConfig] = None,
+    probe_internal: bool = False,
+) -> float:
+    """Characterize the Miller capacitance between ``pin`` and the output.
+
+    A ramp is applied to ``pin`` while the output is held by a DC source and
+    the output-source current is monitored; the extraction is repeated for
+    output-low and output-high bias and for both ramp directions, and the
+    results are averaged.
+    """
+    config = config or CharacterizationConfig()
+    bench = ProbeBench(
+        cell=cell,
+        switching_pins=tuple(dict.fromkeys([pin, *other_pins])),
+        probe_internal=probe_internal,
+        config=config,
+    )
+    vdd = cell.technology.vdd
+    samples = []
+    for output_bias in (0.0, vdd):
+        for rising in (True, False):
+            samples.append(
+                abs(
+                    extract_ramp_capacitance(
+                        bench,
+                        ramp_node=pin,
+                        measure_probe="output",
+                        dc_biases=dict(other_pins),
+                        output_bias=output_bias,
+                        rising=rising,
+                        config=config,
+                    )
+                )
+            )
+    return float(np.mean(samples))
+
+
+def characterize_output_capacitance(
+    cell: Cell,
+    pins: Sequence[str],
+    miller_caps: Dict[str, float],
+    config: Optional[CharacterizationConfig] = None,
+) -> float:
+    """Characterize the output parasitic capacitance ``Co``.
+
+    The output source is ramped while all inputs sit at their *controlling*
+    values, which switches the series stack off and isolates the internal
+    node; the measured total capacitance is the sum of ``Co`` and the Miller
+    capacitances, so the previously extracted Miller terms are subtracted.
+    """
+    config = config or CharacterizationConfig()
+    bench = ProbeBench(cell=cell, switching_pins=tuple(pins), probe_internal=False, config=config)
+    biases = _controlling_bias(cell, pins)
+    samples = []
+    for rising in (True, False):
+        samples.append(
+            abs(
+                extract_ramp_capacitance(
+                    bench,
+                    ramp_node="output",
+                    measure_probe="output",
+                    dc_biases=biases,
+                    output_bias=0.0,
+                    rising=rising,
+                    config=config,
+                )
+            )
+        )
+    total = float(np.mean(samples))
+    output_cap = total - sum(abs(miller_caps.get(pin, 0.0)) for pin in pins)
+    return max(output_cap, 0.1e-15)
+
+
+def characterize_internal_capacitance(
+    cell: Cell,
+    pins: Sequence[str],
+    config: Optional[CharacterizationConfig] = None,
+) -> float:
+    """Characterize the internal-node capacitance ``C_N``.
+
+    The internal-node source is ramped while the inputs sit at controlling
+    values (stack off) and the output is held at DC; the internal-node source
+    current divided by the ramp slope gives ``C_N`` after the two-slope
+    subtraction.
+    """
+    config = config or CharacterizationConfig()
+    if cell.stack_node() is None:
+        raise CharacterizationError(f"cell {cell.name!r} has no internal node")
+    bench = ProbeBench(cell=cell, switching_pins=tuple(pins), probe_internal=True, config=config)
+    biases = _controlling_bias(cell, pins)
+    samples = []
+    for rising in (True, False):
+        samples.append(
+            abs(
+                extract_ramp_capacitance(
+                    bench,
+                    ramp_node="internal",
+                    measure_probe="internal",
+                    dc_biases=biases,
+                    output_bias=0.0,
+                    rising=rising,
+                    config=config,
+                )
+            )
+        )
+    return float(np.mean(samples))
+
+
+def characterize_input_capacitance(
+    cell: Cell,
+    pin: str,
+    other_pins: Dict[str, float],
+    miller_cap: float,
+    config: Optional[CharacterizationConfig] = None,
+) -> float:
+    """Characterize the input pin capacitance ``C_A`` (paper Eq. (3)).
+
+    A ramp is applied to the pin while the output is held at DC; the current
+    delivered by the *input* source is ``(C_A + C_mA) dV_A/dt``, so the Miller
+    term is subtracted after extraction.  Results for output-low/high and both
+    ramp directions are averaged.
+    """
+    config = config or CharacterizationConfig()
+    bench = ProbeBench(
+        cell=cell,
+        switching_pins=tuple(dict.fromkeys([pin, *other_pins])),
+        probe_internal=False,
+        config=config,
+    )
+    vdd = cell.technology.vdd
+    samples = []
+    for output_bias in (0.0, vdd):
+        for rising in (True, False):
+            total = abs(
+                extract_ramp_capacitance(
+                    bench,
+                    ramp_node=pin,
+                    measure_probe=pin,
+                    dc_biases=dict(other_pins),
+                    output_bias=output_bias,
+                    rising=rising,
+                    config=config,
+                )
+            )
+            samples.append(total)
+    mean_total = float(np.mean(samples))
+    return max(mean_total - abs(miller_cap), 0.1e-15)

@@ -1,0 +1,181 @@
+"""Top-level characterization flows producing ready-to-use model objects."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..cells.cell import Cell
+from ..csm.models import MCSM, BaselineMISCSM, SISCSM
+from ..exceptions import CharacterizationError
+from .capacitance import (
+    characterize_input_capacitance,
+    characterize_internal_capacitance,
+    characterize_miller_capacitance,
+    characterize_output_capacitance,
+)
+from .config import CharacterizationConfig
+from .dc_tables import (
+    characterize_mcsm_currents,
+    characterize_mis_current,
+    characterize_sis_current,
+)
+
+__all__ = ["characterize_sis", "characterize_baseline_mis", "characterize_mcsm"]
+
+
+def _default_fixed_inputs(cell: Cell, switching: Tuple[str, ...]) -> Dict[str, float]:
+    vdd = cell.technology.vdd
+    return {
+        pin: cell.non_controlling_value(pin) * vdd
+        for pin in cell.inputs
+        if pin not in switching
+    }
+
+
+def _miller_other_bias(cell: Cell, other: str, config: CharacterizationConfig) -> float:
+    """Voltage of the other switching pin during Miller-cap extraction."""
+    if config.miller_other_pin_state == "controlling":
+        return cell.controlling_value(other) * cell.technology.vdd
+    return cell.non_controlling_value(other) * cell.technology.vdd
+
+
+def characterize_sis(
+    cell: Cell,
+    pin: Optional[str] = None,
+    config: Optional[CharacterizationConfig] = None,
+) -> SISCSM:
+    """Characterize a single-input-switching CSM ([5]-style) for one pin.
+
+    Parameters
+    ----------
+    cell:
+        Cell to characterize.
+    pin:
+        Switching pin; defaults to the cell's first input.
+    config:
+        Characterization settings.
+    """
+    config = config or CharacterizationConfig()
+    pin = pin or cell.inputs[0]
+    if pin not in cell.inputs:
+        raise CharacterizationError(f"cell {cell.name!r} has no input pin {pin!r}")
+    fixed = _default_fixed_inputs(cell, (pin,))
+
+    io_table = characterize_sis_current(cell, pin, config, fixed_inputs=fixed)
+    miller = characterize_miller_capacitance(cell, pin, fixed, config)
+    output_cap = characterize_output_capacitance(cell, (pin,), {pin: miller}, config)
+    input_cap = characterize_input_capacitance(cell, pin, fixed, miller, config)
+
+    return SISCSM(
+        cell_name=cell.name,
+        pin=pin,
+        fixed_inputs=fixed,
+        io_table=io_table,
+        input_cap=input_cap,
+        output_cap=output_cap,
+        miller_cap=miller,
+        vdd=cell.technology.vdd,
+        metadata={"grid_points": str(config.io_grid_points)},
+    )
+
+
+def characterize_baseline_mis(
+    cell: Cell,
+    pin_a: Optional[str] = None,
+    pin_b: Optional[str] = None,
+    config: Optional[CharacterizationConfig] = None,
+    include_miller: bool = True,
+) -> BaselineMISCSM:
+    """Characterize the baseline MIS CSM (no internal node, Section 3.1)."""
+    config = config or CharacterizationConfig()
+    if cell.num_inputs < 2:
+        raise CharacterizationError(
+            f"cell {cell.name!r} has fewer than two inputs; use characterize_sis instead"
+        )
+    pin_a = pin_a or cell.inputs[0]
+    pin_b = pin_b or cell.inputs[1]
+    if pin_a == pin_b:
+        raise CharacterizationError("pin_a and pin_b must differ")
+    fixed = _default_fixed_inputs(cell, (pin_a, pin_b))
+
+    io_table = characterize_mis_current(cell, pin_a, pin_b, config, fixed_inputs=fixed)
+    miller_caps: Dict[str, float] = {}
+    input_caps: Dict[str, float] = {}
+    for pin, other in ((pin_a, pin_b), (pin_b, pin_a)):
+        other_bias = dict(fixed)
+        other_bias[other] = _miller_other_bias(cell, other, config)
+        miller_caps[pin] = characterize_miller_capacitance(cell, pin, other_bias, config)
+        input_caps[pin] = characterize_input_capacitance(
+            cell, pin, other_bias, miller_caps[pin], config
+        )
+    output_cap = characterize_output_capacitance(cell, (pin_a, pin_b), miller_caps, config)
+
+    return BaselineMISCSM(
+        cell_name=cell.name,
+        pin_a=pin_a,
+        pin_b=pin_b,
+        fixed_inputs=fixed,
+        io_table=io_table,
+        input_caps=input_caps,
+        output_cap=output_cap,
+        miller_caps=miller_caps,
+        vdd=cell.technology.vdd,
+        include_miller=include_miller,
+        metadata={"grid_points": str(config.io_grid_points)},
+    )
+
+
+def characterize_mcsm(
+    cell: Cell,
+    pin_a: Optional[str] = None,
+    pin_b: Optional[str] = None,
+    config: Optional[CharacterizationConfig] = None,
+) -> MCSM:
+    """Characterize the complete MCSM of the paper (Sections 3.2/3.3).
+
+    The cell must have at least one internal stack node; the node returned by
+    :meth:`repro.cells.Cell.stack_node` (the node adjacent to the output
+    inside the series stack, the paper's node *N*) is the one modeled.
+    """
+    config = config or CharacterizationConfig()
+    if cell.num_inputs < 2:
+        raise CharacterizationError(
+            f"cell {cell.name!r} has fewer than two inputs; MCSM needs a multi-input cell"
+        )
+    stack_node = cell.stack_node()
+    if stack_node is None:
+        raise CharacterizationError(f"cell {cell.name!r} has no internal stack node")
+    pin_a = pin_a or cell.inputs[0]
+    pin_b = pin_b or cell.inputs[1]
+    if pin_a == pin_b:
+        raise CharacterizationError("pin_a and pin_b must differ")
+    fixed = _default_fixed_inputs(cell, (pin_a, pin_b))
+
+    io_table, in_table = characterize_mcsm_currents(cell, pin_a, pin_b, config, fixed_inputs=fixed)
+    miller_caps: Dict[str, float] = {}
+    input_caps: Dict[str, float] = {}
+    for pin, other in ((pin_a, pin_b), (pin_b, pin_a)):
+        other_bias = dict(fixed)
+        other_bias[other] = _miller_other_bias(cell, other, config)
+        miller_caps[pin] = characterize_miller_capacitance(cell, pin, other_bias, config)
+        input_caps[pin] = characterize_input_capacitance(
+            cell, pin, other_bias, miller_caps[pin], config
+        )
+    output_cap = characterize_output_capacitance(cell, (pin_a, pin_b), miller_caps, config)
+    internal_cap = characterize_internal_capacitance(cell, (pin_a, pin_b), config)
+
+    return MCSM(
+        cell_name=cell.name,
+        pin_a=pin_a,
+        pin_b=pin_b,
+        fixed_inputs=fixed,
+        io_table=io_table,
+        in_table=in_table,
+        input_caps=input_caps,
+        output_cap=output_cap,
+        miller_caps=miller_caps,
+        internal_cap=internal_cap,
+        vdd=cell.technology.vdd,
+        internal_node=stack_node,
+        metadata={"grid_points": str(config.io_grid_points)},
+    )

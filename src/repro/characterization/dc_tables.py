@@ -1,0 +1,137 @@
+"""DC characterization of the current sources ``Io`` and ``I_N``.
+
+Following Section 3.3 of the paper, the current sources are characterized by
+DC analyses in which the switching inputs, the output and (for the complete
+model) the internal stack node are forced by voltage sources swept from
+``-delta_v`` to ``Vdd + delta_v``, while the currents delivered by the output
+and internal-node sources are recorded into lookup tables.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cells.cell import Cell
+from ..exceptions import CharacterizationError
+from ..lut.grid import Axis, voltage_axis
+from ..lut.table import NDTable
+from .config import CharacterizationConfig
+from .probe import ProbeBench
+
+__all__ = [
+    "characterize_sis_current",
+    "characterize_mis_current",
+    "characterize_mcsm_currents",
+]
+
+
+def _axes_for(cell: Cell, names: Sequence[str], config: CharacterizationConfig) -> Tuple[Axis, ...]:
+    vdd = cell.technology.vdd
+    return tuple(
+        voltage_axis(name, vdd, config.io_grid_points, config.voltage_margin) for name in names
+    )
+
+
+def characterize_sis_current(
+    cell: Cell,
+    pin: str,
+    config: Optional[CharacterizationConfig] = None,
+    fixed_inputs: Optional[Dict[str, float]] = None,
+) -> NDTable:
+    """Characterize ``Io(Vi, Vo)`` for a single switching input.
+
+    The remaining inputs are held at their non-controlling values (or at the
+    explicitly supplied ``fixed_inputs``); internal nodes are left floating
+    and settle to their DC values, exactly as in a classic SIS CSM flow.
+    """
+    config = config or CharacterizationConfig()
+    bench = ProbeBench(
+        cell=cell,
+        switching_pins=(pin,),
+        fixed_inputs=fixed_inputs or {},
+        probe_internal=False,
+        config=config,
+    )
+    vi_axis, vo_axis = _axes_for(cell, (f"V{pin}", "Vo"), config)
+    values = np.empty((len(vi_axis), len(vo_axis)))
+    for i, vi in enumerate(vi_axis.points):
+        for j, vo in enumerate(vo_axis.points):
+            currents = bench.measure_dc_currents({pin: vi}, vo)
+            values[i, j] = currents["output"]
+    return NDTable((vi_axis, vo_axis), values, name=f"{cell.name}.Io[{pin}]")
+
+
+def characterize_mis_current(
+    cell: Cell,
+    pin_a: str,
+    pin_b: str,
+    config: Optional[CharacterizationConfig] = None,
+    fixed_inputs: Optional[Dict[str, float]] = None,
+) -> NDTable:
+    """Characterize ``Io(VA, VB, Vo)`` with the internal node left floating.
+
+    This is the baseline MIS model of Section 3.1: because the internal node
+    is not forced, it settles to whatever DC value is consistent with the
+    applied input/output voltages, and the resulting table carries no
+    information about the node's switching history.
+    """
+    config = config or CharacterizationConfig()
+    bench = ProbeBench(
+        cell=cell,
+        switching_pins=(pin_a, pin_b),
+        fixed_inputs=fixed_inputs or {},
+        probe_internal=False,
+        config=config,
+    )
+    va_axis, vb_axis, vo_axis = _axes_for(cell, ("VA", "VB", "Vo"), config)
+    values = np.empty((len(va_axis), len(vb_axis), len(vo_axis)))
+    for i, va in enumerate(va_axis.points):
+        for j, vb in enumerate(vb_axis.points):
+            for k, vo in enumerate(vo_axis.points):
+                currents = bench.measure_dc_currents({pin_a: va, pin_b: vb}, vo)
+                values[i, j, k] = currents["output"]
+    return NDTable((va_axis, vb_axis, vo_axis), values, name=f"{cell.name}.Io[{pin_a},{pin_b}]")
+
+
+def characterize_mcsm_currents(
+    cell: Cell,
+    pin_a: str,
+    pin_b: str,
+    config: Optional[CharacterizationConfig] = None,
+    fixed_inputs: Optional[Dict[str, float]] = None,
+) -> Tuple[NDTable, NDTable]:
+    """Characterize the 4-D tables ``Io(V)`` and ``I_N(V)`` of the complete MCSM.
+
+    Both tables are filled from the same DC sweep: at every grid point
+    ``(VA, VB, VN, Vo)`` the output-source current gives ``Io`` and the
+    internal-node-source current gives ``I_N``.
+    """
+    config = config or CharacterizationConfig()
+    if cell.stack_node() is None:
+        raise CharacterizationError(
+            f"cell {cell.name!r} has no internal stack node; use the baseline MIS model instead"
+        )
+    bench = ProbeBench(
+        cell=cell,
+        switching_pins=(pin_a, pin_b),
+        fixed_inputs=fixed_inputs or {},
+        probe_internal=True,
+        config=config,
+    )
+    va_axis, vb_axis, vn_axis, vo_axis = _axes_for(cell, ("VA", "VB", "VN", "Vo"), config)
+    shape = (len(va_axis), len(vb_axis), len(vn_axis), len(vo_axis))
+    io_values = np.empty(shape)
+    in_values = np.empty(shape)
+    for i, va in enumerate(va_axis.points):
+        for j, vb in enumerate(vb_axis.points):
+            for k, vn in enumerate(vn_axis.points):
+                for l, vo in enumerate(vo_axis.points):
+                    currents = bench.measure_dc_currents({pin_a: va, pin_b: vb}, vo, vn)
+                    io_values[i, j, k, l] = currents["output"]
+                    in_values[i, j, k, l] = currents["internal"]
+    axes = (va_axis, vb_axis, vn_axis, vo_axis)
+    io_table = NDTable(axes, io_values, name=f"{cell.name}.Io[{pin_a},{pin_b},N]")
+    in_table = NDTable(axes, in_values, name=f"{cell.name}.IN[{pin_a},{pin_b},N]")
+    return io_table, in_table

@@ -1,0 +1,136 @@
+"""Voltage-based (NLDM-style) characterization.
+
+This is the conventional approach the paper contrasts against: the cell is
+characterized for propagation delay and output transition time as functions
+of input slew and output load, assuming saturated-ramp waveforms.  The tables
+feed the voltage-based STA engine (:mod:`repro.sta`) which serves as the
+"what existing tools do" baseline in the experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cells.cell import Cell
+from ..cells.testbench import build_testbench
+from ..exceptions import CharacterizationError
+from ..lut.grid import Axis
+from ..lut.table import NDTable
+from ..spice.sources import SaturatedRamp
+from ..spice.transient import TransientOptions, transient_analysis
+from ..waveform.metrics import propagation_delay, transition_time
+
+__all__ = ["NLDMTable", "characterize_nldm"]
+
+
+@dataclass
+class NLDMTable:
+    """Delay / output-slew tables for one timing arc of a cell.
+
+    Attributes
+    ----------
+    cell_name / pin:
+        The characterized cell and the switching input pin of the arc.
+    input_rise:
+        True when the characterized arc is for a rising input edge.
+    delay_table / slew_table:
+        2-D tables over (input slew, load capacitance).
+    """
+
+    cell_name: str
+    pin: str
+    input_rise: bool
+    output_rise: bool
+    delay_table: NDTable
+    slew_table: NDTable
+    vdd: float
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def delay(self, input_slew: float, load: float) -> float:
+        """Interpolated 50 % propagation delay (s)."""
+        return self.delay_table.evaluate(input_slew, load)
+
+    def output_slew(self, input_slew: float, load: float) -> float:
+        """Interpolated 20-80 % output transition time (s)."""
+        return self.slew_table.evaluate(input_slew, load)
+
+
+def characterize_nldm(
+    cell: Cell,
+    pin: Optional[str] = None,
+    input_rise: bool = True,
+    input_slews: Sequence[float] = (20e-12, 50e-12, 100e-12, 200e-12),
+    loads: Sequence[float] = (2e-15, 5e-15, 10e-15, 20e-15, 40e-15),
+    time_step: float = 1e-12,
+) -> NLDMTable:
+    """Characterize one NLDM timing arc against the reference simulator.
+
+    The remaining inputs are held at their non-controlling values.  The
+    output edge direction follows from the cell's logic function.
+    """
+    pin = pin or cell.inputs[0]
+    if pin not in cell.inputs:
+        raise CharacterizationError(f"cell {cell.name!r} has no input pin {pin!r}")
+    vdd = cell.technology.vdd
+    if len(input_slews) < 2 or len(loads) < 2:
+        raise CharacterizationError("need at least two input slews and two loads")
+
+    out_initial = cell.output_for_pin(pin, 0 if input_rise else 1)
+    out_final = cell.output_for_pin(pin, 1 if input_rise else 0)
+    if out_initial == out_final:
+        raise CharacterizationError(
+            f"pin {pin!r} of cell {cell.name!r} does not toggle the output for this edge"
+        )
+    output_rise = out_final == 1
+
+    fixed = {
+        other: cell.non_controlling_value(other) * vdd
+        for other in cell.inputs
+        if other != pin
+    }
+
+    delays = np.empty((len(input_slews), len(loads)))
+    slews = np.empty((len(input_slews), len(loads)))
+    start_time = 100e-12
+    for i, input_slew in enumerate(input_slews):
+        for j, load in enumerate(loads):
+            ramp = SaturatedRamp(
+                0.0 if input_rise else vdd,
+                vdd if input_rise else 0.0,
+                start_time,
+                input_slew,
+            )
+            bench = build_testbench(cell, {pin: ramp, **fixed}, load_capacitance=load)
+            t_stop = start_time + input_slew + max(30 * load * 1e12 * 1e-12, 600e-12)
+            result = transient_analysis(
+                bench.circuit,
+                t_stop=t_stop,
+                options=TransientOptions(time_step=time_step, record_source_currents=False),
+            )
+            input_wave = result.waveform(pin)
+            output_wave = result.waveform(cell.output)
+            delays[i, j] = propagation_delay(
+                input_wave,
+                output_wave,
+                vdd,
+                input_direction="rise" if input_rise else "fall",
+                output_direction="rise" if output_rise else "fall",
+            )
+            slews[i, j] = transition_time(
+                output_wave, vdd, direction="rise" if output_rise else "fall"
+            )
+
+    slew_axis = Axis("input_slew", tuple(float(s) for s in input_slews))
+    load_axis = Axis("load", tuple(float(c) for c in loads))
+    return NLDMTable(
+        cell_name=cell.name,
+        pin=pin,
+        input_rise=input_rise,
+        output_rise=output_rise,
+        delay_table=NDTable((slew_axis, load_axis), delays, name=f"{cell.name}.delay[{pin}]"),
+        slew_table=NDTable((slew_axis, load_axis), slews, name=f"{cell.name}.slew[{pin}]"),
+        vdd=vdd,
+    )

@@ -1,0 +1,207 @@
+"""Probe benches: cells wired up for characterization measurements.
+
+A :class:`ProbeBench` instantiates a cell with voltage sources on the nodes
+being characterized (the switching inputs, the output, and optionally the
+internal stack node), plus DC sources on the remaining inputs.  It exposes
+methods to re-bias those sources and to measure the current each one delivers,
+which is exactly what the DC characterization of ``Io`` / ``I_N`` and the
+transient characterization of the capacitances need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..cells.cell import SUPPLY_NODE, Cell
+from ..exceptions import CharacterizationError
+from ..spice.dc import DCAnalysis
+from ..spice.netlist import GROUND, Circuit
+from ..spice.sources import DCValue, Stimulus
+from ..spice.transient import TransientOptions, transient_analysis
+from .config import CharacterizationConfig
+
+__all__ = ["ProbeBench"]
+
+
+@dataclass
+class ProbeBench:
+    """A cell surrounded by probing sources for characterization.
+
+    Parameters
+    ----------
+    cell:
+        Cell being characterized.
+    switching_pins:
+        Input pins that get their own sweepable sources (one for SIS, two for
+        MIS characterization).
+    fixed_inputs:
+        DC values for the remaining input pins.  Pins not listed default to
+        their non-controlling value.
+    probe_internal:
+        When true, the cell's primary stack node is also forced by a source
+        (needed for the complete MCSM characterization); when false the
+        internal nodes are left floating (baseline / SIS characterization).
+    """
+
+    cell: Cell
+    switching_pins: Tuple[str, ...]
+    fixed_inputs: Dict[str, float] = field(default_factory=dict)
+    probe_internal: bool = False
+    config: CharacterizationConfig = field(default_factory=CharacterizationConfig)
+
+    circuit: Circuit = field(init=False)
+    input_source_names: Dict[str, str] = field(init=False, default_factory=dict)
+    output_source_name: str = field(init=False, default="")
+    internal_source_name: Optional[str] = field(init=False, default=None)
+    internal_node: Optional[str] = field(init=False, default=None)
+    _dc: Optional[DCAnalysis] = field(init=False, default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        cell = self.cell
+        for pin in self.switching_pins:
+            if pin not in cell.inputs:
+                raise CharacterizationError(f"cell {cell.name!r} has no input pin {pin!r}")
+        vdd = cell.technology.vdd
+
+        resolved_fixed: Dict[str, float] = {}
+        for pin in cell.inputs:
+            if pin in self.switching_pins:
+                continue
+            if pin in self.fixed_inputs:
+                resolved_fixed[pin] = float(self.fixed_inputs[pin])
+            else:
+                resolved_fixed[pin] = cell.non_controlling_value(pin) * vdd
+        self.fixed_inputs = resolved_fixed
+
+        circuit = Circuit(f"probe_{cell.name}")
+        circuit.add_voltage_source(SUPPLY_NODE, GROUND, vdd, name="VDD")
+        for pin in cell.inputs:
+            initial = 0.0 if pin in self.switching_pins else self.fixed_inputs[pin]
+            source = circuit.add_voltage_source(pin, GROUND, initial, name=f"V{pin}")
+            self.input_source_names[pin] = source.name
+        output_source = circuit.add_voltage_source(cell.output, GROUND, 0.0, name="VOUT")
+        self.output_source_name = output_source.name
+
+        self.internal_node = cell.stack_node()
+        if self.probe_internal:
+            if self.internal_node is None:
+                raise CharacterizationError(
+                    f"cell {cell.name!r} has no internal stack node to probe"
+                )
+            internal_source = circuit.add_voltage_source(
+                self.internal_node, GROUND, 0.0, name="VN"
+            )
+            self.internal_source_name = internal_source.name
+
+        port_map = {pin: pin for pin in cell.inputs}
+        port_map[cell.output] = cell.output
+        port_map[SUPPLY_NODE] = SUPPLY_NODE
+        for node in cell.internal_nodes:
+            port_map[node] = node
+        circuit.merge(cell.circuit, prefix="dut_", node_map=port_map)
+        self.circuit = circuit
+
+    # ------------------------------------------------------------------
+    # DC measurements
+    # ------------------------------------------------------------------
+    def _dc_analysis(self) -> DCAnalysis:
+        if self._dc is None:
+            self._dc = DCAnalysis(self.circuit, gmin=self.config.dc_gmin)
+        return self._dc
+
+    def set_bias(
+        self,
+        pin_voltages: Mapping[str, float],
+        output_voltage: float,
+        internal_voltage: Optional[float] = None,
+    ) -> None:
+        """Re-bias the probing sources (no solve is performed)."""
+        analysis = self._dc_analysis()
+        for pin, value in pin_voltages.items():
+            if pin not in self.input_source_names:
+                raise CharacterizationError(f"no probing source for pin {pin!r}")
+            analysis.set_source_value(self.input_source_names[pin], value)
+        analysis.set_source_value(self.output_source_name, output_voltage)
+        if internal_voltage is not None:
+            if self.internal_source_name is None:
+                raise CharacterizationError("this probe bench does not force the internal node")
+            analysis.set_source_value(self.internal_source_name, internal_voltage)
+
+    def measure_dc_currents(
+        self,
+        pin_voltages: Mapping[str, float],
+        output_voltage: float,
+        internal_voltage: Optional[float] = None,
+    ) -> Dict[str, float]:
+        """Solve the DC point and return the probing-source currents.
+
+        The returned mapping contains ``"output"`` (the current the output
+        source delivers into the output node — the model's ``Io``),
+        ``"internal"`` when the internal node is probed (the model's
+        ``I_N``), and one entry per input pin (gate leakage, essentially zero
+        for this device model, kept for completeness).
+        """
+        self.set_bias(pin_voltages, output_voltage, internal_voltage)
+        op = self._dc_analysis().solve()
+        currents: Dict[str, float] = {
+            "output": op.source_current(self.output_source_name),
+        }
+        if self.internal_source_name is not None:
+            currents["internal"] = op.source_current(self.internal_source_name)
+        for pin, source_name in self.input_source_names.items():
+            currents[pin] = op.source_current(source_name)
+        return currents
+
+    # ------------------------------------------------------------------
+    # Transient measurements (for capacitance extraction)
+    # ------------------------------------------------------------------
+    def transient_with_stimulus(
+        self,
+        stimuli: Mapping[str, Union[float, Stimulus]],
+        output_stimulus: Union[float, Stimulus],
+        t_stop: float,
+        internal_stimulus: Optional[Union[float, Stimulus]] = None,
+        time_step: Optional[float] = None,
+    ):
+        """Run a transient with given source stimuli and return the result.
+
+        ``stimuli`` maps input pin names to stimuli; unlisted switching pins
+        keep their current DC value.  The internal-node source (if present)
+        can be ramped too, which is how ``C_N`` is extracted.
+        """
+        for pin, stimulus in stimuli.items():
+            if pin not in self.input_source_names:
+                raise CharacterizationError(f"no probing source for pin {pin!r}")
+            element = self.circuit.element(self.input_source_names[pin])
+            element.stimulus = stimulus if isinstance(stimulus, Stimulus) else DCValue(float(stimulus))
+        output_element = self.circuit.element(self.output_source_name)
+        output_element.stimulus = (
+            output_stimulus if isinstance(output_stimulus, Stimulus) else DCValue(float(output_stimulus))
+        )
+        if internal_stimulus is not None:
+            if self.internal_source_name is None:
+                raise CharacterizationError("this probe bench does not force the internal node")
+            internal_element = self.circuit.element(self.internal_source_name)
+            internal_element.stimulus = (
+                internal_stimulus
+                if isinstance(internal_stimulus, Stimulus)
+                else DCValue(float(internal_stimulus))
+            )
+        options = TransientOptions(
+            time_step=time_step or self.config.cap_time_step,
+            gmin=self.config.dc_gmin,
+        )
+        return transient_analysis(self.circuit, t_stop=t_stop, options=options)
+
+    def source_name_for(self, probe: str) -> str:
+        """Resolve a probe identifier ('output', 'internal' or a pin name)."""
+        if probe == "output":
+            return self.output_source_name
+        if probe == "internal":
+            if self.internal_source_name is None:
+                raise CharacterizationError("this probe bench does not force the internal node")
+            return self.internal_source_name
+        if probe in self.input_source_names:
+            return self.input_source_names[probe]
+        raise CharacterizationError(f"unknown probe {probe!r}")

@@ -1,0 +1,93 @@
+"""Shared data structures for the current-source model family."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Union
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..lut.table import NDTable
+from ..waveform.waveform import Waveform
+
+__all__ = ["Capacitance", "cap_value", "SimulationOptions", "ModelSimulationResult"]
+
+#: A characterized capacitance: either an averaged scalar (farads) or a table.
+Capacitance = Union[float, NDTable]
+
+
+def cap_value(capacitance: Capacitance, *coordinates: float) -> float:
+    """Evaluate a :data:`Capacitance`, whatever its representation.
+
+    When the capacitance is stored as a table with fewer axes than supplied
+    coordinates, the leading coordinates are used (tables are created with
+    their axes in the same voltage order the model evaluates in).
+    """
+    if isinstance(capacitance, NDTable):
+        if len(coordinates) < capacitance.ndim:
+            raise ModelError(
+                f"capacitance table {capacitance.name!r} needs {capacitance.ndim} coordinates"
+            )
+        return capacitance.evaluate(*coordinates[: capacitance.ndim])
+    return float(capacitance)
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Settings of the model waveform integrator (paper Eqs. (4)/(5)).
+
+    Attributes
+    ----------
+    time_step:
+        Forward-Euler step of the output/internal node update, in seconds.
+    settle_time:
+        Length of the constant-input pre-roll used to find the initial
+        internal-node voltage when the caller does not provide one.
+    clip_margin:
+        Voltages are clipped to ``[-clip_margin, vdd + clip_margin]`` during
+        integration; this mirrors the characterization safety margin.
+    """
+
+    time_step: float = 1e-12
+    settle_time: float = 2e-9
+    clip_margin: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.time_step <= 0:
+            raise ModelError("time_step must be positive")
+        if self.settle_time < 0:
+            raise ModelError("settle_time must be non-negative")
+
+
+@dataclass
+class ModelSimulationResult:
+    """Waveforms produced by a current-source model simulation.
+
+    Attributes
+    ----------
+    output:
+        The computed output-voltage waveform.
+    internal:
+        The internal (stack) node waveform, when the model has one.
+    inputs:
+        The input waveforms the model was driven with (for bookkeeping and
+        delay measurements).
+    metadata:
+        Model name, load description and similar reporting information.
+    """
+
+    output: Waveform
+    internal: Optional[Waveform] = None
+    inputs: Dict[str, Waveform] = field(default_factory=dict)
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def times(self) -> np.ndarray:
+        return self.output.times
+
+    def final_output_voltage(self) -> float:
+        return self.output.final_value()
+
+    def final_internal_voltage(self) -> Optional[float]:
+        return self.internal.final_value() if self.internal is not None else None

@@ -1,0 +1,168 @@
+"""Load models seen by a current-source model at its output pin.
+
+The characterized cell model is load independent; the load only enters the
+output KCL equation (paper Eq. (4)).  Every load type implements the small
+:class:`Load` interface:
+
+* ``effective_capacitance(vo)`` — capacitance that appears in the denominator
+  of Eq. (4) (the locally connected charge storage),
+* ``extra_current(vo, time)`` — any additional current drawn from the output
+  node (for example the resistor current of an RC-pi load),
+* ``advance(vo, dt)`` — update of the load's internal state after the output
+  voltage step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Union
+
+from ..exceptions import ModelError
+from ..lut.table import NDTable
+
+__all__ = [
+    "Load",
+    "CapacitiveLoad",
+    "ReceiverLoad",
+    "PiLoad",
+    "CompositeLoad",
+    "as_load",
+]
+
+
+class Load:
+    """Base class for output loads."""
+
+    def reset(self) -> None:
+        """Reset internal state before a new simulation."""
+
+    def effective_capacitance(self, vo: float) -> float:
+        raise NotImplementedError
+
+    def extra_current(self, vo: float, time: float) -> float:
+        """Additional current drawn *from* the output node (A)."""
+        return 0.0
+
+    def advance(self, vo: float, dt: float) -> None:
+        """Advance internal state after the output moved to ``vo``."""
+
+    def total_capacitance_estimate(self) -> float:
+        """A single lumped-capacitance figure used by selective modeling."""
+        return self.effective_capacitance(0.0)
+
+
+@dataclass
+class CapacitiveLoad(Load):
+    """A plain grounded capacitor ``C_L``."""
+
+    capacitance: float
+
+    def __post_init__(self) -> None:
+        if self.capacitance < 0:
+            raise ModelError("load capacitance must be non-negative")
+
+    def effective_capacitance(self, vo: float) -> float:
+        return self.capacitance
+
+
+@dataclass
+class ReceiverLoad(Load):
+    """The input pins of fanout cells, modeled by their characterized ``C_A``.
+
+    Each receiver contributes either a constant capacitance or a
+    voltage-dependent table ``C_A(V_A)`` evaluated at the driver's output
+    voltage (which *is* the receiver's input voltage).  This follows the
+    paper's observation that the receiver input capacitance can only usefully
+    depend on its own input voltage.
+    """
+
+    receiver_caps: Sequence[Union[float, NDTable]]
+    wire_capacitance: float = 0.0
+
+    def effective_capacitance(self, vo: float) -> float:
+        total = self.wire_capacitance
+        for cap in self.receiver_caps:
+            if isinstance(cap, NDTable):
+                total += cap.evaluate(vo) if cap.ndim == 1 else cap.evaluate(*([vo] * cap.ndim))
+            else:
+                total += float(cap)
+        return total
+
+
+@dataclass
+class PiLoad(Load):
+    """An RC-pi interconnect load: C_near - R - C_far (far node grounded cap).
+
+    The near capacitor is part of the output-node charge; the resistor current
+    into the far node is the extra current, and the far-node voltage is the
+    internal state integrated alongside the cell output.
+    """
+
+    c_near: float
+    resistance: float
+    c_far: float
+    far_voltage_initial: float = 0.0
+    _far_voltage: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        if self.c_near < 0 or self.c_far < 0:
+            raise ModelError("pi-load capacitances must be non-negative")
+        if self.resistance <= 0:
+            raise ModelError("pi-load resistance must be positive")
+        self._far_voltage = self.far_voltage_initial
+
+    def reset(self) -> None:
+        self._far_voltage = self.far_voltage_initial
+
+    @property
+    def far_voltage(self) -> float:
+        return self._far_voltage
+
+    def effective_capacitance(self, vo: float) -> float:
+        return self.c_near
+
+    def extra_current(self, vo: float, time: float) -> float:
+        return (vo - self._far_voltage) / self.resistance
+
+    def advance(self, vo: float, dt: float) -> None:
+        if self.c_far <= 0:
+            self._far_voltage = vo
+            return
+        current = (vo - self._far_voltage) / self.resistance
+        self._far_voltage += current * dt / self.c_far
+
+    def total_capacitance_estimate(self) -> float:
+        return self.c_near + self.c_far
+
+
+@dataclass
+class CompositeLoad(Load):
+    """Several loads attached to the same output node."""
+
+    loads: List[Load]
+
+    def reset(self) -> None:
+        for load in self.loads:
+            load.reset()
+
+    def effective_capacitance(self, vo: float) -> float:
+        return sum(load.effective_capacitance(vo) for load in self.loads)
+
+    def extra_current(self, vo: float, time: float) -> float:
+        return sum(load.extra_current(vo, time) for load in self.loads)
+
+    def advance(self, vo: float, dt: float) -> None:
+        for load in self.loads:
+            load.advance(vo, dt)
+
+    def total_capacitance_estimate(self) -> float:
+        return sum(load.total_capacitance_estimate() for load in self.loads)
+
+
+def as_load(value: Union[Load, float, int]) -> Load:
+    """Coerce a bare number (farads) into a :class:`CapacitiveLoad`."""
+    if isinstance(value, Load):
+        return value
+    if isinstance(value, (int, float)):
+        return CapacitiveLoad(float(value))
+    raise ModelError(f"cannot interpret {value!r} as an output load")

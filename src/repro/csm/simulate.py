@@ -1,0 +1,155 @@
+"""Forward-Euler integration of the CSM output / internal-node equations.
+
+This module implements the discretized KCL updates of the paper:
+
+* Eq. (4): the output-voltage update driven by the Miller charge injected by
+  the moving inputs, the cell output current ``Io`` and the load;
+* Eq. (5): the internal-node update driven by the internal current ``I_N``.
+
+The integrator is shared by all three model flavours (SIS CSM, baseline MIS
+CSM, complete MCSM); models differ only in which voltages their current
+sources depend on and whether an internal node exists.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ModelError
+from ..waveform.waveform import Waveform
+from .base import Capacitance, SimulationOptions, cap_value
+from .loads import Load
+
+__all__ = ["integrate_model", "common_time_window"]
+
+
+def common_time_window(waveforms: Mapping[str, Waveform]) -> Tuple[float, float]:
+    """The time interval covered by *all* the given waveforms."""
+    if not waveforms:
+        raise ModelError("at least one input waveform is required")
+    t_start = max(w.t_start for w in waveforms.values())
+    t_stop = min(w.t_stop for w in waveforms.values())
+    if t_stop <= t_start:
+        raise ModelError("input waveforms do not overlap in time")
+    return t_start, t_stop
+
+
+def integrate_model(
+    pins: Sequence[str],
+    input_waveforms: Mapping[str, Waveform],
+    output_current: Callable[..., float],
+    miller_caps: Mapping[str, Capacitance],
+    output_cap: Capacitance,
+    load: Load,
+    vdd: float,
+    initial_output: float,
+    options: SimulationOptions,
+    t_start: Optional[float] = None,
+    t_stop: Optional[float] = None,
+    internal_current: Optional[Callable[..., float]] = None,
+    internal_cap: Optional[Capacitance] = None,
+    initial_internal: Optional[float] = None,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Integrate the model equations over a time window.
+
+    Parameters
+    ----------
+    pins:
+        Names of the switching pins, in the order the current-source callables
+        expect their voltages.
+    input_waveforms:
+        Pin name -> input waveform.  Must contain every name in ``pins``.
+    output_current:
+        Callable ``Io(v_pin_0, ..., v_pin_k, [v_internal,] v_output)``;
+        positive means the cell sinks current from the output node.
+    miller_caps / output_cap / internal_cap:
+        Characterized capacitances (scalars or tables).
+    load:
+        Output load model; its state is reset before integration.
+    initial_output / initial_internal:
+        Initial node voltages.
+    internal_current:
+        Callable ``I_N(...)`` with the same signature as ``output_current``;
+        present only for models with an internal node.
+
+    Returns
+    -------
+    (times, v_out, v_internal):
+        Sample times, output voltage samples and internal-node samples (or
+        ``None`` when the model has no internal node).
+    """
+    missing = [pin for pin in pins if pin not in input_waveforms]
+    if missing:
+        raise ModelError(f"missing input waveforms for pins {missing}")
+    has_internal = internal_current is not None
+    if has_internal and internal_cap is None:
+        raise ModelError("internal_cap is required when internal_current is given")
+    if has_internal and initial_internal is None:
+        raise ModelError("initial_internal is required when internal_current is given")
+
+    window_start, window_stop = common_time_window(
+        {pin: input_waveforms[pin] for pin in pins}
+    )
+    t_start = window_start if t_start is None else t_start
+    t_stop = window_stop if t_stop is None else t_stop
+    if t_stop <= t_start:
+        raise ModelError("simulation window is empty")
+
+    num_steps = max(2, int(round((t_stop - t_start) / options.time_step)) + 1)
+    times = np.linspace(t_start, t_stop, num_steps)
+    input_samples: Dict[str, np.ndarray] = {
+        pin: np.asarray(input_waveforms[pin].value_at(times), dtype=float) for pin in pins
+    }
+
+    v_low = -options.clip_margin
+    v_high = vdd + options.clip_margin
+
+    load.reset()
+    v_out = np.empty(num_steps)
+    v_out[0] = float(np.clip(initial_output, v_low, v_high))
+    v_int: Optional[np.ndarray] = None
+    if has_internal:
+        v_int = np.empty(num_steps)
+        v_int[0] = float(np.clip(initial_internal, v_low, v_high))
+
+    for k in range(num_steps - 1):
+        dt = times[k + 1] - times[k]
+        vo = v_out[k]
+        pin_voltages = [input_samples[pin][k] for pin in pins]
+        if has_internal:
+            coords = (*pin_voltages, v_int[k], vo)
+        else:
+            coords = (*pin_voltages, vo)
+
+        io = output_current(*coords)
+        load_cap = load.effective_capacitance(vo)
+        extra = load.extra_current(vo, times[k])
+        co = cap_value(output_cap, *coords)
+
+        miller_charge = 0.0
+        miller_total = 0.0
+        for pin in pins:
+            cm = cap_value(miller_caps[pin], input_samples[pin][k], vo)
+            miller_total += cm
+            miller_charge += cm * (input_samples[pin][k + 1] - input_samples[pin][k])
+
+        denominator = load_cap + co + miller_total
+        if denominator <= 0:
+            raise ModelError("total output capacitance must be positive")
+        v_next = vo + (miller_charge - (io + extra) * dt) / denominator
+        v_out[k + 1] = float(np.clip(v_next, v_low, v_high))
+
+        if has_internal:
+            assert v_int is not None and internal_cap is not None and internal_current is not None
+            i_n = internal_current(*coords)
+            cn = cap_value(internal_cap, *coords)
+            if cn <= 0:
+                raise ModelError("internal-node capacitance must be positive")
+            vn_next = v_int[k] - i_n * dt / cn
+            v_int[k + 1] = float(np.clip(vn_next, v_low, v_high))
+
+        load.advance(v_out[k + 1], dt)
+
+    return times, v_out, v_int

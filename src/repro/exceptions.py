@@ -1,0 +1,65 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library failures without intercepting unrelated Python
+exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class NetlistError(ReproError):
+    """Raised when a circuit netlist is malformed.
+
+    Examples: duplicate element names, references to undeclared nodes,
+    non-positive device geometry, or an attempt to ground a node twice.
+    """
+
+
+class AnalysisError(ReproError):
+    """Raised when a simulation analysis cannot be completed."""
+
+
+class ConvergenceError(AnalysisError):
+    """Raised when a Newton-Raphson iteration fails to converge.
+
+    Attributes
+    ----------
+    iterations:
+        Number of Newton iterations that were attempted before giving up.
+    residual:
+        Maximum absolute KCL residual (in amperes) at the last iteration.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, residual: float = float("nan")):
+        super().__init__(message)
+        self.iterations = iterations
+        self.residual = residual
+
+
+class CharacterizationError(ReproError):
+    """Raised when cell characterization cannot produce a valid model."""
+
+
+class ModelError(ReproError):
+    """Raised when a current-source model is used inconsistently.
+
+    Examples: evaluating an uncharacterized model, querying a pin that the
+    model does not define, or simulating with an incompatible load object.
+    """
+
+
+class WaveformError(ReproError):
+    """Raised for invalid waveform construction or measurement requests."""
+
+
+class TableError(ReproError):
+    """Raised when a lookup table is built from inconsistent axes or data."""
+
+
+class TimingError(ReproError):
+    """Raised by the STA layer for malformed timing graphs or netlists."""

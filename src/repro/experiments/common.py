@@ -1,0 +1,184 @@
+"""Shared infrastructure for the paper-figure experiments.
+
+Every experiment of the evaluation section runs against the same
+:class:`ExperimentContext`: one technology, one cell library, and one set of
+characterized models (SIS CSM, baseline MIS CSM, complete MCSM for the NOR2
+cell the paper uses throughout).  Characterization results are cached on the
+context so that running several experiments — or the whole benchmark suite —
+characterizes each model exactly once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..cells.builders import build_nor
+from ..cells.cell import Cell
+from ..cells.library import CellLibrary, default_library
+from ..cells.testbench import CellTestbench, build_testbench, fanout_capacitance
+from ..characterization.characterize import (
+    characterize_baseline_mis,
+    characterize_mcsm,
+    characterize_sis,
+)
+from ..characterization.config import CharacterizationConfig
+from ..csm.models import MCSM, BaselineMISCSM, SISCSM
+from ..csm.base import SimulationOptions
+from ..spice.transient import TransientOptions, transient_analysis
+from ..technology.process import Technology, default_technology
+from ..waveform.builders import InputPattern, pattern_stimulus, pattern_waveforms
+from ..waveform.waveform import Waveform
+
+__all__ = ["ExperimentContext", "default_context", "nor2_history_patterns", "HISTORY_LABELS"]
+
+#: The two "input history" scenarios of Section 2.2, by label.
+HISTORY_LABELS = ("fast (10->11->00)", "slow (01->11->00)")
+
+
+def nor2_history_patterns(
+    transition_time: float = 50e-12,
+    first_switch: float = 0.5e-9,
+    second_switch: float = 2.0e-9,
+) -> Dict[str, Dict[str, InputPattern]]:
+    """The two NOR2 input histories of Section 2.2 of the paper.
+
+    Case "fast": inputs go '10' -> '11' -> '00' (node N precharged to ~Vdd).
+    Case "slow": inputs go '01' -> '11' -> '00' (node N starts near |Vt,p|).
+    Both end with the same '11' -> '00' transition whose low-to-high output
+    delay is measured.
+    """
+    switches = (first_switch, second_switch)
+    return {
+        HISTORY_LABELS[0]: {
+            "A": InputPattern(levels=(1, 1, 0), switch_times=switches, transition_time=transition_time),
+            "B": InputPattern(levels=(0, 1, 0), switch_times=switches, transition_time=transition_time),
+        },
+        HISTORY_LABELS[1]: {
+            "A": InputPattern(levels=(0, 1, 0), switch_times=switches, transition_time=transition_time),
+            "B": InputPattern(levels=(1, 1, 0), switch_times=switches, transition_time=transition_time),
+        },
+    }
+
+
+@dataclass
+class ExperimentContext:
+    """Shared state (library + characterized models) for all experiments.
+
+    Attributes
+    ----------
+    technology:
+        Device/technology definition (defaults to the generic 130 nm one).
+    characterization:
+        Settings used for every model characterization in this context.
+    reference_time_step:
+        Transient step of the golden (reference simulator) runs.
+    model_time_step:
+        Integration step of the current-source model simulations.
+    """
+
+    technology: Technology = field(default_factory=default_technology)
+    characterization: CharacterizationConfig = field(default_factory=CharacterizationConfig)
+    reference_time_step: float = 2e-12
+    model_time_step: float = 1e-12
+    library: CellLibrary = field(init=False)
+    _mcsm_cache: Dict[Tuple[str, str, str], MCSM] = field(init=False, default_factory=dict)
+    _mis_cache: Dict[Tuple[str, str, str], BaselineMISCSM] = field(init=False, default_factory=dict)
+    _sis_cache: Dict[Tuple[str, str], SISCSM] = field(init=False, default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.library = default_library(self.technology)
+
+    # ------------------------------------------------------------------
+    @property
+    def vdd(self) -> float:
+        return self.technology.vdd
+
+    @property
+    def nor2(self) -> Cell:
+        return self.library["NOR2_X1"]
+
+    def model_options(self) -> SimulationOptions:
+        return SimulationOptions(time_step=self.model_time_step)
+
+    def reference_options(self) -> TransientOptions:
+        return TransientOptions(
+            time_step=self.reference_time_step, record_source_currents=False
+        )
+
+    # ------------------------------------------------------------------
+    def mcsm_for(self, cell: Optional[Cell] = None, pin_a: str = "A", pin_b: str = "B") -> MCSM:
+        """Characterize (or fetch the cached) complete MCSM for a cell."""
+        cell = cell or self.nor2
+        key = (cell.name, pin_a, pin_b)
+        if key not in self._mcsm_cache:
+            self._mcsm_cache[key] = characterize_mcsm(cell, pin_a, pin_b, self.characterization)
+        return self._mcsm_cache[key]
+
+    def baseline_mis_for(
+        self, cell: Optional[Cell] = None, pin_a: str = "A", pin_b: str = "B"
+    ) -> BaselineMISCSM:
+        """Characterize (or fetch the cached) baseline MIS CSM for a cell."""
+        cell = cell or self.nor2
+        key = (cell.name, pin_a, pin_b)
+        if key not in self._mis_cache:
+            self._mis_cache[key] = characterize_baseline_mis(cell, pin_a, pin_b, self.characterization)
+        return self._mis_cache[key]
+
+    def sis_for(self, cell: Optional[Cell] = None, pin: str = "A") -> SISCSM:
+        """Characterize (or fetch the cached) SIS CSM for a cell."""
+        cell = cell or self.nor2
+        key = (cell.name, pin)
+        if key not in self._sis_cache:
+            self._sis_cache[key] = characterize_sis(cell, pin, self.characterization)
+        return self._sis_cache[key]
+
+    # ------------------------------------------------------------------
+    def reference_history_run(
+        self,
+        patterns: Mapping[str, InputPattern],
+        fanout: int,
+        t_stop: float = 3.0e-9,
+        cell: Optional[Cell] = None,
+    ):
+        """Golden transient of a cell driven by per-pin patterns with an FO-k load."""
+        cell = cell or self.nor2
+        stimuli = {pin: pattern_stimulus(pattern, self.vdd) for pin, pattern in patterns.items()}
+        bench = build_testbench(cell, stimuli, fanout=fanout)
+        result = transient_analysis(bench.circuit, t_stop=t_stop, options=self.reference_options())
+        return bench, result
+
+    def model_history_waveforms(
+        self, patterns: Mapping[str, InputPattern], t_stop: float = 3.0e-9
+    ) -> Dict[str, Waveform]:
+        """Sampled input waveforms matching :meth:`reference_history_run`."""
+        return pattern_waveforms(dict(patterns), self.vdd, t_stop)
+
+    def fanout_load_capacitance(self, fanout: int) -> float:
+        """Lumped equivalent of the FO-k receiver load (for the model side)."""
+        return fanout_capacitance(self.technology, fanout)
+
+
+_DEFAULT_CONTEXT: Optional[ExperimentContext] = None
+
+
+def default_context(fast: bool = False) -> ExperimentContext:
+    """The process-wide shared context used by benchmarks and examples.
+
+    Parameters
+    ----------
+    fast:
+        When true, a coarser characterization grid and larger time steps are
+        used; intended for quick smoke runs and CI.  The first call decides
+        the configuration; later calls return the same object regardless.
+    """
+    global _DEFAULT_CONTEXT
+    if _DEFAULT_CONTEXT is None:
+        if fast:
+            config = CharacterizationConfig(io_grid_points=5)
+            _DEFAULT_CONTEXT = ExperimentContext(
+                characterization=config, reference_time_step=4e-12, model_time_step=2e-12
+            )
+        else:
+            _DEFAULT_CONTEXT = ExperimentContext()
+    return _DEFAULT_CONTEXT

@@ -1,0 +1,121 @@
+"""Figure 10: glitch propagation accuracy of the MCSM.
+
+The paper's Fig. 10 applies input waveforms that cause a partial transition
+(a glitch) at the NOR2 output and shows that the MCSM output waveform follows
+the HSPICE waveform closely.  Delay/slew numbers are meaningless for a glitch
+— the figure of merit is the waveform itself — so this experiment reports the
+glitch peak voltages and the normalized RMSE between the model and reference
+waveforms.
+
+The stimulus: input B sits at the controlling value (logic 1, output low) and
+briefly drops to 0 and back while input A stays at 0; the output starts to
+rise during the gap and collapses again, producing a glitch whose height
+depends on the pulse width and the load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..csm.loads import CapacitiveLoad
+from ..spice.sources import Pulse
+from ..waveform.metrics import normalized_rmse, peak_error
+from ..waveform.waveform import Waveform
+from .common import ExperimentContext, default_context
+
+__all__ = ["Fig10Result", "run_fig10"]
+
+
+@dataclass
+class Fig10Result:
+    """Glitch waveforms and error metrics reproducing Fig. 10."""
+
+    reference_output: Waveform
+    mcsm_output: Waveform
+    input_waveforms: Dict[str, Waveform]
+    reference_peak: float
+    mcsm_peak: float
+    rmse_fraction_of_vdd: float
+    peak_error_volts: float
+    vdd: float
+
+    @property
+    def peak_error_percent_of_vdd(self) -> float:
+        return 100.0 * abs(self.mcsm_peak - self.reference_peak) / self.vdd
+
+    def summary(self) -> str:
+        return "\n".join(
+            [
+                "Fig. 10 — output glitch: MCSM vs reference simulator",
+                f"  reference glitch peak: {self.reference_peak:.3f} V",
+                f"  MCSM glitch peak     : {self.mcsm_peak:.3f} V "
+                f"(peak error {self.peak_error_percent_of_vdd:.1f} % of Vdd)",
+                f"  waveform RMSE        : {100.0 * self.rmse_fraction_of_vdd:.2f} % of Vdd",
+            ]
+        )
+
+
+def run_fig10(
+    context: Optional[ExperimentContext] = None,
+    fanout: int = 2,
+    pulse_width: float = 60e-12,
+    transition_time: float = 50e-12,
+    pulse_start: float = 1.0e-9,
+) -> Fig10Result:
+    """Reproduce Fig. 10 of the paper.
+
+    Parameters
+    ----------
+    pulse_width:
+        Flat width of the glitch-producing pulse on input B; shorter pulses
+        give smaller output glitches.
+    """
+    context = context or default_context()
+    vdd = context.vdd
+    cell = context.nor2
+    mcsm = context.mcsm_for()
+    t_stop = pulse_start + 2.0e-9
+
+    # Input B: high (controlling) with a low-going pulse; input A quiet at 0.
+    pulse = Pulse(
+        low=vdd,
+        high=0.0,
+        start_time=pulse_start,
+        rise_time=transition_time,
+        width=pulse_width,
+        fall_time=transition_time,
+    )
+
+    from ..cells.testbench import build_testbench
+    from ..spice.transient import transient_analysis
+
+    bench = build_testbench(cell, {"A": 0.0, "B": pulse}, fanout=fanout)
+    reference = transient_analysis(
+        bench.circuit, t_stop=t_stop, options=context.reference_options()
+    )
+    reference_output = reference.waveform(cell.output)
+
+    inputs = {
+        "A": Waveform.constant(0.0, 0.0, t_stop, name="A"),
+        "B": Waveform.from_function(pulse, 0.0, t_stop, 2000, name="B"),
+    }
+    load = CapacitiveLoad(context.fanout_load_capacitance(fanout))
+    mcsm_result = mcsm.simulate(inputs, load, options=context.model_options())
+
+    window = (pulse_start - 0.2e-9, t_stop)
+    rmse = normalized_rmse(
+        reference_output.window(*window), mcsm_result.output.window(*window), vdd
+    )
+    return Fig10Result(
+        reference_output=reference_output,
+        mcsm_output=mcsm_result.output,
+        input_waveforms=inputs,
+        reference_peak=reference_output.window(*window).maximum(),
+        mcsm_peak=mcsm_result.output.window(*window).maximum(),
+        rmse_fraction_of_vdd=rmse,
+        peak_error_volts=peak_error(
+            reference_output.window(*window), mcsm_result.output.window(*window)
+        ),
+        vdd=vdd,
+    )

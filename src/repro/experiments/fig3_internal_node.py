@@ -1,0 +1,91 @@
+"""Figure 3: internal-node voltage of a NOR2 gate for two input histories.
+
+The paper's Fig. 3 shows the SPICE waveforms of the NOR2 internal node N for
+the two input histories of Section 2.2: starting from '10' the node sits at
+Vdd and is bumped slightly above Vdd when the second input rises (charge
+injected through the gate-drain capacitance), while starting from '01' the
+node sits near |Vt,p| and is bumped slightly above it.  This experiment
+regenerates those two waveforms with the reference simulator and reports the
+node voltage right before the final '11' -> '00' transition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..waveform.waveform import Waveform
+from .common import HISTORY_LABELS, ExperimentContext, default_context, nor2_history_patterns
+
+__all__ = ["Fig3Result", "run_fig3"]
+
+
+@dataclass
+class Fig3Result:
+    """Waveforms and summary values reproducing Fig. 3."""
+
+    internal_waveforms: Dict[str, Waveform]
+    input_waveforms: Dict[str, Waveform]
+    precharge_voltages: Dict[str, float]
+    vdd: float
+
+    def rows(self) -> List[Dict[str, float]]:
+        """Summary rows: internal-node voltage right before the '00' transition."""
+        return [
+            {"history": label, "v_internal_before_transition": self.precharge_voltages[label]}
+            for label in self.precharge_voltages
+        ]
+
+    def summary(self) -> str:
+        lines = ["Fig. 3 — NOR2 internal node voltage vs input history (reference simulator)"]
+        for label, value in self.precharge_voltages.items():
+            lines.append(f"  {label}: V(N) just before the '11'->'00' transition = {value:.3f} V")
+        spread = abs(
+            self.precharge_voltages[HISTORY_LABELS[0]] - self.precharge_voltages[HISTORY_LABELS[1]]
+        )
+        lines.append(f"  history-induced spread on V(N): {spread:.3f} V (Vdd = {self.vdd:.2f} V)")
+        return "\n".join(lines)
+
+
+def run_fig3(
+    context: Optional[ExperimentContext] = None,
+    fanout: int = 2,
+    transition_time: float = 50e-12,
+) -> Fig3Result:
+    """Reproduce Fig. 3 of the paper.
+
+    Parameters
+    ----------
+    context:
+        Shared experiment context (created on demand).
+    fanout:
+        FO-k load on the NOR2 output (the paper does not state the load used
+        for this figure; FO2 matches the later noise experiment).
+    transition_time:
+        Input ramp transition time.
+    """
+    context = context or default_context()
+    patterns = nor2_history_patterns(transition_time=transition_time)
+    second_switch = 2.0e-9
+
+    internal: Dict[str, Waveform] = {}
+    inputs: Dict[str, Waveform] = {}
+    precharge: Dict[str, float] = {}
+    stack_node = context.nor2.stack_node()
+    assert stack_node is not None
+
+    for label, pattern_set in patterns.items():
+        _, result = context.reference_history_run(pattern_set, fanout=fanout)
+        waveform = result.waveform(stack_node).renamed(f"N ({label})")
+        internal[label] = waveform
+        precharge[label] = result.voltage_at(stack_node, second_switch - 10e-12)
+        if not inputs:
+            inputs["A"] = result.waveform("A")
+            inputs["B"] = result.waveform("B")
+
+    return Fig3Result(
+        internal_waveforms=internal,
+        input_waveforms=inputs,
+        precharge_voltages=precharge,
+        vdd=context.vdd,
+    )

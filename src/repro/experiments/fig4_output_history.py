@@ -1,0 +1,91 @@
+"""Figure 4: NOR2 output waveforms for the '11' -> '00' transition under two histories.
+
+The paper's Fig. 4 overlays the output waveforms of the two input-history
+cases and shows that the case whose internal node was precharged to ~Vdd
+(history '10' -> '11' -> '00') switches noticeably faster.  This experiment
+regenerates both output waveforms with the reference simulator and reports
+the 50 % low-to-high propagation delays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..waveform.metrics import propagation_delay
+from ..waveform.waveform import Waveform
+from .common import HISTORY_LABELS, ExperimentContext, default_context, nor2_history_patterns
+
+__all__ = ["Fig4Result", "run_fig4"]
+
+
+@dataclass
+class Fig4Result:
+    """Waveforms and delays reproducing Fig. 4."""
+
+    output_waveforms: Dict[str, Waveform]
+    input_waveforms: Dict[str, Waveform]
+    delays: Dict[str, float]
+    vdd: float
+
+    @property
+    def delay_difference(self) -> float:
+        """Absolute delay difference between the two histories (seconds)."""
+        values = list(self.delays.values())
+        return abs(values[0] - values[1])
+
+    @property
+    def delay_difference_percent(self) -> float:
+        """Delay difference as a percentage of the faster case."""
+        fast = min(self.delays.values())
+        return 100.0 * self.delay_difference / fast
+
+    def rows(self) -> List[Dict[str, float]]:
+        return [
+            {"history": label, "delay_ps": self.delays[label] * 1e12} for label in self.delays
+        ]
+
+    def summary(self) -> str:
+        lines = ["Fig. 4 — NOR2 output waveforms for the two histories (reference simulator)"]
+        for label, delay in self.delays.items():
+            lines.append(f"  {label}: 50% low-to-high delay = {delay * 1e12:.2f} ps")
+        lines.append(
+            f"  delay difference: {self.delay_difference * 1e12:.2f} ps "
+            f"({self.delay_difference_percent:.1f} % of the faster case)"
+        )
+        return "\n".join(lines)
+
+
+def run_fig4(
+    context: Optional[ExperimentContext] = None,
+    fanout: int = 2,
+    transition_time: float = 50e-12,
+) -> Fig4Result:
+    """Reproduce Fig. 4 of the paper (reference-simulator waveforms only)."""
+    context = context or default_context()
+    patterns = nor2_history_patterns(transition_time=transition_time)
+
+    outputs: Dict[str, Waveform] = {}
+    inputs: Dict[str, Waveform] = {}
+    delays: Dict[str, float] = {}
+    for label, pattern_set in patterns.items():
+        _, result = context.reference_history_run(pattern_set, fanout=fanout)
+        output = result.waveform(context.nor2.output).renamed(f"Out ({label})")
+        outputs[label] = output
+        delays[label] = propagation_delay(
+            result.waveform("A"),
+            output,
+            context.vdd,
+            input_direction="fall",
+            output_direction="rise",
+        )
+        if not inputs:
+            inputs["A"] = result.waveform("A")
+            inputs["B"] = result.waveform("B")
+
+    return Fig4Result(
+        output_waveforms=outputs,
+        input_waveforms=inputs,
+        delays=delays,
+        vdd=context.vdd,
+    )

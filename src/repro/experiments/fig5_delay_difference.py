@@ -1,0 +1,109 @@
+"""Figure 5: history-induced delay difference versus output load (FO1..FO8).
+
+The paper's Fig. 5 sweeps the NOR2 fanout load from FO1 to FO8 and plots the
+percentage difference between the low-to-high propagation delays of the two
+input-history cases.  The reported range is roughly 26 % at FO1 falling to
+about 8 % at FO8 — i.e. the stack (internal-node) effect matters most for
+lightly loaded cells.  This experiment regenerates that series with the
+reference simulator using real fanout inverters as the load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..waveform.metrics import propagation_delay
+from .common import HISTORY_LABELS, ExperimentContext, default_context, nor2_history_patterns
+
+__all__ = ["Fig5Row", "Fig5Result", "run_fig5"]
+
+
+@dataclass
+class Fig5Row:
+    """One point of the Fig. 5 series."""
+
+    fanout: int
+    delay_fast: float
+    delay_slow: float
+
+    @property
+    def difference_percent(self) -> float:
+        """Delay difference as a percentage of the fast-case delay."""
+        return 100.0 * (self.delay_slow - self.delay_fast) / self.delay_fast
+
+
+@dataclass
+class Fig5Result:
+    """The full FO1..FO8 sweep."""
+
+    rows: List[Fig5Row]
+    vdd: float
+
+    def difference_series(self) -> List[float]:
+        return [row.difference_percent for row in self.rows]
+
+    def max_difference_percent(self) -> float:
+        return max(self.difference_series())
+
+    def min_difference_percent(self) -> float:
+        return min(self.difference_series())
+
+    def is_monotonically_decreasing(self) -> bool:
+        """The paper's qualitative claim: the effect shrinks as the load grows."""
+        series = self.difference_series()
+        return all(later <= earlier + 0.5 for earlier, later in zip(series, series[1:]))
+
+    def summary(self) -> str:
+        lines = [
+            "Fig. 5 — delay difference between the two input histories vs output load",
+            f"  {'load':>6} {'fast delay':>12} {'slow delay':>12} {'difference':>11}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"  FO{row.fanout:<4} {row.delay_fast * 1e12:10.2f} ps "
+                f"{row.delay_slow * 1e12:10.2f} ps {row.difference_percent:9.1f} %"
+            )
+        lines.append(
+            f"  range: {self.min_difference_percent():.1f} % (heaviest load) to "
+            f"{self.max_difference_percent():.1f} % (lightest load); paper reports ~8 % to ~26 %"
+        )
+        return "\n".join(lines)
+
+
+def run_fig5(
+    context: Optional[ExperimentContext] = None,
+    fanouts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
+    transition_time: float = 50e-12,
+) -> Fig5Result:
+    """Reproduce Fig. 5 of the paper.
+
+    Parameters
+    ----------
+    fanouts:
+        Fanout counts to sweep (the paper uses FO1..FO8; benchmarks may use a
+        subset for speed).
+    """
+    context = context or default_context()
+    patterns = nor2_history_patterns(transition_time=transition_time)
+
+    rows: List[Fig5Row] = []
+    for fanout in fanouts:
+        delays: Dict[str, float] = {}
+        for label, pattern_set in patterns.items():
+            _, result = context.reference_history_run(pattern_set, fanout=fanout)
+            delays[label] = propagation_delay(
+                result.waveform("A"),
+                result.waveform(context.nor2.output),
+                context.vdd,
+                input_direction="fall",
+                output_direction="rise",
+            )
+        rows.append(
+            Fig5Row(
+                fanout=fanout,
+                delay_fast=delays[HISTORY_LABELS[0]],
+                delay_slow=delays[HISTORY_LABELS[1]],
+            )
+        )
+    return Fig5Result(rows=rows, vdd=context.vdd)

@@ -1,0 +1,13 @@
+"""Interconnect (RC line) and crosstalk-noise helpers."""
+
+from .crosstalk import CrosstalkBench, CrosstalkConfig
+from .rc_line import RCLineParameters, attach_pi_segment, attach_rc_line, elmore_delay
+
+__all__ = [
+    "RCLineParameters",
+    "attach_rc_line",
+    "attach_pi_segment",
+    "elmore_delay",
+    "CrosstalkBench",
+    "CrosstalkConfig",
+]

@@ -1,0 +1,118 @@
+"""RC interconnect models.
+
+The crosstalk experiment of the paper (Fig. 12) couples a victim line to an
+aggressor line through a 50 fF coupling capacitance, with both lines driven by
+minimum-sized inverters.  This module provides the building blocks: lumped
+and distributed RC lines, pi-segment reduction, and helpers to attach a line
+between a driver output and a receiver input inside a transistor-level
+circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..exceptions import NetlistError
+from ..spice.netlist import GROUND, Circuit
+
+__all__ = ["RCLineParameters", "attach_rc_line", "attach_pi_segment", "elmore_delay"]
+
+
+@dataclass(frozen=True)
+class RCLineParameters:
+    """Per-length electrical parameters of a wire.
+
+    Attributes
+    ----------
+    resistance_per_length:
+        Ohms per metre.
+    capacitance_per_length:
+        Farads per metre (total ground capacitance).
+    length:
+        Wire length in metres.
+    segments:
+        Number of RC ladder segments used when the line is expanded into a
+        circuit (more segments = closer to a distributed line).
+    """
+
+    resistance_per_length: float
+    capacitance_per_length: float
+    length: float
+    segments: int = 4
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise NetlistError("wire length must be positive")
+        if self.segments < 1:
+            raise NetlistError("a wire needs at least one segment")
+        if self.resistance_per_length < 0 or self.capacitance_per_length < 0:
+            raise NetlistError("wire parasitics must be non-negative")
+
+    @property
+    def total_resistance(self) -> float:
+        return self.resistance_per_length * self.length
+
+    @property
+    def total_capacitance(self) -> float:
+        return self.capacitance_per_length * self.length
+
+    def pi_model(self) -> Tuple[float, float, float]:
+        """Equivalent single pi segment (C_near, R, C_far)."""
+        half = self.total_capacitance / 2.0
+        return half, max(self.total_resistance, 1e-3), half
+
+
+def attach_rc_line(
+    circuit: Circuit,
+    node_in: str,
+    node_out: str,
+    parameters: RCLineParameters,
+    prefix: str = "wire",
+) -> List[str]:
+    """Expand a wire into an RC ladder between two existing nodes.
+
+    Returns the list of intermediate node names that were created.
+    """
+    segments = parameters.segments
+    r_segment = parameters.total_resistance / segments
+    c_segment = parameters.total_capacitance / segments
+    intermediate: List[str] = []
+    previous = node_in
+    for index in range(segments):
+        nxt = node_out if index == segments - 1 else f"{prefix}_n{index + 1}"
+        if nxt != node_out:
+            intermediate.append(nxt)
+        circuit.add_resistor(previous, nxt, max(r_segment, 1e-3), name=f"{prefix}_r{index + 1}")
+        # Split each segment's capacitance between its two ends.
+        circuit.add_capacitor(previous, GROUND, c_segment / 2.0, name=f"{prefix}_cl{index + 1}")
+        circuit.add_capacitor(nxt, GROUND, c_segment / 2.0, name=f"{prefix}_cr{index + 1}")
+        previous = nxt
+    return intermediate
+
+
+def attach_pi_segment(
+    circuit: Circuit,
+    node_in: str,
+    node_out: str,
+    c_near: float,
+    resistance: float,
+    c_far: float,
+    prefix: str = "pi",
+) -> None:
+    """Attach a single pi segment between two existing nodes."""
+    circuit.add_capacitor(node_in, GROUND, c_near, name=f"{prefix}_cnear")
+    circuit.add_resistor(node_in, node_out, max(resistance, 1e-3), name=f"{prefix}_r")
+    circuit.add_capacitor(node_out, GROUND, c_far, name=f"{prefix}_cfar")
+
+
+def elmore_delay(parameters: RCLineParameters, load_capacitance: float = 0.0) -> float:
+    """First-order (Elmore) delay estimate of the wire driving a load.
+
+    Used by tests as an analytic cross-check of the simulated RC line and by
+    the STA layer for quick interconnect delay estimates.
+    """
+    r_total = parameters.total_resistance
+    c_total = parameters.total_capacitance
+    # Distributed line: RC/2 plus the full R into the far-end load.
+    return 0.5 * r_total * c_total + r_total * load_capacitance

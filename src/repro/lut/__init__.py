@@ -1,0 +1,16 @@
+"""N-dimensional lookup tables used to store characterized model components."""
+
+from .grid import Axis, voltage_axis
+from .io import dumps_tables, load_tables, loads_tables, save_tables
+from .table import NDTable, tabulate
+
+__all__ = [
+    "Axis",
+    "voltage_axis",
+    "NDTable",
+    "tabulate",
+    "save_tables",
+    "load_tables",
+    "dumps_tables",
+    "loads_tables",
+]

@@ -1,0 +1,91 @@
+"""Axis (grid) definitions for N-dimensional characterization tables."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TableError
+
+__all__ = ["Axis", "voltage_axis"]
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One dimension of a lookup table.
+
+    Attributes
+    ----------
+    name:
+        Axis label, conventionally the node whose voltage it represents
+        (e.g. ``"VA"``, ``"VN"``, ``"Vo"``).
+    points:
+        Strictly increasing grid coordinates.
+    """
+
+    name: str
+    points: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 2:
+            raise TableError(f"axis {self.name!r} needs at least two points")
+        diffs = np.diff(np.asarray(self.points))
+        if np.any(diffs <= 0):
+            raise TableError(f"axis {self.name!r} points must be strictly increasing")
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @property
+    def lower(self) -> float:
+        return self.points[0]
+
+    @property
+    def upper(self) -> float:
+        return self.points[-1]
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.points, dtype=float)
+
+    def clamp(self, value: float) -> float:
+        """Clamp a query coordinate into the axis range."""
+        return min(max(value, self.lower), self.upper)
+
+    def bracket(self, value: float) -> Tuple[int, float]:
+        """Locate ``value`` on the axis.
+
+        Returns
+        -------
+        (index, fraction):
+            ``index`` is the lower grid index of the enclosing interval and
+            ``fraction`` the normalized position inside it (0..1).  Queries
+            outside the range are clamped to the nearest edge interval.
+        """
+        points = self.as_array()
+        value = self.clamp(value)
+        index = int(np.searchsorted(points, value, side="right") - 1)
+        index = min(max(index, 0), len(points) - 2)
+        span = points[index + 1] - points[index]
+        fraction = (value - points[index]) / span if span > 0 else 0.0
+        return index, float(fraction)
+
+
+def voltage_axis(
+    name: str,
+    vdd: float,
+    num_points: int = 7,
+    margin: float = 0.1,
+) -> Axis:
+    """Build a uniformly spaced voltage axis spanning ``[-margin, vdd + margin]``.
+
+    The margin implements the paper's "safety margin" ``delta_v`` for voltages
+    that overshoot the rails during noisy transitions.
+    """
+    if num_points < 2:
+        raise TableError("num_points must be at least 2")
+    if margin < 0:
+        raise TableError("margin must be non-negative")
+    points = np.linspace(-margin, vdd + margin, num_points)
+    return Axis(name=name, points=tuple(float(p) for p in points))

@@ -1,0 +1,64 @@
+"""Serialization of lookup tables and characterized model data.
+
+Characterizing a cell against the transistor-level reference simulator takes
+seconds to minutes; persisting the resulting tables lets examples and
+benchmarks reuse a characterization instead of repeating it.  The format is
+plain JSON so that characterized models are diffable and portable.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Mapping, Union
+
+from ..exceptions import TableError
+from .table import NDTable
+
+__all__ = ["save_tables", "load_tables", "dumps_tables", "loads_tables"]
+
+_FORMAT_VERSION = 1
+
+
+def dumps_tables(tables: Mapping[str, NDTable], metadata: Mapping[str, object] | None = None) -> str:
+    """Serialize a named collection of tables to a JSON string."""
+    payload = {
+        "format": "repro-lut",
+        "version": _FORMAT_VERSION,
+        "metadata": dict(metadata or {}),
+        "tables": {name: table.to_dict() for name, table in tables.items()},
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def loads_tables(text: str) -> Dict[str, NDTable]:
+    """Deserialize a collection of tables from a JSON string."""
+    payload = json.loads(text)
+    if payload.get("format") != "repro-lut":
+        raise TableError("not a repro lookup-table file")
+    if payload.get("version") != _FORMAT_VERSION:
+        raise TableError(
+            f"unsupported table file version {payload.get('version')!r} "
+            f"(expected {_FORMAT_VERSION})"
+        )
+    return {name: NDTable.from_dict(data) for name, data in payload["tables"].items()}
+
+
+def save_tables(
+    path: Union[str, Path],
+    tables: Mapping[str, NDTable],
+    metadata: Mapping[str, object] | None = None,
+) -> Path:
+    """Write tables to a JSON file; returns the resolved path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(dumps_tables(tables, metadata), encoding="utf-8")
+    return path
+
+
+def load_tables(path: Union[str, Path]) -> Dict[str, NDTable]:
+    """Read tables previously written by :func:`save_tables`."""
+    path = Path(path)
+    if not path.exists():
+        raise TableError(f"lookup-table file {path} does not exist")
+    return loads_tables(path.read_text(encoding="utf-8"))

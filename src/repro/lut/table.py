@@ -1,0 +1,188 @@
+"""N-dimensional lookup tables with multilinear interpolation.
+
+The paper stores the characterized current sources ``Io(V)`` / ``I_N(V)`` and
+the parasitic capacitances as 4-D lookup tables over the node voltages.  This
+module provides that data structure: an :class:`NDTable` over a list of
+:class:`~repro.lut.grid.Axis` objects, evaluated with multilinear
+interpolation and clamped extrapolation (the standard behaviour of
+liberty-style characterization tables).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TableError
+from .grid import Axis
+
+__all__ = ["NDTable", "tabulate"]
+
+
+class NDTable:
+    """A dense N-dimensional table ``f(x_1, ..., x_N)``.
+
+    Parameters
+    ----------
+    axes:
+        Ordered axis definitions; the length of each axis must match the
+        corresponding dimension of ``values``.
+    values:
+        N-dimensional array of samples.
+    name:
+        Optional label for error messages and reports.
+    """
+
+    __slots__ = ("axes", "values", "name")
+
+    def __init__(self, axes: Sequence[Axis], values: np.ndarray, name: str = ""):
+        values = np.asarray(values, dtype=float)
+        if len(axes) == 0:
+            raise TableError("a table needs at least one axis")
+        if values.ndim != len(axes):
+            raise TableError(
+                f"table {name!r}: value array has {values.ndim} dimensions "
+                f"but {len(axes)} axes were given"
+            )
+        for dim, axis in enumerate(axes):
+            if values.shape[dim] != len(axis):
+                raise TableError(
+                    f"table {name!r}: axis {axis.name!r} has {len(axis)} points "
+                    f"but values dimension {dim} has size {values.shape[dim]}"
+                )
+        if not np.all(np.isfinite(values)):
+            raise TableError(f"table {name!r}: values contain NaN or infinity")
+        self.axes = tuple(axes)
+        self.values = values
+        self.name = name
+
+    # ------------------------------------------------------------------
+    @property
+    def ndim(self) -> int:
+        return len(self.axes)
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        return tuple(axis.name for axis in self.axes)
+
+    def __repr__(self) -> str:
+        dims = " x ".join(f"{axis.name}[{len(axis)}]" for axis in self.axes)
+        return f"<NDTable {self.name!r}: {dims}>"
+
+    # ------------------------------------------------------------------
+    def evaluate(self, *coordinates: float) -> float:
+        """Multilinear interpolation at the given coordinates (positional)."""
+        if len(coordinates) != self.ndim:
+            raise TableError(
+                f"table {self.name!r} expects {self.ndim} coordinates, got {len(coordinates)}"
+            )
+        brackets = [axis.bracket(value) for axis, value in zip(self.axes, coordinates)]
+        result = 0.0
+        for corner in itertools.product((0, 1), repeat=self.ndim):
+            weight = 1.0
+            index: List[int] = []
+            for (low_index, fraction), bit in zip(brackets, corner):
+                weight *= fraction if bit else (1.0 - fraction)
+                index.append(low_index + bit)
+            if weight == 0.0:
+                continue
+            result += weight * float(self.values[tuple(index)])
+        return result
+
+    def __call__(self, *coordinates: float) -> float:
+        return self.evaluate(*coordinates)
+
+    def evaluate_dict(self, coordinates: Mapping[str, float]) -> float:
+        """Interpolate using axis names as keys."""
+        try:
+            ordered = [coordinates[name] for name in self.axis_names]
+        except KeyError as exc:
+            raise TableError(
+                f"table {self.name!r} requires coordinates {self.axis_names}, "
+                f"got {tuple(coordinates)}"
+            ) from exc
+        return self.evaluate(*ordered)
+
+    def gradient(self, *coordinates: float, step: float = 1e-3) -> Tuple[float, ...]:
+        """Central-difference gradient with respect to each coordinate."""
+        grads = []
+        for dim in range(self.ndim):
+            forward = list(coordinates)
+            backward = list(coordinates)
+            forward[dim] += step
+            backward[dim] -= step
+            grads.append((self.evaluate(*forward) - self.evaluate(*backward)) / (2 * step))
+        return tuple(grads)
+
+    # ------------------------------------------------------------------
+    def scaled(self, factor: float) -> "NDTable":
+        return NDTable(self.axes, self.values * factor, name=self.name)
+
+    def shifted(self, offset: float) -> "NDTable":
+        return NDTable(self.axes, self.values + offset, name=self.name)
+
+    def minimum(self) -> float:
+        return float(self.values.min())
+
+    def maximum(self) -> float:
+        return float(self.values.max())
+
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def reduce_mean(self) -> float:
+        """Collapse the whole table to its average value.
+
+        The paper stores an *average* capacitance over the characterization
+        ramp slopes; this helper provides that reduction.
+        """
+        return self.mean()
+
+    def slice(self, axis_name: str, value: float) -> "NDTable":
+        """Fix one axis at ``value`` (nearest-neighbour) and drop it."""
+        if self.ndim == 1:
+            raise TableError("cannot slice a one-dimensional table")
+        if axis_name not in self.axis_names:
+            raise TableError(f"table {self.name!r} has no axis {axis_name!r}")
+        dim = self.axis_names.index(axis_name)
+        axis = self.axes[dim]
+        nearest = int(np.argmin(np.abs(axis.as_array() - value)))
+        taken = np.take(self.values, nearest, axis=dim)
+        remaining = tuple(a for i, a in enumerate(self.axes) if i != dim)
+        return NDTable(remaining, taken, name=f"{self.name}[{axis_name}={axis.points[nearest]:g}]")
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict:
+        """JSON-serializable representation (used by :mod:`repro.lut.io`)."""
+        return {
+            "name": self.name,
+            "axes": [{"name": a.name, "points": list(a.points)} for a in self.axes],
+            "values": self.values.tolist(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "NDTable":
+        axes = [Axis(name=a["name"], points=tuple(a["points"])) for a in data["axes"]]
+        return cls(axes, np.asarray(data["values"], dtype=float), name=data.get("name", ""))
+
+
+def tabulate(
+    function: Callable[..., float],
+    axes: Sequence[Axis],
+    name: str = "",
+) -> NDTable:
+    """Sample a callable over the cartesian product of the axes.
+
+    ``function`` is called with one positional argument per axis, in axis
+    order.  This is the workhorse used by the characterization procedures to
+    turn "measure the current at this bias point" routines into tables.
+    """
+    shape = tuple(len(axis) for axis in axes)
+    values = np.empty(shape, dtype=float)
+    for index in itertools.product(*(range(len(axis)) for axis in axes)):
+        coords = [axis.points[i] for axis, i in zip(axes, index)]
+        values[index] = function(*coords)
+    return NDTable(axes, values, name=name)

@@ -1,0 +1,130 @@
+"""DC operating-point and DC-sweep analyses."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+from .elements import VoltageSource
+from .mna import MNAAssembler, NewtonOptions, newton_solve
+from .netlist import Circuit
+from .results import OperatingPoint
+from .sources import DCValue
+
+__all__ = ["dc_operating_point", "dc_sweep", "DCAnalysis"]
+
+
+class DCAnalysis:
+    """Reusable DC solver bound to one circuit.
+
+    Re-using the analysis object across many operating points (as the
+    characterization grid sweeps do) avoids re-building the MNA structure for
+    every point and lets successive solves start from the previous solution,
+    which greatly improves Newton robustness along a sweep.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        gmin: float = 1e-12,
+        options: Optional[NewtonOptions] = None,
+    ):
+        self.circuit = circuit
+        self.assembler = MNAAssembler(circuit, gmin=gmin)
+        self.options = options or NewtonOptions()
+        self._last_solution: Optional[np.ndarray] = None
+
+    def solve(
+        self,
+        time: float = 0.0,
+        initial_guess: Optional[Dict[str, float]] = None,
+        reuse_previous: bool = True,
+    ) -> OperatingPoint:
+        """Solve for the DC operating point.
+
+        Parameters
+        ----------
+        time:
+            The time at which time-dependent sources are evaluated (the DC
+            point "at" that instant); 0.0 for a plain operating point.
+        initial_guess:
+            Optional node-voltage guesses to seed Newton.
+        reuse_previous:
+            Start from the previous solve's solution when available.
+        """
+        start = np.zeros(self.assembler.size)
+        if reuse_previous and self._last_solution is not None:
+            start = self._last_solution.copy()
+        if initial_guess:
+            for node, value in initial_guess.items():
+                idx = self.assembler.index_of_node(node)
+                if idx >= 0:
+                    start[idx] = value
+
+        solution = self._solve_with_gmin_stepping(start, time)
+        self._last_solution = solution
+        return OperatingPoint(
+            voltages=self.assembler.voltages_from_solution(solution),
+            branch_currents=self.assembler.branch_currents_from_solution(solution),
+        )
+
+    def _solve_with_gmin_stepping(self, start: np.ndarray, time: float) -> np.ndarray:
+        try:
+            return newton_solve(self.assembler, start, time, options=self.options)
+        except ConvergenceError:
+            pass
+
+        # Gmin stepping: temporarily add large conductances to ground and
+        # relax them geometrically, reusing each stage's solution as the next
+        # stage's starting point.  This is the standard SPICE fallback.
+        solution = start.copy()
+        size = self.assembler.size
+        num_nodes = self.assembler.num_nodes
+        for gmin in (1e-3, 1e-4, 1e-5, 1e-6, 1e-8, 1e-10, 0.0):
+            extra = np.zeros((size, size))
+            for idx in range(num_nodes):
+                extra[idx, idx] += gmin
+            solution = newton_solve(
+                self.assembler,
+                solution,
+                time,
+                cap_matrix=extra,
+                options=self.options,
+            )
+        return solution
+
+    def set_source_value(self, source_name: str, value: float) -> None:
+        """Update the DC value of a voltage source in-place (sweep helper)."""
+        element = self.circuit.element(source_name)
+        if not isinstance(element, VoltageSource):
+            raise TypeError(f"{source_name!r} is not a voltage source")
+        element.stimulus = DCValue(float(value))
+
+
+def dc_operating_point(
+    circuit: Circuit,
+    gmin: float = 1e-12,
+    initial_guess: Optional[Dict[str, float]] = None,
+    options: Optional[NewtonOptions] = None,
+) -> OperatingPoint:
+    """One-shot DC operating point of a circuit."""
+    analysis = DCAnalysis(circuit, gmin=gmin, options=options)
+    return analysis.solve(initial_guess=initial_guess)
+
+
+def dc_sweep(
+    circuit: Circuit,
+    source_name: str,
+    values: Sequence[float],
+    gmin: float = 1e-12,
+    options: Optional[NewtonOptions] = None,
+) -> List[OperatingPoint]:
+    """Sweep the DC value of one voltage source and solve at each point."""
+    analysis = DCAnalysis(circuit, gmin=gmin, options=options)
+    results: List[OperatingPoint] = []
+    for value in values:
+        analysis.set_source_value(source_name, value)
+        results.append(analysis.solve())
+    return results

@@ -1,0 +1,284 @@
+"""Modified nodal analysis (MNA) assembly and the Newton-Raphson solver.
+
+The assembler owns the mapping from node names / voltage-source branches to
+matrix indices and knows how to build the linearized system ``G x = rhs`` at a
+given candidate solution.  Both the DC and the transient engines reuse it; the
+transient engine additionally passes pre-built capacitor companion terms.
+
+The system layout is::
+
+    x = [ v_1 ... v_N | i_V1 ... i_VM ]
+
+where ``v_k`` are non-ground node voltages and ``i_Vj`` is the current
+entering the positive terminal of voltage source ``j`` from the circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConvergenceError, NetlistError
+from .elements import Capacitor, CurrentSource, Mosfet, Resistor, VoltageSource
+from .netlist import GROUND, Circuit
+
+__all__ = ["MNAAssembler", "NewtonOptions", "newton_solve"]
+
+
+@dataclass
+class NewtonOptions:
+    """Settings for the Newton-Raphson iteration.
+
+    Attributes
+    ----------
+    max_iterations:
+        Hard iteration limit before declaring non-convergence.
+    voltage_tolerance:
+        Convergence threshold on the largest node-voltage update (V).
+    current_tolerance:
+        Convergence threshold on the largest branch-current update (A).
+    damping_limit:
+        Maximum node-voltage change applied per iteration (V); larger Newton
+        steps are clipped, which is the usual way to keep exponential device
+        models from overflowing.
+    """
+
+    max_iterations: int = 100
+    voltage_tolerance: float = 1e-7
+    current_tolerance: float = 1e-10
+    damping_limit: float = 0.5
+
+
+class MNAAssembler:
+    """Builds linearized MNA systems for a fixed circuit topology."""
+
+    def __init__(self, circuit: Circuit, gmin: float = 1e-12):
+        self.circuit = circuit
+        self.gmin = gmin
+        self.node_index: Dict[str, int] = {}
+        for node in circuit.non_ground_nodes:
+            self.node_index[node] = len(self.node_index)
+        self.num_nodes = len(self.node_index)
+
+        self.voltage_sources: List[VoltageSource] = circuit.voltage_sources()
+        self.branch_index: Dict[str, int] = {
+            source.name: self.num_nodes + position
+            for position, source in enumerate(self.voltage_sources)
+        }
+        self.size = self.num_nodes + len(self.voltage_sources)
+        if self.size == 0:
+            raise NetlistError(f"circuit {circuit.name!r} has no unknowns to solve for")
+
+        self.mosfets: List[Mosfet] = circuit.mosfets()
+        self._mosfet_indices: List[Tuple[int, int, int, int]] = [
+            (
+                self._index(m.drain),
+                self._index(m.gate),
+                self._index(m.source),
+                self._index(m.bulk),
+            )
+            for m in self.mosfets
+        ]
+        self.current_sources: List[CurrentSource] = [
+            e for e in circuit.elements if isinstance(e, CurrentSource)
+        ]
+        self._current_source_indices: List[Tuple[int, int]] = [
+            (self._index(s.node_plus), self._index(s.node_minus)) for s in self.current_sources
+        ]
+
+        self._static_matrix = self._build_static_matrix()
+
+    # ------------------------------------------------------------------
+    def _index(self, node: str) -> int:
+        """Matrix index of a node; ground maps to -1 (excluded)."""
+        if node == GROUND:
+            return -1
+        try:
+            return self.node_index[node]
+        except KeyError as exc:
+            raise NetlistError(f"node {node!r} not present in circuit {self.circuit.name!r}") from exc
+
+    def index_of_node(self, node: str) -> int:
+        """Public variant of :meth:`_index` used by the analysis engines."""
+        return self._index(node)
+
+    def _build_static_matrix(self) -> np.ndarray:
+        matrix = np.zeros((self.size, self.size))
+        # gmin from every node to ground keeps floating nodes solvable.
+        for idx in range(self.num_nodes):
+            matrix[idx, idx] += self.gmin
+        for element in self.circuit.elements:
+            if isinstance(element, Resistor):
+                self._stamp_conductance(
+                    matrix, self._index(element.node_a), self._index(element.node_b),
+                    1.0 / element.resistance,
+                )
+        for source in self.voltage_sources:
+            branch = self.branch_index[source.name]
+            plus = self._index(source.node_plus)
+            minus = self._index(source.node_minus)
+            if plus >= 0:
+                matrix[plus, branch] += 1.0
+                matrix[branch, plus] += 1.0
+            if minus >= 0:
+                matrix[minus, branch] -= 1.0
+                matrix[branch, minus] -= 1.0
+        return matrix
+
+    @staticmethod
+    def _stamp_conductance(matrix: np.ndarray, a: int, b: int, g: float) -> None:
+        if a >= 0:
+            matrix[a, a] += g
+        if b >= 0:
+            matrix[b, b] += g
+        if a >= 0 and b >= 0:
+            matrix[a, b] -= g
+            matrix[b, a] -= g
+
+    def capacitor_companion_matrix(self, dt: float) -> np.ndarray:
+        """Conductance contribution ``C / dt`` of all capacitive branches."""
+        matrix = np.zeros((self.size, self.size))
+        for node_a, node_b, capacitance in self.circuit.capacitor_branch_list():
+            if capacitance <= 0.0:
+                continue
+            self._stamp_conductance(
+                matrix, self._index(node_a), self._index(node_b), capacitance / dt
+            )
+        return matrix
+
+    def capacitor_companion_rhs(self, dt: float, previous: np.ndarray) -> np.ndarray:
+        """Right-hand-side contribution of capacitor branches (backward Euler)."""
+        rhs = np.zeros(self.size)
+        for node_a, node_b, capacitance in self.circuit.capacitor_branch_list():
+            if capacitance <= 0.0:
+                continue
+            a = self._index(node_a)
+            b = self._index(node_b)
+            va = previous[a] if a >= 0 else 0.0
+            vb = previous[b] if b >= 0 else 0.0
+            g_times_v = (capacitance / dt) * (va - vb)
+            if a >= 0:
+                rhs[a] += g_times_v
+            if b >= 0:
+                rhs[b] -= g_times_v
+        return rhs
+
+    # ------------------------------------------------------------------
+    def build(
+        self,
+        solution: np.ndarray,
+        time: float,
+        cap_matrix: Optional[np.ndarray] = None,
+        cap_rhs: Optional[np.ndarray] = None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Assemble the linearized system around ``solution`` at ``time``."""
+        matrix = self._static_matrix.copy()
+        if cap_matrix is not None:
+            matrix += cap_matrix
+        rhs = np.zeros(self.size)
+        if cap_rhs is not None:
+            rhs += cap_rhs
+
+        for source in self.voltage_sources:
+            rhs[self.branch_index[source.name]] += source.value(time)
+
+        for source, (plus, minus) in zip(self.current_sources, self._current_source_indices):
+            value = source.value(time)
+            if plus >= 0:
+                rhs[plus] -= value
+            if minus >= 0:
+                rhs[minus] += value
+
+        def node_voltage(idx: int) -> float:
+            return solution[idx] if idx >= 0 else 0.0
+
+        for mosfet, (d, g, s, b) in zip(self.mosfets, self._mosfet_indices):
+            vd, vg, vs, vb = node_voltage(d), node_voltage(g), node_voltage(s), node_voltage(b)
+            current, derivs = mosfet.evaluate(vg, vd, vs, vb)
+            conductances = (
+                (derivs["vd"], d),
+                (derivs["vg"], g),
+                (derivs["vs"], s),
+                (derivs["vb"], b),
+            )
+            equivalent = current
+            for gk, ctrl in conductances:
+                equivalent -= gk * node_voltage(ctrl)
+                if ctrl < 0:
+                    continue
+                if d >= 0:
+                    matrix[d, ctrl] += gk
+                if s >= 0:
+                    matrix[s, ctrl] -= gk
+            if d >= 0:
+                rhs[d] -= equivalent
+            if s >= 0:
+                rhs[s] += equivalent
+
+        return matrix, rhs
+
+    # ------------------------------------------------------------------
+    def voltages_from_solution(self, solution: np.ndarray) -> Dict[str, float]:
+        result = {GROUND: 0.0}
+        for node, idx in self.node_index.items():
+            result[node] = float(solution[idx])
+        return result
+
+    def branch_currents_from_solution(self, solution: np.ndarray) -> Dict[str, float]:
+        """Current *entering the positive terminal from the circuit*, per source."""
+        return {
+            source.name: float(solution[self.branch_index[source.name]])
+            for source in self.voltage_sources
+        }
+
+
+def newton_solve(
+    assembler: MNAAssembler,
+    initial: np.ndarray,
+    time: float,
+    cap_matrix: Optional[np.ndarray] = None,
+    cap_rhs: Optional[np.ndarray] = None,
+    options: Optional[NewtonOptions] = None,
+) -> np.ndarray:
+    """Solve the nonlinear MNA system by damped Newton-Raphson iteration."""
+    options = options or NewtonOptions()
+    solution = np.array(initial, dtype=float, copy=True)
+    num_nodes = assembler.num_nodes
+
+    last_delta = float("inf")
+    for iteration in range(1, options.max_iterations + 1):
+        matrix, rhs = assembler.build(solution, time, cap_matrix, cap_rhs)
+        try:
+            proposed = np.linalg.solve(matrix, rhs)
+        except np.linalg.LinAlgError as exc:
+            raise ConvergenceError(
+                f"singular MNA matrix while solving {assembler.circuit.name!r} at t={time:g}s",
+                iterations=iteration,
+            ) from exc
+
+        delta = proposed - solution
+        voltage_delta = np.max(np.abs(delta[:num_nodes])) if num_nodes else 0.0
+        current_delta = np.max(np.abs(delta[num_nodes:])) if len(delta) > num_nodes else 0.0
+        last_delta = max(voltage_delta, current_delta)
+
+        limited = delta.copy()
+        if num_nodes:
+            limited[:num_nodes] = np.clip(
+                delta[:num_nodes], -options.damping_limit, options.damping_limit
+            )
+        solution = solution + limited
+
+        if (
+            voltage_delta < options.voltage_tolerance
+            and current_delta < options.current_tolerance
+        ):
+            return solution
+
+    raise ConvergenceError(
+        f"Newton iteration did not converge for {assembler.circuit.name!r} at t={time:g}s "
+        f"(last update {last_delta:.3e})",
+        iterations=options.max_iterations,
+        residual=last_delta,
+    )

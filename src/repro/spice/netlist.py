@@ -1,0 +1,265 @@
+"""Circuit (netlist) container and convenience construction API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..exceptions import NetlistError
+from ..technology.mosfet import MosfetParams
+from .elements import (
+    Capacitor,
+    CurrentSource,
+    Element,
+    Mosfet,
+    Resistor,
+    VoltageSource,
+)
+from .sources import DCValue, Stimulus
+
+__all__ = ["GROUND", "Circuit"]
+
+#: Name of the global reference node.  Both ``"0"`` and ``"gnd"`` are accepted
+#: when building circuits; they are normalized to this constant.
+GROUND = "0"
+
+_GROUND_ALIASES = {"0", "gnd", "vss", "GND", "VSS"}
+
+
+def _normalize_node(name: str) -> str:
+    if name in _GROUND_ALIASES:
+        return GROUND
+    return name
+
+
+@dataclass
+class Circuit:
+    """A flat transistor/RC-level circuit.
+
+    The circuit holds elements and the set of nodes they reference.  The
+    ground node is always present.  Node names are arbitrary strings; the
+    aliases ``"gnd"`` and ``"vss"`` are normalized to ``"0"``.
+
+    The convenience ``add_*`` methods return the created element so callers
+    can keep a handle for later measurements (e.g. the current through a
+    probing voltage source during characterization).
+    """
+
+    name: str = "circuit"
+    elements: List[Element] = field(default_factory=list)
+    _element_names: Dict[str, Element] = field(default_factory=dict, repr=False)
+    _nodes: Dict[str, None] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._nodes.setdefault(GROUND, None)
+
+    # ------------------------------------------------------------------
+    # Node and element management
+    # ------------------------------------------------------------------
+    @property
+    def nodes(self) -> Tuple[str, ...]:
+        """All node names, ground included, in insertion order."""
+        return tuple(self._nodes)
+
+    @property
+    def non_ground_nodes(self) -> Tuple[str, ...]:
+        return tuple(n for n in self._nodes if n != GROUND)
+
+    def has_node(self, name: str) -> bool:
+        return _normalize_node(name) in self._nodes
+
+    def declare_node(self, name: str) -> str:
+        """Register a node name (idempotent) and return its normalized form."""
+        normalized = _normalize_node(name)
+        self._nodes.setdefault(normalized, None)
+        return normalized
+
+    def add(self, element: Element) -> Element:
+        """Add an already-constructed element, registering its nodes."""
+        if element.name in self._element_names:
+            raise NetlistError(f"duplicate element name {element.name!r} in circuit {self.name!r}")
+        for node in element.nodes:
+            self.declare_node(node)
+        self.elements.append(element)
+        self._element_names[element.name] = element
+        return element
+
+    def element(self, name: str) -> Element:
+        """Look up an element by name."""
+        try:
+            return self._element_names[name]
+        except KeyError as exc:
+            raise NetlistError(f"no element named {name!r} in circuit {self.name!r}") from exc
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._element_names
+
+    def __iter__(self) -> Iterator[Element]:
+        return iter(self.elements)
+
+    def __len__(self) -> int:
+        return len(self.elements)
+
+    # ------------------------------------------------------------------
+    # Element constructors
+    # ------------------------------------------------------------------
+    def _unique_name(self, prefix: str) -> str:
+        index = len(self.elements)
+        candidate = f"{prefix}{index}"
+        while candidate in self._element_names:
+            index += 1
+            candidate = f"{prefix}{index}"
+        return candidate
+
+    def add_resistor(self, node_a: str, node_b: str, resistance: float, name: Optional[str] = None) -> Resistor:
+        element = Resistor(
+            name=name or self._unique_name("R"),
+            node_a=_normalize_node(node_a),
+            node_b=_normalize_node(node_b),
+            resistance=resistance,
+        )
+        self.add(element)
+        return element
+
+    def add_capacitor(self, node_a: str, node_b: str, capacitance: float, name: Optional[str] = None) -> Capacitor:
+        element = Capacitor(
+            name=name or self._unique_name("C"),
+            node_a=_normalize_node(node_a),
+            node_b=_normalize_node(node_b),
+            capacitance=capacitance,
+        )
+        self.add(element)
+        return element
+
+    def add_voltage_source(
+        self,
+        node_plus: str,
+        node_minus: str = GROUND,
+        value: float | Stimulus = 0.0,
+        name: Optional[str] = None,
+    ) -> VoltageSource:
+        stimulus = value if isinstance(value, Stimulus) else DCValue(float(value))
+        element = VoltageSource(
+            name=name or self._unique_name("V"),
+            node_plus=_normalize_node(node_plus),
+            node_minus=_normalize_node(node_minus),
+            stimulus=stimulus,
+        )
+        self.add(element)
+        return element
+
+    def add_current_source(
+        self,
+        node_plus: str,
+        node_minus: str = GROUND,
+        value: float | Stimulus = 0.0,
+        name: Optional[str] = None,
+    ) -> CurrentSource:
+        stimulus = value if isinstance(value, Stimulus) else DCValue(float(value))
+        element = CurrentSource(
+            name=name or self._unique_name("I"),
+            node_plus=_normalize_node(node_plus),
+            node_minus=_normalize_node(node_minus),
+            stimulus=stimulus,
+        )
+        self.add(element)
+        return element
+
+    def add_mosfet(
+        self,
+        drain: str,
+        gate: str,
+        source: str,
+        bulk: str,
+        params: MosfetParams,
+        width: float,
+        length: Optional[float] = None,
+        name: Optional[str] = None,
+        include_parasitics: bool = True,
+    ) -> Mosfet:
+        element = Mosfet(
+            name=name or self._unique_name("M"),
+            drain=_normalize_node(drain),
+            gate=_normalize_node(gate),
+            source=_normalize_node(source),
+            bulk=_normalize_node(bulk),
+            params=params,
+            width=width,
+            length=length,
+            include_parasitics=include_parasitics,
+        )
+        self.add(element)
+        return element
+
+    # ------------------------------------------------------------------
+    # Queries used by the analysis engines
+    # ------------------------------------------------------------------
+    def voltage_sources(self) -> List[VoltageSource]:
+        return [e for e in self.elements if isinstance(e, VoltageSource)]
+
+    def mosfets(self) -> List[Mosfet]:
+        return [e for e in self.elements if isinstance(e, Mosfet)]
+
+    def capacitor_branch_list(self) -> List[Tuple[str, str, float]]:
+        """All capacitive branches, including MOSFET parasitics."""
+        branches: List[Tuple[str, str, float]] = []
+        for element in self.elements:
+            branches.extend(element.capacitor_branches())
+        return branches
+
+    def total_capacitance_at(self, node: str) -> float:
+        """Sum of capacitances attached to ``node`` (grounded-equivalent view)."""
+        node = _normalize_node(node)
+        total = 0.0
+        for a, b, c in self.capacitor_branch_list():
+            if node in (a, b):
+                total += c
+        return total
+
+    def merge(self, other: "Circuit", prefix: str = "", node_map: Optional[Dict[str, str]] = None) -> Dict[str, str]:
+        """Copy another circuit's elements into this one.
+
+        Parameters
+        ----------
+        other:
+            Circuit to copy from; it is not modified.
+        prefix:
+            Prefix applied to element names and to node names that are not in
+            ``node_map`` (used to keep sub-circuit internals unique).
+        node_map:
+            Mapping from ``other``'s node names to names in this circuit
+            (typically used to connect sub-circuit ports).
+
+        Returns
+        -------
+        dict
+            The complete node translation that was applied.
+        """
+        import copy as _copy
+
+        node_map = dict(node_map or {})
+        node_map.setdefault(GROUND, GROUND)
+
+        def translate(node: str) -> str:
+            if node in node_map:
+                return node_map[node]
+            translated = f"{prefix}{node}" if prefix else node
+            node_map[node] = translated
+            return translated
+
+        for element in other.elements:
+            clone = _copy.deepcopy(element)
+            clone.name = f"{prefix}{element.name}" if prefix else element.name
+            for attr in ("node_a", "node_b", "node_plus", "node_minus", "drain", "gate", "source", "bulk"):
+                if hasattr(clone, attr):
+                    setattr(clone, attr, translate(getattr(clone, attr)))
+            self.add(clone)
+        return node_map
+
+    def summary(self) -> str:
+        """One-line human-readable summary used in logs and reports."""
+        kinds: Dict[str, int] = {}
+        for element in self.elements:
+            kinds[type(element).__name__] = kinds.get(type(element).__name__, 0) + 1
+        parts = ", ".join(f"{count} {kind}" for kind, count in sorted(kinds.items()))
+        return f"Circuit {self.name!r}: {len(self._nodes) - 1} nodes + ground; {parts}"

@@ -1,0 +1,129 @@
+"""Result containers for DC and transient analyses."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import AnalysisError
+
+__all__ = ["OperatingPoint", "TransientResult"]
+
+
+@dataclass
+class OperatingPoint:
+    """The solution of a DC analysis.
+
+    Attributes
+    ----------
+    voltages:
+        Node name to node voltage (V), ground included.
+    branch_currents:
+        Voltage-source name to the current entering its positive terminal
+        from the circuit (A).
+    iterations:
+        Newton iterations that were needed (informational).
+    """
+
+    voltages: Dict[str, float]
+    branch_currents: Dict[str, float]
+    iterations: int = 0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def voltage(self, node: str) -> float:
+        """Voltage of a node, accepting the usual ground aliases."""
+        if node in self.voltages:
+            return self.voltages[node]
+        if node in ("gnd", "vss", "GND", "VSS"):
+            return self.voltages.get("0", 0.0)
+        raise AnalysisError(f"node {node!r} is not part of this operating point")
+
+    def source_current(self, source_name: str) -> float:
+        """Current delivered *into the circuit* at the source's + terminal.
+
+        This is the sign convention used by the characterization procedures:
+        a positive value means the external source is pushing current into
+        the node it drives.
+        """
+        if source_name not in self.branch_currents:
+            raise AnalysisError(f"no voltage source named {source_name!r} in this result")
+        return -self.branch_currents[source_name]
+
+
+@dataclass
+class TransientResult:
+    """Waveform data produced by a transient analysis.
+
+    Attributes
+    ----------
+    times:
+        Monotonically increasing sample times (s).
+    node_voltages:
+        Node name to an array of voltages, aligned with ``times``.
+    source_currents:
+        Voltage-source name to an array of currents delivered into the
+        circuit at its positive terminal, aligned with ``times``.
+    """
+
+    times: np.ndarray
+    node_voltages: Dict[str, np.ndarray]
+    source_currents: Dict[str, np.ndarray] = field(default_factory=dict)
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.times = np.asarray(self.times, dtype=float)
+        for key, values in list(self.node_voltages.items()):
+            array = np.asarray(values, dtype=float)
+            if array.shape != self.times.shape:
+                raise AnalysisError(
+                    f"voltage trace for node {key!r} has {array.size} samples, "
+                    f"expected {self.times.size}"
+                )
+            self.node_voltages[key] = array
+
+    @property
+    def duration(self) -> float:
+        """Total simulated time span in seconds."""
+        return float(self.times[-1] - self.times[0]) if self.times.size else 0.0
+
+    def voltage_trace(self, node: str) -> np.ndarray:
+        if node in self.node_voltages:
+            return self.node_voltages[node]
+        if node in ("gnd", "vss", "GND", "VSS"):
+            return np.zeros_like(self.times)
+        raise AnalysisError(f"node {node!r} was not recorded in this transient result")
+
+    def current_trace(self, source_name: str) -> np.ndarray:
+        if source_name not in self.source_currents:
+            raise AnalysisError(f"source {source_name!r} was not recorded in this transient result")
+        return self.source_currents[source_name]
+
+    def voltage_at(self, node: str, time: float) -> float:
+        """Linearly interpolated node voltage at an arbitrary time."""
+        trace = self.voltage_trace(node)
+        return float(np.interp(time, self.times, trace))
+
+    def final_voltage(self, node: str) -> float:
+        return float(self.voltage_trace(node)[-1])
+
+    def waveform(self, node: str):
+        """Return the node voltage trace as a :class:`repro.waveform.Waveform`."""
+        from ..waveform import Waveform  # imported lazily to avoid a cycle
+
+        return Waveform(self.times.copy(), self.voltage_trace(node).copy(), name=node)
+
+    def sample_nodes(self) -> Sequence[str]:
+        return tuple(self.node_voltages)
+
+    def slice(self, t_start: float, t_stop: Optional[float] = None) -> "TransientResult":
+        """Return a copy restricted to ``t_start <= t <= t_stop``."""
+        t_stop = self.times[-1] if t_stop is None else t_stop
+        mask = (self.times >= t_start) & (self.times <= t_stop)
+        return TransientResult(
+            times=self.times[mask],
+            node_voltages={k: v[mask] for k, v in self.node_voltages.items()},
+            source_currents={k: v[mask] for k, v in self.source_currents.items()},
+            metadata=dict(self.metadata),
+        )

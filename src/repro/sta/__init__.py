@@ -1,0 +1,21 @@
+"""Static timing layer: gate netlists, NLDM baseline and waveform-based engines."""
+
+from .csm_engine import CSMEngine, WaveformTimingResult
+from .events import TimingEvent, detect_mis_pairs, switching_window, windows_overlap
+from .models import TimingModelLibrary
+from .netlist import GateInstance, GateNetlist
+from .nldm_engine import NLDMEngine, NLDMTimingResult
+
+__all__ = [
+    "GateInstance",
+    "GateNetlist",
+    "TimingEvent",
+    "switching_window",
+    "windows_overlap",
+    "detect_mis_pairs",
+    "TimingModelLibrary",
+    "NLDMEngine",
+    "NLDMTimingResult",
+    "CSMEngine",
+    "WaveformTimingResult",
+]

@@ -1,0 +1,105 @@
+"""Model libraries used by the timing engines.
+
+A :class:`TimingModelLibrary` lazily characterizes and caches the models the
+engines need: NLDM tables per timing arc for the voltage-based engine, and
+SIS / baseline-MIS / MCSM current-source models for the waveform-propagation
+engine.  Characterization is expensive (it runs the reference simulator), so
+everything is cached per (cell, pin) key and shared across engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..cells.cell import Cell
+from ..cells.library import CellLibrary
+from ..characterization.characterize import (
+    characterize_baseline_mis,
+    characterize_mcsm,
+    characterize_sis,
+)
+from ..characterization.config import CharacterizationConfig
+from ..characterization.nldm import NLDMTable, characterize_nldm
+from ..csm.models import MCSM, BaselineMISCSM, SISCSM
+from ..exceptions import TimingError
+
+__all__ = ["TimingModelLibrary"]
+
+
+@dataclass
+class TimingModelLibrary:
+    """Cache of characterized timing models over a cell library.
+
+    Attributes
+    ----------
+    library:
+        The structural cell library.
+    config:
+        Characterization settings shared by every model built here.
+    use_internal_node:
+        When true (default) multi-input cells with a stack node get the
+        complete MCSM; otherwise the baseline MIS model is used, which lets
+        the STA-level ablation quantify what the internal node is worth.
+    """
+
+    library: CellLibrary
+    config: CharacterizationConfig = field(default_factory=lambda: CharacterizationConfig(io_grid_points=5))
+    use_internal_node: bool = True
+    nldm_input_slews: Tuple[float, ...] = (20e-12, 60e-12, 150e-12)
+    nldm_loads: Tuple[float, ...] = (2e-15, 8e-15, 25e-15)
+    _sis: Dict[Tuple[str, str], SISCSM] = field(default_factory=dict, repr=False)
+    _mis: Dict[Tuple[str, str, str], BaselineMISCSM] = field(default_factory=dict, repr=False)
+    _mcsm: Dict[Tuple[str, str, str], MCSM] = field(default_factory=dict, repr=False)
+    _nldm: Dict[Tuple[str, str, bool], NLDMTable] = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    def cell(self, cell_name: str) -> Cell:
+        return self.library[cell_name]
+
+    def sis_model(self, cell_name: str, pin: str) -> SISCSM:
+        key = (cell_name, pin)
+        if key not in self._sis:
+            self._sis[key] = characterize_sis(self.cell(cell_name), pin, self.config)
+        return self._sis[key]
+
+    def mis_model(self, cell_name: str, pin_a: str, pin_b: str):
+        """The preferred two-input-switching model (MCSM or baseline)."""
+        cell = self.cell(cell_name)
+        if cell.num_inputs < 2:
+            raise TimingError(f"cell {cell_name!r} has a single input; no MIS model exists")
+        key = (cell_name, pin_a, pin_b)
+        if self.use_internal_node and cell.stack_node() is not None:
+            if key not in self._mcsm:
+                self._mcsm[key] = characterize_mcsm(cell, pin_a, pin_b, self.config)
+            return self._mcsm[key]
+        if key not in self._mis:
+            self._mis[key] = characterize_baseline_mis(cell, pin_a, pin_b, self.config)
+        return self._mis[key]
+
+    def nldm_table(self, cell_name: str, pin: str, input_rise: bool) -> NLDMTable:
+        key = (cell_name, pin, input_rise)
+        if key not in self._nldm:
+            self._nldm[key] = characterize_nldm(
+                self.cell(cell_name),
+                pin,
+                input_rise=input_rise,
+                input_slews=self.nldm_input_slews,
+                loads=self.nldm_loads,
+            )
+        return self._nldm[key]
+
+    def receiver_input_capacitance(self, cell_name: str, pin: str) -> float:
+        """Input capacitance used for load construction.
+
+        The characterized SIS model's ``Ci`` is used when it is already in the
+        cache; otherwise the structural gate-capacitance estimate is used to
+        avoid triggering a full characterization just for a load number.
+        """
+        key = (cell_name, pin)
+        if key in self._sis:
+            model = self._sis[key]
+            from ..csm.base import cap_value
+
+            return cap_value(model.input_cap, model.vdd / 2.0)
+        return self.cell(cell_name).pin_gate_capacitance(pin)

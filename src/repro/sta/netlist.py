@@ -1,0 +1,164 @@
+"""Gate-level netlist for the static timing layer.
+
+The STA layer works on a structural netlist of library-cell instances
+connected by nets.  It is deliberately small — enough to demonstrate how the
+characterized current-source models plug into a waveform-propagating timing
+engine and how MIS situations are detected — but it is a real netlist with
+validation, fanout queries and topological ordering (via networkx).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from ..cells.library import CellLibrary
+from ..exceptions import TimingError
+
+__all__ = ["GateInstance", "GateNetlist"]
+
+
+@dataclass
+class GateInstance:
+    """One placed library cell.
+
+    Attributes
+    ----------
+    name:
+        Instance name, unique in the netlist.
+    cell_name:
+        Name of the library cell this instance refers to.
+    connections:
+        Pin name -> net name, covering every input pin and the output pin.
+    """
+
+    name: str
+    cell_name: str
+    connections: Dict[str, str]
+
+    def input_nets(self, input_pins: Sequence[str]) -> Dict[str, str]:
+        return {pin: self.connections[pin] for pin in input_pins}
+
+
+@dataclass
+class GateNetlist:
+    """A combinational gate-level netlist bound to a cell library."""
+
+    library: CellLibrary
+    name: str = "design"
+    instances: Dict[str, GateInstance] = field(default_factory=dict)
+    primary_inputs: List[str] = field(default_factory=list)
+    primary_outputs: List[str] = field(default_factory=list)
+    net_wire_capacitance: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def add_primary_input(self, net: str) -> str:
+        if net not in self.primary_inputs:
+            self.primary_inputs.append(net)
+        return net
+
+    def add_primary_output(self, net: str) -> str:
+        if net not in self.primary_outputs:
+            self.primary_outputs.append(net)
+        return net
+
+    def add_instance(
+        self, name: str, cell_name: str, connections: Mapping[str, str]
+    ) -> GateInstance:
+        """Add a cell instance, validating its pin connections."""
+        if name in self.instances:
+            raise TimingError(f"duplicate instance name {name!r}")
+        cell = self.library[cell_name]
+        missing = [pin for pin in (*cell.inputs, cell.output) if pin not in connections]
+        if missing:
+            raise TimingError(f"instance {name!r} ({cell_name}): missing connections for {missing}")
+        extra = [pin for pin in connections if pin not in (*cell.inputs, cell.output)]
+        if extra:
+            raise TimingError(f"instance {name!r} ({cell_name}): unknown pins {extra}")
+        instance = GateInstance(name=name, cell_name=cell_name, connections=dict(connections))
+        self.instances[name] = instance
+        return instance
+
+    def set_wire_capacitance(self, net: str, capacitance: float) -> None:
+        if capacitance < 0:
+            raise TimingError("wire capacitance must be non-negative")
+        self.net_wire_capacitance[net] = capacitance
+
+    # ------------------------------------------------------------------
+    def nets(self) -> Set[str]:
+        result: Set[str] = set(self.primary_inputs) | set(self.primary_outputs)
+        for instance in self.instances.values():
+            result.update(instance.connections.values())
+        return result
+
+    def driver_of(self, net: str) -> Optional[GateInstance]:
+        """The instance whose output drives ``net`` (None for primary inputs)."""
+        drivers = [
+            instance
+            for instance in self.instances.values()
+            if instance.connections[self.library[instance.cell_name].output] == net
+        ]
+        if len(drivers) > 1:
+            raise TimingError(f"net {net!r} has multiple drivers: {[d.name for d in drivers]}")
+        return drivers[0] if drivers else None
+
+    def receivers_of(self, net: str) -> List[Tuple[GateInstance, str]]:
+        """(instance, input pin) pairs whose input connects to ``net``."""
+        receivers: List[Tuple[GateInstance, str]] = []
+        for instance in self.instances.values():
+            cell = self.library[instance.cell_name]
+            for pin in cell.inputs:
+                if instance.connections[pin] == net:
+                    receivers.append((instance, pin))
+        return receivers
+
+    def fanout_capacitance(self, net: str) -> float:
+        """Structural load estimate of a net: receiver gate caps + wire cap."""
+        total = self.net_wire_capacitance.get(net, 0.0)
+        for instance, pin in self.receivers_of(net):
+            cell = self.library[instance.cell_name]
+            total += cell.pin_gate_capacitance(pin)
+        return total
+
+    # ------------------------------------------------------------------
+    def validate(self) -> None:
+        """Check that the netlist is a well-formed combinational design."""
+        for net in self.nets():
+            driver = self.driver_of(net)
+            if driver is None and net not in self.primary_inputs:
+                raise TimingError(f"net {net!r} has no driver and is not a primary input")
+        for net in self.primary_outputs:
+            if self.driver_of(net) is None and net not in self.primary_inputs:
+                raise TimingError(f"primary output {net!r} is undriven")
+        graph = self.instance_graph()
+        if not nx.is_directed_acyclic_graph(graph):
+            cycle = nx.find_cycle(graph)
+            raise TimingError(f"netlist contains a combinational loop: {cycle}")
+
+    def instance_graph(self) -> "nx.DiGraph":
+        """Directed graph of instance-to-instance dependencies."""
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.instances)
+        for instance in self.instances.values():
+            cell = self.library[instance.cell_name]
+            for pin in cell.inputs:
+                net = instance.connections[pin]
+                driver = self.driver_of(net)
+                if driver is not None:
+                    graph.add_edge(driver.name, instance.name)
+        return graph
+
+    def topological_order(self) -> List[GateInstance]:
+        """Instances in evaluation order (drivers before receivers)."""
+        self.validate()
+        order = nx.topological_sort(self.instance_graph())
+        return [self.instances[name] for name in order]
+
+    def depth(self) -> int:
+        """Length (in cells) of the longest topological path."""
+        graph = self.instance_graph()
+        if not graph.nodes:
+            return 0
+        return int(nx.dag_longest_path_length(graph)) + 1

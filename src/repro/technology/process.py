@@ -1,0 +1,122 @@
+"""Synthetic 130 nm technology definition.
+
+The paper characterizes its cells in a 130 nm, 1.2 V technology.  We do not
+have access to a foundry PDK, so :func:`default_technology` provides a
+self-consistent set of EKV parameters with 130 nm-like magnitudes: |Vt| around
+0.33 V, NMOS on-current of a few hundred microamperes per micron, PMOS roughly
+2.2x weaker per unit width, oxide capacitance around 12 fF/um^2 and junction /
+overlap parasitics of the order of 1 fF/um and 0.3 fF/um respectively.
+
+Only relative behaviour matters for the reproduction (stack effect sizes,
+model-vs-reference errors), and those are set by the circuit topologies and
+the ratios encoded here rather than by absolute foundry numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+from .mosfet import MosfetParams
+
+__all__ = ["Technology", "default_technology"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """A complete device + supply description used by the whole library.
+
+    Attributes
+    ----------
+    name:
+        Human readable technology name (e.g. ``"generic-130nm"``).
+    vdd:
+        Nominal supply voltage in volts.
+    temperature:
+        Simulation temperature in kelvin (informational; the thermal voltage
+        is carried by the device parameters).
+    nmos / pmos:
+        :class:`~repro.technology.mosfet.MosfetParams` for each polarity.
+    min_width:
+        Minimum drawn transistor width in metres.
+    unit_nmos_width / unit_pmos_width:
+        Widths of the NMOS / PMOS devices in a 1x (unit-drive) inverter.  Cell
+        generators size their devices as multiples of these.
+    """
+
+    name: str
+    vdd: float
+    temperature: float
+    nmos: MosfetParams
+    pmos: MosfetParams
+    min_width: float
+    unit_nmos_width: float
+    unit_pmos_width: float
+    metadata: Dict[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.vdd <= 0:
+            raise ValueError("vdd must be positive")
+        if not self.nmos.is_nmos:
+            raise ValueError("Technology.nmos must have polarity +1")
+        if not self.pmos.is_pmos:
+            raise ValueError("Technology.pmos must have polarity -1")
+        if self.unit_nmos_width <= 0 or self.unit_pmos_width <= 0:
+            raise ValueError("unit device widths must be positive")
+
+    @property
+    def channel_length(self) -> float:
+        """Drawn channel length shared by both polarities, in metres."""
+        return self.nmos.default_length
+
+    def params_for(self, polarity: str) -> MosfetParams:
+        """Return device parameters for ``"nmos"`` or ``"pmos"``."""
+        key = polarity.lower()
+        if key in ("n", "nmos"):
+            return self.nmos
+        if key in ("p", "pmos"):
+            return self.pmos
+        raise ValueError(f"unknown device polarity {polarity!r}")
+
+    def with_devices(self, nmos: MosfetParams, pmos: MosfetParams, suffix: str = "") -> "Technology":
+        """Return a copy with replaced device parameters (used by corners)."""
+        name = self.name + (f"-{suffix}" if suffix else "")
+        return replace(self, name=name, nmos=nmos, pmos=pmos)
+
+
+def default_technology() -> Technology:
+    """Build the generic 130 nm / 1.2 V technology used throughout the repo."""
+    length = 130e-9
+    nmos = MosfetParams(
+        polarity=+1,
+        vt0=0.33,
+        kp=430e-6,
+        slope_factor=1.35,
+        channel_length_modulation=0.06,
+        cox_per_area=1.2e-2,
+        overlap_cap_per_width=3.0e-10,
+        junction_cap_per_width=9.0e-10,
+        default_length=length,
+    )
+    pmos = MosfetParams(
+        polarity=-1,
+        vt0=0.33,
+        kp=190e-6,
+        slope_factor=1.40,
+        channel_length_modulation=0.08,
+        cox_per_area=1.2e-2,
+        overlap_cap_per_width=3.0e-10,
+        junction_cap_per_width=9.0e-10,
+        default_length=length,
+    )
+    return Technology(
+        name="generic-130nm",
+        vdd=1.2,
+        temperature=300.0,
+        nmos=nmos,
+        pmos=pmos,
+        min_width=0.15e-6,
+        unit_nmos_width=0.4e-6,
+        unit_pmos_width=0.9e-6,
+        metadata={"source": "synthetic 130nm-like parameters (see DESIGN.md)"},
+    )

@@ -1,0 +1,92 @@
+"""Small helpers for engineering units used throughout the library.
+
+The simulator works internally in SI units (volts, amperes, seconds, farads,
+ohms).  These helpers exist so that examples, tests and experiment scripts can
+express quantities the way a circuit designer would write them (``10 * PS``,
+``50 * FF``) and so that reports can format values back into engineering
+notation.
+"""
+
+from __future__ import annotations
+
+import math
+
+# ---------------------------------------------------------------------------
+# Scale factors (multiply a plain number by these to obtain SI values).
+# ---------------------------------------------------------------------------
+
+#: One femtofarad in farads.
+FF = 1e-15
+#: One picofarad in farads.
+PF = 1e-12
+#: One picosecond in seconds.
+PS = 1e-12
+#: One nanosecond in seconds.
+NS = 1e-9
+#: One microsecond in seconds.
+US = 1e-6
+#: One millivolt in volts.
+MV = 1e-3
+#: One microampere in amperes.
+UA = 1e-6
+#: One milliampere in amperes.
+MA = 1e-3
+#: One nanometre in metres.
+NM = 1e-9
+#: One micrometre in metres.
+UM = 1e-6
+#: One kiloohm in ohms.
+KOHM = 1e3
+
+_PREFIXES = [
+    (1e-18, "a"),
+    (1e-15, "f"),
+    (1e-12, "p"),
+    (1e-9, "n"),
+    (1e-6, "u"),
+    (1e-3, "m"),
+    (1.0, ""),
+    (1e3, "k"),
+    (1e6, "M"),
+    (1e9, "G"),
+]
+
+
+def format_si(value: float, unit: str = "", digits: int = 4) -> str:
+    """Format ``value`` using an engineering (SI-prefix) notation.
+
+    Parameters
+    ----------
+    value:
+        Quantity in base SI units.
+    unit:
+        Unit suffix appended after the prefix (e.g. ``"s"``, ``"F"``).
+    digits:
+        Number of significant digits.
+
+    Examples
+    --------
+    >>> format_si(3.2e-12, "s")
+    '3.2ps'
+    >>> format_si(0.0, "V")
+    '0V'
+    """
+    if value == 0 or not math.isfinite(value):
+        return f"{value:g}{unit}"
+    magnitude = abs(value)
+    scale, prefix = _PREFIXES[0]
+    for candidate_scale, candidate_prefix in _PREFIXES:
+        if magnitude >= candidate_scale:
+            scale, prefix = candidate_scale, candidate_prefix
+    scaled = value / scale
+    return f"{scaled:.{digits}g}{prefix}{unit}"
+
+
+def from_percent(value: float) -> float:
+    """Convert a percentage (e.g. ``4.0``) to a fraction (``0.04``)."""
+    return value / 100.0
+
+
+def to_percent(value: float) -> float:
+    """Convert a fraction (e.g. ``0.04``) to a percentage (``4.0``)."""
+    return value * 100.0

@@ -1,0 +1,43 @@
+"""Waveform containers, stimulus builders and timing/accuracy metrics."""
+
+from .builders import (
+    InputPattern,
+    glitch_pulse_stimulus,
+    noisy_transition,
+    pattern_stimulus,
+    pattern_waveforms,
+    ramp_waveform,
+)
+from .metrics import (
+    EdgeMeasurement,
+    crossing_time,
+    crossing_times,
+    delay_and_slew,
+    delay_error,
+    normalized_rmse,
+    peak_error,
+    propagation_delay,
+    rmse,
+    transition_time,
+)
+from .waveform import Waveform
+
+__all__ = [
+    "Waveform",
+    "InputPattern",
+    "ramp_waveform",
+    "pattern_stimulus",
+    "pattern_waveforms",
+    "glitch_pulse_stimulus",
+    "noisy_transition",
+    "crossing_time",
+    "crossing_times",
+    "propagation_delay",
+    "transition_time",
+    "delay_and_slew",
+    "rmse",
+    "normalized_rmse",
+    "peak_error",
+    "delay_error",
+    "EdgeMeasurement",
+]

@@ -1,0 +1,236 @@
+"""Timing and accuracy metrics on waveforms.
+
+These are the measurements the paper reports: 50 % propagation delay, output
+transition (slew) time, delay differences between scenarios, and the
+normalized root-mean-square error (RMSE) between a model waveform and the
+reference simulator waveform (paper Eq. (6)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import WaveformError
+from .waveform import Waveform
+
+__all__ = [
+    "crossing_time",
+    "crossing_times",
+    "propagation_delay",
+    "transition_time",
+    "delay_and_slew",
+    "rmse",
+    "normalized_rmse",
+    "peak_error",
+    "delay_error",
+    "EdgeMeasurement",
+]
+
+
+def crossing_times(
+    waveform: Waveform,
+    threshold: float,
+    direction: str = "any",
+) -> Tuple[float, ...]:
+    """All times at which the waveform crosses ``threshold``.
+
+    Parameters
+    ----------
+    waveform:
+        Signal to inspect.
+    threshold:
+        Crossing level in volts.
+    direction:
+        ``"rise"`` (upward crossings only), ``"fall"`` (downward only) or
+        ``"any"``.
+    """
+    if direction not in ("rise", "fall", "any"):
+        raise WaveformError(f"unknown crossing direction {direction!r}")
+    times = waveform.times
+    values = waveform.values
+    below = values < threshold
+    crossings = []
+    for idx in range(1, len(values)):
+        if below[idx - 1] == below[idx]:
+            continue
+        rising = below[idx - 1] and not below[idx]
+        if direction == "rise" and not rising:
+            continue
+        if direction == "fall" and rising:
+            continue
+        v0, v1 = values[idx - 1], values[idx]
+        t0, t1 = times[idx - 1], times[idx]
+        if v1 == v0:
+            crossings.append(float(t1))
+        else:
+            frac = (threshold - v0) / (v1 - v0)
+            crossings.append(float(t0 + frac * (t1 - t0)))
+    return tuple(crossings)
+
+
+def crossing_time(
+    waveform: Waveform,
+    threshold: float,
+    direction: str = "any",
+    occurrence: int = 0,
+) -> float:
+    """Time of the ``occurrence``-th crossing of ``threshold``.
+
+    Raises
+    ------
+    WaveformError
+        If the waveform never crosses the threshold (in that direction).
+    """
+    crossings = crossing_times(waveform, threshold, direction)
+    if not crossings:
+        raise WaveformError(
+            f"waveform {waveform.name!r} never crosses {threshold:.3f} V ({direction})"
+        )
+    try:
+        return crossings[occurrence]
+    except IndexError as exc:
+        raise WaveformError(
+            f"waveform {waveform.name!r} crosses {threshold:.3f} V only "
+            f"{len(crossings)} time(s); occurrence {occurrence} requested"
+        ) from exc
+
+
+def propagation_delay(
+    input_waveform: Waveform,
+    output_waveform: Waveform,
+    vdd: float,
+    input_threshold: float = 0.5,
+    output_threshold: float = 0.5,
+    input_direction: str = "any",
+    output_direction: str = "any",
+    input_occurrence: int = 0,
+    output_occurrence: int = 0,
+) -> float:
+    """Propagation delay between input and output threshold crossings.
+
+    Thresholds are given as fractions of ``vdd`` (0.5 = the 50 % delay used in
+    the paper).  The delay can be negative for very fast cells with slow input
+    ramps, as in real timing analysis.
+    """
+    t_in = crossing_time(
+        input_waveform, input_threshold * vdd, input_direction, input_occurrence
+    )
+    t_out = crossing_time(
+        output_waveform, output_threshold * vdd, output_direction, output_occurrence
+    )
+    return t_out - t_in
+
+
+def transition_time(
+    waveform: Waveform,
+    vdd: float,
+    low_fraction: float = 0.2,
+    high_fraction: float = 0.8,
+    direction: str = "rise",
+) -> float:
+    """Output transition (slew) time between two threshold fractions of Vdd."""
+    if direction == "rise":
+        t_low = crossing_time(waveform, low_fraction * vdd, "rise")
+        t_high = crossing_time(waveform, high_fraction * vdd, "rise")
+        return t_high - t_low
+    if direction == "fall":
+        t_high = crossing_time(waveform, high_fraction * vdd, "fall")
+        t_low = crossing_time(waveform, low_fraction * vdd, "fall")
+        return t_low - t_high
+    raise WaveformError(f"unknown transition direction {direction!r}")
+
+
+@dataclass(frozen=True)
+class EdgeMeasurement:
+    """Bundled delay + slew measurement of one output edge."""
+
+    delay: float
+    slew: float
+    direction: str
+
+
+def delay_and_slew(
+    input_waveform: Waveform,
+    output_waveform: Waveform,
+    vdd: float,
+    output_direction: str = "rise",
+    input_direction: str = "any",
+) -> EdgeMeasurement:
+    """Convenience bundle of 50 % delay and 20-80 % slew for one edge."""
+    delay = propagation_delay(
+        input_waveform,
+        output_waveform,
+        vdd,
+        input_direction=input_direction,
+        output_direction=output_direction,
+    )
+    slew = transition_time(output_waveform, vdd, direction=output_direction)
+    return EdgeMeasurement(delay=delay, slew=slew, direction=output_direction)
+
+
+def _common_grid(reference: Waveform, candidate: Waveform, num_samples: Optional[int]) -> np.ndarray:
+    t_start = max(reference.t_start, candidate.t_start)
+    t_stop = min(reference.t_stop, candidate.t_stop)
+    if t_stop <= t_start:
+        raise WaveformError("waveforms do not overlap in time")
+    if num_samples is None:
+        num_samples = max(len(reference), len(candidate))
+    return np.linspace(t_start, t_stop, num_samples)
+
+
+def rmse(
+    reference: Waveform,
+    candidate: Waveform,
+    num_samples: Optional[int] = None,
+) -> float:
+    """Root-mean-square error between two waveforms (paper Eq. (6)).
+
+    Both waveforms are resampled on a common uniform grid spanning their time
+    overlap before the point-wise error is computed.
+    """
+    grid = _common_grid(reference, candidate, num_samples)
+    error = reference.value_at(grid) - candidate.value_at(grid)
+    return float(np.sqrt(np.mean(np.square(error))))
+
+
+def normalized_rmse(
+    reference: Waveform,
+    candidate: Waveform,
+    vdd: float,
+    num_samples: Optional[int] = None,
+) -> float:
+    """RMSE normalized to Vdd, as the paper reports (1.4 % of Vdd on average)."""
+    if vdd <= 0:
+        raise WaveformError("vdd must be positive")
+    return rmse(reference, candidate, num_samples) / vdd
+
+
+def peak_error(
+    reference: Waveform,
+    candidate: Waveform,
+    num_samples: Optional[int] = None,
+) -> float:
+    """Maximum absolute point-wise voltage error over the common window."""
+    grid = _common_grid(reference, candidate, num_samples)
+    return float(np.max(np.abs(reference.value_at(grid) - candidate.value_at(grid))))
+
+
+def delay_error(
+    reference_delay: float,
+    model_delay: float,
+    relative: bool = True,
+) -> float:
+    """Delay estimation error of a model against the reference.
+
+    Returns a fraction when ``relative`` (e.g. 0.04 for 4 %), otherwise the
+    absolute error in seconds.
+    """
+    error = model_delay - reference_delay
+    if not relative:
+        return error
+    if reference_delay == 0:
+        raise WaveformError("cannot compute relative error against a zero reference delay")
+    return error / abs(reference_delay)

@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+Characterizing models against the reference simulator is the expensive part
+of the library, so characterized models are built once per test session (with
+a coarse grid) and shared by every test that needs them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cells import build_inverter, build_nand, build_nor, default_library
+from repro.characterization import (
+    CharacterizationConfig,
+    characterize_baseline_mis,
+    characterize_mcsm,
+    characterize_sis,
+)
+from repro.technology import default_technology
+
+
+@pytest.fixture(scope="session")
+def technology():
+    """The generic 130 nm / 1.2 V technology used throughout the tests."""
+    return default_technology()
+
+
+@pytest.fixture(scope="session")
+def library(technology):
+    """The default standard-cell library."""
+    return default_library(technology)
+
+
+@pytest.fixture(scope="session")
+def nor2(library):
+    return library["NOR2_X1"]
+
+
+@pytest.fixture(scope="session")
+def nand2(library):
+    return library["NAND2_X1"]
+
+
+@pytest.fixture(scope="session")
+def inverter(library):
+    return library["INV_X1"]
+
+
+@pytest.fixture(scope="session")
+def fast_config():
+    """Coarse characterization settings to keep the test suite quick."""
+    return CharacterizationConfig(io_grid_points=5)
+
+
+@pytest.fixture(scope="session")
+def nor2_mcsm(nor2, fast_config):
+    """Session-wide complete MCSM of the NOR2 cell."""
+    return characterize_mcsm(nor2, "A", "B", fast_config)
+
+
+@pytest.fixture(scope="session")
+def nor2_baseline_mis(nor2, fast_config):
+    """Session-wide baseline (no internal node) MIS CSM of the NOR2 cell."""
+    return characterize_baseline_mis(nor2, "A", "B", fast_config)
+
+
+@pytest.fixture(scope="session")
+def nor2_sis(nor2, fast_config):
+    """Session-wide SIS CSM of the NOR2 cell (switching pin A)."""
+    return characterize_sis(nor2, "A", fast_config)
+
+
+@pytest.fixture(scope="session")
+def inverter_sis(inverter, fast_config):
+    """Session-wide SIS CSM of the unit inverter."""
+    return characterize_sis(inverter, "A", fast_config)
+
+
+@pytest.fixture(scope="session")
+def experiment_context(fast_config):
+    """A shared, fast experiment context for the experiment-level tests."""
+    from repro.experiments import ExperimentContext
+
+    return ExperimentContext(
+        characterization=fast_config,
+        reference_time_step=4e-12,
+        model_time_step=2e-12,
+    )

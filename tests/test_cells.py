@@ -1,0 +1,179 @@
+"""Tests for the standard-cell library and testbench construction."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.cells import (
+    CellLibrary,
+    build_aoi21,
+    build_inverter,
+    build_nand,
+    build_nor,
+    build_oai21,
+    build_testbench,
+    default_library,
+    fanout_capacitance,
+)
+from repro.exceptions import NetlistError
+from repro.spice import dc_operating_point
+
+
+class TestLogicFunctions:
+    def test_inverter_truth_table(self, inverter):
+        assert inverter.evaluate({"A": 0}) == 1
+        assert inverter.evaluate({"A": 1}) == 0
+
+    def test_nor2_truth_table(self, nor2):
+        table = nor2.truth_table()
+        assert table[(0, 0)] == 1
+        assert table[(0, 1)] == 0
+        assert table[(1, 0)] == 0
+        assert table[(1, 1)] == 0
+
+    def test_nand2_truth_table(self, nand2):
+        table = nand2.truth_table()
+        assert table[(1, 1)] == 0
+        assert table[(0, 0)] == 1
+        assert table[(0, 1)] == 1
+
+    def test_aoi21_and_oai21_functions(self, technology):
+        aoi = build_aoi21(technology)
+        oai = build_oai21(technology)
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            assert aoi.evaluate({"A": a, "B": b, "C": c}) == (0 if (a and b) or c else 1)
+            assert oai.evaluate({"A": a, "B": b, "C": c}) == (0 if (a or b) and c else 1)
+
+    def test_non_controlling_values(self, nor2, nand2, inverter):
+        assert nor2.non_controlling_value("A") == 0
+        assert nor2.controlling_value("A") == 1
+        assert nand2.non_controlling_value("B") == 1
+        assert inverter.non_controlling_value("A") == 0
+
+    def test_output_for_pin(self, nor2):
+        assert nor2.output_for_pin("A", 0) == 1
+        assert nor2.output_for_pin("A", 1) == 0
+
+    def test_evaluate_requires_all_inputs(self, nor2):
+        with pytest.raises(NetlistError):
+            nor2.evaluate({"A": 1})
+
+    def test_unknown_pin_rejected(self, nor2):
+        with pytest.raises(NetlistError):
+            nor2.non_controlling_value("Z")
+
+
+class TestCellStructure:
+    def test_transistor_counts(self, technology):
+        assert build_inverter(technology).transistor_count() == 2
+        assert build_nand(technology, 2).transistor_count() == 4
+        assert build_nor(technology, 3).transistor_count() == 6
+        assert build_aoi21(technology).transistor_count() == 6
+
+    def test_internal_node_count_matches_stack_depth(self, technology):
+        assert build_inverter(technology).internal_nodes == ()
+        assert len(build_nor(technology, 2).internal_nodes) == 1
+        assert len(build_nor(technology, 3).internal_nodes) == 2
+        assert len(build_nand(technology, 3).internal_nodes) == 2
+
+    def test_nor2_stack_node_adjacent_to_output(self, nor2):
+        """The paper's node N sits between the A-gated PMOS (drain at OUT) and
+        the B-gated PMOS (source at VDD)."""
+        node = nor2.stack_node()
+        assert node == "n1"
+        devices_touching = [
+            m for m in nor2.mosfets() if node in (m.drain, m.source)
+        ]
+        assert len(devices_touching) == 2
+        gates = {m.gate for m in devices_touching}
+        assert gates == {"A", "B"}
+        # The A-gated device must also touch the output node.
+        a_device = next(m for m in devices_touching if m.gate == "A")
+        assert nor2.output in (a_device.drain, a_device.source)
+
+    def test_pin_gate_capacitance_positive_and_additive(self, nor2, inverter):
+        assert inverter.pin_gate_capacitance("A") > 0
+        assert nor2.pin_gate_capacitance("A") > inverter.pin_gate_capacitance("A") * 0.5
+
+    def test_output_diffusion_capacitance(self, nor2):
+        assert nor2.output_diffusion_capacitance() > 0
+
+    def test_internal_node_capacitance_estimate(self, nor2, inverter):
+        assert nor2.internal_node_capacitance_estimate() > 0
+        assert inverter.internal_node_capacitance_estimate() == 0.0
+
+    def test_describe_contains_truth_table(self, nor2):
+        text = nor2.describe()
+        assert "truth table" in text
+        assert "NOR2" in text
+
+    def test_drive_strength_scales_widths(self, technology):
+        x1 = build_inverter(technology, 1.0)
+        x2 = build_inverter(technology, 2.0)
+        w1 = [m.width for m in x1.mosfets()]
+        w2 = [m.width for m in x2.mosfets()]
+        assert all(b == pytest.approx(2 * a) for a, b in zip(sorted(w1), sorted(w2)))
+
+
+class TestLibrary:
+    def test_default_library_contents(self, library):
+        for name in ("INV_X1", "NAND2_X1", "NOR2_X1", "NOR3_X1", "AOI21_X1", "OAI21_X1"):
+            assert name in library
+
+    def test_unknown_cell_lookup_raises(self, library):
+        with pytest.raises(NetlistError):
+            library["XOR9_X1"]
+
+    def test_duplicate_add_rejected(self, library, technology):
+        with pytest.raises(NetlistError):
+            library.add(build_inverter(technology))
+
+    def test_cells_with_internal_nodes(self, library):
+        names = {cell.name for cell in library.cells_with_internal_nodes()}
+        assert "NOR2_X1" in names
+        assert "INV_X1" not in names
+
+    def test_multi_drive_library(self, technology):
+        multi = default_library(technology, drive_strengths=(1.0, 2.0))
+        assert "NOR2_X2" in multi and "NOR2_X1" in multi
+        assert len(multi) == 14
+
+    def test_summary_lists_cells(self, library):
+        text = library.summary()
+        assert "NOR2_X1" in text
+
+
+class TestTestbench:
+    def test_dc_logic_levels_all_cells(self, library):
+        """Every cell's transistor netlist must realize its logic function at DC."""
+        for cell in library:
+            vdd = cell.technology.vdd
+            for bits, expected in cell.truth_table().items():
+                stimuli = {pin: value * vdd for pin, value in zip(cell.inputs, bits)}
+                bench = build_testbench(cell, stimuli, load_capacitance=1e-15)
+                op = dc_operating_point(bench.circuit)
+                assert op.voltage(cell.output) == pytest.approx(expected * vdd, abs=0.06), (
+                    f"{cell.name} inputs {bits}"
+                )
+
+    def test_unknown_stimulus_pin_rejected(self, nor2):
+        with pytest.raises(NetlistError):
+            build_testbench(nor2, {"Z": 0.0})
+
+    def test_fanout_load_adds_instances(self, nor2):
+        bench = build_testbench(nor2, {"A": 0.0, "B": 0.0}, fanout=3)
+        assert len(bench.fanout_cells) == 3
+        assert bench.circuit.has_node("fo0_out")
+
+    def test_set_input_stimulus_updates_source(self, nor2):
+        bench = build_testbench(nor2, {"A": 0.0, "B": 0.0})
+        bench.set_input_stimulus("A", 1.2)
+        assert bench.input_source("A").value(0.0) == pytest.approx(1.2)
+
+    def test_fanout_capacitance_scales_linearly(self, technology):
+        single = fanout_capacitance(technology, 1)
+        quadruple = fanout_capacitance(technology, 4)
+        assert quadruple == pytest.approx(4 * single)
+        assert single > 1e-15

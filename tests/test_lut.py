@@ -1,0 +1,141 @@
+"""Tests for the N-dimensional lookup tables and their serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import TableError
+from repro.lut import Axis, NDTable, dumps_tables, load_tables, loads_tables, save_tables, tabulate, voltage_axis
+
+
+class TestAxis:
+    def test_requires_increasing_points(self):
+        with pytest.raises(TableError):
+            Axis("x", (0.0, 0.0, 1.0))
+        with pytest.raises(TableError):
+            Axis("x", (1.0,))
+
+    def test_clamp_and_bracket(self):
+        axis = Axis("v", (0.0, 0.5, 1.0))
+        assert axis.clamp(-1.0) == 0.0
+        assert axis.clamp(2.0) == 1.0
+        index, fraction = axis.bracket(0.75)
+        assert index == 1
+        assert fraction == pytest.approx(0.5)
+        index, fraction = axis.bracket(-5.0)
+        assert index == 0 and fraction == 0.0
+
+    def test_voltage_axis_span(self):
+        axis = voltage_axis("Vo", 1.2, num_points=7, margin=0.1)
+        assert axis.lower == pytest.approx(-0.1)
+        assert axis.upper == pytest.approx(1.3)
+        assert len(axis) == 7
+
+    def test_voltage_axis_validation(self):
+        with pytest.raises(TableError):
+            voltage_axis("Vo", 1.2, num_points=1)
+        with pytest.raises(TableError):
+            voltage_axis("Vo", 1.2, margin=-0.1)
+
+
+class TestNDTable:
+    def _linear_table_2d(self):
+        ax = Axis("x", (0.0, 1.0, 2.0))
+        ay = Axis("y", (0.0, 10.0))
+        values = np.array([[x + 2 * y for y in ay.points] for x in ax.points])
+        return NDTable((ax, ay), values, name="linear")
+
+    def test_shape_validation(self):
+        ax = Axis("x", (0.0, 1.0))
+        with pytest.raises(TableError):
+            NDTable((ax,), np.zeros((3,)))
+        with pytest.raises(TableError):
+            NDTable((ax,), np.zeros((2, 2)))
+
+    def test_nan_rejected(self):
+        ax = Axis("x", (0.0, 1.0))
+        with pytest.raises(TableError):
+            NDTable((ax,), np.array([0.0, np.nan]))
+
+    def test_exact_at_grid_points(self):
+        table = self._linear_table_2d()
+        assert table.evaluate(1.0, 10.0) == pytest.approx(21.0)
+        assert table.evaluate(2.0, 0.0) == pytest.approx(2.0)
+
+    @given(x=st.floats(min_value=0.0, max_value=2.0), y=st.floats(min_value=0.0, max_value=10.0))
+    @settings(max_examples=60, deadline=None)
+    def test_multilinear_exact_for_linear_functions(self, x, y):
+        """Multilinear interpolation reproduces affine functions exactly."""
+        table = self._linear_table_2d()
+        assert table.evaluate(x, y) == pytest.approx(x + 2 * y, rel=1e-9, abs=1e-9)
+
+    def test_clamped_extrapolation(self):
+        table = self._linear_table_2d()
+        assert table.evaluate(5.0, 20.0) == pytest.approx(table.evaluate(2.0, 10.0))
+        assert table.evaluate(-3.0, -1.0) == pytest.approx(table.evaluate(0.0, 0.0))
+
+    def test_wrong_arity_rejected(self):
+        table = self._linear_table_2d()
+        with pytest.raises(TableError):
+            table.evaluate(1.0)
+
+    def test_evaluate_dict(self):
+        table = self._linear_table_2d()
+        assert table.evaluate_dict({"x": 1.0, "y": 10.0}) == pytest.approx(21.0)
+        with pytest.raises(TableError):
+            table.evaluate_dict({"x": 1.0})
+
+    def test_gradient_of_linear_function(self):
+        table = self._linear_table_2d()
+        gx, gy = table.gradient(1.0, 5.0)
+        assert gx == pytest.approx(1.0, rel=1e-6)
+        assert gy == pytest.approx(2.0, rel=1e-6)
+
+    def test_scaled_shifted_stats(self):
+        table = self._linear_table_2d()
+        assert table.scaled(2.0).maximum() == pytest.approx(2 * table.maximum())
+        assert table.shifted(1.0).minimum() == pytest.approx(table.minimum() + 1.0)
+        assert table.reduce_mean() == pytest.approx(table.mean())
+
+    def test_slice_removes_axis(self):
+        table = self._linear_table_2d()
+        sliced = table.slice("y", 10.0)
+        assert sliced.ndim == 1
+        assert sliced.evaluate(1.0) == pytest.approx(21.0)
+        with pytest.raises(TableError):
+            table.slice("z", 0.0)
+
+    def test_tabulate_matches_function(self):
+        ax = voltage_axis("a", 1.0, 5, 0.0)
+        ay = voltage_axis("b", 1.0, 4, 0.0)
+        table = tabulate(lambda a, b: a * b, (ax, ay), name="prod")
+        assert table.evaluate(0.5, 0.5) == pytest.approx(0.25, abs=0.05)
+        assert table.evaluate(1.0, 1.0) == pytest.approx(1.0)
+
+
+class TestSerialization:
+    def test_round_trip_string(self):
+        ax = Axis("x", (0.0, 1.0))
+        table = NDTable((ax,), np.array([1.0, 2.0]), name="t")
+        text = dumps_tables({"t": table}, metadata={"cell": "NOR2_X1"})
+        loaded = loads_tables(text)
+        assert loaded["t"].evaluate(0.5) == pytest.approx(1.5)
+        assert loaded["t"].axis_names == ("x",)
+
+    def test_round_trip_file(self, tmp_path):
+        ax = Axis("x", (0.0, 1.0, 2.0))
+        table = NDTable((ax,), np.array([0.0, 1.0, 4.0]), name="sq")
+        path = save_tables(tmp_path / "tables.json", {"sq": table})
+        loaded = load_tables(path)
+        assert loaded["sq"].evaluate(2.0) == pytest.approx(4.0)
+
+    def test_load_missing_file_raises(self, tmp_path):
+        with pytest.raises(TableError):
+            load_tables(tmp_path / "missing.json")
+
+    def test_bad_format_rejected(self):
+        with pytest.raises(TableError):
+            loads_tables('{"format": "something-else", "version": 1, "tables": {}}')

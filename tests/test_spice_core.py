@@ -1,0 +1,208 @@
+"""Tests for the circuit netlist, stimuli and MNA solver layers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import AnalysisError, NetlistError, WaveformError
+from repro.spice import (
+    Circuit,
+    CompositeStimulus,
+    DCValue,
+    MNAAssembler,
+    PiecewiseLinear,
+    Pulse,
+    SaturatedRamp,
+    dc_operating_point,
+    dc_sweep,
+)
+from repro.spice.netlist import GROUND
+
+
+class TestStimuli:
+    def test_dc_value_constant(self):
+        stim = DCValue(0.7)
+        assert stim(0.0) == 0.7
+        assert stim(1e-6) == 0.7
+
+    def test_saturated_ramp_shape(self):
+        ramp = SaturatedRamp(0.0, 1.2, 1e-9, 100e-12)
+        assert ramp(0.0) == 0.0
+        assert ramp(1e-9) == 0.0
+        assert ramp(1.05e-9) == pytest.approx(0.6)
+        assert ramp(1.1e-9) == pytest.approx(1.2)
+        assert ramp(5e-9) == pytest.approx(1.2)
+
+    def test_saturated_ramp_slope_and_breakpoints(self):
+        ramp = SaturatedRamp(1.2, 0.0, 2e-9, 60e-12)
+        assert ramp.slope == pytest.approx(-1.2 / 60e-12)
+        assert ramp.breakpoints() == (2e-9, 2e-9 + 60e-12)
+
+    def test_saturated_ramp_rejects_zero_transition(self):
+        with pytest.raises(WaveformError):
+            SaturatedRamp(0.0, 1.2, 0.0, 0.0)
+
+    def test_piecewise_linear_interpolation(self):
+        pwl = PiecewiseLinear(points=((0.0, 0.0), (1e-9, 1.0), (2e-9, 0.5)))
+        assert pwl(-1e-9) == 0.0
+        assert pwl(0.5e-9) == pytest.approx(0.5)
+        assert pwl(1.5e-9) == pytest.approx(0.75)
+        assert pwl(3e-9) == 0.5
+
+    def test_piecewise_linear_requires_sorted_times(self):
+        with pytest.raises(WaveformError):
+            PiecewiseLinear(points=((1e-9, 0.0), (0.0, 1.0)))
+
+    def test_pulse_shape(self):
+        pulse = Pulse(low=0.0, high=1.2, start_time=1e-9, rise_time=50e-12,
+                      width=100e-12, fall_time=50e-12)
+        assert pulse(0.5e-9) == 0.0
+        assert pulse(1.025e-9) == pytest.approx(0.6)
+        assert pulse(1.1e-9) == pytest.approx(1.2)
+        assert pulse(2e-9) == 0.0
+        assert len(pulse.breakpoints()) == 4
+
+    def test_composite_stimulus_sums_parts(self):
+        combined = CompositeStimulus(parts=[DCValue(0.2), SaturatedRamp(0.0, 1.0, 0.0, 1e-9)], offset=0.1)
+        assert combined(2e-9) == pytest.approx(1.3)
+
+    @given(st.floats(min_value=0, max_value=5e-9))
+    @settings(max_examples=30, deadline=None)
+    def test_ramp_is_bounded(self, t):
+        ramp = SaturatedRamp(0.0, 1.2, 1e-9, 80e-12)
+        assert 0.0 <= ramp(t) <= 1.2
+
+
+class TestCircuitConstruction:
+    def test_ground_aliases_normalized(self):
+        circuit = Circuit("c")
+        circuit.add_resistor("a", "gnd", 100.0)
+        circuit.add_resistor("b", "vss", 100.0)
+        assert GROUND in circuit.nodes
+        assert "gnd" not in circuit.nodes
+
+    def test_duplicate_element_names_rejected(self):
+        circuit = Circuit("c")
+        circuit.add_resistor("a", "0", 100.0, name="R1")
+        with pytest.raises(NetlistError):
+            circuit.add_resistor("b", "0", 100.0, name="R1")
+
+    def test_negative_resistance_rejected(self):
+        circuit = Circuit("c")
+        with pytest.raises(NetlistError):
+            circuit.add_resistor("a", "0", -5.0)
+
+    def test_element_lookup(self):
+        circuit = Circuit("c")
+        circuit.add_capacitor("a", "0", 1e-15, name="CX")
+        assert circuit.element("CX").capacitance == 1e-15
+        assert "CX" in circuit
+        with pytest.raises(NetlistError):
+            circuit.element("missing")
+
+    def test_auto_names_are_unique(self):
+        circuit = Circuit("c")
+        r1 = circuit.add_resistor("a", "0", 10.0)
+        r2 = circuit.add_resistor("b", "0", 10.0)
+        assert r1.name != r2.name
+
+    def test_mosfet_requires_positive_width(self, technology):
+        circuit = Circuit("c")
+        with pytest.raises(NetlistError):
+            circuit.add_mosfet("d", "g", "s", "b", technology.nmos, width=-1e-6)
+
+    def test_capacitor_branches_include_mosfet_parasitics(self, technology):
+        circuit = Circuit("c")
+        circuit.add_mosfet("d", "g", "0", "0", technology.nmos, 0.4e-6)
+        branches = circuit.capacitor_branch_list()
+        assert len(branches) == 5  # cgs, cgd, cgb, cdb, csb
+        assert circuit.total_capacitance_at("g") > 0
+
+    def test_merge_renames_internals_and_maps_ports(self):
+        sub = Circuit("sub")
+        sub.add_resistor("in", "mid", 100.0, name="R1")
+        sub.add_resistor("mid", "0", 200.0, name="R2")
+        top = Circuit("top")
+        top.add_voltage_source("a", "0", 1.0, name="V1")
+        mapping = top.merge(sub, prefix="x_", node_map={"in": "a"})
+        assert mapping["in"] == "a"
+        assert mapping["mid"] == "x_mid"
+        assert "x_R1" in top and "x_R2" in top
+        assert top.has_node("x_mid")
+
+    def test_summary_mentions_counts(self):
+        circuit = Circuit("c")
+        circuit.add_resistor("a", "0", 10.0)
+        circuit.add_capacitor("a", "0", 1e-15)
+        text = circuit.summary()
+        assert "Resistor" in text and "Capacitor" in text
+
+
+class TestDCAnalysis:
+    def test_resistive_divider(self):
+        circuit = Circuit("divider")
+        circuit.add_voltage_source("in", "0", 1.0, name="V1")
+        circuit.add_resistor("in", "mid", 1000.0)
+        circuit.add_resistor("mid", "0", 3000.0)
+        op = dc_operating_point(circuit)
+        assert op.voltage("mid") == pytest.approx(0.75, rel=1e-6)
+
+    def test_source_current_sign_convention(self):
+        # 1 V across 1 kOhm: the source delivers +1 mA into the circuit.
+        circuit = Circuit("load")
+        circuit.add_voltage_source("a", "0", 1.0, name="V1")
+        circuit.add_resistor("a", "0", 1000.0)
+        op = dc_operating_point(circuit)
+        assert op.source_current("V1") == pytest.approx(1e-3, rel=1e-9)
+
+    def test_current_source_injection(self):
+        circuit = Circuit("isrc")
+        circuit.add_current_source("0", "a", 1e-3, name="I1")  # inject 1 mA into node a
+        circuit.add_resistor("a", "0", 2000.0)
+        op = dc_operating_point(circuit)
+        assert op.voltage("a") == pytest.approx(2.0, rel=1e-6)
+
+    def test_floating_node_resolved_by_gmin(self):
+        circuit = Circuit("floating")
+        circuit.add_voltage_source("a", "0", 1.0, name="V1")
+        circuit.add_resistor("a", "b", 1000.0)
+        circuit.add_capacitor("c", "0", 1e-15)  # node c floats in DC
+        op = dc_operating_point(circuit)
+        assert op.voltage("b") == pytest.approx(1.0, rel=1e-4)
+        assert abs(op.voltage("c")) < 1.0
+
+    def test_inverter_vtc_is_monotonic(self, technology):
+        circuit = Circuit("inv")
+        circuit.add_voltage_source("vdd", "0", technology.vdd, name="VDD")
+        circuit.add_voltage_source("in", "0", 0.0, name="VIN")
+        circuit.add_mosfet("out", "in", "0", "0", technology.nmos, technology.unit_nmos_width)
+        circuit.add_mosfet("out", "in", "vdd", "vdd", technology.pmos, technology.unit_pmos_width)
+        sweeps = dc_sweep(circuit, "VIN", np.linspace(0, technology.vdd, 9))
+        outputs = [op.voltage("out") for op in sweeps]
+        assert outputs[0] == pytest.approx(technology.vdd, abs=1e-3)
+        assert outputs[-1] == pytest.approx(0.0, abs=1e-3)
+        assert all(b <= a + 1e-6 for a, b in zip(outputs, outputs[1:]))
+
+    def test_operating_point_unknown_node_raises(self):
+        circuit = Circuit("c")
+        circuit.add_voltage_source("a", "0", 1.0, name="V1")
+        circuit.add_resistor("a", "0", 100.0)
+        op = dc_operating_point(circuit)
+        with pytest.raises(AnalysisError):
+            op.voltage("nope")
+
+    def test_empty_circuit_rejected(self):
+        with pytest.raises(NetlistError):
+            MNAAssembler(Circuit("empty"))
+
+    def test_assembler_branch_indices(self):
+        circuit = Circuit("c")
+        circuit.add_voltage_source("a", "0", 1.0, name="V1")
+        circuit.add_resistor("a", "b", 10.0)
+        circuit.add_resistor("b", "0", 10.0)
+        assembler = MNAAssembler(circuit)
+        assert assembler.size == 3  # two nodes + one branch current
+        assert assembler.index_of_node("0") == -1

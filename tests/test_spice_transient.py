@@ -1,0 +1,139 @@
+"""Tests for the transient analysis engine."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import AnalysisError
+from repro.spice import (
+    Circuit,
+    SaturatedRamp,
+    TransientAnalysis,
+    TransientOptions,
+    transient_analysis,
+)
+
+
+def _rc_circuit(resistance=1e3, capacitance=1e-12, step_to=1.0):
+    circuit = Circuit("rc")
+    circuit.add_voltage_source("in", "0", SaturatedRamp(0.0, step_to, 10e-12, 1e-12), name="VIN")
+    circuit.add_resistor("in", "out", resistance)
+    circuit.add_capacitor("out", "0", capacitance)
+    return circuit
+
+
+class TestTransientBasics:
+    def test_rc_step_response_matches_analytic(self):
+        r, c = 1e3, 1e-12
+        tau = r * c
+        circuit = _rc_circuit(r, c)
+        result = transient_analysis(circuit, t_stop=5e-9, time_step=5e-12)
+        # Compare against the analytic exponential at a few multiples of tau.
+        t0 = 11e-12  # just after the (fast) input step completes
+        for multiple in (1.0, 2.0, 3.0):
+            t = t0 + multiple * tau
+            expected = 1.0 - math.exp(-multiple)
+            assert result.voltage_at("out", t) == pytest.approx(expected, abs=0.02)
+
+    def test_final_value_reaches_input(self):
+        circuit = _rc_circuit()
+        result = transient_analysis(circuit, t_stop=10e-9, time_step=10e-12)
+        assert result.final_voltage("out") == pytest.approx(1.0, abs=1e-3)
+
+    def test_capacitor_initial_condition_honoured(self):
+        circuit = Circuit("ic")
+        circuit.add_voltage_source("in", "0", 0.0, name="VIN")
+        circuit.add_resistor("in", "out", 1e3)
+        circuit.add_capacitor("out", "0", 1e-12)
+        result = transient_analysis(
+            circuit, t_stop=8e-9, time_step=10e-12, initial_voltages={"out": 1.0}
+        )
+        assert result.voltage_trace("out")[0] == pytest.approx(1.0)
+        assert result.final_voltage("out") == pytest.approx(0.0, abs=5e-3)
+
+    def test_breakpoints_inserted_into_time_grid(self):
+        circuit = _rc_circuit()
+        engine = TransientAnalysis(circuit, TransientOptions(time_step=7e-12))
+        result = engine.run(t_stop=1e-9)
+        # The ramp corner times (10 ps and 11 ps) must be exact grid points.
+        assert np.any(np.isclose(result.times, 10e-12))
+        assert np.any(np.isclose(result.times, 11e-12))
+
+    def test_invalid_window_rejected(self):
+        circuit = _rc_circuit()
+        engine = TransientAnalysis(circuit)
+        with pytest.raises(AnalysisError):
+            engine.run(t_stop=1e-9, t_start=2e-9)
+
+    def test_unknown_record_node_rejected(self):
+        circuit = _rc_circuit()
+        engine = TransientAnalysis(circuit)
+        with pytest.raises(AnalysisError):
+            engine.run(t_stop=1e-9, record_nodes=["ghost"])
+
+    def test_record_subset_of_nodes(self):
+        circuit = _rc_circuit()
+        result = transient_analysis(circuit, t_stop=1e-9, time_step=10e-12, record_nodes=["out"])
+        assert "out" in result.node_voltages
+        assert "in" not in result.node_voltages
+
+    def test_source_current_charging_capacitor(self):
+        # During charging, the source delivers positive current into the RC.
+        circuit = _rc_circuit()
+        result = transient_analysis(circuit, t_stop=10e-9, time_step=10e-12)
+        current = result.current_trace("VIN")
+        assert current.max() > 1e-4  # ~ 1 V / 1 kOhm at the start of charging
+        assert current[-1] == pytest.approx(0.0, abs=1e-5)
+
+    def test_options_validation(self):
+        with pytest.raises(AnalysisError):
+            TransientOptions(time_step=0.0)
+
+
+class TestTransientWithDevices:
+    def test_inverter_output_falls_for_rising_input(self, technology):
+        circuit = Circuit("inv")
+        circuit.add_voltage_source("vdd", "0", technology.vdd, name="VDD")
+        circuit.add_voltage_source("in", "0", SaturatedRamp(0.0, technology.vdd, 100e-12, 50e-12), name="VIN")
+        circuit.add_mosfet("out", "in", "0", "0", technology.nmos, technology.unit_nmos_width)
+        circuit.add_mosfet("out", "in", "vdd", "vdd", technology.pmos, technology.unit_pmos_width)
+        circuit.add_capacitor("out", "0", 5e-15)
+        result = transient_analysis(circuit, t_stop=600e-12, time_step=2e-12)
+        out = result.voltage_trace("out")
+        assert out[0] == pytest.approx(technology.vdd, abs=0.01)
+        assert out[-1] == pytest.approx(0.0, abs=0.01)
+
+    def test_inverter_delay_increases_with_load(self, technology):
+        delays = []
+        for load in (5e-15, 20e-15):
+            circuit = Circuit(f"inv_{load}")
+            circuit.add_voltage_source("vdd", "0", technology.vdd, name="VDD")
+            circuit.add_voltage_source(
+                "in", "0", SaturatedRamp(0.0, technology.vdd, 100e-12, 50e-12), name="VIN"
+            )
+            circuit.add_mosfet("out", "in", "0", "0", technology.nmos, technology.unit_nmos_width)
+            circuit.add_mosfet("out", "in", "vdd", "vdd", technology.pmos, technology.unit_pmos_width)
+            circuit.add_capacitor("out", "0", load)
+            result = transient_analysis(circuit, t_stop=1.5e-9, time_step=2e-12)
+            waveform = result.waveform("out")
+            from repro.waveform import crossing_time
+
+            delays.append(crossing_time(waveform, technology.vdd / 2, "fall"))
+        assert delays[1] > delays[0]
+
+    def test_result_slice_window(self, technology):
+        circuit = _rc_circuit()
+        result = transient_analysis(circuit, t_stop=2e-9, time_step=10e-12)
+        window = result.slice(0.5e-9, 1.5e-9)
+        assert window.times[0] >= 0.5e-9
+        assert window.times[-1] <= 1.5e-9
+        assert set(window.node_voltages) == set(result.node_voltages)
+
+    def test_voltage_trace_mismatch_rejected(self):
+        from repro.spice.results import TransientResult
+
+        with pytest.raises(AnalysisError):
+            TransientResult(times=np.array([0.0, 1.0]), node_voltages={"a": np.array([0.0])})

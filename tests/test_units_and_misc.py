@@ -1,0 +1,71 @@
+"""Tests for the unit helpers, exception hierarchy and package metadata."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import exceptions
+from repro.units import FF, KOHM, NS, PS, format_si, from_percent, to_percent
+
+
+class TestUnits:
+    def test_scale_factors(self):
+        assert 50 * FF == pytest.approx(50e-15)
+        assert 2 * NS == pytest.approx(2e-9)
+        assert 10 * PS == pytest.approx(1e-11)
+        assert 3 * KOHM == pytest.approx(3000.0)
+
+    def test_format_si_basic(self):
+        assert format_si(3.2e-12, "s") == "3.2ps"
+        assert format_si(50e-15, "F") == "50fF"
+        assert format_si(1.5e3, "Ohm") == "1.5kOhm"
+
+    def test_format_si_zero_and_nan(self):
+        assert format_si(0.0, "V") == "0V"
+        assert "nan" in format_si(float("nan"), "V")
+
+    def test_format_si_negative(self):
+        assert format_si(-2.5e-9, "s").startswith("-2.5n")
+
+    def test_percent_round_trip(self):
+        assert to_percent(from_percent(4.0)) == pytest.approx(4.0)
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        assert issubclass(exceptions.NetlistError, exceptions.ReproError)
+        assert issubclass(exceptions.ConvergenceError, exceptions.AnalysisError)
+        assert issubclass(exceptions.AnalysisError, exceptions.ReproError)
+        assert issubclass(exceptions.CharacterizationError, exceptions.ReproError)
+        assert issubclass(exceptions.ModelError, exceptions.ReproError)
+        assert issubclass(exceptions.TimingError, exceptions.ReproError)
+
+    def test_convergence_error_payload(self):
+        error = exceptions.ConvergenceError("did not converge", iterations=7, residual=1e-3)
+        assert error.iterations == 7
+        assert error.residual == pytest.approx(1e-3)
+
+    def test_catching_base_class(self):
+        with pytest.raises(exceptions.ReproError):
+            raise exceptions.WaveformError("bad waveform")
+
+
+class TestPackage:
+    def test_version_string(self):
+        assert repro.__version__ == "0.1.0"
+
+    def test_top_level_exports(self):
+        assert "ReproError" in repro.__all__
+
+    def test_subpackages_importable(self):
+        import repro.cells
+        import repro.characterization
+        import repro.csm
+        import repro.experiments
+        import repro.interconnect
+        import repro.lut
+        import repro.spice
+        import repro.sta
+        import repro.technology
+        import repro.waveform

@@ -1,0 +1,204 @@
+"""Tests for waveforms, stimulus builders and timing/accuracy metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import WaveformError
+from repro.waveform import (
+    InputPattern,
+    Waveform,
+    crossing_time,
+    crossing_times,
+    delay_and_slew,
+    delay_error,
+    noisy_transition,
+    normalized_rmse,
+    pattern_stimulus,
+    pattern_waveforms,
+    peak_error,
+    propagation_delay,
+    ramp_waveform,
+    rmse,
+    transition_time,
+)
+
+
+def _ramp(v0=0.0, v1=1.2, start=1e-9, trans=100e-12, stop=3e-9):
+    return ramp_waveform(v0, v1, start, trans, stop)
+
+
+class TestWaveformBasics:
+    def test_construction_requires_matching_lengths(self):
+        with pytest.raises(WaveformError):
+            Waveform([0.0, 1.0], [0.0])
+
+    def test_construction_requires_sorted_times(self):
+        with pytest.raises(WaveformError):
+            Waveform([1.0, 0.0], [0.0, 1.0])
+
+    def test_value_at_interpolates_and_clamps(self):
+        wave = Waveform([0.0, 1.0], [0.0, 2.0])
+        assert wave.value_at(0.5) == pytest.approx(1.0)
+        assert wave.value_at(-1.0) == 0.0
+        assert wave.value_at(2.0) == 2.0
+
+    def test_constant_waveform(self):
+        wave = Waveform.constant(0.7, 0.0, 1e-9)
+        assert wave.initial_value() == 0.7
+        assert wave.final_value() == 0.7
+        assert wave.duration == pytest.approx(1e-9)
+
+    def test_from_function_sampling(self):
+        wave = Waveform.from_function(lambda t: 2 * t, 0.0, 1.0, 11)
+        assert len(wave) == 11
+        assert wave.value_at(0.5) == pytest.approx(1.0)
+
+    def test_shift_scale_offset_clip(self):
+        wave = _ramp()
+        shifted = wave.shifted(1e-9)
+        assert shifted.t_start == pytest.approx(wave.t_start + 1e-9)
+        assert wave.scaled(2.0).maximum() == pytest.approx(2.4)
+        assert wave.offset(0.1).minimum() == pytest.approx(0.1)
+        assert wave.clipped(0.0, 0.5).maximum() == pytest.approx(0.5)
+
+    def test_window_restricts_time_range(self):
+        wave = _ramp()
+        window = wave.window(1.0e-9, 1.2e-9)
+        assert window.t_start == pytest.approx(1.0e-9)
+        assert window.t_stop == pytest.approx(1.2e-9)
+
+    def test_window_rejects_empty_interval(self):
+        with pytest.raises(WaveformError):
+            _ramp().window(2e-9, 1e-9)
+
+    def test_algebra_on_merged_grid(self):
+        a = Waveform([0.0, 1.0], [0.0, 1.0])
+        b = Waveform([0.0, 0.5, 1.0], [1.0, 1.0, 1.0])
+        total = a + b
+        assert total.value_at(0.5) == pytest.approx(1.5)
+        diff = a - 0.5
+        assert diff.value_at(1.0) == pytest.approx(0.5)
+        assert (2.0 * a).value_at(1.0) == pytest.approx(2.0)
+
+    def test_resample_uniform(self):
+        wave = _ramp().resample_uniform(50)
+        assert len(wave) == 50
+
+    def test_to_pwl_stimulus_round_trip(self):
+        wave = _ramp()
+        stim = wave.to_pwl_stimulus()
+        assert stim(wave.t_start) == pytest.approx(wave.initial_value())
+        assert stim(wave.t_stop) == pytest.approx(wave.final_value())
+
+    @given(st.floats(min_value=0.0, max_value=3e-9))
+    @settings(max_examples=40, deadline=None)
+    def test_ramp_waveform_bounded(self, t):
+        wave = _ramp()
+        assert -1e-9 <= wave.value_at(t) <= 1.2 + 1e-9
+
+
+class TestMetrics:
+    def test_crossing_time_rising(self):
+        wave = _ramp()
+        t50 = crossing_time(wave, 0.6, "rise")
+        assert t50 == pytest.approx(1e-9 + 50e-12, rel=1e-3)
+
+    def test_crossing_direction_filtering(self):
+        # A pulse crosses 0.6 twice: once rising, once falling.
+        times = np.linspace(0, 1e-9, 201)
+        values = np.where((times > 0.3e-9) & (times < 0.7e-9), 1.2, 0.0)
+        wave = Waveform(times, values)
+        assert len(crossing_times(wave, 0.6, "rise")) == 1
+        assert len(crossing_times(wave, 0.6, "fall")) == 1
+        assert len(crossing_times(wave, 0.6, "any")) == 2
+
+    def test_crossing_missing_raises(self):
+        wave = Waveform.constant(0.0, 0.0, 1e-9)
+        with pytest.raises(WaveformError):
+            crossing_time(wave, 0.6)
+
+    def test_propagation_delay_and_slew(self):
+        vdd = 1.2
+        input_wave = _ramp()
+        output_wave = ramp_waveform(1.2, 0.0, 1.1e-9, 200e-12, 3e-9)
+        delay = propagation_delay(input_wave, output_wave, vdd,
+                                  input_direction="rise", output_direction="fall")
+        assert delay == pytest.approx((1.1e-9 + 100e-12) - (1e-9 + 50e-12), rel=1e-3)
+        slew = transition_time(output_wave, vdd, direction="fall")
+        assert slew == pytest.approx(0.6 * 200e-12, rel=1e-3)
+        bundle = delay_and_slew(input_wave, output_wave, vdd, output_direction="fall")
+        assert bundle.delay == pytest.approx(delay)
+        assert bundle.slew == pytest.approx(slew)
+
+    def test_rmse_identical_waveforms_is_zero(self):
+        wave = _ramp()
+        assert rmse(wave, wave) == pytest.approx(0.0, abs=1e-12)
+
+    def test_rmse_constant_offset(self):
+        wave = _ramp()
+        shifted = wave.offset(0.1)
+        assert rmse(wave, shifted) == pytest.approx(0.1, rel=1e-6)
+        assert normalized_rmse(wave, shifted, 1.2) == pytest.approx(0.1 / 1.2, rel=1e-6)
+        assert peak_error(wave, shifted) == pytest.approx(0.1, rel=1e-6)
+
+    def test_rmse_requires_overlap(self):
+        a = Waveform([0.0, 1.0], [0.0, 1.0])
+        b = Waveform([2.0, 3.0], [0.0, 1.0])
+        with pytest.raises(WaveformError):
+            rmse(a, b)
+
+    def test_delay_error_relative_and_absolute(self):
+        assert delay_error(100e-12, 104e-12) == pytest.approx(0.04)
+        assert delay_error(100e-12, 104e-12, relative=False) == pytest.approx(4e-12)
+        with pytest.raises(WaveformError):
+            delay_error(0.0, 1e-12)
+
+    @given(
+        offset=st.floats(min_value=-0.2, max_value=0.2),
+        scale=st.floats(min_value=0.9, max_value=1.1),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_rmse_nonnegative_and_bounded_by_peak(self, offset, scale):
+        wave = _ramp()
+        other = wave.scaled(scale).offset(offset)
+        value = rmse(wave, other)
+        assert value >= 0.0
+        assert value <= peak_error(wave, other) + 1e-12
+
+
+class TestBuilders:
+    def test_input_pattern_validation(self):
+        with pytest.raises(WaveformError):
+            InputPattern(levels=(0, 1), switch_times=(), transition_time=50e-12)
+        with pytest.raises(WaveformError):
+            InputPattern(levels=(0, 2), switch_times=(1e-9,), transition_time=50e-12)
+        with pytest.raises(WaveformError):
+            InputPattern(levels=(0, 1, 0), switch_times=(2e-9, 1e-9), transition_time=50e-12)
+
+    def test_pattern_stimulus_levels(self):
+        pattern = InputPattern(levels=(1, 0, 1), switch_times=(1e-9, 2e-9), transition_time=50e-12)
+        stim = pattern_stimulus(pattern, 1.2)
+        assert stim(0.5e-9) == pytest.approx(1.2)
+        assert stim(1.5e-9) == pytest.approx(0.0)
+        assert stim(2.5e-9) == pytest.approx(1.2)
+
+    def test_pattern_waveforms_common_grid(self):
+        patterns = {
+            "A": InputPattern((0, 1), (1e-9,), 50e-12),
+            "B": InputPattern((1, 0), (1e-9,), 50e-12),
+        }
+        waves = pattern_waveforms(patterns, 1.2, 3e-9, num_samples=500)
+        assert set(waves) == {"A", "B"}
+        assert len(waves["A"]) == len(waves["B"]) == 500
+        assert waves["A"].final_value() == pytest.approx(1.2, abs=1e-6)
+        assert waves["B"].final_value() == pytest.approx(0.0, abs=1e-6)
+
+    def test_noisy_transition_contains_bump(self):
+        clean = noisy_transition(1.2, 1e-9, 100e-12, True, 0.0, 0.5e-9, 100e-12, 3e-9)
+        noisy = noisy_transition(1.2, 1e-9, 100e-12, True, 0.3, 0.5e-9, 100e-12, 3e-9)
+        assert noisy.value_at(0.5e-9) > clean.value_at(0.5e-9) + 0.2
+        assert noisy.final_value() == pytest.approx(1.2, abs=1e-6)
