@@ -1,11 +1,13 @@
 """Cell characterization flows (DC current tables, capacitances, NLDM)."""
 
 from .capacitance import (
+    characterize_cell_capacitances,
     characterize_input_capacitance,
     characterize_internal_capacitance,
     characterize_miller_capacitance,
     characterize_output_capacitance,
     extract_ramp_capacitance,
+    extract_ramp_capacitances,
 )
 from .characterize import characterize_baseline_mis, characterize_mcsm, characterize_sis
 from .config import CharacterizationConfig
@@ -23,11 +25,13 @@ __all__ = [
     "characterize_sis_current",
     "characterize_mis_current",
     "characterize_mcsm_currents",
+    "characterize_cell_capacitances",
     "characterize_miller_capacitance",
     "characterize_output_capacitance",
     "characterize_internal_capacitance",
     "characterize_input_capacitance",
     "extract_ramp_capacitance",
+    "extract_ramp_capacitances",
     "characterize_sis",
     "characterize_baseline_mis",
     "characterize_mcsm",

@@ -15,6 +15,12 @@ capacitive component:
 
 The extracted C(v) samples are then averaged, matching the paper's decision
 to store an average capacitance over the characterization slopes.
+
+All ramp variants of one extraction — both slopes, both ramp directions and
+both output biases — are integrated *in lockstep* through the batched
+transient engine (one simulation instead of eight), and every probing-source
+current is recorded, so a single batch yields both the Miller and the input
+capacitance of a pin.
 """
 
 from __future__ import annotations
@@ -31,11 +37,19 @@ from .probe import ProbeBench
 
 __all__ = [
     "extract_ramp_capacitance",
+    "extract_ramp_capacitances",
+    "characterize_cell_capacitances",
     "characterize_miller_capacitance",
     "characterize_output_capacitance",
     "characterize_internal_capacitance",
     "characterize_input_capacitance",
 ]
+
+
+#: Lower bound on a subtracted capacitance: the two-slope extraction is a
+#: difference of measurements, so near-cancelling terms can go (slightly)
+#: negative; they are floored to a small positive value instead.
+CAP_FLOOR = 0.1e-15
 
 
 def _controlling_bias(cell: Cell, pins: Iterable[str]) -> Dict[str, float]:
@@ -53,6 +67,180 @@ def _ramp_pair(
     )
 
 
+def _build_ramp_runs(
+    ramp_node: str,
+    dc_biases: Dict[str, float],
+    bias_direction_combos: Sequence[Tuple[float, bool]],
+    vdd: float,
+    config: CharacterizationConfig,
+) -> List[Dict[str, object]]:
+    """Stimulus sets (two slews per combo) for one ramp-extraction segment."""
+    settle = config.cap_ramp_settle
+    runs: List[Dict[str, object]] = []
+    for output_bias, rising in bias_direction_combos:
+        low, high = (0.0, vdd) if rising else (vdd, 0.0)
+        for ramp in _ramp_pair(low, high, settle, config.cap_ramp_slews):
+            stimuli: Dict[str, object] = dict(dc_biases)
+            if ramp_node == "output":
+                stimuli["output"] = ramp
+            else:
+                stimuli[ramp_node] = ramp
+                stimuli["output"] = output_bias
+            runs.append(stimuli)
+    return runs
+
+
+def _caps_from_results(
+    bench: ProbeBench,
+    results: Sequence,
+    measure_probes: Sequence[str],
+    bias_direction_combos: Sequence[Tuple[float, bool]],
+    vdd: float,
+    config: CharacterizationConfig,
+) -> Dict[str, List[float]]:
+    """Turn one segment's transient pair results into capacitance samples."""
+    settle = config.cap_ramp_settle
+    slews = config.cap_ramp_slews
+    sample_lo, sample_hi = config.cap_sample_fractions
+    fractions = np.linspace(sample_lo, sample_hi, 25)
+    samples: Dict[str, List[float]] = {probe: [] for probe in measure_probes}
+    for combo, (output_bias, rising) in enumerate(bias_direction_combos):
+        low, high = (0.0, vdd) if rising else (vdd, 0.0)
+        slopes = [(high - low) / slew for slew in slews]
+        pair = results[2 * combo : 2 * combo + 2]
+        for probe in measure_probes:
+            source_name = bench.source_name_for(probe)
+            # Sample each measured current at matched ramp voltages.
+            currents = [
+                np.interp(settle + fractions * slew, result.times, result.current_trace(source_name))
+                for result, slew in zip(pair, slews)
+            ]
+            capacitance = (currents[0] - currents[1]) / (slopes[0] - slopes[1])
+            samples[probe].append(float(np.mean(capacitance)))
+    return samples
+
+
+def extract_ramp_capacitances(
+    bench: ProbeBench,
+    ramp_node: str,
+    measure_probes: Sequence[str],
+    dc_biases: Dict[str, float],
+    bias_direction_combos: Sequence[Tuple[float, bool]],
+    config: Optional[CharacterizationConfig] = None,
+) -> Dict[str, List[float]]:
+    """Two-slope capacitance extraction, batched over probes and bias combos.
+
+    Parameters
+    ----------
+    bench:
+        Probe bench with sources on all relevant nodes.
+    ramp_node:
+        Which probe gets the ramp: an input pin name, ``"output"`` or
+        ``"internal"``.
+    measure_probes:
+        Which sources' currents are turned into capacitance samples (same
+        identifiers); all probing currents come out of the same transients.
+    dc_biases:
+        DC voltages for the input pins that are not ramped.
+    bias_direction_combos:
+        ``(output_bias, rising)`` pairs; the output bias is ignored when the
+        output itself is ramped.  All combos (times the two configured slews)
+        are integrated in one lockstep batch.
+
+    Returns
+    -------
+    Probe identifier -> one averaged capacitance sample per combo, in order.
+    """
+    config = config or bench.config
+    vdd = bench.cell.technology.vdd
+    if ramp_node == "internal" and bench.internal_source_name is None:
+        raise CharacterizationError("bench has no internal-node source to ramp")
+
+    runs = _build_ramp_runs(ramp_node, dc_biases, bias_direction_combos, vdd, config)
+    t_stop = config.cap_ramp_settle + max(config.cap_ramp_slews) + config.cap_ramp_settle
+    results = bench.transient_with_stimuli_many(runs, t_stop=t_stop)
+    return _caps_from_results(
+        bench, results, measure_probes, bias_direction_combos, vdd, config
+    )
+
+
+def characterize_cell_capacitances(
+    cell: Cell,
+    pins: Sequence[str],
+    pin_biases: Dict[str, Dict[str, float]],
+    config: Optional[CharacterizationConfig] = None,
+    include_internal: bool = False,
+) -> Tuple[Dict[str, float], Dict[str, float], float, Optional[float]]:
+    """All model capacitances of a cell from (at most) two lockstep batches.
+
+    The per-pin Miller/input extractions and the output-capacitance
+    extraction all probe the same circuit — only the stimuli differ — so
+    every ramp variant of every segment goes into *one* batched transient.
+    The internal-node extraction needs the probe circuit with a forced stack
+    node and runs as its own (4-run) batch.
+
+    Parameters
+    ----------
+    pins:
+        The switching pins being characterized.
+    pin_biases:
+        Per pin: the DC bias of the *other* input pins while that pin is
+        ramped (the ``miller_other_pin_state`` policy, resolved by the
+        caller).
+    include_internal:
+        Also extract ``C_N`` (requires a stack node).
+
+    Returns
+    -------
+    ``(miller_caps, input_caps, output_cap, internal_cap)``;
+    ``internal_cap`` is ``None`` unless requested.
+    """
+    config = config or CharacterizationConfig()
+    vdd = cell.technology.vdd
+    bench = ProbeBench(cell=cell, switching_pins=tuple(pins), probe_internal=False, config=config)
+
+    pin_combos = [(output_bias, rising) for output_bias in (0.0, vdd) for rising in (True, False)]
+    output_combos = [(0.0, True), (0.0, False)]
+    controlling = _controlling_bias(cell, pins)
+
+    runs: List[Dict[str, object]] = []
+    segments: List[Tuple[str, Tuple[str, ...], Sequence[Tuple[float, bool]], int]] = []
+    for pin in pins:
+        runs.extend(_build_ramp_runs(pin, dict(pin_biases[pin]), pin_combos, vdd, config))
+        segments.append((pin, ("output", pin), pin_combos, 2 * len(pin_combos)))
+    runs.extend(_build_ramp_runs("output", controlling, output_combos, vdd, config))
+    segments.append(("output", ("output",), output_combos, 2 * len(output_combos)))
+
+    t_stop = config.cap_ramp_settle + max(config.cap_ramp_slews) + config.cap_ramp_settle
+    results = bench.transient_with_stimuli_many(runs, t_stop=t_stop)
+
+    miller_caps: Dict[str, float] = {}
+    input_caps: Dict[str, float] = {}
+    output_total = 0.0
+    cursor = 0
+    for ramp_node, probes, combos, count in segments:
+        samples = _caps_from_results(
+            bench, results[cursor : cursor + count], probes, combos, vdd, config
+        )
+        cursor += count
+        if ramp_node == "output":
+            output_total = float(np.mean(np.abs(samples["output"])))
+        else:
+            miller_caps[ramp_node] = float(np.mean(np.abs(samples["output"])))
+            total_input = float(np.mean(np.abs(samples[ramp_node])))
+            input_caps[ramp_node] = max(total_input - miller_caps[ramp_node], CAP_FLOOR)
+
+    output_cap = max(
+        output_total - sum(abs(miller_caps[pin]) for pin in pins), CAP_FLOOR
+    )
+
+    internal_cap: Optional[float] = None
+    if include_internal:
+        internal_cap = characterize_internal_capacitance(cell, pins, config)
+
+    return miller_caps, input_caps, output_cap, internal_cap
+
+
 def extract_ramp_capacitance(
     bench: ProbeBench,
     ramp_node: str,
@@ -62,65 +250,46 @@ def extract_ramp_capacitance(
     rising: bool = True,
     config: Optional[CharacterizationConfig] = None,
 ) -> float:
-    """Two-slope capacitance extraction between ``ramp_node`` and ``measure_probe``.
+    """Single-probe, single-combo wrapper around :func:`extract_ramp_capacitances`."""
+    samples = extract_ramp_capacitances(
+        bench,
+        ramp_node,
+        (measure_probe,),
+        dc_biases,
+        ((output_bias, rising),),
+        config=config,
+    )
+    return samples[measure_probe][0]
 
-    Parameters
-    ----------
-    bench:
-        Probe bench with sources on all relevant nodes.
-    ramp_node:
-        Which probe gets the ramp: an input pin name, ``"output"`` or
-        ``"internal"``.
-    measure_probe:
-        Which source's current is measured (same identifiers).
-    dc_biases:
-        DC voltages for the input pins that are not ramped.
-    output_bias:
-        DC voltage of the output source (ignored if the output is ramped).
-    rising:
-        Ramp direction.
+
+def _pin_coupling_samples(
+    cell: Cell,
+    pin: str,
+    other_pins: Dict[str, float],
+    config: CharacterizationConfig,
+    probe_internal: bool,
+) -> Dict[str, List[float]]:
+    """Ramp ``pin`` for every bias/direction combo, measuring output and pin.
+
+    One lockstep batch yields both the Miller-coupling samples (output-source
+    current) and the total input-capacitance samples (pin-source current).
     """
-    config = config or bench.config
-    cell = bench.cell
+    bench = ProbeBench(
+        cell=cell,
+        switching_pins=tuple(dict.fromkeys([pin, *other_pins])),
+        probe_internal=probe_internal,
+        config=config,
+    )
     vdd = cell.technology.vdd
-    low, high = (0.0, vdd) if rising else (vdd, 0.0)
-    settle = config.cap_ramp_settle
-    ramps = _ramp_pair(low, high, settle, config.cap_ramp_slews)
-    slopes = [(high - low) / slew for slew in config.cap_ramp_slews]
-
-    sample_lo, sample_hi = config.cap_sample_fractions
-    currents_by_slew = []
-    for ramp, slew in zip(ramps, config.cap_ramp_slews):
-        stimuli: Dict[str, object] = dict(dc_biases)
-        output_stimulus: object = output_bias
-        internal_stimulus: Optional[object] = None
-        if ramp_node == "output":
-            output_stimulus = ramp
-        elif ramp_node == "internal":
-            internal_stimulus = ramp
-            if bench.internal_source_name is None:
-                raise CharacterizationError("bench has no internal-node source to ramp")
-        else:
-            stimuli[ramp_node] = ramp
-
-        t_stop = settle + slew + settle
-        result = bench.transient_with_stimulus(
-            stimuli=stimuli,
-            output_stimulus=output_stimulus,
-            t_stop=t_stop,
-            internal_stimulus=internal_stimulus,
-        )
-        source_name = bench.source_name_for(measure_probe)
-        # Sample the measured current at matched ramp voltages.
-        fractions = np.linspace(sample_lo, sample_hi, 25)
-        sample_times = settle + fractions * slew
-        current = np.interp(sample_times, result.times, result.current_trace(source_name))
-        currents_by_slew.append(current)
-
-    fast, slow = currents_by_slew[0], currents_by_slew[1]
-    capacitance = (fast - slow) / (slopes[0] - slopes[1])
-    mean_cap = float(np.mean(capacitance))
-    return mean_cap
+    combos = [(output_bias, rising) for output_bias in (0.0, vdd) for rising in (True, False)]
+    return extract_ramp_capacitances(
+        bench,
+        ramp_node=pin,
+        measure_probes=("output", pin),
+        dc_biases=dict(other_pins),
+        bias_direction_combos=combos,
+        config=config,
+    )
 
 
 def characterize_miller_capacitance(
@@ -138,30 +307,8 @@ def characterize_miller_capacitance(
     results are averaged.
     """
     config = config or CharacterizationConfig()
-    bench = ProbeBench(
-        cell=cell,
-        switching_pins=tuple(dict.fromkeys([pin, *other_pins])),
-        probe_internal=probe_internal,
-        config=config,
-    )
-    vdd = cell.technology.vdd
-    samples = []
-    for output_bias in (0.0, vdd):
-        for rising in (True, False):
-            samples.append(
-                abs(
-                    extract_ramp_capacitance(
-                        bench,
-                        ramp_node=pin,
-                        measure_probe="output",
-                        dc_biases=dict(other_pins),
-                        output_bias=output_bias,
-                        rising=rising,
-                        config=config,
-                    )
-                )
-            )
-    return float(np.mean(samples))
+    samples = _pin_coupling_samples(cell, pin, other_pins, config, probe_internal)
+    return float(np.mean(np.abs(samples["output"])))
 
 
 def characterize_output_capacitance(
@@ -180,24 +327,17 @@ def characterize_output_capacitance(
     config = config or CharacterizationConfig()
     bench = ProbeBench(cell=cell, switching_pins=tuple(pins), probe_internal=False, config=config)
     biases = _controlling_bias(cell, pins)
-    samples = []
-    for rising in (True, False):
-        samples.append(
-            abs(
-                extract_ramp_capacitance(
-                    bench,
-                    ramp_node="output",
-                    measure_probe="output",
-                    dc_biases=biases,
-                    output_bias=0.0,
-                    rising=rising,
-                    config=config,
-                )
-            )
-        )
-    total = float(np.mean(samples))
+    samples = extract_ramp_capacitances(
+        bench,
+        ramp_node="output",
+        measure_probes=("output",),
+        dc_biases=biases,
+        bias_direction_combos=((0.0, True), (0.0, False)),
+        config=config,
+    )
+    total = float(np.mean(np.abs(samples["output"])))
     output_cap = total - sum(abs(miller_caps.get(pin, 0.0)) for pin in pins)
-    return max(output_cap, 0.1e-15)
+    return max(output_cap, CAP_FLOOR)
 
 
 def characterize_internal_capacitance(
@@ -217,22 +357,15 @@ def characterize_internal_capacitance(
         raise CharacterizationError(f"cell {cell.name!r} has no internal node")
     bench = ProbeBench(cell=cell, switching_pins=tuple(pins), probe_internal=True, config=config)
     biases = _controlling_bias(cell, pins)
-    samples = []
-    for rising in (True, False):
-        samples.append(
-            abs(
-                extract_ramp_capacitance(
-                    bench,
-                    ramp_node="internal",
-                    measure_probe="internal",
-                    dc_biases=biases,
-                    output_bias=0.0,
-                    rising=rising,
-                    config=config,
-                )
-            )
-        )
-    return float(np.mean(samples))
+    samples = extract_ramp_capacitances(
+        bench,
+        ramp_node="internal",
+        measure_probes=("internal",),
+        dc_biases=biases,
+        bias_direction_combos=((0.0, True), (0.0, False)),
+        config=config,
+    )
+    return float(np.mean(np.abs(samples["internal"])))
 
 
 def characterize_input_capacitance(
@@ -250,27 +383,6 @@ def characterize_input_capacitance(
     ramp directions are averaged.
     """
     config = config or CharacterizationConfig()
-    bench = ProbeBench(
-        cell=cell,
-        switching_pins=tuple(dict.fromkeys([pin, *other_pins])),
-        probe_internal=False,
-        config=config,
-    )
-    vdd = cell.technology.vdd
-    samples = []
-    for output_bias in (0.0, vdd):
-        for rising in (True, False):
-            total = abs(
-                extract_ramp_capacitance(
-                    bench,
-                    ramp_node=pin,
-                    measure_probe=pin,
-                    dc_biases=dict(other_pins),
-                    output_bias=output_bias,
-                    rising=rising,
-                    config=config,
-                )
-            )
-            samples.append(total)
-    mean_total = float(np.mean(samples))
-    return max(mean_total - abs(miller_cap), 0.1e-15)
+    samples = _pin_coupling_samples(cell, pin, other_pins, config, probe_internal=False)
+    mean_total = float(np.mean(np.abs(samples[pin])))
+    return max(mean_total - abs(miller_cap), CAP_FLOOR)

@@ -7,12 +7,7 @@ from typing import Dict, Optional, Tuple
 from ..cells.cell import Cell
 from ..csm.models import MCSM, BaselineMISCSM, SISCSM
 from ..exceptions import CharacterizationError
-from .capacitance import (
-    characterize_input_capacitance,
-    characterize_internal_capacitance,
-    characterize_miller_capacitance,
-    characterize_output_capacitance,
-)
+from .capacitance import characterize_cell_capacitances
 from .config import CharacterizationConfig
 from .dc_tables import (
     characterize_mcsm_currents,
@@ -62,9 +57,11 @@ def characterize_sis(
     fixed = _default_fixed_inputs(cell, (pin,))
 
     io_table = characterize_sis_current(cell, pin, config, fixed_inputs=fixed)
-    miller = characterize_miller_capacitance(cell, pin, fixed, config)
-    output_cap = characterize_output_capacitance(cell, (pin,), {pin: miller}, config)
-    input_cap = characterize_input_capacitance(cell, pin, fixed, miller, config)
+    miller_caps, input_caps, output_cap, _ = characterize_cell_capacitances(
+        cell, (pin,), {pin: fixed}, config
+    )
+    miller = miller_caps[pin]
+    input_cap = input_caps[pin]
 
     return SISCSM(
         cell_name=cell.name,
@@ -99,16 +96,14 @@ def characterize_baseline_mis(
     fixed = _default_fixed_inputs(cell, (pin_a, pin_b))
 
     io_table = characterize_mis_current(cell, pin_a, pin_b, config, fixed_inputs=fixed)
-    miller_caps: Dict[str, float] = {}
-    input_caps: Dict[str, float] = {}
+    pin_biases: Dict[str, Dict[str, float]] = {}
     for pin, other in ((pin_a, pin_b), (pin_b, pin_a)):
         other_bias = dict(fixed)
         other_bias[other] = _miller_other_bias(cell, other, config)
-        miller_caps[pin] = characterize_miller_capacitance(cell, pin, other_bias, config)
-        input_caps[pin] = characterize_input_capacitance(
-            cell, pin, other_bias, miller_caps[pin], config
-        )
-    output_cap = characterize_output_capacitance(cell, (pin_a, pin_b), miller_caps, config)
+        pin_biases[pin] = other_bias
+    miller_caps, input_caps, output_cap, _ = characterize_cell_capacitances(
+        cell, (pin_a, pin_b), pin_biases, config
+    )
 
     return BaselineMISCSM(
         cell_name=cell.name,
@@ -152,17 +147,14 @@ def characterize_mcsm(
     fixed = _default_fixed_inputs(cell, (pin_a, pin_b))
 
     io_table, in_table = characterize_mcsm_currents(cell, pin_a, pin_b, config, fixed_inputs=fixed)
-    miller_caps: Dict[str, float] = {}
-    input_caps: Dict[str, float] = {}
+    pin_biases: Dict[str, Dict[str, float]] = {}
     for pin, other in ((pin_a, pin_b), (pin_b, pin_a)):
         other_bias = dict(fixed)
         other_bias[other] = _miller_other_bias(cell, other, config)
-        miller_caps[pin] = characterize_miller_capacitance(cell, pin, other_bias, config)
-        input_caps[pin] = characterize_input_capacitance(
-            cell, pin, other_bias, miller_caps[pin], config
-        )
-    output_cap = characterize_output_capacitance(cell, (pin_a, pin_b), miller_caps, config)
-    internal_cap = characterize_internal_capacitance(cell, (pin_a, pin_b), config)
+        pin_biases[pin] = other_bias
+    miller_caps, input_caps, output_cap, internal_cap = characterize_cell_capacitances(
+        cell, (pin_a, pin_b), pin_biases, config, include_internal=True
+    )
 
     return MCSM(
         cell_name=cell.name,

@@ -5,10 +5,16 @@ DC analyses in which the switching inputs, the output and (for the complete
 model) the internal stack node are forced by voltage sources swept from
 ``-delta_v`` to ``Vdd + delta_v``, while the currents delivered by the output
 and internal-node sources are recorded into lookup tables.
+
+Every sweep hands its full bias grid to
+:meth:`~repro.characterization.probe.ProbeBench.measure_dc_current_grid`,
+which solves all points in lockstep through the batched Newton solver instead
+of one operating point at a time.
 """
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -55,11 +61,12 @@ def characterize_sis_current(
         config=config,
     )
     vi_axis, vo_axis = _axes_for(cell, (f"V{pin}", "Vo"), config)
-    values = np.empty((len(vi_axis), len(vo_axis)))
-    for i, vi in enumerate(vi_axis.points):
-        for j, vo in enumerate(vo_axis.points):
-            currents = bench.measure_dc_currents({pin: vi}, vo)
-            values[i, j] = currents["output"]
+    points = [
+        ({pin: vi}, vo, None)
+        for vi, vo in itertools.product(vi_axis.points, vo_axis.points)
+    ]
+    currents = bench.measure_dc_current_grid(points)
+    values = np.array([c["output"] for c in currents]).reshape(len(vi_axis), len(vo_axis))
     return NDTable((vi_axis, vo_axis), values, name=f"{cell.name}.Io[{pin}]")
 
 
@@ -86,12 +93,14 @@ def characterize_mis_current(
         config=config,
     )
     va_axis, vb_axis, vo_axis = _axes_for(cell, ("VA", "VB", "Vo"), config)
-    values = np.empty((len(va_axis), len(vb_axis), len(vo_axis)))
-    for i, va in enumerate(va_axis.points):
-        for j, vb in enumerate(vb_axis.points):
-            for k, vo in enumerate(vo_axis.points):
-                currents = bench.measure_dc_currents({pin_a: va, pin_b: vb}, vo)
-                values[i, j, k] = currents["output"]
+    points = [
+        ({pin_a: va, pin_b: vb}, vo, None)
+        for va, vb, vo in itertools.product(va_axis.points, vb_axis.points, vo_axis.points)
+    ]
+    currents = bench.measure_dc_current_grid(points)
+    values = np.array([c["output"] for c in currents]).reshape(
+        len(va_axis), len(vb_axis), len(vo_axis)
+    )
     return NDTable((va_axis, vb_axis, vo_axis), values, name=f"{cell.name}.Io[{pin_a},{pin_b}]")
 
 
@@ -122,15 +131,15 @@ def characterize_mcsm_currents(
     )
     va_axis, vb_axis, vn_axis, vo_axis = _axes_for(cell, ("VA", "VB", "VN", "Vo"), config)
     shape = (len(va_axis), len(vb_axis), len(vn_axis), len(vo_axis))
-    io_values = np.empty(shape)
-    in_values = np.empty(shape)
-    for i, va in enumerate(va_axis.points):
-        for j, vb in enumerate(vb_axis.points):
-            for k, vn in enumerate(vn_axis.points):
-                for l, vo in enumerate(vo_axis.points):
-                    currents = bench.measure_dc_currents({pin_a: va, pin_b: vb}, vo, vn)
-                    io_values[i, j, k, l] = currents["output"]
-                    in_values[i, j, k, l] = currents["internal"]
+    points = [
+        ({pin_a: va, pin_b: vb}, vo, vn)
+        for va, vb, vn, vo in itertools.product(
+            va_axis.points, vb_axis.points, vn_axis.points, vo_axis.points
+        )
+    ]
+    currents = bench.measure_dc_current_grid(points)
+    io_values = np.array([c["output"] for c in currents]).reshape(shape)
+    in_values = np.array([c["internal"] for c in currents]).reshape(shape)
     axes = (va_axis, vb_axis, vn_axis, vo_axis)
     io_table = NDTable(axes, io_values, name=f"{cell.name}.Io[{pin_a},{pin_b},N]")
     in_table = NDTable(axes, in_values, name=f"{cell.name}.IN[{pin_a},{pin_b},N]")

@@ -18,7 +18,7 @@ from ..exceptions import CharacterizationError
 from ..spice.dc import DCAnalysis
 from ..spice.netlist import GROUND, Circuit
 from ..spice.sources import DCValue, Stimulus
-from ..spice.transient import TransientOptions, transient_analysis
+from ..spice.transient import TransientAnalysis, TransientOptions, transient_analysis
 from .config import CharacterizationConfig
 
 __all__ = ["ProbeBench"]
@@ -56,6 +56,9 @@ class ProbeBench:
     internal_source_name: Optional[str] = field(init=False, default=None)
     internal_node: Optional[str] = field(init=False, default=None)
     _dc: Optional[DCAnalysis] = field(init=False, default=None, repr=False)
+    _transient_engines: Dict[float, TransientAnalysis] = field(
+        init=False, default_factory=dict, repr=False
+    )
 
     def __post_init__(self) -> None:
         cell = self.cell
@@ -153,6 +156,47 @@ class ProbeBench:
             currents[pin] = op.source_current(source_name)
         return currents
 
+    def measure_dc_current_grid(
+        self,
+        bias_points: Sequence[Tuple[Mapping[str, float], float, Optional[float]]],
+    ) -> List[Dict[str, float]]:
+        """Batched variant of :meth:`measure_dc_currents`.
+
+        ``bias_points`` is a sequence of ``(pin_voltages, output_voltage,
+        internal_voltage)`` tuples (``internal_voltage`` may be ``None``); all
+        points are solved in lockstep through the batched Newton solver and
+        the probing-source currents returned per point, in order.
+        """
+        analysis = self._dc_analysis()
+        source_value_sets: List[Dict[str, float]] = []
+        for pin_voltages, output_voltage, internal_voltage in bias_points:
+            values: Dict[str, float] = {}
+            for pin, value in pin_voltages.items():
+                if pin not in self.input_source_names:
+                    raise CharacterizationError(f"no probing source for pin {pin!r}")
+                values[self.input_source_names[pin]] = float(value)
+            values[self.output_source_name] = float(output_voltage)
+            if internal_voltage is not None:
+                if self.internal_source_name is None:
+                    raise CharacterizationError(
+                        "this probe bench does not force the internal node"
+                    )
+                values[self.internal_source_name] = float(internal_voltage)
+            source_value_sets.append(values)
+
+        operating_points = analysis.solve_grid(source_value_sets)
+        results: List[Dict[str, float]] = []
+        for op in operating_points:
+            currents: Dict[str, float] = {
+                "output": op.source_current(self.output_source_name),
+            }
+            if self.internal_source_name is not None:
+                currents["internal"] = op.source_current(self.internal_source_name)
+            for pin, source_name in self.input_source_names.items():
+                currents[pin] = op.source_current(source_name)
+            results.append(currents)
+        return results
+
     # ------------------------------------------------------------------
     # Transient measurements (for capacitance extraction)
     # ------------------------------------------------------------------
@@ -193,6 +237,37 @@ class ProbeBench:
             gmin=self.config.dc_gmin,
         )
         return transient_analysis(self.circuit, t_stop=t_stop, options=options)
+
+    def transient_with_stimuli_many(
+        self,
+        runs: Sequence[Mapping[str, Union[float, Stimulus]]],
+        t_stop: float,
+        time_step: Optional[float] = None,
+    ):
+        """Run several probe transients in lockstep (batched Newton).
+
+        Each entry of ``runs`` maps probe identifiers (input pin names,
+        ``"output"``, ``"internal"``) to the stimulus that run applies; probes
+        not listed keep their DC bias from the circuit.  All runs share one
+        time grid and are integrated simultaneously through
+        :meth:`~repro.spice.transient.TransientAnalysis.run_many`; the list of
+        results is returned in run order.  This is what makes the two-slope /
+        multi-bias capacitance extraction one simulation instead of eight.
+        """
+        step = time_step or self.config.cap_time_step
+        engine = self._transient_engines.get(step)
+        if engine is None:
+            engine = TransientAnalysis(
+                self.circuit,
+                TransientOptions(time_step=step, gmin=self.config.dc_gmin),
+            )
+            self._transient_engines[step] = engine
+        stimulus_sets = []
+        for run in runs:
+            stimulus_sets.append(
+                {self.source_name_for(probe): stimulus for probe, stimulus in run.items()}
+            )
+        return engine.run_many(stimulus_sets, t_stop=t_stop)
 
     def source_name_for(self, probe: str) -> str:
         """Resolve a probe identifier ('output', 'internal' or a pin name)."""

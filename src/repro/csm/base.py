@@ -11,7 +11,13 @@ from ..exceptions import ModelError
 from ..lut.table import NDTable
 from ..waveform.waveform import Waveform
 
-__all__ = ["Capacitance", "cap_value", "SimulationOptions", "ModelSimulationResult"]
+__all__ = [
+    "Capacitance",
+    "cap_value",
+    "cap_value_batch",
+    "SimulationOptions",
+    "ModelSimulationResult",
+]
 
 #: A characterized capacitance: either an averaged scalar (farads) or a table.
 Capacitance = Union[float, NDTable]
@@ -31,6 +37,25 @@ def cap_value(capacitance: Capacitance, *coordinates: float) -> float:
             )
         return capacitance.evaluate(*coordinates[: capacitance.ndim])
     return float(capacitance)
+
+
+def cap_value_batch(capacitance: Capacitance, coordinates: np.ndarray) -> np.ndarray:
+    """Batched :func:`cap_value`: one evaluation per row of ``coordinates``.
+
+    ``coordinates`` is an ``(M, k)`` array; as in the scalar variant, a table
+    with fewer than ``k`` axes consumes the leading columns.  Scalar
+    capacitances broadcast to the full ``(M,)`` result.
+    """
+    coordinates = np.asarray(coordinates, dtype=float)
+    if coordinates.ndim != 2:
+        raise ModelError("cap_value_batch expects an (M, k) coordinate array")
+    if isinstance(capacitance, NDTable):
+        if coordinates.shape[1] < capacitance.ndim:
+            raise ModelError(
+                f"capacitance table {capacitance.name!r} needs {capacitance.ndim} coordinates"
+            )
+        return capacitance.evaluate_batch(coordinates[:, : capacitance.ndim])
+    return np.full(coordinates.shape[0], float(capacitance))
 
 
 @dataclass(frozen=True)

@@ -50,6 +50,16 @@ class Load:
         """A single lumped-capacitance figure used by selective modeling."""
         return self.effective_capacitance(0.0)
 
+    def constant_capacitance(self) -> Optional[float]:
+        """The load's capacitance when it is a plain, stateless capacitor.
+
+        Returns the (voltage-independent) effective capacitance in farads
+        when the load additionally draws no extra current and keeps no
+        internal state — the conditions under which the model integrator can
+        hoist every load term out of its update loop — and ``None`` otherwise.
+        """
+        return None
+
 
 @dataclass
 class CapacitiveLoad(Load):
@@ -62,6 +72,9 @@ class CapacitiveLoad(Load):
             raise ModelError("load capacitance must be non-negative")
 
     def effective_capacitance(self, vo: float) -> float:
+        return self.capacitance
+
+    def constant_capacitance(self) -> Optional[float]:
         return self.capacitance
 
 
@@ -87,6 +100,11 @@ class ReceiverLoad(Load):
             else:
                 total += float(cap)
         return total
+
+    def constant_capacitance(self) -> Optional[float]:
+        if any(isinstance(cap, NDTable) for cap in self.receiver_caps):
+            return None
+        return self.wire_capacitance + sum(float(cap) for cap in self.receiver_caps)
 
 
 @dataclass
@@ -157,6 +175,12 @@ class CompositeLoad(Load):
 
     def total_capacitance_estimate(self) -> float:
         return sum(load.total_capacitance_estimate() for load in self.loads)
+
+    def constant_capacitance(self) -> Optional[float]:
+        parts = [load.constant_capacitance() for load in self.loads]
+        if any(part is None for part in parts):
+            return None
+        return sum(parts)
 
 
 def as_load(value: Union[Load, float, int]) -> Load:

@@ -109,7 +109,7 @@ class SISCSM:
         times, v_out, _ = integrate_model(
             pins=(self.pin,),
             input_waveforms={self.pin: input_waveform},
-            output_current=self.output_current,
+            output_current=self.io_table,
             miller_caps={self.pin: self.miller_cap},
             output_cap=self.output_cap,
             load=load,
@@ -131,7 +131,7 @@ class SISCSM:
         _, v_out, _ = integrate_model(
             pins=(self.pin,),
             input_waveforms=waveforms,
-            output_current=self.output_current,
+            output_current=self.io_table,
             miller_caps={self.pin: self.miller_cap},
             output_cap=self.output_cap,
             load=load,
@@ -200,7 +200,7 @@ class BaselineMISCSM:
         times, v_out, _ = integrate_model(
             pins=self.pins,
             input_waveforms=input_waveforms,
-            output_current=self.output_current,
+            output_current=self.io_table,
             miller_caps=self._miller(),
             output_cap=self.output_cap,
             load=load,
@@ -223,7 +223,7 @@ class BaselineMISCSM:
         _, v_out, _ = integrate_model(
             pins=self.pins,
             input_waveforms=waveforms,
-            output_current=self.output_current,
+            output_current=self.io_table,
             miller_caps=self._miller(),
             output_cap=self.output_cap,
             load=load,
@@ -301,14 +301,14 @@ class MCSM:
         times, v_out, v_int = integrate_model(
             pins=self.pins,
             input_waveforms=waveforms,
-            output_current=self.output_current,
+            output_current=self.io_table,
             miller_caps=dict(self.miller_caps),
             output_cap=self.output_cap,
             load=load,
             vdd=self.vdd,
             initial_output=self.vdd / 2.0 if initial_output is None else initial_output,
             options=options,
-            internal_current=self.internal_current,
+            internal_current=self.in_table,
             internal_cap=self.internal_cap,
             initial_internal=self.vdd / 2.0 if initial_internal is None else initial_internal,
         )
@@ -347,7 +347,7 @@ class MCSM:
         times, v_out, v_int = integrate_model(
             pins=self.pins,
             input_waveforms=input_waveforms,
-            output_current=self.output_current,
+            output_current=self.io_table,
             miller_caps=dict(self.miller_caps),
             output_cap=self.output_cap,
             load=load,
@@ -356,7 +356,7 @@ class MCSM:
             options=options,
             t_start=t_start,
             t_stop=t_stop,
-            internal_current=self.internal_current,
+            internal_current=self.in_table,
             internal_cap=self.internal_cap,
             initial_internal=initial_internal,
         )

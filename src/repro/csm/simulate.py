@@ -9,17 +9,31 @@ This module implements the discretized KCL updates of the paper:
 The integrator is shared by all three model flavours (SIS CSM, baseline MIS
 CSM, complete MCSM); models differ only in which voltages their current
 sources depend on and whether an internal node exists.
+
+Everything that depends only on the (known ahead of time) input waveforms is
+evaluated as whole-array batches *before* the sequential update loop: the
+per-pin input samples and their step deltas, the Miller-capacitance lookups
+and Miller charge, the output/internal capacitances, and — when the current
+sources are :class:`~repro.lut.table.NDTable` instances — the contraction of
+their input-pin axes via :meth:`~repro.lut.table.NDTable.contract_leading`.
+Only the genuinely recurrent ``v_out`` / ``v_int`` dependence remains inside
+the loop, which then just bilinearly interpolates a per-step reduced table.
+Cases the fast path cannot express (arbitrary callables, stateful loads,
+capacitance tables over the recurrent voltages) fall back to the original
+scalar loop; both paths produce the same waveforms to float round-off.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
+from bisect import bisect_right
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ModelError
+from ..lut.table import NDTable
 from ..waveform.waveform import Waveform
-from .base import Capacitance, SimulationOptions, cap_value
+from .base import Capacitance, SimulationOptions, cap_value, cap_value_batch
 from .loads import Load
 
 __all__ = ["integrate_model", "common_time_window"]
@@ -34,6 +48,12 @@ def common_time_window(waveforms: Mapping[str, Waveform]) -> Tuple[float, float]
     if t_stop <= t_start:
         raise ModelError("input waveforms do not overlap in time")
     return t_start, t_stop
+
+
+def _cap_precomputable(capacitance: Capacitance, available_dims: int) -> bool:
+    """True when the capacitance depends only on the first ``available_dims``
+    coordinates (which the integrator knows ahead of time)."""
+    return not isinstance(capacitance, NDTable) or capacitance.ndim <= available_dims
 
 
 def integrate_model(
@@ -63,7 +83,9 @@ def integrate_model(
         Pin name -> input waveform.  Must contain every name in ``pins``.
     output_current:
         Callable ``Io(v_pin_0, ..., v_pin_k, [v_internal,] v_output)``;
-        positive means the cell sinks current from the output node.
+        positive means the cell sinks current from the output node.  When this
+        is an :class:`~repro.lut.table.NDTable` (tables are callable) of
+        matching dimensionality, the vectorized fast path is used.
     miller_caps / output_cap / internal_cap:
         Characterized capacitances (scalars or tables).
     load:
@@ -105,14 +127,240 @@ def integrate_model(
 
     v_low = -options.clip_margin
     v_high = vdd + options.clip_margin
+    initial_output = float(np.clip(initial_output, v_low, v_high))
+    if has_internal:
+        initial_internal = float(np.clip(initial_internal, v_low, v_high))
 
     load.reset()
+
+    num_pins = len(pins)
+    state_dims = num_pins + (1 if has_internal else 0) + 1
+    io_table = output_current if isinstance(output_current, NDTable) else None
+    in_table = internal_current if isinstance(internal_current, NDTable) else None
+    fast = (
+        io_table is not None
+        and io_table.ndim == state_dims
+        and (not has_internal or (in_table is not None and in_table.ndim == state_dims))
+        and (
+            not has_internal
+            or in_table.axes[num_pins:] == io_table.axes[num_pins:]  # shared brackets
+        )
+        and load.constant_capacitance() is not None
+        and all(_cap_precomputable(miller_caps[pin], 1) for pin in pins)
+        and _cap_precomputable(output_cap, num_pins)
+        and (not has_internal or _cap_precomputable(internal_cap, num_pins))
+    )
+
+    if fast:
+        return _integrate_fast(
+            pins,
+            input_samples,
+            times,
+            io_table,
+            in_table,
+            miller_caps,
+            output_cap,
+            internal_cap,
+            load.constant_capacitance(),
+            initial_output,
+            initial_internal,
+            v_low,
+            v_high,
+            has_internal,
+        )
+
+    return _integrate_generic(
+        pins,
+        input_samples,
+        times,
+        output_current,
+        miller_caps,
+        output_cap,
+        load,
+        initial_output,
+        options,
+        internal_current,
+        internal_cap,
+        initial_internal,
+        v_low,
+        v_high,
+        has_internal,
+    )
+
+
+def _bracket_lists(axis) -> Tuple[List[float], List[float], float, float, int]:
+    """Axis points/spans as plain Python lists for the scalar inner loop."""
+    points = [float(p) for p in axis.points]
+    spans = [points[i + 1] - points[i] for i in range(len(points) - 1)]
+    return points, spans, points[0], points[-1], len(points)
+
+
+def _integrate_fast(
+    pins: Sequence[str],
+    input_samples: Dict[str, np.ndarray],
+    times: np.ndarray,
+    io_table: NDTable,
+    in_table: Optional[NDTable],
+    miller_caps: Mapping[str, Capacitance],
+    output_cap: Capacitance,
+    internal_cap: Optional[Capacitance],
+    load_cap: float,
+    initial_output: float,
+    initial_internal: Optional[float],
+    v_low: float,
+    v_high: float,
+    has_internal: bool,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """Vectorized-precompute path: batch everything input-driven, then run a
+    light scalar recurrence over per-step reduced tables."""
+    num_steps = len(times)
+    num_pins = len(pins)
+    steps = num_steps - 1
+
+    pin_block = np.stack([input_samples[pin] for pin in pins], axis=1)  # (T, P)
+    pin_now = pin_block[:-1]  # (steps, P) voltages at step k
+    deltas = pin_block[1:] - pin_block[:-1]  # (steps, P) input charge drivers
+
+    # Miller capacitances: scalar or C(vi) tables, batched over all steps.
+    miller_matrix = np.empty((steps, num_pins))
+    for column, pin in enumerate(pins):
+        miller_matrix[:, column] = cap_value_batch(
+            miller_caps[pin], pin_now[:, column : column + 1]
+        )
+    miller_total = miller_matrix.sum(axis=1)
+    miller_charge = (miller_matrix * deltas).sum(axis=1)
+
+    co = cap_value_batch(output_cap, pin_now)
+    denominator = load_cap + co + miller_total
+    if np.any(denominator <= 0):
+        raise ModelError("total output capacitance must be positive")
+
+    # Contract the pin axes of the current-source tables for every step at
+    # once; the loop below only interpolates the remaining state axes.
+    io_reduced = io_table.contract_leading(pin_now)
+    dt_list = np.diff(times).tolist()
+    charge_list = miller_charge.tolist()
+    denom_list = denominator.tolist()
+
+    vo_axis = io_table.axes[-1]
+    vo_pts, vo_spans, vo_lo, vo_hi, vo_n = _bracket_lists(vo_axis)
+
     v_out = np.empty(num_steps)
-    v_out[0] = float(np.clip(initial_output, v_low, v_high))
+    v_out[0] = initial_output
+    vo = initial_output
+
+    if not has_internal:
+        io_rows = io_reduced.tolist()  # (steps, nO) nested lists
+        out_list = [vo]
+        for k in range(steps):
+            vc = vo_lo if vo < vo_lo else (vo_hi if vo > vo_hi else vo)
+            i = bisect_right(vo_pts, vc) - 1
+            if i < 0:
+                i = 0
+            elif i > vo_n - 2:
+                i = vo_n - 2
+            frac = (vc - vo_pts[i]) / vo_spans[i]
+            row = io_rows[k]
+            io_val = row[i] + frac * (row[i + 1] - row[i])
+            vo = vo + (charge_list[k] - io_val * dt_list[k]) / denom_list[k]
+            if vo < v_low:
+                vo = v_low
+            elif vo > v_high:
+                vo = v_high
+            out_list.append(vo)
+        v_out[:] = out_list
+        return times, v_out, None
+
+    assert in_table is not None and internal_cap is not None and initial_internal is not None
+    cn = cap_value_batch(internal_cap, pin_now)
+    if np.any(cn <= 0):
+        raise ModelError("internal-node capacitance must be positive")
+    cn_list = cn.tolist()
+    in_reduced = in_table.contract_leading(pin_now)
+
+    vn_axis = io_table.axes[-2]
+    vn_pts, vn_spans, vn_lo, vn_hi, vn_n = _bracket_lists(vn_axis)
+    n_out = len(vo_pts)
+    io_rows = io_reduced.reshape(steps, -1).tolist()  # (steps, nN * nO)
+    in_rows = in_reduced.reshape(steps, -1).tolist()
+
+    v_int = np.empty(num_steps)
+    v_int[0] = initial_internal
+    vn = initial_internal
+    out_list = [vo]
+    int_list = [vn]
+    for k in range(steps):
+        vc = vo_lo if vo < vo_lo else (vo_hi if vo > vo_hi else vo)
+        i = bisect_right(vo_pts, vc) - 1
+        if i < 0:
+            i = 0
+        elif i > vo_n - 2:
+            i = vo_n - 2
+        fo = (vc - vo_pts[i]) / vo_spans[i]
+
+        nc = vn_lo if vn < vn_lo else (vn_hi if vn > vn_hi else vn)
+        j = bisect_right(vn_pts, nc) - 1
+        if j < 0:
+            j = 0
+        elif j > vn_n - 2:
+            j = vn_n - 2
+        fn = (nc - vn_pts[j]) / vn_spans[j]
+
+        base = j * n_out + i
+        w00 = (1.0 - fn) * (1.0 - fo)
+        w01 = (1.0 - fn) * fo
+        w10 = fn * (1.0 - fo)
+        w11 = fn * fo
+        row = io_rows[k]
+        io_val = w00 * row[base] + w01 * row[base + 1] + w10 * row[base + n_out] + w11 * row[base + n_out + 1]
+        row = in_rows[k]
+        in_val = w00 * row[base] + w01 * row[base + 1] + w10 * row[base + n_out] + w11 * row[base + n_out + 1]
+
+        dt = dt_list[k]
+        vo = vo + (charge_list[k] - io_val * dt) / denom_list[k]
+        if vo < v_low:
+            vo = v_low
+        elif vo > v_high:
+            vo = v_high
+        vn = vn - in_val * dt / cn_list[k]
+        if vn < v_low:
+            vn = v_low
+        elif vn > v_high:
+            vn = v_high
+        out_list.append(vo)
+        int_list.append(vn)
+
+    v_out[:] = out_list
+    v_int[:] = int_list
+    return times, v_out, v_int
+
+
+def _integrate_generic(
+    pins: Sequence[str],
+    input_samples: Dict[str, np.ndarray],
+    times: np.ndarray,
+    output_current: Callable[..., float],
+    miller_caps: Mapping[str, Capacitance],
+    output_cap: Capacitance,
+    load: Load,
+    initial_output: float,
+    options: SimulationOptions,
+    internal_current: Optional[Callable[..., float]],
+    internal_cap: Optional[Capacitance],
+    initial_internal: Optional[float],
+    v_low: float,
+    v_high: float,
+    has_internal: bool,
+) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
+    """The original scalar update loop, kept for models the fast path cannot
+    express (custom callables, stateful loads, state-dependent capacitances)."""
+    num_steps = len(times)
+    v_out = np.empty(num_steps)
+    v_out[0] = initial_output
     v_int: Optional[np.ndarray] = None
     if has_internal:
         v_int = np.empty(num_steps)
-        v_int[0] = float(np.clip(initial_internal, v_low, v_high))
+        v_int[0] = initial_internal
 
     for k in range(num_steps - 1):
         dt = times[k + 1] - times[k]

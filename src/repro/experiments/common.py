@@ -25,7 +25,7 @@ from ..characterization.characterize import (
 from ..characterization.config import CharacterizationConfig
 from ..csm.models import MCSM, BaselineMISCSM, SISCSM
 from ..csm.base import SimulationOptions
-from ..spice.transient import TransientOptions, transient_analysis
+from ..spice.transient import TransientAnalysis, TransientOptions, transient_analysis
 from ..technology.process import Technology, default_technology
 from ..waveform.builders import InputPattern, pattern_stimulus, pattern_waveforms
 from ..waveform.waveform import Waveform
@@ -147,6 +147,38 @@ class ExperimentContext:
         bench = build_testbench(cell, stimuli, fanout=fanout)
         result = transient_analysis(bench.circuit, t_stop=t_stop, options=self.reference_options())
         return bench, result
+
+    def reference_history_runs(
+        self,
+        pattern_sets,
+        fanout: int,
+        t_stop: float = 3.0e-9,
+        cell: Optional[Cell] = None,
+    ):
+        """Golden transients for several pattern sets, integrated in lockstep.
+
+        All pattern sets drive the same FO-``fanout`` testbench; the batched
+        transient engine solves every variant simultaneously, so comparing the
+        paper's input histories costs barely more than one transient.  Returns
+        ``(bench, [result, ...])`` with results in pattern-set order.
+        """
+        pattern_sets = list(pattern_sets)
+        cell = cell or self.nor2
+        first = {
+            pin: pattern_stimulus(pattern, self.vdd)
+            for pin, pattern in pattern_sets[0].items()
+        }
+        bench = build_testbench(cell, first, fanout=fanout)
+        engine = TransientAnalysis(bench.circuit, self.reference_options())
+        stimulus_sets = [
+            {
+                bench.input_source_names[pin]: pattern_stimulus(pattern, self.vdd)
+                for pin, pattern in patterns.items()
+            }
+            for patterns in pattern_sets
+        ]
+        results = engine.run_many(stimulus_sets, t_stop=t_stop)
+        return bench, results
 
     def model_history_waveforms(
         self, patterns: Mapping[str, InputPattern], t_stop: float = 3.0e-9

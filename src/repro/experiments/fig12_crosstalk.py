@@ -109,9 +109,9 @@ def run_fig12(
         injection_times = np.linspace(sweep_start, sweep_stop, num_points)
 
     half_vdd = 0.5 * vdd
+    references = bench.simulate_many([float(t) for t in injection_times])
     points: List[Fig12Point] = []
-    for injection_time in injection_times:
-        reference = bench.simulate(float(injection_time))
+    for injection_time, reference in zip(injection_times, references):
         victim = bench.victim_waveform(reference)
         quiet = bench.quiet_waveform(reference)
         reference_output = bench.output_waveform(reference)

@@ -74,8 +74,8 @@ def run_fig3(
     stack_node = context.nor2.stack_node()
     assert stack_node is not None
 
-    for label, pattern_set in patterns.items():
-        _, result = context.reference_history_run(pattern_set, fanout=fanout)
+    _, results = context.reference_history_runs(patterns.values(), fanout=fanout)
+    for (label, pattern_set), result in zip(patterns.items(), results):
         waveform = result.waveform(stack_node).renamed(f"N ({label})")
         internal[label] = waveform
         precharge[label] = result.voltage_at(stack_node, second_switch - 10e-12)

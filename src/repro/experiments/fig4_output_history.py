@@ -68,8 +68,8 @@ def run_fig4(
     outputs: Dict[str, Waveform] = {}
     inputs: Dict[str, Waveform] = {}
     delays: Dict[str, float] = {}
-    for label, pattern_set in patterns.items():
-        _, result = context.reference_history_run(pattern_set, fanout=fanout)
+    _, results = context.reference_history_runs(patterns.values(), fanout=fanout)
+    for (label, pattern_set), result in zip(patterns.items(), results):
         output = result.waveform(context.nor2.output).renamed(f"Out ({label})")
         outputs[label] = output
         delays[label] = propagation_delay(

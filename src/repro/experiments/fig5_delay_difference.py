@@ -90,8 +90,8 @@ def run_fig5(
     rows: List[Fig5Row] = []
     for fanout in fanouts:
         delays: Dict[str, float] = {}
-        for label, pattern_set in patterns.items():
-            _, result = context.reference_history_run(pattern_set, fanout=fanout)
+        _, results = context.reference_history_runs(patterns.values(), fanout=fanout)
+        for (label, pattern_set), result in zip(patterns.items(), results):
             delays[label] = propagation_delay(
                 result.waveform("A"),
                 result.waveform(context.nor2.output),

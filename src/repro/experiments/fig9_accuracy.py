@@ -96,9 +96,10 @@ def run_fig9(
     baseline = context.baseline_mis_for()
     load_cap = context.fanout_load_capacitance(fanout)
 
+    _, references = context.reference_history_runs(patterns.values(), fanout=fanout)
+
     cases: List[Fig9Case] = []
-    for label, pattern_set in patterns.items():
-        _, reference = context.reference_history_run(pattern_set, fanout=fanout)
+    for (label, pattern_set), reference in zip(patterns.items(), references):
         reference_output = reference.waveform(context.nor2.output)
         input_a = reference.waveform("A")
         reference_delay = propagation_delay(

@@ -16,7 +16,7 @@ model with.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..cells.builders import build_inverter, build_nor
 from ..cells.cell import SUPPLY_NODE, Cell
@@ -24,7 +24,7 @@ from ..cells.testbench import attach_fanout_inverters
 from ..exceptions import NetlistError
 from ..spice.netlist import GROUND, Circuit
 from ..spice.sources import SaturatedRamp
-from ..spice.transient import TransientOptions, transient_analysis
+from ..spice.transient import TransientOptions, transient_analysis, transient_analysis_many
 from ..technology.process import Technology
 from ..waveform.waveform import Waveform
 from .rc_line import RCLineParameters, attach_rc_line
@@ -155,6 +155,32 @@ class CrosstalkBench:
             time_step=self.config.time_step, record_source_currents=False
         )
         return transient_analysis(self.circuit, t_stop=self.config.t_stop, options=options)
+
+    def simulate_many(self, injection_times: Sequence[float]):
+        """Reference simulations for a whole injection-time sweep, in lockstep.
+
+        Every sweep point drives the same circuit and differs only in the
+        aggressor launch time, so the batched transient engine integrates all
+        of them simultaneously.  Returns one result per injection time.
+        """
+        config = self.config
+        vdd = self.technology.vdd
+        initial = vdd if config.aggressor_rising else 0.0
+        final = 0.0 if config.aggressor_rising else vdd
+        stimulus_sets = [
+            {
+                self._aggressor_source.name: SaturatedRamp(
+                    initial, final, float(t), config.aggressor_transition
+                )
+            }
+            for t in injection_times
+        ]
+        options = TransientOptions(
+            time_step=config.time_step, record_source_currents=False
+        )
+        return transient_analysis_many(
+            self.circuit, stimulus_sets, t_stop=config.t_stop, options=options
+        )
 
     def victim_waveform(self, result) -> Waveform:
         """The (noisy) victim-line waveform, i.e. the input seen by the cell."""

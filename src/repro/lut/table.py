@@ -6,13 +6,21 @@ module provides that data structure: an :class:`NDTable` over a list of
 :class:`~repro.lut.grid.Axis` objects, evaluated with multilinear
 interpolation and clamped extrapolation (the standard behaviour of
 liberty-style characterization tables).
+
+Interpolation is backed by a per-table corner-index cache: the ``2**N``
+hypercube corner offsets into the flattened value array are enumerated once
+per table, so neither the scalar :meth:`NDTable.evaluate` nor the batched
+:meth:`NDTable.evaluate_batch` re-enumerates corners per query.  The batch
+entry point takes an ``(M, ndim)`` coordinate array and brackets every axis
+with one vectorized ``np.searchsorted``, which is what the waveform
+integrator in :mod:`repro.csm.simulate` builds on.
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,10 +44,19 @@ class NDTable:
         Optional label for error messages and reports.
     """
 
-    __slots__ = ("axes", "values", "name")
+    __slots__ = (
+        "axes",
+        "values",
+        "name",
+        "_axis_arrays",
+        "_flat_values",
+        "_corner_bits",
+        "_corner_offsets",
+        "_strides",
+    )
 
     def __init__(self, axes: Sequence[Axis], values: np.ndarray, name: str = ""):
-        values = np.asarray(values, dtype=float)
+        values = np.ascontiguousarray(values, dtype=float)
         if len(axes) == 0:
             raise TableError("a table needs at least one axis")
         if values.ndim != len(axes):
@@ -59,6 +76,18 @@ class NDTable:
         self.values = values
         self.name = name
 
+        # Per-table interpolation cache: the 2**N hypercube corner patterns
+        # and their flat offsets into the (row-major) value array, enumerated
+        # once here instead of per evaluation.
+        ndim = len(self.axes)
+        self._axis_arrays = tuple(axis.as_array() for axis in self.axes)
+        self._strides = np.array(values.strides, dtype=np.intp) // values.itemsize
+        self._flat_values = values.reshape(-1)
+        self._corner_bits = np.array(
+            list(itertools.product((0, 1), repeat=ndim)), dtype=np.intp
+        )
+        self._corner_offsets = self._corner_bits @ self._strides
+
     # ------------------------------------------------------------------
     @property
     def ndim(self) -> int:
@@ -74,23 +103,103 @@ class NDTable:
 
     # ------------------------------------------------------------------
     def evaluate(self, *coordinates: float) -> float:
-        """Multilinear interpolation at the given coordinates (positional)."""
+        """Multilinear interpolation at the given coordinates (positional).
+
+        Uses the precompiled corner-offset cache: the hypercube corner values
+        are gathered with one flat fancy index and combined with the corner
+        weights, instead of looping over an ``itertools.product`` per call.
+        """
         if len(coordinates) != self.ndim:
             raise TableError(
                 f"table {self.name!r} expects {self.ndim} coordinates, got {len(coordinates)}"
             )
-        brackets = [axis.bracket(value) for axis, value in zip(self.axes, coordinates)]
-        result = 0.0
-        for corner in itertools.product((0, 1), repeat=self.ndim):
-            weight = 1.0
-            index: List[int] = []
-            for (low_index, fraction), bit in zip(brackets, corner):
-                weight *= fraction if bit else (1.0 - fraction)
-                index.append(low_index + bit)
-            if weight == 0.0:
-                continue
-            result += weight * float(self.values[tuple(index)])
-        return result
+        base = 0
+        fractions = np.empty(self.ndim)
+        for dim, (axis, value) in enumerate(zip(self.axes, coordinates)):
+            low_index, fraction = axis.bracket(value)
+            base += low_index * self._strides[dim]
+            fractions[dim] = fraction
+        weights = np.where(self._corner_bits, fractions, 1.0 - fractions).prod(axis=1)
+        corners = self._flat_values[base + self._corner_offsets]
+        return float(weights @ corners)
+
+    def evaluate_batch(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorized multilinear interpolation over many coordinate tuples.
+
+        Parameters
+        ----------
+        coords:
+            ``(M, ndim)`` array of query points (an ``(M,)`` array is accepted
+            for one-dimensional tables).  Queries outside the axis ranges are
+            clamped to the edges, exactly like :meth:`evaluate`.
+
+        Returns
+        -------
+        ``(M,)`` array of interpolants, matching :meth:`evaluate` pointwise.
+        """
+        coords = np.asarray(coords, dtype=float)
+        if coords.ndim == 1 and self.ndim == 1:
+            coords = coords[:, None]
+        if coords.ndim != 2 or coords.shape[1] != self.ndim:
+            raise TableError(
+                f"table {self.name!r} expects an (M, {self.ndim}) coordinate array, "
+                f"got shape {coords.shape}"
+            )
+        num_queries = coords.shape[0]
+        base = np.zeros(num_queries, dtype=np.intp)
+        fractions = np.empty((num_queries, self.ndim))
+        for dim, points in enumerate(self._axis_arrays):
+            clamped = np.clip(coords[:, dim], points[0], points[-1])
+            low = np.searchsorted(points, clamped, side="right") - 1
+            np.clip(low, 0, len(points) - 2, out=low)
+            span = points[low + 1] - points[low]
+            fractions[:, dim] = (clamped - points[low]) / span
+            base += low * self._strides[dim]
+        # (M, 2**N) corner weights: product over dimensions of frac / 1-frac.
+        weights = np.where(
+            self._corner_bits[None, :, :], fractions[:, None, :], 1.0 - fractions[:, None, :]
+        ).prod(axis=2)
+        corners = self._flat_values[base[:, None] + self._corner_offsets[None, :]]
+        return np.einsum("mc,mc->m", weights, corners)
+
+    def contract_leading(self, coords: np.ndarray) -> np.ndarray:
+        """Interpolate the leading axes away at per-row coordinates.
+
+        ``coords`` is a ``(K, L)`` array with ``1 <= L < ndim``.  For each row
+        ``k`` the first ``L`` axes are multilinearly interpolated (with the
+        usual clamped extrapolation) at ``coords[k]``, leaving a reduced table
+        over the remaining axes.  Returns shape ``(K, *shape[L:])``.
+
+        The CSM integrator uses this to contract the input-pin axes of the
+        ``Io``/``I_N`` tables for every time step in one vectorized pass,
+        leaving only the recurrent state axes for the sequential loop.
+        """
+        coords = np.asarray(coords, dtype=float)
+        if coords.ndim != 2:
+            raise TableError("contract_leading expects a (K, L) coordinate array")
+        num_rows, num_contracted = coords.shape
+        if not 1 <= num_contracted < self.ndim:
+            raise TableError(
+                f"table {self.name!r}: cannot contract {num_contracted} of "
+                f"{self.ndim} axes (need 1 <= L < ndim)"
+            )
+        rows = np.arange(num_rows)
+        reduced: Optional[np.ndarray] = None
+        for dim in range(num_contracted):
+            points = self._axis_arrays[dim]
+            clamped = np.clip(coords[:, dim], points[0], points[-1])
+            low = np.searchsorted(points, clamped, side="right") - 1
+            np.clip(low, 0, len(points) - 2, out=low)
+            frac = (clamped - points[low]) / (points[low + 1] - points[low])
+            tail = (1,) * (self.ndim - dim - 1)
+            high_weight = frac.reshape((num_rows,) + tail)
+            low_weight = 1.0 - high_weight
+            if reduced is None:
+                reduced = self.values[low] * low_weight + self.values[low + 1] * high_weight
+            else:
+                reduced = reduced[rows, low] * low_weight + reduced[rows, low + 1] * high_weight
+        assert reduced is not None
+        return reduced
 
     def __call__(self, *coordinates: float) -> float:
         return self.evaluate(*coordinates)
@@ -106,15 +215,25 @@ class NDTable:
             ) from exc
         return self.evaluate(*ordered)
 
-    def gradient(self, *coordinates: float, step: float = 1e-3) -> Tuple[float, ...]:
-        """Central-difference gradient with respect to each coordinate."""
+    def gradient(
+        self, *coordinates: float, step: Optional[float] = None
+    ) -> Tuple[float, ...]:
+        """Central-difference gradient with respect to each coordinate.
+
+        By default the finite-difference step is chosen *per dimension* as a
+        small fraction (1e-3) of that axis's span, so tables whose axes live
+        at very different scales (volts next to picoseconds or femtofarads)
+        are all probed at a sensible resolution.  Pass ``step`` to force one
+        explicit step size for every dimension instead.
+        """
         grads = []
-        for dim in range(self.ndim):
+        for dim, axis in enumerate(self.axes):
+            dim_step = step if step is not None else 1e-3 * (axis.upper - axis.lower)
             forward = list(coordinates)
             backward = list(coordinates)
-            forward[dim] += step
-            backward[dim] -= step
-            grads.append((self.evaluate(*forward) - self.evaluate(*backward)) / (2 * step))
+            forward[dim] += dim_step
+            backward[dim] -= dim_step
+            grads.append((self.evaluate(*forward) - self.evaluate(*backward)) / (2 * dim_step))
         return tuple(grads)
 
     # ------------------------------------------------------------------
@@ -173,14 +292,29 @@ def tabulate(
     function: Callable[..., float],
     axes: Sequence[Axis],
     name: str = "",
+    vectorized: bool = False,
 ) -> NDTable:
     """Sample a callable over the cartesian product of the axes.
 
     ``function`` is called with one positional argument per axis, in axis
     order.  This is the workhorse used by the characterization procedures to
     turn "measure the current at this bias point" routines into tables.
+
+    When ``vectorized`` is true the function is called *once* with one
+    broadcastable coordinate array per axis (``np.meshgrid(..., indexing='ij')``
+    style) and must return the full value grid — the sampling analogue of
+    :meth:`NDTable.evaluate_batch`.
     """
     shape = tuple(len(axis) for axis in axes)
+    if vectorized:
+        grids = np.meshgrid(*(axis.as_array() for axis in axes), indexing="ij")
+        values = np.asarray(function(*grids), dtype=float)
+        if values.shape != shape:
+            raise TableError(
+                f"vectorized tabulate for {name!r}: function returned shape "
+                f"{values.shape}, expected {shape}"
+            )
+        return NDTable(axes, values, name=name)
     values = np.empty(shape, dtype=float)
     for index in itertools.product(*(range(len(axis)) for axis in axes)):
         coords = [axis.points[i] for axis, i in zip(axes, index)]

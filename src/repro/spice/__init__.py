@@ -9,7 +9,7 @@ comparison in the reproduction runs against this simulator.
 
 from .dc import DCAnalysis, dc_operating_point, dc_sweep
 from .elements import Capacitor, CurrentSource, Element, Mosfet, Resistor, VoltageSource
-from .mna import MNAAssembler, NewtonOptions, newton_solve
+from .mna import MNAAssembler, NewtonOptions, newton_solve, newton_solve_many
 from .netlist import GROUND, Circuit
 from .results import OperatingPoint, TransientResult
 from .sources import (
@@ -20,7 +20,12 @@ from .sources import (
     SaturatedRamp,
     Stimulus,
 )
-from .transient import TransientAnalysis, TransientOptions, transient_analysis
+from .transient import (
+    TransientAnalysis,
+    TransientOptions,
+    transient_analysis,
+    transient_analysis_many,
+)
 
 __all__ = [
     "GROUND",
@@ -40,12 +45,14 @@ __all__ = [
     "MNAAssembler",
     "NewtonOptions",
     "newton_solve",
+    "newton_solve_many",
     "DCAnalysis",
     "dc_operating_point",
     "dc_sweep",
     "TransientAnalysis",
     "TransientOptions",
     "transient_analysis",
+    "transient_analysis_many",
     "OperatingPoint",
     "TransientResult",
 ]

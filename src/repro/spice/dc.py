@@ -2,13 +2,13 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from ..exceptions import ConvergenceError
 from .elements import VoltageSource
-from .mna import MNAAssembler, NewtonOptions, newton_solve
+from .mna import MNAAssembler, NewtonOptions, newton_solve, newton_solve_many
 from .netlist import Circuit
 from .results import OperatingPoint
 from .sources import DCValue
@@ -94,6 +94,83 @@ class DCAnalysis:
                 options=self.options,
             )
         return solution
+
+    def solve_grid(
+        self,
+        source_value_sets: Sequence[Mapping[str, float]],
+        chunk_size: int = 2048,
+    ) -> List[OperatingPoint]:
+        """Solve many DC points of the same circuit with batched Newton.
+
+        Each entry of ``source_value_sets`` maps voltage-source names to the
+        value that point applies; unlisted sources keep their present value.
+        All points iterate in lockstep through :func:`newton_solve_many`
+        (one batched ``np.linalg.solve`` per iteration); points that fail to
+        converge in the batch fall back to the sequential gmin-stepped path.
+        This is the workhorse behind the ``Io``/``I_N`` table characterization
+        sweeps, which solve the same probe circuit at hundreds of bias points.
+        """
+        results: List[OperatingPoint] = []
+        for start in range(0, len(source_value_sets), chunk_size):
+            results.extend(self._solve_grid_chunk(source_value_sets[start : start + chunk_size]))
+        return results
+
+    def _solve_grid_chunk(
+        self, source_value_sets: Sequence[Mapping[str, float]]
+    ) -> List[OperatingPoint]:
+        assembler = self.assembler
+        batch = len(source_value_sets)
+        vs = np.empty((batch, len(assembler.voltage_sources)))
+        for j, source in enumerate(assembler.voltage_sources):
+            default = source.value(0.0)
+            column = [values.get(source.name, default) for values in source_value_sets]
+            vs[:, j] = column
+        cs = np.tile(
+            np.array([source.value(0.0) for source in assembler.current_sources]),
+            (batch, 1),
+        )
+
+        # Seed grounded forced nodes with their source value: Newton then
+        # starts inside the damping range of the solution.
+        guess = np.zeros((batch, assembler.size))
+        for j, source in enumerate(assembler.voltage_sources):
+            plus = assembler.index_of_node(source.node_plus)
+            minus = assembler.index_of_node(source.node_minus)
+            if plus >= 0 and minus < 0:
+                guess[:, plus] = vs[:, j]
+
+        failed: List[int] = []
+        try:
+            solutions = newton_solve_many(assembler, guess, vs, cs, options=self.options)
+        except ConvergenceError as exc:
+            metadata = getattr(exc, "metadata", None) or {}
+            solutions = metadata.get("solutions")
+            failed = list(metadata.get("failed_runs", range(batch)))
+            if solutions is None:
+                solutions = guess
+
+        if failed:
+            saved = {s.name: s.stimulus for s in assembler.voltage_sources}
+            try:
+                for position in failed:
+                    values = source_value_sets[position]
+                    for source in assembler.voltage_sources:
+                        if source.name in values:
+                            self.set_source_value(source.name, values[source.name])
+                    solutions[position] = self._solve_with_gmin_stepping(
+                        solutions[position].copy(), time=0.0
+                    )
+            finally:
+                for source in assembler.voltage_sources:
+                    source.stimulus = saved[source.name]
+
+        return [
+            OperatingPoint(
+                voltages=assembler.voltages_from_solution(solution),
+                branch_currents=assembler.branch_currents_from_solution(solution),
+            )
+            for solution in solutions
+        ]
 
     def set_source_value(self, source_name: str, value: float) -> None:
         """Update the DC value of a voltage source in-place (sweep helper)."""

@@ -13,6 +13,8 @@ import math
 from dataclasses import dataclass, field
 from typing import List, Sequence, Tuple
 
+import numpy as np
+
 from ..exceptions import WaveformError
 
 __all__ = [
@@ -43,6 +45,18 @@ class Stimulus:
         """
         return ()
 
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        """Vectorized evaluation over an array of sample times.
+
+        The base implementation falls back to per-sample calls; the concrete
+        piecewise-linear stimuli override it with a single ``np.interp``.  The
+        transient engine pre-samples every stimulus over the whole time grid
+        through this method instead of calling the stimulus per step.
+        """
+        return np.array([self(float(t)) for t in np.asarray(times).ravel()]).reshape(
+            np.shape(times)
+        )
+
 
 @dataclass(frozen=True)
 class DCValue(Stimulus):
@@ -52,6 +66,9 @@ class DCValue(Stimulus):
 
     def __call__(self, time: float) -> float:
         return self.value
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        return np.full(np.shape(times), self.value)
 
 
 @dataclass(frozen=True)
@@ -88,6 +105,15 @@ class PiecewiseLinear(Stimulus):
     def breakpoints(self) -> Tuple[float, ...]:
         return tuple(t for t, _ in self.points)
 
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        xp = np.asarray([t for t, _ in self.points])
+        if np.any(np.diff(xp) <= 0):
+            # np.interp does not honour the "last point wins" rule at
+            # coincident times; keep the scalar semantics there.
+            return super().sample(times)
+        fp = np.asarray([v for _, v in self.points])
+        return np.interp(np.asarray(times, dtype=float), xp, fp)
+
 
 @dataclass(frozen=True)
 class SaturatedRamp(Stimulus):
@@ -121,6 +147,13 @@ class SaturatedRamp(Stimulus):
 
     def breakpoints(self) -> Tuple[float, ...]:
         return (self.start_time, self.start_time + self.transition_time)
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        return np.interp(
+            np.asarray(times, dtype=float),
+            (self.start_time, self.start_time + self.transition_time),
+            (self.initial, self.final),
+        )
 
 
 @dataclass(frozen=True)
@@ -162,6 +195,16 @@ class Pulse(Stimulus):
         t_fall_start = t_rise_end + self.width
         return (self.start_time, t_rise_end, t_fall_start, t_fall_start + self.fall_time)
 
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        t_rise_end = self.start_time + self.rise_time
+        t_fall_start = t_rise_end + self.width
+        xp = [self.start_time, t_rise_end, t_fall_start, t_fall_start + self.fall_time]
+        fp = [self.low, self.high, self.high, self.low]
+        if self.width == 0:
+            xp = [self.start_time, t_rise_end, t_fall_start + self.fall_time]
+            fp = [self.low, self.high, self.low]
+        return np.interp(np.asarray(times, dtype=float), xp, fp)
+
 
 @dataclass
 class CompositeStimulus(Stimulus):
@@ -176,6 +219,12 @@ class CompositeStimulus(Stimulus):
 
     def __call__(self, time: float) -> float:
         return self.offset + sum(part(time) for part in self.parts)
+
+    def sample(self, times: np.ndarray) -> np.ndarray:
+        total = np.full(np.shape(times), self.offset)
+        for part in self.parts:
+            total = total + part.sample(times)
+        return total
 
     def breakpoints(self) -> Tuple[float, ...]:
         pts: List[float] = []

@@ -5,21 +5,37 @@ what is wanted from a reference simulator used for cell characterization: the
 waveforms stay smooth and monotone for saturated-ramp stimuli, and accuracy is
 controlled by the step size.  All of the paper's experiments run with steps of
 0.5-2 ps over windows of a few nanoseconds.
+
+The engine is built for throughput: every stimulus is pre-sampled over the
+whole time grid with one vectorized call, the ``static + C/dt`` base matrix
+(and, for linear circuits, its LU factorization) is cached per distinct time
+step, node waveforms are recorded into preallocated ``(num_nodes, num_steps)``
+arrays instead of per-step list appends, and :meth:`TransientAnalysis.run_many`
+integrates a whole batch of stimulus variants of the same circuit in lockstep
+through the batched Newton solver (one ``np.linalg.solve`` over ``(B, n, n)``
+per iteration).  The capacitance-characterization flows use that to run all
+their ramp variants simultaneously.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
 import numpy as np
 
 from ..exceptions import AnalysisError, ConvergenceError
-from .mna import MNAAssembler, NewtonOptions, newton_solve
-from .netlist import GROUND, Circuit
-from .results import OperatingPoint, TransientResult
+from .mna import MNAAssembler, NewtonOptions, newton_solve, newton_solve_many
+from .netlist import Circuit
+from .results import TransientResult
+from .sources import DCValue, Stimulus
 
-__all__ = ["TransientOptions", "transient_analysis", "TransientAnalysis"]
+__all__ = [
+    "TransientOptions",
+    "transient_analysis",
+    "transient_analysis_many",
+    "TransientAnalysis",
+]
 
 
 @dataclass
@@ -64,15 +80,23 @@ class TransientAnalysis:
         self.assembler = MNAAssembler(circuit, gmin=self.options.gmin)
 
     # ------------------------------------------------------------------
-    def _time_grid(self, t_stop: float, t_start: float) -> np.ndarray:
+    def _time_grid(
+        self,
+        t_stop: float,
+        t_start: float,
+        extra_breakpoints: Iterable[float] = (),
+    ) -> np.ndarray:
         base = np.arange(t_start, t_stop + 0.5 * self.options.time_step, self.options.time_step)
-        if base[-1] < t_stop:
+        # np.arange can overshoot t_stop by up to half a step; the window must
+        # end exactly at t_stop so waveform comparisons line up.
+        if base[-1] > t_stop:
+            base[-1] = t_stop
+        elif base[-1] < t_stop:
             base = np.append(base, t_stop)
-        if not self.options.include_breakpoints:
-            return base
-        breakpoints: List[float] = []
-        for source in self.assembler.voltage_sources + self.assembler.current_sources:
-            breakpoints.extend(source.stimulus.breakpoints())
+        breakpoints: List[float] = list(extra_breakpoints)
+        if self.options.include_breakpoints:
+            for source in self.assembler.voltage_sources + self.assembler.current_sources:
+                breakpoints.extend(source.stimulus.breakpoints())
         inside = [t for t in breakpoints if t_start < t < t_stop]
         if not inside:
             return base
@@ -80,7 +104,10 @@ class TransientAnalysis:
         return grid
 
     def _initial_solution(
-        self, initial_voltages: Optional[Dict[str, float]], t_start: float
+        self,
+        initial_voltages: Optional[Dict[str, float]],
+        t_start: float,
+        source_values=None,
     ) -> np.ndarray:
         """DC solution at ``t_start`` seeded (and optionally pinned) by user ICs."""
         guess = np.zeros(self.assembler.size)
@@ -91,7 +118,11 @@ class TransientAnalysis:
                     guess[idx] = value
         try:
             solution = newton_solve(
-                self.assembler, guess, t_start, options=self.options.newton
+                self.assembler,
+                guess,
+                t_start,
+                options=self.options.newton,
+                source_values=source_values,
             )
         except ConvergenceError:
             # Fall back to gmin-stepped DC for a robust starting point.
@@ -113,6 +144,65 @@ class TransientAnalysis:
         return solution
 
     # ------------------------------------------------------------------
+    def _record_indices(self, record_nodes: Optional[Sequence[str]]) -> List[str]:
+        nodes = list(record_nodes) if record_nodes else list(self.circuit.non_ground_nodes)
+        for node in nodes:
+            if not self.circuit.has_node(node):
+                raise AnalysisError(f"cannot record unknown node {node!r}")
+        return nodes
+
+    def _recording_plan(self, nodes: Sequence[str]):
+        """Gather indices shared by the scalar and lockstep recorders.
+
+        Node gathers go through a zero-padded solution vector so that
+        ground-recorded nodes read 0.0 without masking.
+        """
+        assembler = self.assembler
+        pad = assembler.size
+        node_gather = np.array(
+            [assembler.index_of_node(n) if assembler.index_of_node(n) >= 0 else pad for n in nodes],
+            dtype=np.intp,
+        )
+        branch_gather = np.array(
+            [assembler.branch_index[s.name] for s in assembler.voltage_sources], dtype=np.intp
+        )
+        return node_gather, branch_gather
+
+    def _step_cache_entry(self, step_cache: Dict[float, tuple], dt: float):
+        """Per-dt companion matrix, prebuilt base matrix and (linear) LU."""
+        key = round(dt, 18)
+        cached = step_cache.get(key)
+        if cached is None:
+            assembler = self.assembler
+            cap_matrix = assembler.capacitor_companion_matrix(dt)
+            base_matrix = assembler._static_matrix + cap_matrix
+            lu = assembler.linear_lu(cap_matrix) if assembler.is_linear else None
+            cached = (cap_matrix, base_matrix, lu)
+            step_cache[key] = cached
+        return cached
+
+    def _sample_sources(self, times: np.ndarray, overrides: Optional[Mapping[str, Stimulus]] = None):
+        """Pre-sample every source stimulus over the whole grid.
+
+        Returns ``(vs_samples, cs_samples)`` with shapes ``(V, T)`` and
+        ``(C, T)``.  ``overrides`` maps source names to replacement stimuli
+        (used by the lockstep batch runner).
+        """
+        overrides = overrides or {}
+
+        def stimulus_for(source) -> Stimulus:
+            return overrides.get(source.name, source.stimulus)
+
+        assembler = self.assembler
+        num_steps = len(times)
+        vs = np.empty((len(assembler.voltage_sources), num_steps))
+        for position, source in enumerate(assembler.voltage_sources):
+            vs[position] = stimulus_for(source).sample(times)
+        cs = np.empty((len(assembler.current_sources), num_steps))
+        for position, source in enumerate(assembler.current_sources):
+            cs[position] = stimulus_for(source).sample(times)
+        return vs, cs
+
     def run(
         self,
         t_stop: float,
@@ -137,55 +227,228 @@ class TransientAnalysis:
         if t_stop <= t_start:
             raise AnalysisError("t_stop must be greater than t_start")
 
+        assembler = self.assembler
         times = self._time_grid(t_stop, t_start)
-        nodes = list(record_nodes) if record_nodes else list(self.circuit.non_ground_nodes)
-        for node in nodes:
-            if not self.circuit.has_node(node):
-                raise AnalysisError(f"cannot record unknown node {node!r}")
+        num_steps = len(times)
+        nodes = self._record_indices(record_nodes)
 
-        solution = self._initial_solution(initial_voltages, times[0])
+        vs_samples, cs_samples = self._sample_sources(times)
+        solution = self._initial_solution(
+            initial_voltages, times[0], source_values=(vs_samples[:, 0], cs_samples[:, 0])
+        )
 
-        voltage_rows: Dict[str, List[float]] = {node: [] for node in nodes}
-        current_rows: Dict[str, List[float]] = {
-            source.name: [] for source in self.assembler.voltage_sources
-        } if self.options.record_source_currents else {}
+        # Preallocated recording: one (num_recorded, num_steps) voltage block
+        # and one (num_sources, num_steps) current block.
+        node_gather, branch_gather = self._recording_plan(nodes)
+        record_currents = self.options.record_source_currents
+        voltage_block = np.empty((len(nodes), num_steps))
+        current_block = np.empty((len(branch_gather), num_steps)) if record_currents else None
+        padded = np.zeros(assembler.size + 1)
 
-        def record(current_solution: np.ndarray) -> None:
-            for node in nodes:
-                idx = self.assembler.index_of_node(node)
-                voltage_rows[node].append(current_solution[idx] if idx >= 0 else 0.0)
-            if self.options.record_source_currents:
-                for name, idx in self.assembler.branch_index.items():
-                    current_rows[name].append(-current_solution[idx])
+        def record(step: int, current_solution: np.ndarray) -> None:
+            padded[: assembler.size] = current_solution
+            voltage_block[:, step] = padded[node_gather]
+            if current_block is not None:
+                current_block[:, step] = -current_solution[branch_gather]
 
-        record(solution)
+        record(0, solution)
 
-        cap_matrix_cache: Dict[float, np.ndarray] = {}
-        for step in range(1, len(times)):
+        step_cache: Dict[float, tuple] = {}
+        newton = self.options.newton
+        for step in range(1, num_steps):
             dt = times[step] - times[step - 1]
             if dt <= 0:
+                record(step, solution)
                 continue
-            key = round(dt, 18)
-            if key not in cap_matrix_cache:
-                cap_matrix_cache[key] = self.assembler.capacitor_companion_matrix(dt)
-            cap_matrix = cap_matrix_cache[key]
-            cap_rhs = self.assembler.capacitor_companion_rhs(dt, solution)
+            cap_matrix, base_matrix, lu = self._step_cache_entry(step_cache, dt)
+            cap_rhs = assembler.capacitor_companion_rhs(dt, solution)
             solution = newton_solve(
-                self.assembler,
+                assembler,
                 solution,
                 times[step],
                 cap_matrix=cap_matrix,
                 cap_rhs=cap_rhs,
-                options=self.options.newton,
+                options=newton,
+                base_matrix=base_matrix,
+                source_values=(vs_samples[:, step], cs_samples[:, step]),
+                linear_lu=lu,
             )
-            record(solution)
+            record(step, solution)
 
+        return self._package_result(times, nodes, voltage_block, current_block)
+
+    def _package_result(
+        self,
+        times: np.ndarray,
+        nodes: Sequence[str],
+        voltage_block: np.ndarray,
+        current_block: Optional[np.ndarray],
+    ) -> TransientResult:
+        source_currents: Dict[str, np.ndarray] = {}
+        if current_block is not None:
+            for position, source in enumerate(self.assembler.voltage_sources):
+                source_currents[source.name] = current_block[position]
         return TransientResult(
             times=times,
-            node_voltages={node: np.asarray(v) for node, v in voltage_rows.items()},
-            source_currents={name: np.asarray(v) for name, v in current_rows.items()},
+            node_voltages={node: voltage_block[i] for i, node in enumerate(nodes)},
+            source_currents=source_currents,
             metadata={"time_step": self.options.time_step},
         )
+
+    # ------------------------------------------------------------------
+    def run_many(
+        self,
+        stimulus_sets: Sequence[Mapping[str, Union[Stimulus, float]]],
+        t_stop: float,
+        t_start: float = 0.0,
+        initial_voltages: Optional[Dict[str, float]] = None,
+        record_nodes: Optional[Sequence[str]] = None,
+    ) -> List[TransientResult]:
+        """Integrate several stimulus variants of this circuit in lockstep.
+
+        Every entry of ``stimulus_sets`` maps *source element names* to the
+        stimulus that run should apply (bare numbers become DC values); sources
+        not listed keep the stimulus currently attached to the circuit.  All
+        runs share one time grid — the union of every run's breakpoints — and
+        every integration step solves all runs through one batched Newton
+        iteration, which is dramatically faster than sequential runs for the
+        characterization sweeps.
+
+        Returns one :class:`TransientResult` per entry, in order.
+        """
+        if t_stop <= t_start:
+            raise AnalysisError("t_stop must be greater than t_start")
+        if not stimulus_sets:
+            return []
+
+        assembler = self.assembler
+        known_sources = {s.name for s in assembler.voltage_sources} | {
+            s.name for s in assembler.current_sources
+        }
+        overrides: List[Dict[str, Stimulus]] = []
+        for stimulus_set in stimulus_sets:
+            resolved: Dict[str, Stimulus] = {}
+            for name, stimulus in stimulus_set.items():
+                if name not in known_sources:
+                    raise AnalysisError(f"cannot drive unknown source {name!r}")
+                resolved[name] = (
+                    stimulus if isinstance(stimulus, Stimulus) else DCValue(float(stimulus))
+                )
+            overrides.append(resolved)
+
+        extra_breakpoints: List[float] = []
+        for resolved in overrides:
+            for stimulus in resolved.values():
+                extra_breakpoints.extend(stimulus.breakpoints())
+        times = self._time_grid(t_stop, t_start, extra_breakpoints=extra_breakpoints)
+        num_steps = len(times)
+        batch = len(overrides)
+        nodes = self._record_indices(record_nodes)
+
+        vs_all = np.empty((batch, len(assembler.voltage_sources), num_steps))
+        cs_all = np.empty((batch, len(assembler.current_sources), num_steps))
+        for run, resolved in enumerate(overrides):
+            vs_all[run], cs_all[run] = self._sample_sources(times, overrides=resolved)
+
+        solutions = self._initial_solutions_many(initial_voltages, times[0], vs_all, cs_all, overrides)
+
+        node_gather, branch_gather = self._recording_plan(nodes)
+        record_currents = self.options.record_source_currents
+        voltage_block = np.empty((batch, len(nodes), num_steps))
+        current_block = (
+            np.empty((batch, len(branch_gather), num_steps)) if record_currents else None
+        )
+        padded = np.zeros((batch, assembler.size + 1))
+
+        def record(step: int, current_solutions: np.ndarray) -> None:
+            padded[:, : assembler.size] = current_solutions
+            voltage_block[:, :, step] = padded[:, node_gather]
+            if current_block is not None:
+                current_block[:, :, step] = -current_solutions[:, branch_gather]
+
+        record(0, solutions)
+
+        step_cache: Dict[float, tuple] = {}
+        newton = self.options.newton
+        from scipy.linalg import lu_solve
+
+        for step in range(1, num_steps):
+            dt = times[step] - times[step - 1]
+            if dt <= 0:
+                record(step, solutions)
+                continue
+            cap_matrix, _, lu = self._step_cache_entry(step_cache, dt)
+            cap_rhs = assembler.capacitor_companion_rhs(dt, solutions)
+            vs_step = vs_all[:, :, step]
+            cs_step = cs_all[:, :, step]
+            if lu is not None:
+                rhs = np.empty((batch, assembler.size))
+                for run in range(batch):
+                    rhs[run] = assembler.build_rhs(cap_rhs[run], vs_step[run], cs_step[run])
+                solutions = lu_solve(lu, rhs.T, check_finite=False).T
+            else:
+                solutions = newton_solve_many(
+                    assembler,
+                    solutions,
+                    vs_step,
+                    cs_step,
+                    cap_matrix=cap_matrix,
+                    cap_rhs=cap_rhs,
+                    options=newton,
+                )
+            record(step, solutions)
+
+        results: List[TransientResult] = []
+        for run in range(batch):
+            results.append(
+                self._package_result(
+                    times,
+                    nodes,
+                    voltage_block[run],
+                    current_block[run] if current_block is not None else None,
+                )
+            )
+        return results
+
+    def _initial_solutions_many(
+        self,
+        initial_voltages: Optional[Dict[str, float]],
+        t_start: float,
+        vs_all: np.ndarray,
+        cs_all: np.ndarray,
+        overrides: Sequence[Mapping[str, Stimulus]],
+    ) -> np.ndarray:
+        """Batched DC solves at ``t_start``, with per-run scalar fallback."""
+        assembler = self.assembler
+        batch = vs_all.shape[0]
+        guess = np.zeros((batch, assembler.size))
+        if initial_voltages:
+            for node, value in initial_voltages.items():
+                idx = assembler.index_of_node(node)
+                if idx >= 0:
+                    guess[:, idx] = value
+        try:
+            solutions = newton_solve_many(
+                assembler,
+                guess,
+                vs_all[:, :, 0],
+                cs_all[:, :, 0],
+                options=self.options.newton,
+            )
+        except ConvergenceError:
+            solutions = np.empty((batch, assembler.size))
+            for run in range(batch):
+                solutions[run] = self._initial_solution(
+                    initial_voltages,
+                    t_start,
+                    source_values=(vs_all[run, :, 0], cs_all[run, :, 0]),
+                )
+        if initial_voltages:
+            for node, value in initial_voltages.items():
+                idx = assembler.index_of_node(node)
+                if idx >= 0:
+                    solutions[:, idx] = value
+        return solutions
 
 
 def transient_analysis(
@@ -202,6 +465,30 @@ def transient_analysis(
         options = TransientOptions(time_step=time_step)
     engine = TransientAnalysis(circuit, options)
     return engine.run(
+        t_stop=t_stop,
+        t_start=t_start,
+        initial_voltages=initial_voltages,
+        record_nodes=record_nodes,
+    )
+
+
+def transient_analysis_many(
+    circuit: Circuit,
+    stimulus_sets: Sequence[Mapping[str, Union[Stimulus, float]]],
+    t_stop: float,
+    time_step: float = 1e-12,
+    t_start: float = 0.0,
+    initial_voltages: Optional[Dict[str, float]] = None,
+    record_nodes: Optional[Sequence[str]] = None,
+    options: Optional[TransientOptions] = None,
+) -> List[TransientResult]:
+    """Run several stimulus variants of one circuit in lockstep (see
+    :meth:`TransientAnalysis.run_many`)."""
+    if options is None:
+        options = TransientOptions(time_step=time_step)
+    engine = TransientAnalysis(circuit, options)
+    return engine.run_many(
+        stimulus_sets,
         t_stop=t_stop,
         t_start=t_start,
         initial_voltages=initial_voltages,
