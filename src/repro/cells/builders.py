@@ -22,6 +22,7 @@ different cells comparable.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Sequence, Tuple
 
 from ..exceptions import NetlistError
@@ -36,10 +37,52 @@ __all__ = [
     "build_aoi21",
     "build_oai21",
     "INPUT_NAMES",
+    "InverterFunction",
+    "NorFunction",
+    "NandFunction",
+    "Aoi21Function",
+    "Oai21Function",
 ]
 
 #: Default input pin names, in order.
 INPUT_NAMES = ("A", "B", "C", "D")
+
+
+# Logic functions are module-level callable dataclasses (not lambdas or
+# closures) so that Cell objects are picklable — the parallel runtime ships
+# cells to worker processes.
+@dataclass(frozen=True)
+class InverterFunction:
+    def __call__(self, values: Mapping[str, int]) -> int:
+        return 0 if values["A"] else 1
+
+
+@dataclass(frozen=True)
+class NorFunction:
+    inputs: Tuple[str, ...]
+
+    def __call__(self, values: Mapping[str, int]) -> int:
+        return 0 if any(values[p] for p in self.inputs) else 1
+
+
+@dataclass(frozen=True)
+class NandFunction:
+    inputs: Tuple[str, ...]
+
+    def __call__(self, values: Mapping[str, int]) -> int:
+        return 0 if all(values[p] for p in self.inputs) else 1
+
+
+@dataclass(frozen=True)
+class Aoi21Function:
+    def __call__(self, values: Mapping[str, int]) -> int:
+        return 0 if (values["A"] and values["B"]) or values["C"] else 1
+
+
+@dataclass(frozen=True)
+class Oai21Function:
+    def __call__(self, values: Mapping[str, int]) -> int:
+        return 0 if (values["A"] or values["B"]) and values["C"] else 1
 
 
 def _input_names(count: int) -> Tuple[str, ...]:
@@ -62,7 +105,7 @@ def build_inverter(technology: Technology, drive_strength: float = 1.0, name: st
         inputs=("A",),
         output=OUTPUT_NODE,
         internal_nodes=(),
-        function=lambda values: 0 if values["A"] else 1,
+        function=InverterFunction(),
         technology=technology,
         drive_strength=drive_strength,
     )
@@ -96,16 +139,13 @@ def build_nor(
         circuit.add_mosfet(lower, pin, upper, SUPPLY_NODE, technology.pmos, wp, name=f"MP{index}")
         lower = upper
 
-    def nor_function(values: Mapping[str, int], _inputs=inputs) -> int:
-        return 0 if any(values[p] for p in _inputs) else 1
-
     return Cell(
         name=cell_name,
         circuit=circuit,
         inputs=inputs,
         output=OUTPUT_NODE,
         internal_nodes=tuple(internal_nodes),
-        function=nor_function,
+        function=NorFunction(inputs),
         technology=technology,
         drive_strength=drive_strength,
     )
@@ -138,16 +178,13 @@ def build_nand(
         circuit.add_mosfet(upper, pin, lower, "0", technology.nmos, wn, name=f"MN{index}")
         upper = lower
 
-    def nand_function(values: Mapping[str, int], _inputs=inputs) -> int:
-        return 0 if all(values[p] for p in _inputs) else 1
-
     return Cell(
         name=cell_name,
         circuit=circuit,
         inputs=inputs,
         output=OUTPUT_NODE,
         internal_nodes=tuple(internal_nodes),
-        function=nand_function,
+        function=NandFunction(inputs),
         technology=technology,
         drive_strength=drive_strength,
     )
@@ -176,16 +213,13 @@ def build_aoi21(technology: Technology, drive_strength: float = 1.0, name: str =
     circuit.add_mosfet("n2", "B", SUPPLY_NODE, SUPPLY_NODE, technology.pmos, 2 * wp, name="MP_B")
     circuit.add_mosfet(OUTPUT_NODE, "C", "n2", SUPPLY_NODE, technology.pmos, 2 * wp, name="MP_C")
 
-    def aoi_function(values: Mapping[str, int]) -> int:
-        return 0 if (values["A"] and values["B"]) or values["C"] else 1
-
     return Cell(
         name=cell_name,
         circuit=circuit,
         inputs=("A", "B", "C"),
         output=OUTPUT_NODE,
         internal_nodes=("n1", "n2"),
-        function=aoi_function,
+        function=Aoi21Function(),
         technology=technology,
         drive_strength=drive_strength,
     )
@@ -213,16 +247,13 @@ def build_oai21(technology: Technology, drive_strength: float = 1.0, name: str =
     circuit.add_mosfet("n2", "B", SUPPLY_NODE, SUPPLY_NODE, technology.pmos, 2 * wp, name="MP_B")
     circuit.add_mosfet(OUTPUT_NODE, "C", SUPPLY_NODE, SUPPLY_NODE, technology.pmos, wp, name="MP_C")
 
-    def oai_function(values: Mapping[str, int]) -> int:
-        return 0 if (values["A"] or values["B"]) and values["C"] else 1
-
     return Cell(
         name=cell_name,
         circuit=circuit,
         inputs=("A", "B", "C"),
         output=OUTPUT_NODE,
         internal_nodes=("n1", "n2"),
-        function=oai_function,
+        function=Oai21Function(),
         technology=technology,
         drive_strength=drive_strength,
     )

@@ -9,7 +9,14 @@ from .capacitance import (
     extract_ramp_capacitance,
     extract_ramp_capacitances,
 )
-from .characterize import characterize_baseline_mis, characterize_mcsm, characterize_sis
+from .characterize import (
+    characterization_job,
+    characterization_key,
+    characterize_baseline_mis,
+    characterize_mcsm,
+    characterize_sis,
+    run_characterization,
+)
 from .config import CharacterizationConfig
 from .dc_tables import (
     characterize_mcsm_currents,
@@ -36,5 +43,8 @@ __all__ = [
     "characterize_baseline_mis",
     "characterize_mcsm",
     "characterize_nldm",
+    "characterization_job",
+    "characterization_key",
+    "run_characterization",
     "NLDMTable",
 ]

@@ -1,12 +1,22 @@
-"""Top-level characterization flows producing ready-to-use model objects."""
+"""Top-level characterization flows producing ready-to-use model objects.
+
+Besides the direct ``characterize_*`` entry points, this module knows how to
+package a characterization as a :class:`repro.runtime.jobs.Job`
+(:func:`characterization_job`): a picklable work unit whose content hash
+covers the cell topology, the technology, the characterization configuration
+and the code-version salt.  The experiment layer submits those jobs through
+:func:`repro.runtime.run_jobs`, which is what makes characterizations
+parallelizable across cells and cacheable across experiments and sessions.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 from ..cells.cell import Cell
 from ..csm.models import MCSM, BaselineMISCSM, SISCSM
 from ..exceptions import CharacterizationError
+from ..runtime.jobs import Job, cell_fingerprint, content_hash
 from .capacitance import characterize_cell_capacitances
 from .config import CharacterizationConfig
 from .dc_tables import (
@@ -15,7 +25,14 @@ from .dc_tables import (
     characterize_sis_current,
 )
 
-__all__ = ["characterize_sis", "characterize_baseline_mis", "characterize_mcsm"]
+__all__ = [
+    "characterize_sis",
+    "characterize_baseline_mis",
+    "characterize_mcsm",
+    "run_characterization",
+    "characterization_key",
+    "characterization_job",
+]
 
 
 def _default_fixed_inputs(cell: Cell, switching: Tuple[str, ...]) -> Dict[str, float]:
@@ -170,4 +187,72 @@ def characterize_mcsm(
         vdd=cell.technology.vdd,
         internal_node=stack_node,
         metadata={"grid_points": str(config.io_grid_points)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Runtime integration: characterizations as content-addressed jobs
+# ----------------------------------------------------------------------
+_CHARACTERIZERS = {
+    "sis": lambda cell, pins, config: characterize_sis(cell, pins[0], config),
+    "mis": lambda cell, pins, config: characterize_baseline_mis(
+        cell, pins[0], pins[1], config
+    ),
+    "mcsm": lambda cell, pins, config: characterize_mcsm(
+        cell, pins[0], pins[1], config
+    ),
+}
+
+_PINS_REQUIRED = {"sis": 1, "mis": 2, "mcsm": 2}
+
+
+def run_characterization(
+    kind: str, cell: Cell, pins: Sequence[str], config: CharacterizationConfig
+):
+    """Execute one characterization by kind (``"sis"``, ``"mis"``, ``"mcsm"``).
+
+    This is the module-level dispatch target of :func:`characterization_job`;
+    being a plain top-level function keeps the job picklable for the process
+    executor.
+    """
+    try:
+        expected = _PINS_REQUIRED[kind]
+    except KeyError:
+        raise CharacterizationError(
+            f"unknown characterization kind {kind!r}; expected one of "
+            f"{sorted(_CHARACTERIZERS)}"
+        ) from None
+    pins = tuple(pins)
+    if len(pins) != expected:
+        raise CharacterizationError(
+            f"characterization kind {kind!r} needs {expected} pin(s), got {pins!r}"
+        )
+    return _CHARACTERIZERS[kind](cell, pins, config)
+
+
+def characterization_key(
+    kind: str, cell: Cell, pins: Sequence[str], config: CharacterizationConfig
+) -> str:
+    """Content hash identifying one characterization result.
+
+    Covers the model kind, the switching pins, the cell fingerprint (topology,
+    geometry and technology — so a process-corner change re-characterizes) and
+    every knob of the characterization configuration, all salted with
+    :data:`repro.runtime.jobs.CODE_VERSION`.
+    """
+    return content_hash(
+        "characterization", kind, tuple(pins), cell_fingerprint(cell), config
+    )
+
+
+def characterization_job(
+    kind: str, cell: Cell, pins: Sequence[str], config: CharacterizationConfig
+) -> Job:
+    """Package a characterization as a cacheable runtime job."""
+    pins = tuple(pins)
+    return Job(
+        fn=run_characterization,
+        args=(kind, cell, pins, config),
+        name=f"characterize:{kind}:{cell.name}:{','.join(pins)}",
+        key=characterization_key(kind, cell, pins, config),
     )

@@ -3,34 +3,43 @@
 Every experiment of the evaluation section runs against the same
 :class:`ExperimentContext`: one technology, one cell library, and one set of
 characterized models (SIS CSM, baseline MIS CSM, complete MCSM for the NOR2
-cell the paper uses throughout).  Characterization results are cached on the
-context so that running several experiments — or the whole benchmark suite —
-characterizes each model exactly once.
+cell the paper uses throughout).  Characterization runs as content-addressed
+jobs through :mod:`repro.runtime`: results are memoized on the context (so one
+benchmark session characterizes each model exactly once) and, when the context
+carries a :class:`~repro.runtime.cache.ResultCache`, persisted on disk so
+*other* sessions and experiments never recompute them either.  Attaching an
+executor parallelizes multi-scenario experiments (e.g. the Fig. 5 fanout
+sweep) across workers.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping, Optional, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cells.builders import build_nor
 from ..cells.cell import Cell
 from ..cells.library import CellLibrary, default_library
 from ..cells.testbench import CellTestbench, build_testbench, fanout_capacitance
-from ..characterization.characterize import (
-    characterize_baseline_mis,
-    characterize_mcsm,
-    characterize_sis,
-)
+from ..characterization.characterize import characterization_job
 from ..characterization.config import CharacterizationConfig
 from ..csm.models import MCSM, BaselineMISCSM, SISCSM
 from ..csm.base import SimulationOptions
+from ..runtime.cache import ResultCache
+from ..runtime.executor import Executor, run_jobs
+from ..runtime.jobs import Job
 from ..spice.transient import TransientAnalysis, TransientOptions, transient_analysis
 from ..technology.process import Technology, default_technology
 from ..waveform.builders import InputPattern, pattern_stimulus, pattern_waveforms
 from ..waveform.waveform import Waveform
 
-__all__ = ["ExperimentContext", "default_context", "nor2_history_patterns", "HISTORY_LABELS"]
+__all__ = [
+    "ExperimentContext",
+    "default_context",
+    "nor2_history_patterns",
+    "lockstep_history_results",
+    "HISTORY_LABELS",
+]
 
 #: The two "input history" scenarios of Section 2.2, by label.
 HISTORY_LABELS = ("fast (10->11->00)", "slow (01->11->00)")
@@ -61,6 +70,39 @@ def nor2_history_patterns(
     }
 
 
+def lockstep_history_results(
+    cell: Cell,
+    pattern_sets,
+    fanout: int,
+    t_stop: float,
+    options: TransientOptions,
+    vdd: float,
+):
+    """Golden transients of several pattern sets against one FO-k bench.
+
+    All pattern sets drive the same FO-``fanout`` testbench; the batched
+    transient engine integrates every variant in lockstep.  Module-level and
+    argument-complete (no context capture) so the runtime can ship it to
+    worker processes.  Returns ``(bench, [result, ...])`` in pattern-set
+    order.
+    """
+    pattern_sets = list(pattern_sets)
+    first = {
+        pin: pattern_stimulus(pattern, vdd) for pin, pattern in pattern_sets[0].items()
+    }
+    bench = build_testbench(cell, first, fanout=fanout)
+    engine = TransientAnalysis(bench.circuit, options)
+    stimulus_sets = [
+        {
+            bench.input_source_names[pin]: pattern_stimulus(pattern, vdd)
+            for pin, pattern in patterns.items()
+        }
+        for patterns in pattern_sets
+    ]
+    results = engine.run_many(stimulus_sets, t_stop=t_stop)
+    return bench, results
+
+
 @dataclass
 class ExperimentContext:
     """Shared state (library + characterized models) for all experiments.
@@ -75,12 +117,22 @@ class ExperimentContext:
         Transient step of the golden (reference simulator) runs.
     model_time_step:
         Integration step of the current-source model simulations.
+    executor:
+        Optional :class:`repro.runtime.Executor`; multi-scenario experiments
+        (and :meth:`prewarm_characterizations`) fan their independent jobs out
+        through it.  ``None`` runs everything serially in-process.
+    cache:
+        Optional :class:`repro.runtime.ResultCache`; characterization jobs
+        are looked up / stored by content hash, so repeated runs (across
+        experiments, benchmarks or sessions) skip the characterization work.
     """
 
     technology: Technology = field(default_factory=default_technology)
     characterization: CharacterizationConfig = field(default_factory=CharacterizationConfig)
     reference_time_step: float = 2e-12
     model_time_step: float = 1e-12
+    executor: Optional[Executor] = None
+    cache: Optional[ResultCache] = None
     library: CellLibrary = field(init=False)
     _mcsm_cache: Dict[Tuple[str, str, str], MCSM] = field(init=False, default_factory=dict)
     _mis_cache: Dict[Tuple[str, str, str], BaselineMISCSM] = field(init=False, default_factory=dict)
@@ -88,6 +140,22 @@ class ExperimentContext:
 
     def __post_init__(self) -> None:
         self.library = default_library(self.technology)
+
+    # ------------------------------------------------------------------
+    def run_jobs(self, jobs: Sequence[Job], parallel: bool = True) -> List:
+        """Run runtime jobs with this context's executor and cache.
+
+        ``parallel=False`` forces serial execution (still cache-aware), for
+        job sets that are too small to amortize worker dispatch.
+        """
+        executor = self.executor if parallel else None
+        return run_jobs(jobs, executor=executor, cache=self.cache)
+
+    def _characterized(self, kind: str, cell: Cell, pins: Tuple[str, ...]):
+        """One characterization through the runtime (cache-aware, serial)."""
+        job = characterization_job(kind, cell, pins, self.characterization)
+        [result] = self.run_jobs([job], parallel=False)
+        return result.value
 
     # ------------------------------------------------------------------
     @property
@@ -112,7 +180,7 @@ class ExperimentContext:
         cell = cell or self.nor2
         key = (cell.name, pin_a, pin_b)
         if key not in self._mcsm_cache:
-            self._mcsm_cache[key] = characterize_mcsm(cell, pin_a, pin_b, self.characterization)
+            self._mcsm_cache[key] = self._characterized("mcsm", cell, (pin_a, pin_b))
         return self._mcsm_cache[key]
 
     def baseline_mis_for(
@@ -122,7 +190,7 @@ class ExperimentContext:
         cell = cell or self.nor2
         key = (cell.name, pin_a, pin_b)
         if key not in self._mis_cache:
-            self._mis_cache[key] = characterize_baseline_mis(cell, pin_a, pin_b, self.characterization)
+            self._mis_cache[key] = self._characterized("mis", cell, (pin_a, pin_b))
         return self._mis_cache[key]
 
     def sis_for(self, cell: Optional[Cell] = None, pin: str = "A") -> SISCSM:
@@ -130,8 +198,43 @@ class ExperimentContext:
         cell = cell or self.nor2
         key = (cell.name, pin)
         if key not in self._sis_cache:
-            self._sis_cache[key] = characterize_sis(cell, pin, self.characterization)
+            self._sis_cache[key] = self._characterized("sis", cell, (pin,))
         return self._sis_cache[key]
+
+    def prewarm_characterizations(
+        self,
+        kinds: Sequence[str] = ("mcsm", "mis", "sis"),
+        cell: Optional[Cell] = None,
+    ) -> int:
+        """Characterize several models as one parallel, cache-aware job set.
+
+        Submits one job per model kind (for the NOR2 cell by default) through
+        the context's executor, then seeds the in-memory model caches, so
+        subsequent ``mcsm_for`` / ``baseline_mis_for`` / ``sis_for`` calls are
+        instant.  Returns the number of jobs that actually executed (i.e.
+        were neither memoized nor disk-cache hits).
+        """
+        cell = cell or self.nor2
+        stores = {
+            "mcsm": (self._mcsm_cache, ("A", "B")),
+            "mis": (self._mis_cache, ("A", "B")),
+            "sis": (self._sis_cache, ("A",)),
+        }
+        jobs: List[Job] = []
+        targets: List[Tuple[Dict, Tuple[str, ...]]] = []
+        for kind in kinds:
+            store, pins = stores[kind]
+            memo_key = (cell.name, *pins)
+            if memo_key in store:
+                continue
+            jobs.append(characterization_job(kind, cell, pins, self.characterization))
+            targets.append((store, memo_key))
+        results = self.run_jobs(jobs)
+        executed = 0
+        for (store, memo_key), result in zip(targets, results):
+            store[memo_key] = result.value
+            executed += 0 if result.cache_hit else 1
+        return executed
 
     # ------------------------------------------------------------------
     def reference_history_run(
@@ -162,23 +265,10 @@ class ExperimentContext:
         paper's input histories costs barely more than one transient.  Returns
         ``(bench, [result, ...])`` with results in pattern-set order.
         """
-        pattern_sets = list(pattern_sets)
         cell = cell or self.nor2
-        first = {
-            pin: pattern_stimulus(pattern, self.vdd)
-            for pin, pattern in pattern_sets[0].items()
-        }
-        bench = build_testbench(cell, first, fanout=fanout)
-        engine = TransientAnalysis(bench.circuit, self.reference_options())
-        stimulus_sets = [
-            {
-                bench.input_source_names[pin]: pattern_stimulus(pattern, self.vdd)
-                for pin, pattern in patterns.items()
-            }
-            for patterns in pattern_sets
-        ]
-        results = engine.run_many(stimulus_sets, t_stop=t_stop)
-        return bench, results
+        return lockstep_history_results(
+            cell, pattern_sets, fanout, t_stop, self.reference_options(), self.vdd
+        )
 
     def model_history_waveforms(
         self, patterns: Mapping[str, InputPattern], t_stop: float = 3.0e-9

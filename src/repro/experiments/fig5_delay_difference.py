@@ -6,17 +6,33 @@ input-history cases.  The reported range is roughly 26 % at FO1 falling to
 about 8 % at FO8 — i.e. the stack (internal-node) effect matters most for
 lightly loaded cells.  This experiment regenerates that series with the
 reference simulator using real fanout inverters as the load.
+
+Each fanout bench is an *independent circuit topology* (the FO-k load changes
+the transistor count), so the lockstep batcher cannot merge them — instead
+every fanout becomes one :class:`repro.runtime.Job` and the whole sweep runs
+through the context's executor: eight parallel scenario jobs on a process
+pool, or a plain serial loop when no executor is attached.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..cells.cell import Cell
+from ..runtime.jobs import Job, cell_fingerprint, content_hash
+from ..spice.transient import TransientOptions
+from ..waveform.builders import InputPattern
 from ..waveform.metrics import propagation_delay
-from .common import HISTORY_LABELS, ExperimentContext, default_context, nor2_history_patterns
+from .common import (
+    HISTORY_LABELS,
+    ExperimentContext,
+    default_context,
+    lockstep_history_results,
+    nor2_history_patterns,
+)
 
-__all__ = ["Fig5Row", "Fig5Result", "run_fig5"]
+__all__ = ["Fig5Row", "Fig5Result", "run_fig5", "fanout_delay_job"]
 
 
 @dataclass
@@ -71,12 +87,70 @@ class Fig5Result:
         return "\n".join(lines)
 
 
+def _fanout_history_delays(
+    cell: Cell,
+    pattern_sets: Tuple[Mapping[str, InputPattern], ...],
+    fanout: int,
+    t_stop: float,
+    options: TransientOptions,
+    vdd: float,
+) -> Tuple[float, ...]:
+    """One Fig. 5 bench: lockstep reference transients of all input histories
+    against an FO-``fanout`` load, reduced to their propagation delays.
+
+    Module-level (picklable) so a process executor can run it; everything it
+    needs travels in its arguments — no shared context.
+    """
+    _, results = lockstep_history_results(cell, pattern_sets, fanout, t_stop, options, vdd)
+    return tuple(
+        propagation_delay(
+            result.waveform("A"),
+            result.waveform(cell.output),
+            vdd,
+            input_direction="fall",
+            output_direction="rise",
+        )
+        for result in results
+    )
+
+
+def fanout_delay_job(
+    context: ExperimentContext,
+    patterns: Dict[str, Dict[str, InputPattern]],
+    fanout: int,
+    t_stop: float = 3.0e-9,
+) -> Job:
+    """Package one fanout bench of the Fig. 5 sweep as a cacheable job."""
+    cell = context.nor2
+    pattern_sets = tuple(patterns.values())
+    options = context.reference_options()
+    args = (cell, pattern_sets, fanout, t_stop, options, context.vdd)
+    return Job(
+        fn=_fanout_history_delays,
+        args=args,
+        name=f"fig5:fo{fanout}",
+        key=content_hash(
+            "fig5-fanout-delays",
+            cell_fingerprint(cell),
+            pattern_sets,
+            fanout,
+            t_stop,
+            options,
+            context.vdd,
+        ),
+    )
+
+
 def run_fig5(
     context: Optional[ExperimentContext] = None,
     fanouts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7, 8),
     transition_time: float = 50e-12,
 ) -> Fig5Result:
     """Reproduce Fig. 5 of the paper.
+
+    The FO1..FO8 benches are submitted as independent runtime jobs; attach an
+    executor to the context to run them in parallel (each bench is a distinct
+    topology, so this is the sweep the lockstep batcher cannot cover).
 
     Parameters
     ----------
@@ -87,18 +161,13 @@ def run_fig5(
     context = context or default_context()
     patterns = nor2_history_patterns(transition_time=transition_time)
 
+    jobs = [fanout_delay_job(context, patterns, fanout) for fanout in fanouts]
+    results = context.run_jobs(jobs)
+
+    labels = list(patterns)
     rows: List[Fig5Row] = []
-    for fanout in fanouts:
-        delays: Dict[str, float] = {}
-        _, results = context.reference_history_runs(patterns.values(), fanout=fanout)
-        for (label, pattern_set), result in zip(patterns.items(), results):
-            delays[label] = propagation_delay(
-                result.waveform("A"),
-                result.waveform(context.nor2.output),
-                context.vdd,
-                input_direction="fall",
-                output_direction="rise",
-            )
+    for fanout, result in zip(fanouts, results):
+        delays = dict(zip(labels, result.value))
         rows.append(
             Fig5Row(
                 fanout=fanout,

@@ -1,0 +1,247 @@
+"""Content-addressed disk cache for characterization and simulation results.
+
+Layout on disk: one ``.npz`` file per entry under two-level fan-out
+directories, addressed purely by the job's content hash::
+
+    <cache_dir>/
+        ab/
+            ab3f9c....npz      # numeric payload + JSON manifest
+        c4/
+            c41d07....npz
+
+Each ``.npz`` holds every numpy array of the payload (``a0``, ``a1``, ...)
+plus a ``__manifest__`` entry: a JSON description of the object tree that
+references the arrays by name.  The codec round-trips the repo's result
+types **bitwise**:
+
+* primitives, lists/tuples/dicts,
+* numpy arrays (via the npz container itself),
+* :class:`~repro.lut.table.NDTable` (axes + value grid),
+* the characterized model dataclasses (``SISCSM``, ``BaselineMISCSM``,
+  ``MCSM``) and :class:`~repro.characterization.nldm.NLDMTable`.
+
+Floats embedded in the manifest are rendered with ``repr`` (Python's
+shortest round-tripping form), so a cache hit returns exactly the value the
+original run produced.
+
+Invalidation: keys embed :data:`repro.runtime.jobs.CODE_VERSION`, so bumping
+the salt orphans every stale entry; :meth:`ResultCache.clear` removes them
+from disk, and :meth:`ResultCache.evict` drops a single key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import logging
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+import numpy as np
+
+from ..lut.grid import Axis
+from ..lut.table import NDTable
+
+__all__ = ["CacheStats", "ResultCache"]
+
+logger = logging.getLogger("repro.runtime")
+
+
+def _registered_classes() -> Dict[str, Type]:
+    """Dataclass result types the codec may store (imported lazily to keep
+    :mod:`repro.runtime` free of upward package dependencies)."""
+    from ..characterization.nldm import NLDMTable
+    from ..csm.models import MCSM, BaselineMISCSM, SISCSM
+
+    return {cls.__name__: cls for cls in (SISCSM, BaselineMISCSM, MCSM, NLDMTable)}
+
+
+# ----------------------------------------------------------------------
+# Payload codec: object tree <-> (manifest JSON, {array_name: ndarray})
+# ----------------------------------------------------------------------
+def _encode(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    # Numpy scalars first: np.float64 subclasses float, and repr() of the
+    # subclass ('np.float64(…)') would not round-trip through float().
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return {"t": "float", "v": repr(float(value))}
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return {"t": "float", "v": repr(value)}
+    if isinstance(value, np.ndarray):
+        name = f"a{len(arrays)}"
+        arrays[name] = value
+        return {"t": "array", "v": name}
+    if isinstance(value, list):
+        return {"t": "list", "v": [_encode(item, arrays) for item in value]}
+    if isinstance(value, tuple):
+        return {"t": "tuple", "v": [_encode(item, arrays) for item in value]}
+    if isinstance(value, dict):
+        items = [[_encode(k, arrays), _encode(v, arrays)] for k, v in value.items()]
+        return {"t": "dict", "v": items}
+    if isinstance(value, NDTable):
+        return {
+            "t": "ndtable",
+            "name": value.name,
+            "axes": [[axis.name, list(axis.points)] for axis in value.axes],
+            "values": _encode(value.values, arrays),
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        cls_name = type(value).__name__
+        if cls_name not in _registered_classes():
+            raise TypeError(
+                f"dataclass {cls_name!r} is not registered with the result cache"
+            )
+        return {
+            "t": "object",
+            "cls": cls_name,
+            "fields": {
+                f.name: _encode(getattr(value, f.name), arrays)
+                for f in dataclasses.fields(value)
+            },
+        }
+    raise TypeError(f"cannot cache values of type {type(value).__name__!r}")
+
+
+def _decode(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    if node is None or isinstance(node, (bool, int, str)):
+        return node
+    if isinstance(node, list):  # only produced inside typed containers
+        return [_decode(item, arrays) for item in node]
+    tag = node["t"]
+    if tag == "float":
+        return float(node["v"])
+    if tag == "array":
+        return arrays[node["v"]]
+    if tag == "list":
+        return [_decode(item, arrays) for item in node["v"]]
+    if tag == "tuple":
+        return tuple(_decode(item, arrays) for item in node["v"])
+    if tag == "dict":
+        return {_decode(k, arrays): _decode(v, arrays) for k, v in node["v"]}
+    if tag == "ndtable":
+        axes = [
+            Axis(name=name, points=tuple(float(p) for p in points))
+            for name, points in node["axes"]
+        ]
+        return NDTable(axes, _decode(node["values"], arrays), name=node["name"])
+    if tag == "object":
+        cls = _registered_classes()[node["cls"]]
+        fields = {name: _decode(child, arrays) for name, child in node["fields"].items()}
+        return cls(**fields)
+    raise ValueError(f"unknown cache manifest tag {tag!r}")
+
+
+# ----------------------------------------------------------------------
+# The cache itself
+# ----------------------------------------------------------------------
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+
+    def __str__(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
+
+
+class ResultCache:
+    """Content-addressed ``.npz`` store keyed by job content hashes."""
+
+    def __init__(self, directory: os.PathLike):
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.directory / key[:2] / f"{key}.npz"
+
+    def _entries(self):
+        """Finished entries only — skips '.tmp-*' left by interrupted stores."""
+        return (
+            path
+            for path in self.directory.glob("*/*.npz")
+            if not path.name.startswith(".tmp-")
+        )
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._entries())
+
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)`` for a key; counts the hit or miss."""
+        path = self._path(key)
+        try:
+            with np.load(path, allow_pickle=False) as data:
+                manifest = json.loads(str(data["__manifest__"]))
+                arrays = {name: data[name] for name in data.files if name != "__manifest__"}
+            value = _decode(manifest, arrays)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return False, None
+        except Exception:  # corrupt/undecodable entry: treat as miss, drop it
+            logger.warning("dropping unreadable cache entry %s", path, exc_info=True)
+            path.unlink(missing_ok=True)
+            self.stats.misses += 1
+            return False, None
+        self.stats.hits += 1
+        return True, value
+
+    def store(self, key: str, value: Any) -> None:
+        """Persist a value under its content key (atomic rename)."""
+        arrays: Dict[str, np.ndarray] = {}
+        manifest = _encode(value, arrays)
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".npz"
+        )
+        try:
+            with os.fdopen(handle, "wb") as stream:
+                np.savez_compressed(
+                    stream, __manifest__=np.array(json.dumps(manifest)), **arrays
+                )
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    # ------------------------------------------------------------------
+    def evict(self, key: str) -> bool:
+        """Remove a single entry; returns whether it existed."""
+        path = self._path(key)
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number of entries removed."""
+        removed = 0
+        for path in self._entries():
+            path.unlink()
+            removed += 1
+        return removed
+
+    def keys(self) -> List[str]:
+        return sorted(path.stem for path in self._entries())

@@ -1,0 +1,196 @@
+"""Command-line entry point: run paper-figure sets on the parallel runtime.
+
+Usage::
+
+    python -m repro.runtime.cli --figures fig5 fig9 --workers 4 --cache ~/.repro-cache
+    python -m repro.runtime.cli --figures all --workers 8 --executor thread
+    python -m repro.runtime.cli --figures fig3 --settings paper --json report.json
+
+The CLI builds one :class:`~repro.experiments.ExperimentContext` wired to the
+chosen executor and disk cache, pre-characterizes every model the requested
+figures need (as one parallel job set), then runs the figures and reports
+per-figure wall-clock plus cache statistics.  A second invocation with the
+same ``--cache`` directory skips all characterization jobs — the hits are
+logged and counted in the summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import logging
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .cache import ResultCache
+from .executor import default_executor
+
+__all__ = ["main", "FIGURES", "MODEL_KINDS"]
+
+#: Figure name -> callable(context) -> result object with ``summary()``.
+FIGURES: Dict[str, object] = {}
+
+#: Figure name -> model kinds it characterizes (prewarmed in parallel).
+MODEL_KINDS: Dict[str, tuple] = {
+    "fig3": (),
+    "fig4": (),
+    "fig5": (),
+    "fig9": ("mcsm", "mis"),
+    "fig10": ("mcsm",),
+    "fig11": ("mcsm", "sis"),
+    "fig12": ("mcsm",),
+}
+
+
+def _load_figures() -> None:
+    """Populate FIGURES lazily so ``--help`` stays fast."""
+    if FIGURES:
+        return
+    from ..experiments import (
+        run_fig3,
+        run_fig4,
+        run_fig5,
+        run_fig9,
+        run_fig10,
+        run_fig11,
+        run_fig12,
+    )
+
+    FIGURES.update(
+        {
+            "fig3": lambda ctx: run_fig3(ctx),
+            "fig4": lambda ctx: run_fig4(ctx),
+            "fig5": lambda ctx: run_fig5(ctx),
+            "fig9": lambda ctx: run_fig9(ctx, fanout=1),
+            "fig10": lambda ctx: run_fig10(ctx),
+            "fig11": lambda ctx: run_fig11(ctx),
+            "fig12": lambda ctx: run_fig12(ctx),
+        }
+    )
+
+
+def build_context(settings: str, executor=None, cache: Optional[ResultCache] = None):
+    """An :class:`ExperimentContext` for ``settings`` ('quick' or 'paper')."""
+    from ..characterization import CharacterizationConfig
+    from ..experiments import ExperimentContext
+
+    if settings == "quick":
+        return ExperimentContext(
+            characterization=CharacterizationConfig(io_grid_points=5),
+            reference_time_step=4e-12,
+            model_time_step=2e-12,
+            executor=executor,
+            cache=cache,
+        )
+    if settings == "paper":
+        return ExperimentContext(executor=executor, cache=cache)
+    raise ValueError(f"unknown settings {settings!r}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.cli",
+        description="Run paper-figure experiment sets on the parallel runtime.",
+    )
+    parser.add_argument(
+        "--figures",
+        nargs="+",
+        default=["all"],
+        help="figure names (fig3 fig4 fig5 fig9 fig10 fig11 fig12) or 'all'",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="parallel worker count; 1 means serial execution (default)",
+    )
+    parser.add_argument(
+        "--executor",
+        choices=("process", "thread"),
+        default="process",
+        help="pool flavour when --workers > 1 (default: process)",
+    )
+    parser.add_argument(
+        "--cache",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="content-addressed result cache directory (created if missing)",
+    )
+    parser.add_argument(
+        "--settings",
+        choices=("quick", "paper"),
+        default="quick",
+        help="characterization/time-step resolution (default: quick)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write a machine-readable timing/cache report",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-figure result summaries"
+    )
+    args = parser.parse_args(argv)
+
+    logging.basicConfig(level=logging.INFO, format="%(name)s: %(message)s")
+
+    _load_figures()
+    names = list(FIGURES) if args.figures == ["all"] else args.figures
+    unknown = [name for name in names if name not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figures {unknown}; available: {sorted(FIGURES)}")
+
+    executor = default_executor(args.workers, args.executor)
+    cache = ResultCache(args.cache) if args.cache is not None else None
+    context = build_context(args.settings, executor=executor, cache=cache)
+
+    kinds = tuple(dict.fromkeys(k for name in names for k in MODEL_KINDS[name]))
+    report: Dict[str, object] = {
+        "settings": args.settings,
+        "workers": args.workers,
+        "executor": executor.describe(),
+        "figures": {},
+    }
+
+    total_start = time.perf_counter()
+    if kinds:
+        start = time.perf_counter()
+        executed = context.prewarm_characterizations(kinds)
+        elapsed = time.perf_counter() - start
+        print(
+            f"characterization: {len(kinds)} model(s) ready in {elapsed:.3f} s "
+            f"({executed} executed, {len(kinds) - executed} from cache)"
+        )
+        report["characterization"] = {
+            "kinds": list(kinds),
+            "seconds": round(elapsed, 4),
+            "executed": executed,
+        }
+
+    for name in names:
+        start = time.perf_counter()
+        result = FIGURES[name](context)
+        elapsed = time.perf_counter() - start
+        report["figures"][name] = round(elapsed, 4)
+        print(f"{name}: {elapsed:.3f} s")
+        if not args.quiet and hasattr(result, "summary"):
+            print(result.summary())
+    report["total_seconds"] = round(time.perf_counter() - total_start, 4)
+
+    if cache is not None:
+        print(f"cache: {cache.stats} ({args.cache})")
+        report["cache"] = cache.stats.as_dict()
+
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""The runtime job model: picklable work units with content-addressed keys.
+
+A :class:`Job` wraps any picklable scenario unit — a cell characterization, a
+transient bench, an experiment variant — as ``fn(*args, **kwargs)`` plus a
+stable *content hash* derived from the job's declared inputs.  Two jobs with
+the same hash are guaranteed (by construction of the hash) to compute the same
+result, which is what lets the disk cache (:mod:`repro.runtime.cache`) skip
+re-execution across processes, sessions and experiments.
+
+Hashes are built from a canonical JSON rendering of the inputs:
+
+* floats use ``repr`` (shortest round-tripping form), so bit-identical inputs
+  give identical hashes;
+* numpy arrays hash their dtype, shape and raw bytes;
+* dataclasses (``Technology``, ``MosfetParams``, ``CharacterizationConfig``,
+  stimulus descriptions, ...) hash their class name plus field values;
+* cells hash through :func:`cell_fingerprint`, which captures the transistor
+  topology (terminals, geometry, device parameters) rather than the Python
+  object identity;
+* every hash is salted with :data:`CODE_VERSION` — bump it whenever the
+  *meaning* of cached results changes (new characterization algorithm, fixed
+  solver bug, ...) and all previously cached entries become unreachable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["CODE_VERSION", "Job", "job", "content_hash", "cell_fingerprint"]
+
+#: Salt mixed into every content hash.  Bump on any change that alters what a
+#: characterization / simulation job computes for the same inputs; this is the
+#: cache's invalidation story (old entries are simply never addressed again).
+CODE_VERSION = "pr2.1"
+
+
+# ----------------------------------------------------------------------
+# Canonicalization + hashing
+# ----------------------------------------------------------------------
+def _canonical(obj: Any) -> Any:
+    """Reduce ``obj`` to a JSON-serializable tree with stable rendering."""
+    # Numpy scalars before the builtin branches: np.float64 subclasses float,
+    # and repr() of the subclass ('np.float64(…)') would make hashes depend on
+    # the numpy version and never match the equal Python float.
+    if isinstance(obj, np.bool_):
+        return bool(obj)
+    if isinstance(obj, np.integer):
+        return int(obj)
+    if isinstance(obj, np.floating):
+        return {"__float__": repr(float(obj))}
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        # repr() round-trips exactly (shortest-repr guarantee), so equal bit
+        # patterns canonicalize identically and unequal ones never collide.
+        return {"__float__": repr(obj)}
+    if isinstance(obj, np.ndarray):
+        array = np.ascontiguousarray(obj)
+        return {
+            "__ndarray__": {
+                "dtype": str(array.dtype),
+                "shape": list(array.shape),
+                "sha256": hashlib.sha256(array.tobytes()).hexdigest(),
+            }
+        }
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(item) for item in obj]
+    if isinstance(obj, dict):
+        return {
+            "__dict__": sorted(
+                (str(key), _canonical(value)) for key, value in obj.items()
+            )
+        }
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__object__": type(obj).__name__,
+            "fields": {
+                f.name: _canonical(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    # Objects exposing their own canonical form (e.g. NDTable.to_dict).
+    to_dict = getattr(obj, "to_dict", None)
+    if callable(to_dict):
+        return {"__object__": type(obj).__name__, "fields": _canonical(to_dict())}
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for content hashing; "
+        "pass primitives, arrays, dataclasses or objects with to_dict()"
+    )
+
+
+def content_hash(*parts: Any) -> str:
+    """Stable hex digest of the given inputs, salted with :data:`CODE_VERSION`."""
+    tree = _canonical([CODE_VERSION, list(parts)])
+    payload = json.dumps(tree, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def cell_fingerprint(cell: Any) -> Dict[str, Any]:
+    """Content identity of a cell: topology + geometry + technology.
+
+    Two cells with the same fingerprint characterize identically, regardless
+    of how the Python objects were constructed.  The fingerprint covers the
+    transistor netlist (terminals, width, length, device parameters), the
+    capacitor branches, the pin/node naming and the technology definition
+    (which carries the supply voltage and both polarities' parameters).
+    """
+    devices = [
+        {
+            "name": device.name,
+            "drain": device.drain,
+            "gate": device.gate,
+            "source": device.source,
+            "bulk": device.bulk,
+            "width": device.width,
+            "length": device.length,
+            "params": device.params,
+        }
+        for device in cell.circuit.mosfets()
+    ]
+    capacitors = [
+        [node_a, node_b, value]
+        for node_a, node_b, value in cell.circuit.capacitor_branch_list()
+    ]
+    return {
+        "name": cell.name,
+        "inputs": list(cell.inputs),
+        "output": cell.output,
+        "internal_nodes": list(cell.internal_nodes),
+        "drive_strength": cell.drive_strength,
+        "devices": devices,
+        "capacitors": capacitors,
+        "technology": cell.technology,
+    }
+
+
+# ----------------------------------------------------------------------
+# The job unit
+# ----------------------------------------------------------------------
+@dataclass
+class Job:
+    """One schedulable unit of work.
+
+    Attributes
+    ----------
+    fn:
+        A picklable callable (module-level function or callable class
+        instance) computing the result.
+    args / kwargs:
+        Call arguments; must be picklable for the process executor.
+    name:
+        Human-readable label used in logs and error messages.
+    key:
+        Optional content hash (from :func:`content_hash`).  Jobs with a key
+        participate in the disk cache; keyless jobs always execute.
+    """
+
+    fn: Callable[..., Any]
+    args: Tuple[Any, ...] = ()
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    name: str = ""
+    key: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = getattr(self.fn, "__name__", type(self.fn).__name__)
+
+    def run(self) -> Any:
+        """Execute the job in the current process."""
+        return self.fn(*self.args, **self.kwargs)
+
+
+def job(
+    fn: Callable[..., Any],
+    *args: Any,
+    name: str = "",
+    key_parts: Optional[Tuple[Any, ...]] = None,
+    **kwargs: Any,
+) -> Job:
+    """Convenience constructor: build a :class:`Job`, hashing ``key_parts``.
+
+    When ``key_parts`` is given the job's cache key is
+    ``content_hash(fn_qualname, *key_parts)`` — the function identity is mixed
+    in so two different computations over the same inputs don't collide.
+    """
+    key = None
+    if key_parts is not None:
+        fn_id = getattr(fn, "__qualname__", type(fn).__name__)
+        key = content_hash(fn_id, *key_parts)
+    return Job(fn=fn, args=args, kwargs=kwargs, name=name, key=key)

@@ -264,23 +264,26 @@ class MNAAssembler:
         self._cap_rhs_sign = np.asarray(cap_rhs_sign)
         self._cap_rhs_branch = np.asarray(cap_rhs_branch, dtype=np.intp)
 
-        # Reusable padded-solution buffer for the unbatched build path, and
-        # per-batch-size workspaces (matrices / rhs / padded solutions) for
-        # the batched path: newton iterations run thousands of times per
-        # transient, so the allocations are hoisted out of the hot loop.
+        # Reusable padded-solution buffer for the unbatched build path, and a
+        # grow-on-demand workspace (matrices / rhs / padded solutions) for the
+        # batched path: newton iterations run thousands of times per
+        # transient, so the allocations are hoisted out of the hot loop.  The
+        # workspace is sized for the largest batch seen and sliced for smaller
+        # ones, which is what lets the batched Newton solver shrink its
+        # rebuilds to the active (non-converged) subset without reallocating.
         self._padded = np.zeros(size + 1)
-        self._batch_workspaces: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._max_workspace: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None
 
     def _workspace(self, batch: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
-        workspace = self._batch_workspaces.get(batch)
-        if workspace is None:
+        workspace = self._max_workspace
+        if workspace is None or workspace[0].shape[0] < batch:
             workspace = (
                 np.empty((batch, self.size, self.size)),
                 np.empty((batch, self.size)),
                 np.zeros((batch, self.size + 1)),
             )
-            self._batch_workspaces[batch] = workspace
-        return workspace
+            self._max_workspace = workspace
+        return tuple(buffer[:batch] for buffer in workspace)
 
     @staticmethod
     def _stamp_conductance(matrix: np.ndarray, a: int, b: int, g: float) -> None:
@@ -573,13 +576,20 @@ def newton_solve_many(
     cap_matrix: Optional[np.ndarray] = None,
     cap_rhs: Optional[np.ndarray] = None,
     options: Optional[NewtonOptions] = None,
+    rebuild_converged: bool = False,
 ) -> np.ndarray:
     """Damped Newton-Raphson over a batch of ``B`` independent bias points.
 
     All runs share the circuit topology (and companion conductances); each run
-    has its own source values and candidate solution.  Runs freeze as soon as
-    they individually satisfy the tolerances, so results match the sequential
-    solver up to floating-point evaluation order.
+    has its own source values and candidate solution.  Runs drop out of the
+    iteration as soon as they individually satisfy the tolerances: each
+    subsequent iteration assembles and factorizes only the *active*
+    (non-converged) subset, so wide batches with a few straggling runs don't
+    keep paying for the runs that finished early.  Because every run's
+    linearized system is assembled and solved independently of its batch
+    neighbours, the results are bit-identical to rebuilding the full batch
+    every iteration (``rebuild_converged=True`` keeps that legacy behaviour
+    for verification).
 
     Parameters mirror :meth:`MNAAssembler.build_many`.  Raises
     :class:`~repro.exceptions.ConvergenceError` if any run fails to converge
@@ -593,10 +603,18 @@ def newton_solve_many(
     batch = solutions.shape[0]
     num_nodes = assembler.num_nodes
 
-    active = np.ones(batch, dtype=bool)
+    active = np.arange(batch)
     for _ in range(options.max_iterations):
+        if rebuild_converged:
+            subset = np.arange(batch)  # legacy: rebuild every run, every time
+        else:
+            subset = active
         matrices, rhs = assembler.build_many(
-            solutions, vs_values, cs_values, cap_matrix, cap_rhs
+            solutions[subset],
+            vs_values[subset],
+            cs_values[subset],
+            cap_matrix,
+            None if cap_rhs is None else cap_rhs[subset],
         )
         try:
             proposed = np.linalg.solve(matrices, rhs[..., None])[..., 0]
@@ -605,13 +623,14 @@ def newton_solve_many(
                 f"singular MNA matrix while batch-solving {assembler.circuit.name!r}",
             ) from exc
 
-        delta = proposed - solutions
+        delta = proposed - solutions[subset]
         abs_delta = np.abs(delta)
-        voltage_delta = abs_delta[:, :num_nodes].max(axis=1) if num_nodes else np.zeros(batch)
+        count = len(subset)
+        voltage_delta = abs_delta[:, :num_nodes].max(axis=1) if num_nodes else np.zeros(count)
         if solutions.shape[1] > num_nodes:
             current_delta = abs_delta[:, num_nodes:].max(axis=1)
         else:
-            current_delta = np.zeros(batch)
+            current_delta = np.zeros(count)
 
         np.clip(
             delta[:, :num_nodes],
@@ -619,16 +638,23 @@ def newton_solve_many(
             options.damping_limit,
             out=delta[:, :num_nodes],
         )
-        solutions[active] += delta[active]
+        # Only the still-active runs move; converged runs stay frozen even on
+        # the legacy full-rebuild path.
+        if rebuild_converged:
+            is_active = np.isin(subset, active, assume_unique=True)
+        else:
+            is_active = np.ones(count, dtype=bool)
+        solutions[subset[is_active]] += delta[is_active]
 
         converged_now = (voltage_delta < options.voltage_tolerance) & (
             current_delta < options.current_tolerance
         )
-        active &= ~converged_now
-        if not active.any():
+        still_active = is_active & ~converged_now
+        active = subset[still_active]
+        if active.size == 0:
             return solutions
 
-    failed = np.flatnonzero(active).tolist()
+    failed = active.tolist()
     error = ConvergenceError(
         f"batch Newton did not converge for {assembler.circuit.name!r} "
         f"(runs {failed} still active after {options.max_iterations} iterations)",

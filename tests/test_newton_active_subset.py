@@ -1,0 +1,135 @@
+"""Active-subset batched Newton must match the legacy full-rebuild exactly.
+
+``newton_solve_many`` historically froze converged runs but still rebuilt
+their linearized systems every iteration; it now assembles only the active
+subset.  Because each run's system is assembled and solved independently of
+its batch neighbours, the two strategies must agree *bitwise* — these tests
+pin that down on circuits where runs converge at genuinely different
+iteration counts (a DC bias grid spanning sub-threshold to full-rail, and a
+multi-stimulus transient).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import build_nor
+from repro.cells.testbench import build_testbench
+from repro.spice.dc import DCAnalysis
+from repro.spice.mna import MNAAssembler, NewtonOptions, newton_solve, newton_solve_many
+from repro.spice.sources import SaturatedRamp
+from repro.spice.transient import TransientAnalysis, TransientOptions
+from repro.technology import default_technology
+
+
+@pytest.fixture(scope="module")
+def nor2_bench():
+    technology = default_technology()
+    cell = build_nor(technology, 2)
+    return build_testbench(cell, {"A": 0.0, "B": 0.0}, load_capacitance=5e-15)
+
+
+def _bias_batch(bench, grid):
+    """(initial, vs_values, cs_values) for a grid of (VA, VB) bias points."""
+    assembler = MNAAssembler(bench.circuit)
+    vdd = bench.cell.technology.vdd
+    names = [source.name for source in assembler.voltage_sources]
+    rows = []
+    for va, vb in grid:
+        values = {"VDD": vdd, "VA": va, "VB": vb}
+        rows.append([values[name] for name in names])
+    vs_values = np.array(rows)
+    cs_values = np.zeros((len(grid), len(assembler.current_sources)))
+    initial = np.zeros((len(grid), assembler.size))
+    return assembler, initial, vs_values, cs_values
+
+
+def test_active_subset_matches_full_rebuild_bitwise(nor2_bench):
+    vdd = nor2_bench.cell.technology.vdd
+    grid = [
+        (va, vb)
+        for va in np.linspace(-0.1, vdd + 0.1, 7)
+        for vb in np.linspace(-0.1, vdd + 0.1, 7)
+    ]
+    assembler, initial, vs_values, cs_values = _bias_batch(nor2_bench, grid)
+
+    fast = newton_solve_many(assembler, initial, vs_values, cs_values)
+    legacy = newton_solve_many(
+        assembler, initial, vs_values, cs_values, rebuild_converged=True
+    )
+    assert np.array_equal(fast, legacy)
+
+
+def test_active_subset_matches_sequential_solver(nor2_bench):
+    vdd = nor2_bench.cell.technology.vdd
+    grid = [(0.0, 0.0), (vdd / 3, vdd / 2), (vdd, 0.2), (vdd, vdd)]
+    assembler, initial, vs_values, cs_values = _bias_batch(nor2_bench, grid)
+
+    batched = newton_solve_many(assembler, initial, vs_values, cs_values)
+    options = NewtonOptions()
+    for row, (va, vb) in enumerate(grid):
+        nor2_bench.set_input_stimulus("A", va)
+        nor2_bench.set_input_stimulus("B", vb)
+        single = newton_solve(
+            MNAAssembler(nor2_bench.circuit), np.zeros(assembler.size), 0.0, options=options
+        )
+        assert np.allclose(batched[row], single, atol=1e-9)
+
+
+def test_dc_grid_unchanged_by_active_subset(nor2_bench):
+    """DCAnalysis.solve_grid rides on newton_solve_many; results must hold."""
+    analysis = DCAnalysis(nor2_bench.circuit)
+    vdd = nor2_bench.cell.technology.vdd
+    points = [
+        {"VA": va, "VB": vb}
+        for va in (0.0, vdd / 2, vdd)
+        for vb in (0.0, vdd / 2, vdd)
+    ]
+    results = analysis.solve_grid(points)
+    assert len(results) == len(points)
+    out_off = results[0].voltage("out")  # both inputs low -> output high
+    out_on = results[-1].voltage("out")  # both inputs high -> output low
+    assert out_off > 0.9 * vdd
+    assert out_on < 0.1 * vdd
+
+
+def test_transient_lockstep_bitwise_unchanged_by_active_subset(monkeypatch):
+    """``run_many`` waveforms are bit-identical under both rebuild strategies.
+
+    The lockstep transient engine drives ``newton_solve_many`` at every time
+    step with runs converging at different iteration counts (three very
+    different input slews), so this exercises the active-subset path exactly
+    where it diverges from the legacy full-batch rebuild.
+    """
+    technology = default_technology()
+    cell = build_nor(technology, 2)
+    ramp = SaturatedRamp(0.0, technology.vdd, 100e-12, 50e-12)
+    options = TransientOptions(time_step=4e-12, record_source_currents=False)
+    stimulus_sets = [
+        {"VA": SaturatedRamp(0.0, technology.vdd, 100e-12, slew)}
+        for slew in (20e-12, 50e-12, 150e-12)
+    ]
+
+    def run_batch():
+        bench = build_testbench(cell, {"A": ramp, "B": 0.0}, load_capacitance=5e-15)
+        engine = TransientAnalysis(bench.circuit, options)
+        return engine.run_many(stimulus_sets, t_stop=0.6e-9)
+
+    fast = run_batch()
+
+    import repro.spice.transient as transient_module
+
+    def legacy_newton(*args, **kwargs):
+        kwargs["rebuild_converged"] = True
+        return newton_solve_many(*args, **kwargs)
+
+    monkeypatch.setattr(transient_module, "newton_solve_many", legacy_newton)
+    legacy = run_batch()
+
+    for fast_result, legacy_result in zip(fast, legacy):
+        assert np.array_equal(fast_result.times, legacy_result.times)
+        for node in ("out", "n1", "A"):
+            assert np.array_equal(
+                fast_result.voltage_trace(node), legacy_result.voltage_trace(node)
+            )

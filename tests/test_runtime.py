@@ -1,0 +1,271 @@
+"""Tests for the parallel runtime: jobs, executors and the result cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cells import build_inverter, build_nor
+from repro.characterization import (
+    CharacterizationConfig,
+    characterization_job,
+    characterization_key,
+    characterize_sis,
+)
+from repro.experiments import ExperimentContext
+from repro.experiments.fig5_delay_difference import run_fig5
+from repro.runtime import (
+    Job,
+    JobError,
+    ProcessExecutor,
+    ResultCache,
+    SerialExecutor,
+    ThreadExecutor,
+    cell_fingerprint,
+    content_hash,
+    run_jobs,
+)
+from repro.technology import default_technology
+from repro.technology.corners import STANDARD_CORNERS, apply_corner
+
+
+# ----------------------------------------------------------------------
+# Executors
+# ----------------------------------------------------------------------
+def _double(x):
+    return 2 * x
+
+
+def _fail(message):
+    raise ValueError(message)
+
+
+class TestExecutors:
+    def test_all_executors_agree_and_preserve_order(self):
+        jobs = [Job(fn=_double, args=(i,)) for i in range(12)]
+        expected = [2 * i for i in range(12)]
+        for executor in (SerialExecutor(), ThreadExecutor(4), ProcessExecutor(2)):
+            values = [r.value for r in run_jobs(jobs, executor=executor)]
+            assert values == expected, executor.describe()
+
+    def test_fig5_job_set_identical_across_executors(self, experiment_context):
+        serial = run_fig5(experiment_context, fanouts=(1, 3, 5))
+
+        threaded_ctx = ExperimentContext(
+            characterization=experiment_context.characterization,
+            reference_time_step=experiment_context.reference_time_step,
+            model_time_step=experiment_context.model_time_step,
+            executor=ThreadExecutor(max_workers=3),
+        )
+        threaded = run_fig5(threaded_ctx, fanouts=(1, 3, 5))
+
+        process_ctx = ExperimentContext(
+            characterization=experiment_context.characterization,
+            reference_time_step=experiment_context.reference_time_step,
+            model_time_step=experiment_context.model_time_step,
+            executor=ProcessExecutor(max_workers=2),
+        )
+        parallel = run_fig5(process_ctx, fanouts=(1, 3, 5))
+
+        for other in (threaded, parallel):
+            assert serial.difference_series() == other.difference_series()
+            for row_a, row_b in zip(serial.rows, other.rows):
+                assert row_a.delay_fast == row_b.delay_fast
+                assert row_a.delay_slow == row_b.delay_slow
+
+    def test_errors_are_captured_per_job(self):
+        jobs = [
+            Job(fn=_double, args=(1,)),
+            Job(fn=_fail, args=("boom",), name="bad-job"),
+            Job(fn=_double, args=(3,)),
+        ]
+        results = run_jobs(jobs, reraise=False)
+        assert [r.ok for r in results] == [True, False, True]
+        assert [r.value for r in results] == [2, None, 6]
+        assert "boom" in results[1].error
+
+    def test_errors_reraise_as_job_error(self):
+        with pytest.raises(JobError, match="bad-job"):
+            run_jobs([Job(fn=_fail, args=("boom",), name="bad-job")])
+
+    def test_error_capture_in_worker_process(self):
+        results = run_jobs(
+            [Job(fn=_fail, args=("remote boom",), name="remote")],
+            executor=ProcessExecutor(max_workers=1),
+            reraise=False,
+        )
+        assert not results[0].ok
+        assert "remote boom" in results[0].error
+
+
+# ----------------------------------------------------------------------
+# Content hashing
+# ----------------------------------------------------------------------
+class TestContentHash:
+    def test_hash_is_stable_across_object_identities(self, technology, fast_config):
+        cell_a = build_nor(technology, 2)
+        cell_b = build_nor(default_technology(), 2)
+        key_a = characterization_key("mcsm", cell_a, ("A", "B"), fast_config)
+        key_b = characterization_key("mcsm", cell_b, ("A", "B"), fast_config)
+        assert key_a == key_b
+
+    def test_hash_changes_with_characterization_config(self, nor2, fast_config):
+        base = characterization_key("mcsm", nor2, ("A", "B"), fast_config)
+        finer = characterization_key(
+            "mcsm", nor2, ("A", "B"), fast_config.with_grid_points(7)
+        )
+        assert base != finer
+
+    def test_hash_changes_with_technology_corner(self, technology, fast_config):
+        nominal = build_nor(technology, 2)
+        slow = build_nor(apply_corner(technology, STANDARD_CORNERS["SS"]), 2)
+        assert characterization_key(
+            "sis", nominal, ("A",), fast_config
+        ) != characterization_key("sis", slow, ("A",), fast_config)
+
+    def test_hash_changes_with_topology_and_kind(self, technology, fast_config):
+        nor2 = build_nor(technology, 2)
+        nor3 = build_nor(technology, 3, name="NOR2_X1")  # same name, other topology
+        assert characterization_key(
+            "sis", nor2, ("A",), fast_config
+        ) != characterization_key("sis", nor3, ("A",), fast_config)
+        assert characterization_key(
+            "mis", nor2, ("A", "B"), fast_config
+        ) != characterization_key("mcsm", nor2, ("A", "B"), fast_config)
+
+    def test_fingerprint_covers_geometry(self, technology):
+        x1 = build_nor(technology, 2)
+        x2 = build_nor(technology, 2, drive_strength=2.0, name="NOR2_X1")
+        assert content_hash(cell_fingerprint(x1)) != content_hash(cell_fingerprint(x2))
+
+
+# ----------------------------------------------------------------------
+# The result cache
+# ----------------------------------------------------------------------
+class TestResultCache:
+    def test_roundtrip_primitive_payloads(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {
+            "floats": (0.1 + 0.2, 1e-300, -0.0),
+            "nested": [{"a": 1, "b": None}, (True, "text")],
+            "array": np.linspace(0.0, 1.0, 7),
+        }
+        cache.store("k" * 64, payload)
+        hit, back = cache.lookup("k" * 64)
+        assert hit
+        assert back["floats"] == payload["floats"]
+        assert back["nested"] == payload["nested"]
+        assert np.array_equal(back["array"], payload["array"])
+
+    def test_cache_hit_returns_bitwise_equal_model(self, tmp_path, inverter, fast_config):
+        model = characterize_sis(inverter, "A", fast_config)
+        key = characterization_key("sis", inverter, ("A",), fast_config)
+        cache = ResultCache(tmp_path)
+        cache.store(key, model)
+        hit, back = cache.lookup(key)
+        assert hit
+        assert type(back) is type(model)
+        assert np.array_equal(back.io_table.values, model.io_table.values)
+        assert back.io_table.axes == model.io_table.axes
+        assert back.io_table.name == model.io_table.name
+        assert back.input_cap == model.input_cap
+        assert back.output_cap == model.output_cap
+        assert back.miller_cap == model.miller_cap
+        assert back.fixed_inputs == model.fixed_inputs
+        assert back.vdd == model.vdd
+
+    def test_numpy_scalars_roundtrip_and_hash_like_builtins(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        payload = {
+            "f": np.float64(1e-12),
+            "i": np.int64(7),
+            "b": np.bool_(True),
+        }
+        cache.store("n" * 64, payload)
+        hit, back = cache.lookup("n" * 64)
+        assert hit
+        assert back == {"f": 1e-12, "i": 7, "b": True}
+        # Hashing must not distinguish np.float64 from the equal Python float.
+        assert content_hash(np.float64(2.5)) == content_hash(2.5)
+        assert content_hash(np.int64(3)) == content_hash(3)
+
+    def test_undecodable_entry_is_dropped_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        key = "c" * 64
+        path = cache._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(path, __manifest__=np.array('{"t": "no-such-tag"}'))
+        hit, value = cache.lookup(key)
+        assert not hit and value is None
+        assert not path.exists()  # self-healed: the poisoned entry is gone
+
+    def test_miss_then_hit_stats_and_eviction(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        hit, _ = cache.lookup("a" * 64)
+        assert not hit and cache.stats.misses == 1
+        cache.store("a" * 64, [1.0, 2.0])
+        assert "a" * 64 in cache
+        assert len(cache) == 1
+        hit, value = cache.lookup("a" * 64)
+        assert hit and value == [1.0, 2.0] and cache.stats.hits == 1
+        assert cache.evict("a" * 64)
+        assert not cache.evict("a" * 64)
+        cache.store("b" * 64, 1.5)
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_run_jobs_skips_cached_characterization(
+        self, tmp_path, inverter, fast_config
+    ):
+        cache = ResultCache(tmp_path)
+        job = characterization_job("sis", inverter, ("A",), fast_config)
+        [first] = run_jobs([job], cache=cache)
+        assert not first.cache_hit and first.duration > 0
+        [second] = run_jobs([job], cache=cache)
+        assert second.cache_hit and second.duration == 0.0
+        assert np.array_equal(
+            first.value.io_table.values, second.value.io_table.values
+        )
+        assert cache.stats.hits == 1 and cache.stats.stores == 1
+
+    def test_context_characterization_goes_through_disk_cache(
+        self, tmp_path, fast_config
+    ):
+        def fresh_context():
+            return ExperimentContext(
+                characterization=fast_config,
+                reference_time_step=4e-12,
+                model_time_step=2e-12,
+                cache=ResultCache(tmp_path),
+            )
+
+        cold = fresh_context()
+        model_cold = cold.sis_for(pin="A")
+        assert cold.cache.stats.misses == 1 and cold.cache.stats.stores == 1
+
+        warm = fresh_context()
+        model_warm = warm.sis_for(pin="A")
+        assert warm.cache.stats.hits == 1 and warm.cache.stats.misses == 0
+        assert np.array_equal(
+            model_cold.io_table.values, model_warm.io_table.values
+        )
+
+    def test_prewarm_characterizations(self, tmp_path, fast_config):
+        context = ExperimentContext(
+            characterization=fast_config,
+            reference_time_step=4e-12,
+            model_time_step=2e-12,
+            cache=ResultCache(tmp_path),
+        )
+        executed = context.prewarm_characterizations(("sis",))
+        assert executed == 1
+        # Memoized now: a second prewarm neither executes nor hits the disk.
+        assert context.prewarm_characterizations(("sis",)) == 0
+        # A fresh context finds the models on disk: zero executions.
+        fresh = ExperimentContext(
+            characterization=fast_config,
+            reference_time_step=4e-12,
+            model_time_step=2e-12,
+            cache=ResultCache(tmp_path),
+        )
+        assert fresh.prewarm_characterizations(("sis",)) == 0
