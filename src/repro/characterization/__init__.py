@@ -15,7 +15,10 @@ from .characterize import (
     characterize_baseline_mis,
     characterize_mcsm,
     characterize_sis,
+    nldm_characterization_job,
+    nldm_characterization_key,
     run_characterization,
+    run_nldm_characterization,
 )
 from .config import CharacterizationConfig
 from .dc_tables import (
@@ -46,5 +49,8 @@ __all__ = [
     "characterization_job",
     "characterization_key",
     "run_characterization",
+    "nldm_characterization_job",
+    "nldm_characterization_key",
+    "run_nldm_characterization",
     "NLDMTable",
 ]

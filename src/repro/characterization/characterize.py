@@ -24,6 +24,7 @@ from .dc_tables import (
     characterize_mis_current,
     characterize_sis_current,
 )
+from .nldm import characterize_nldm
 
 __all__ = [
     "characterize_sis",
@@ -32,6 +33,9 @@ __all__ = [
     "run_characterization",
     "characterization_key",
     "characterization_job",
+    "run_nldm_characterization",
+    "nldm_characterization_key",
+    "nldm_characterization_job",
 ]
 
 
@@ -255,4 +259,61 @@ def characterization_job(
         args=(kind, cell, pins, config),
         name=f"characterize:{kind}:{cell.name}:{','.join(pins)}",
         key=characterization_key(kind, cell, pins, config),
+    )
+
+
+def run_nldm_characterization(
+    cell: Cell,
+    pin: str,
+    input_rise: bool,
+    input_slews: Sequence[float],
+    loads: Sequence[float],
+    time_step: float = 1e-12,
+):
+    """Module-level dispatch target of :func:`nldm_characterization_job`."""
+    return characterize_nldm(
+        cell,
+        pin,
+        input_rise=input_rise,
+        input_slews=tuple(input_slews),
+        loads=tuple(loads),
+        time_step=time_step,
+    )
+
+
+def nldm_characterization_key(
+    cell: Cell,
+    pin: str,
+    input_rise: bool,
+    input_slews: Sequence[float],
+    loads: Sequence[float],
+    time_step: float = 1e-12,
+) -> str:
+    """Content hash identifying one NLDM timing-arc characterization."""
+    return content_hash(
+        "nldm-characterization",
+        pin,
+        input_rise,
+        tuple(input_slews),
+        tuple(loads),
+        time_step,
+        cell_fingerprint(cell),
+    )
+
+
+def nldm_characterization_job(
+    cell: Cell,
+    pin: str,
+    input_rise: bool,
+    input_slews: Sequence[float],
+    loads: Sequence[float],
+    time_step: float = 1e-12,
+) -> Job:
+    """Package one NLDM arc characterization as a cacheable runtime job."""
+    edge = "rise" if input_rise else "fall"
+    return Job(
+        fn=run_nldm_characterization,
+        args=(cell, pin, input_rise, tuple(input_slews), tuple(loads), time_step),
+        name=f"characterize:nldm:{cell.name}:{pin}:{edge}",
+        key=nldm_characterization_key(cell, pin, input_rise, input_slews, loads, time_step),
     )

@@ -175,7 +175,9 @@ class BaselineMISCSM:
             raise ModelError(f"model for {self.cell_name!r} has no input capacitance for pin {pin!r}")
         return cap_value(self.input_caps[pin], vi)
 
-    def _miller(self) -> Dict[str, Capacitance]:
+    def effective_miller_caps(self) -> Dict[str, Capacitance]:
+        """The Miller capacitances the integrator sees (zeroed when the
+        ``include_miller`` ablation switch is off)."""
         if self.include_miller:
             return dict(self.miller_caps)
         return {pin: 0.0 for pin in self.pins}
@@ -201,7 +203,7 @@ class BaselineMISCSM:
             pins=self.pins,
             input_waveforms=input_waveforms,
             output_current=self.io_table,
-            miller_caps=self._miller(),
+            miller_caps=self.effective_miller_caps(),
             output_cap=self.output_cap,
             load=load,
             vdd=self.vdd,
@@ -224,7 +226,7 @@ class BaselineMISCSM:
             pins=self.pins,
             input_waveforms=waveforms,
             output_current=self.io_table,
-            miller_caps=self._miller(),
+            miller_caps=self.effective_miller_caps(),
             output_cap=self.output_cap,
             load=load,
             vdd=self.vdd,

@@ -26,17 +26,24 @@ scalar loop; both paths produce the same waveforms to float round-off.
 from __future__ import annotations
 
 from bisect import bisect_right
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..exceptions import ModelError
-from ..lut.table import NDTable
+from ..lut.table import NDTable, contract_leading_shared
 from ..waveform.waveform import Waveform
 from .base import Capacitance, SimulationOptions, cap_value, cap_value_batch
 from .loads import Load
 
-__all__ = ["integrate_model", "common_time_window"]
+__all__ = [
+    "integrate_model",
+    "integrate_model_many",
+    "BatchUnit",
+    "common_time_window",
+    "simulation_time_grid",
+]
 
 
 def common_time_window(waveforms: Mapping[str, Waveform]) -> Tuple[float, float]:
@@ -54,6 +61,190 @@ def _cap_precomputable(capacitance: Capacitance, available_dims: int) -> bool:
     """True when the capacitance depends only on the first ``available_dims``
     coordinates (which the integrator knows ahead of time)."""
     return not isinstance(capacitance, NDTable) or capacitance.ndim <= available_dims
+
+
+def simulation_time_grid(
+    t_start: float, t_stop: float, options: SimulationOptions
+) -> np.ndarray:
+    """The uniform sample grid the integrator uses for a time window.
+
+    Exposed so that batched callers (the levelized STA engine) can place every
+    instance of a level on the *same* grid the per-instance path would use.
+    """
+    if t_stop <= t_start:
+        raise ModelError("simulation window is empty")
+    num_steps = max(2, int(round((t_stop - t_start) / options.time_step)) + 1)
+    return np.linspace(t_start, t_stop, num_steps)
+
+
+def _fast_eligible(
+    output_current: Callable[..., float],
+    internal_current: Optional[Callable[..., float]],
+    miller_caps: Mapping[str, Capacitance],
+    output_cap: Capacitance,
+    internal_cap: Optional[Capacitance],
+    load: Load,
+    pins: Sequence[str],
+    has_internal: bool,
+) -> bool:
+    """The conditions under which the vectorized-precompute path applies."""
+    num_pins = len(pins)
+    state_dims = num_pins + (1 if has_internal else 0) + 1
+    io_table = output_current if isinstance(output_current, NDTable) else None
+    in_table = internal_current if isinstance(internal_current, NDTable) else None
+    return (
+        io_table is not None
+        and io_table.ndim == state_dims
+        and (not has_internal or (in_table is not None and in_table.ndim == state_dims))
+        and (
+            not has_internal
+            or in_table.axes[num_pins:] == io_table.axes[num_pins:]  # shared brackets
+        )
+        and load.constant_capacitance() is not None
+        and all(_cap_precomputable(miller_caps[pin], 1) for pin in pins)
+        and _cap_precomputable(output_cap, num_pins)
+        and (not has_internal or _cap_precomputable(internal_cap, num_pins))
+    )
+
+
+def _contract_current_tables(
+    io_table: NDTable, in_table: NDTable, coords: np.ndarray, num_pins: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Contract the Io/I_N pair, sharing bracket weights when possible.
+
+    Characterized pairs use one voltage grid, so the shared-weights path is
+    the norm; tables whose leading (pin) axes differ — legal, `_fast_eligible`
+    only constrains the trailing state axes — contract independently.
+    """
+    if in_table.axes[:num_pins] == io_table.axes[:num_pins]:
+        io_reduced, in_reduced = contract_leading_shared((io_table, in_table), coords)
+        return io_reduced, in_reduced
+    return io_table.contract_leading(coords), in_table.contract_leading(coords)
+
+
+@dataclass
+class _Precomputed:
+    """Input-driven per-step arrays feeding a fast-path recurrence."""
+
+    io_reduced: np.ndarray  # (steps, *state_shape)
+    in_reduced: Optional[np.ndarray]
+    charge: np.ndarray  # (steps,)
+    denom: np.ndarray  # (steps,)
+    cn: Optional[np.ndarray]
+    stationary_from: int  # first step index after the last input movement
+
+
+def _fast_precompute(
+    pins: Sequence[str],
+    input_samples: Dict[str, np.ndarray],
+    times: np.ndarray,
+    io_table: NDTable,
+    in_table: Optional[NDTable],
+    miller_caps: Mapping[str, Capacitance],
+    output_cap: Capacitance,
+    internal_cap: Optional[Capacitance],
+    load_cap: float,
+    has_internal: bool,
+) -> _Precomputed:
+    """Everything input-driven, batched over all steps before the recurrence.
+
+    Shared by the per-instance fast path and the lockstep batch path so both
+    integrate from identical precomputed arrays.  Constant inputs (settle
+    passes) are detected and evaluated on a single row, broadcast across the
+    window — the per-row results are identical, just not recomputed.
+    """
+    num_pins = len(pins)
+    pin_block = np.stack([input_samples[pin] for pin in pins], axis=1)  # (T, P)
+    pin_now = pin_block[:-1]  # (steps, P) voltages at step k
+    deltas = pin_block[1:] - pin_block[:-1]  # (steps, P) input charge drivers
+    steps = pin_now.shape[0]
+
+    moving = np.flatnonzero((deltas != 0.0).any(axis=1))
+    stationary_from = int(moving[-1]) + 1 if moving.size else 0
+
+    if stationary_from == 0 and steps > 1:
+        # Constant inputs: every per-step row is the same — evaluate one.
+        one = pin_now[:1]
+        miller_row = np.array(
+            [cap_value_batch(miller_caps[pin], one[:, col : col + 1])[0] for col, pin in enumerate(pins)]
+        )
+        denominator_row = load_cap + cap_value_batch(output_cap, one)[0] + miller_row.sum()
+        if denominator_row <= 0:
+            raise ModelError("total output capacitance must be positive")
+        charge = np.zeros(steps)
+        denominator = np.broadcast_to(np.float64(denominator_row), (steps,))
+        in_reduced: Optional[np.ndarray] = None
+        cn: Optional[np.ndarray] = None
+        if has_internal:
+            assert in_table is not None and internal_cap is not None
+            cn_row = cap_value_batch(internal_cap, one)[0]
+            if cn_row <= 0:
+                raise ModelError("internal-node capacitance must be positive")
+            cn = np.broadcast_to(np.float64(cn_row), (steps,))
+            io_one, in_one = _contract_current_tables(io_table, in_table, one, num_pins)
+            in_reduced = np.broadcast_to(in_one[0], (steps,) + in_one[0].shape)
+        else:
+            io_one = io_table.contract_leading(one)
+        io_reduced = np.broadcast_to(io_one[0], (steps,) + io_one[0].shape)
+        return _Precomputed(io_reduced, in_reduced, charge, denominator, cn, 0)
+
+    # The inputs move only inside [first_move, stationary_from): the rows
+    # before and after are copies of one bias point, so the per-step lookups
+    # are evaluated on the moving core only and the constant flanks broadcast
+    # from the core's edge rows (identical values, computed once).
+    first_move = int(moving[0]) if moving.size else 0
+    core_stop = min(stationary_from, steps - 1) + 1
+    core = slice(first_move, core_stop)
+    flanks = first_move + (steps - core_stop)
+    if flanks <= steps // 8:
+        core = slice(0, steps)
+        first_move = 0
+        core_stop = steps
+    pin_core = pin_now[core]
+    core_len = core_stop - first_move
+
+    def expand(core_values: np.ndarray) -> np.ndarray:
+        if first_move == 0 and core_stop == steps:
+            return core_values
+        shape = core_values.shape[1:]
+        return np.concatenate(
+            [
+                np.broadcast_to(core_values[0], (first_move,) + shape),
+                core_values,
+                np.broadcast_to(core_values[-1], (steps - core_stop,) + shape),
+            ]
+        )
+
+    # Miller capacitances: scalar or C(vi) tables, batched over the core.
+    miller_matrix = np.empty((core_len, num_pins))
+    for column, pin in enumerate(pins):
+        miller_matrix[:, column] = cap_value_batch(
+            miller_caps[pin], pin_core[:, column : column + 1]
+        )
+    miller_total = miller_matrix.sum(axis=1)
+    miller_charge = np.zeros(steps)
+    miller_charge[core] = (miller_matrix * deltas[core]).sum(axis=1)
+
+    co = cap_value_batch(output_cap, pin_core)
+    denominator = expand(load_cap + co + miller_total)
+    if np.any(denominator <= 0):
+        raise ModelError("total output capacitance must be positive")
+
+    # Contract the pin axes of the current-source tables for every core step
+    # at once; the recurrence only interpolates the remaining state axes.
+    in_reduced = None
+    cn = None
+    if has_internal:
+        assert in_table is not None and internal_cap is not None
+        cn = expand(cap_value_batch(internal_cap, pin_core))
+        if np.any(cn <= 0):
+            raise ModelError("internal-node capacitance must be positive")
+        io_core, in_core = _contract_current_tables(io_table, in_table, pin_core, num_pins)
+        in_reduced = expand(in_core)
+    else:
+        io_core = io_table.contract_leading(pin_core)
+    io_reduced = expand(io_core)
+    return _Precomputed(io_reduced, in_reduced, miller_charge, denominator, cn, stationary_from)
 
 
 def integrate_model(
@@ -116,11 +307,7 @@ def integrate_model(
     )
     t_start = window_start if t_start is None else t_start
     t_stop = window_stop if t_stop is None else t_stop
-    if t_stop <= t_start:
-        raise ModelError("simulation window is empty")
-
-    num_steps = max(2, int(round((t_stop - t_start) / options.time_step)) + 1)
-    times = np.linspace(t_start, t_stop, num_steps)
+    times = simulation_time_grid(t_start, t_stop, options)
     input_samples: Dict[str, np.ndarray] = {
         pin: np.asarray(input_waveforms[pin].value_at(times), dtype=float) for pin in pins
     }
@@ -133,22 +320,17 @@ def integrate_model(
 
     load.reset()
 
-    num_pins = len(pins)
-    state_dims = num_pins + (1 if has_internal else 0) + 1
     io_table = output_current if isinstance(output_current, NDTable) else None
     in_table = internal_current if isinstance(internal_current, NDTable) else None
-    fast = (
-        io_table is not None
-        and io_table.ndim == state_dims
-        and (not has_internal or (in_table is not None and in_table.ndim == state_dims))
-        and (
-            not has_internal
-            or in_table.axes[num_pins:] == io_table.axes[num_pins:]  # shared brackets
-        )
-        and load.constant_capacitance() is not None
-        and all(_cap_precomputable(miller_caps[pin], 1) for pin in pins)
-        and _cap_precomputable(output_cap, num_pins)
-        and (not has_internal or _cap_precomputable(internal_cap, num_pins))
+    fast = _fast_eligible(
+        output_current,
+        internal_current,
+        miller_caps,
+        output_cap,
+        internal_cap,
+        load,
+        pins,
+        has_internal,
     )
 
     if fast:
@@ -213,77 +395,105 @@ def _integrate_fast(
 ) -> Tuple[np.ndarray, np.ndarray, Optional[np.ndarray]]:
     """Vectorized-precompute path: batch everything input-driven, then run a
     light scalar recurrence over per-step reduced tables."""
-    num_steps = len(times)
-    num_pins = len(pins)
-    steps = num_steps - 1
-
-    pin_block = np.stack([input_samples[pin] for pin in pins], axis=1)  # (T, P)
-    pin_now = pin_block[:-1]  # (steps, P) voltages at step k
-    deltas = pin_block[1:] - pin_block[:-1]  # (steps, P) input charge drivers
-
-    # Miller capacitances: scalar or C(vi) tables, batched over all steps.
-    miller_matrix = np.empty((steps, num_pins))
-    for column, pin in enumerate(pins):
-        miller_matrix[:, column] = cap_value_batch(
-            miller_caps[pin], pin_now[:, column : column + 1]
+    pre = _fast_precompute(
+        pins,
+        input_samples,
+        times,
+        io_table,
+        in_table,
+        miller_caps,
+        output_cap,
+        internal_cap,
+        load_cap,
+        has_internal,
+    )
+    if not has_internal:
+        v_out = _scalar_recurrence_output(
+            pre, times, io_table.axes[-1], initial_output, v_low, v_high
         )
-    miller_total = miller_matrix.sum(axis=1)
-    miller_charge = (miller_matrix * deltas).sum(axis=1)
+        return times, v_out, None
+    assert initial_internal is not None
+    v_out, v_int = _scalar_recurrence_internal(
+        pre,
+        times,
+        io_table.axes[-2],
+        io_table.axes[-1],
+        initial_output,
+        initial_internal,
+        v_low,
+        v_high,
+    )
+    return times, v_out, v_int
 
-    co = cap_value_batch(output_cap, pin_now)
-    denominator = load_cap + co + miller_total
-    if np.any(denominator <= 0):
-        raise ModelError("total output capacitance must be positive")
 
-    # Contract the pin axes of the current-source tables for every step at
-    # once; the loop below only interpolates the remaining state axes.
-    io_reduced = io_table.contract_leading(pin_now)
+def _scalar_recurrence_output(
+    pre: _Precomputed,
+    times: np.ndarray,
+    vo_axis,
+    initial_output: float,
+    v_low: float,
+    v_high: float,
+) -> np.ndarray:
+    """The per-instance update loop for models without an internal node."""
+    num_steps = len(times)
+    steps = num_steps - 1
     dt_list = np.diff(times).tolist()
-    charge_list = miller_charge.tolist()
-    denom_list = denominator.tolist()
-
-    vo_axis = io_table.axes[-1]
+    charge_list = pre.charge.tolist()
+    denom_list = pre.denom.tolist()
     vo_pts, vo_spans, vo_lo, vo_hi, vo_n = _bracket_lists(vo_axis)
 
     v_out = np.empty(num_steps)
     v_out[0] = initial_output
     vo = initial_output
+    io_rows = pre.io_reduced.tolist()  # (steps, nO) nested lists
+    out_list = [vo]
+    for k in range(steps):
+        vc = vo_lo if vo < vo_lo else (vo_hi if vo > vo_hi else vo)
+        i = bisect_right(vo_pts, vc) - 1
+        if i < 0:
+            i = 0
+        elif i > vo_n - 2:
+            i = vo_n - 2
+        frac = (vc - vo_pts[i]) / vo_spans[i]
+        row = io_rows[k]
+        io_val = row[i] + frac * (row[i + 1] - row[i])
+        vo = vo + (charge_list[k] - io_val * dt_list[k]) / denom_list[k]
+        if vo < v_low:
+            vo = v_low
+        elif vo > v_high:
+            vo = v_high
+        out_list.append(vo)
+    v_out[:] = out_list
+    return v_out
 
-    if not has_internal:
-        io_rows = io_reduced.tolist()  # (steps, nO) nested lists
-        out_list = [vo]
-        for k in range(steps):
-            vc = vo_lo if vo < vo_lo else (vo_hi if vo > vo_hi else vo)
-            i = bisect_right(vo_pts, vc) - 1
-            if i < 0:
-                i = 0
-            elif i > vo_n - 2:
-                i = vo_n - 2
-            frac = (vc - vo_pts[i]) / vo_spans[i]
-            row = io_rows[k]
-            io_val = row[i] + frac * (row[i + 1] - row[i])
-            vo = vo + (charge_list[k] - io_val * dt_list[k]) / denom_list[k]
-            if vo < v_low:
-                vo = v_low
-            elif vo > v_high:
-                vo = v_high
-            out_list.append(vo)
-        v_out[:] = out_list
-        return times, v_out, None
 
-    assert in_table is not None and internal_cap is not None and initial_internal is not None
-    cn = cap_value_batch(internal_cap, pin_now)
-    if np.any(cn <= 0):
-        raise ModelError("internal-node capacitance must be positive")
-    cn_list = cn.tolist()
-    in_reduced = in_table.contract_leading(pin_now)
-
-    vn_axis = io_table.axes[-2]
+def _scalar_recurrence_internal(
+    pre: _Precomputed,
+    times: np.ndarray,
+    vn_axis,
+    vo_axis,
+    initial_output: float,
+    initial_internal: float,
+    v_low: float,
+    v_high: float,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The per-instance update loop for internal-node (MCSM) models."""
+    num_steps = len(times)
+    steps = num_steps - 1
+    assert pre.in_reduced is not None and pre.cn is not None
+    dt_list = np.diff(times).tolist()
+    charge_list = pre.charge.tolist()
+    denom_list = pre.denom.tolist()
+    cn_list = pre.cn.tolist()
+    vo_pts, vo_spans, vo_lo, vo_hi, vo_n = _bracket_lists(vo_axis)
     vn_pts, vn_spans, vn_lo, vn_hi, vn_n = _bracket_lists(vn_axis)
     n_out = len(vo_pts)
-    io_rows = io_reduced.reshape(steps, -1).tolist()  # (steps, nN * nO)
-    in_rows = in_reduced.reshape(steps, -1).tolist()
+    io_rows = pre.io_reduced.reshape(steps, -1).tolist()  # (steps, nN * nO)
+    in_rows = pre.in_reduced.reshape(steps, -1).tolist()
 
+    v_out = np.empty(num_steps)
+    v_out[0] = initial_output
+    vo = initial_output
     v_int = np.empty(num_steps)
     v_int[0] = initial_internal
     vn = initial_internal
@@ -332,7 +542,7 @@ def _integrate_fast(
 
     v_out[:] = out_list
     v_int[:] = int_list
-    return times, v_out, v_int
+    return v_out, v_int
 
 
 def _integrate_generic(
@@ -401,3 +611,381 @@ def _integrate_generic(
         load.advance(v_out[k + 1], dt)
 
     return times, v_out, v_int
+
+# ----------------------------------------------------------------------
+# Lockstep batching: many model evaluations over one shared time grid
+# ----------------------------------------------------------------------
+@dataclass
+class BatchUnit:
+    """One model evaluation inside an :func:`integrate_model_many` batch.
+
+    The fields mirror the parameters of :func:`integrate_model`; every unit
+    carries its own model tables, input waveforms, load and initial state, so
+    a batch may freely mix cells and model flavours — units whose current
+    sources share the same state-axis grids are integrated in lockstep, the
+    rest fall back to the per-instance path.
+    """
+
+    pins: Tuple[str, ...]
+    input_waveforms: Mapping[str, Waveform]
+    output_current: Callable[..., float]
+    miller_caps: Mapping[str, Capacitance]
+    output_cap: Capacitance
+    load: Load
+    vdd: float
+    initial_output: float
+    internal_current: Optional[Callable[..., float]] = None
+    internal_cap: Optional[Capacitance] = None
+    initial_internal: Optional[float] = None
+
+
+@dataclass
+class _LockstepMember:
+    """One fast-path unit queued for a lockstep group."""
+
+    index: int
+    pre: _Precomputed
+    has_internal: bool
+    v_low: float
+    v_high: float
+    initial_output: float
+    initial_internal: Optional[float]
+
+
+#: Below these group sizes the scalar recurrence beats the numpy loop's
+#: fixed per-step overhead; such members run individually (still sharing the
+#: batched precompute).  Output-only groups amortize at smaller sizes because
+#: their states go stationary (and exit) once the inputs stop moving, while
+#: internal-node groups integrate the slow stack-node drift to the end.
+_MIN_OUTPUT_GROUP = 6
+_MIN_INTERNAL_GROUP = 10
+
+
+def integrate_model_many(
+    units: Sequence[BatchUnit],
+    options: SimulationOptions,
+    t_start: float,
+    t_stop: float,
+) -> Tuple[np.ndarray, List[Tuple[np.ndarray, Optional[np.ndarray]]]]:
+    """Integrate many model evaluations in lockstep over one time window.
+
+    All units share the sample grid ``simulation_time_grid(t_start, t_stop)``
+    — exactly the grid :func:`integrate_model` would use for the same window.
+    Fast-path-eligible units are grouped by the grids of their recurrent
+    state axes (``Vo``, and ``VN`` for internal-node models), regardless of
+    which cell or model flavour they came from.  Each group runs ONE update
+    loop whose per-step work is vectorized across the group with numpy; once
+    every input has stopped moving the update map is time-invariant, so as
+    soon as every state in the group is (numerically) stationary the
+    remaining samples are filled without stepping.  Units the fast path
+    cannot express (custom callables, stateful loads, state-dependent
+    capacitances) integrate individually via :func:`integrate_model` on the
+    same grid, and groups too small to amortize the vectorized loop's
+    per-step overhead run the per-instance recurrence directly.
+
+    The waveforms agree with the per-instance path to well below 1e-9 V
+    (the only differences are unit-last-place rounding of the bracketing and
+    the stationary-fill tail).
+
+    Returns ``(times, [(v_out, v_int_or_None), ...])`` in unit order.
+    """
+    times = simulation_time_grid(t_start, t_stop, options)
+    results: List[Optional[Tuple[np.ndarray, Optional[np.ndarray]]]] = [None] * len(units)
+    output_groups: Dict[Tuple, List[_LockstepMember]] = {}
+    internal_groups: Dict[Tuple, List[_LockstepMember]] = {}
+    group_axes: Dict[Tuple, Tuple] = {}
+
+    for index, unit in enumerate(units):
+        missing = [pin for pin in unit.pins if pin not in unit.input_waveforms]
+        if missing:
+            raise ModelError(f"missing input waveforms for pins {missing}")
+        has_internal = unit.internal_current is not None
+        unit.load.reset()
+        fast = _fast_eligible(
+            unit.output_current,
+            unit.internal_current,
+            unit.miller_caps,
+            unit.output_cap,
+            unit.internal_cap,
+            unit.load,
+            unit.pins,
+            has_internal,
+        )
+        if not fast:
+            _, v_out, v_int = integrate_model(
+                pins=unit.pins,
+                input_waveforms=unit.input_waveforms,
+                output_current=unit.output_current,
+                miller_caps=unit.miller_caps,
+                output_cap=unit.output_cap,
+                load=unit.load,
+                vdd=unit.vdd,
+                initial_output=unit.initial_output,
+                options=options,
+                t_start=t_start,
+                t_stop=t_stop,
+                internal_current=unit.internal_current,
+                internal_cap=unit.internal_cap,
+                initial_internal=unit.initial_internal,
+            )
+            results[index] = (v_out, v_int)
+            continue
+
+        io_table: NDTable = unit.output_current  # _fast_eligible guarantees NDTable
+        in_table = unit.internal_current if has_internal else None
+        v_low = -options.clip_margin
+        v_high = unit.vdd + options.clip_margin
+        input_samples = {
+            pin: np.asarray(unit.input_waveforms[pin].value_at(times), dtype=float)
+            for pin in unit.pins
+        }
+        pre = _fast_precompute(
+            unit.pins,
+            input_samples,
+            times,
+            io_table,
+            in_table,
+            unit.miller_caps,
+            unit.output_cap,
+            unit.internal_cap,
+            unit.load.constant_capacitance(),
+            has_internal,
+        )
+        initial_output = float(np.clip(unit.initial_output, v_low, v_high))
+        initial_internal = None
+        if has_internal:
+            if unit.initial_internal is None:
+                raise ModelError("initial_internal is required when internal_current is given")
+            initial_internal = float(np.clip(unit.initial_internal, v_low, v_high))
+
+        member = _LockstepMember(
+            index=index,
+            pre=pre,
+            has_internal=has_internal,
+            v_low=v_low,
+            v_high=v_high,
+            initial_output=initial_output,
+            initial_internal=initial_internal,
+        )
+        vo_axis = io_table.axes[-1]
+        if has_internal:
+            vn_axis = io_table.axes[-2]
+            key = (vo_axis.points, vn_axis.points)
+            internal_groups.setdefault(key, []).append(member)
+            group_axes[key] = (vn_axis, vo_axis)
+        else:
+            key = (vo_axis.points, None)
+            output_groups.setdefault(key, []).append(member)
+            group_axes[key] = (None, vo_axis)
+
+    for key, members in output_groups.items():
+        _, vo_axis = group_axes[key]
+        if len(members) < _MIN_OUTPUT_GROUP:
+            for member in members:
+                v_out = _scalar_recurrence_output(
+                    member.pre, times, vo_axis, member.initial_output,
+                    member.v_low, member.v_high,
+                )
+                results[member.index] = (v_out, None)
+            continue
+        for member, out in zip(members, _lockstep_output(members, times, vo_axis)):
+            results[member.index] = out
+
+    for key, members in internal_groups.items():
+        vn_axis, vo_axis = group_axes[key]
+        if len(members) < _MIN_INTERNAL_GROUP:
+            for member in members:
+                v_out, v_int = _scalar_recurrence_internal(
+                    member.pre, times, vn_axis, vo_axis,
+                    member.initial_output, member.initial_internal,
+                    member.v_low, member.v_high,
+                )
+                results[member.index] = (v_out, v_int)
+            continue
+        for member, out in zip(members, _lockstep_internal(members, times, vn_axis, vo_axis)):
+            results[member.index] = out
+
+    assert all(result is not None for result in results)
+    return times, results  # type: ignore[return-value]
+
+
+def _axis_lookup(axis) -> Tuple[np.ndarray, np.ndarray, int, Optional[float]]:
+    """Points, spans and (for uniform axes) the inverse spacing."""
+    pts = axis.as_array()
+    spans = np.diff(pts)
+    n = len(pts)
+    h = (pts[-1] - pts[0]) / (n - 1)
+    uniform = bool(np.all(np.abs(spans - h) <= 1e-9 * abs(h)))
+    return pts, spans, n, (1.0 / h if uniform else None)
+
+
+def _bracket_array(
+    values: np.ndarray,
+    pts: np.ndarray,
+    spans: np.ndarray,
+    n: int,
+    inv_h: Optional[float],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized interval location: ``(lower index, fraction)`` per value.
+
+    Raw ``minimum``/``maximum`` ufuncs are used instead of ``np.clip`` — the
+    ``np.clip`` wrapper costs several microseconds per call, which matters
+    inside a per-time-step loop.
+    """
+    vc = np.maximum(np.minimum(values, pts[-1]), pts[0])
+    if inv_h is not None:
+        t = (vc - pts[0]) * inv_h
+        idx = t.astype(np.intp)
+        np.minimum(idx, n - 2, out=idx)
+        frac = t - idx
+    else:
+        idx = np.searchsorted(pts, vc, side="right") - 1
+        np.clip(idx, 0, n - 2, out=idx)
+        frac = (vc - pts[idx]) / spans[idx]
+    return idx, frac
+
+
+#: Early-exit threshold: once every state in a lockstep group moves by less
+#: than this per step (after the inputs have stopped), the remaining samples
+#: are filled with the current state.  The gate-output update is contracting
+#: (or at worst drift-bounded) there, so the filled tail deviates from full
+#: integration by at most ~(remaining steps x threshold) << 1e-9 V.
+_EXIT_TOLERANCE = 1e-13
+
+#: How often (in steps) the early-exit condition is evaluated.
+_EXIT_CHECK_EVERY = 8
+
+
+def _clip_bounds(members: Sequence[_LockstepMember]):
+    """Scalar clip bounds when every member shares them (the common case)."""
+    lows = {m.v_low for m in members}
+    highs = {m.v_high for m in members}
+    if len(lows) == 1 and len(highs) == 1:
+        return lows.pop(), highs.pop()
+    return (
+        np.array([m.v_low for m in members]),
+        np.array([m.v_high for m in members]),
+    )
+
+
+def _lockstep_output(
+    members: Sequence[_LockstepMember], times: np.ndarray, vo_axis
+) -> List[Tuple[np.ndarray, Optional[np.ndarray]]]:
+    """Vectorized-across-units recurrence for models without internal node."""
+    batch = len(members)
+    num_steps = len(times)
+    steps = num_steps - 1
+    rows = np.arange(batch)
+    dt = np.diff(times).tolist()
+    pts, spans, n_out, inv_h = _axis_lookup(vo_axis)
+    v_low, v_high = _clip_bounds(members)
+    stationary_from = max(m.pre.stationary_from for m in members)
+
+    # Per-step tables packed (steps, B, nO): one contiguous row per step.
+    table = np.empty((steps, batch, n_out))
+    charge = np.empty((steps, batch))
+    denom = np.empty((steps, batch))
+    for b, member in enumerate(members):
+        table[:, b, :] = member.pre.io_reduced
+        charge[:, b] = member.pre.charge
+        denom[:, b] = member.pre.denom
+    offsets = np.array([[0], [1]], dtype=np.intp)  # i, i + 1
+
+    v_out = np.empty((batch, num_steps))
+    vo = np.array([m.initial_output for m in members])
+    v_out[:, 0] = vo
+    for k in range(steps):
+        i, frac = _bracket_array(vo, pts, spans, n_out, inv_h)
+        corners = table[k][rows, i[None, :] + offsets]  # (2, B)
+        io_val = corners[0] + frac * (corners[1] - corners[0])
+        new_vo = vo + (charge[k] - io_val * dt[k]) / denom[k]
+        new_vo = np.maximum(np.minimum(new_vo, v_high), v_low)
+        v_out[:, k + 1] = new_vo
+        if k >= stationary_from and k % _EXIT_CHECK_EVERY == 0:
+            if float(np.abs(new_vo - vo).max()) <= _EXIT_TOLERANCE:
+                v_out[:, k + 2 :] = new_vo[:, None]
+                break
+        vo = new_vo
+    return [(v_out[b], None) for b in range(batch)]
+
+
+def _lockstep_internal(
+    members: Sequence[_LockstepMember], times: np.ndarray, vn_axis, vo_axis
+) -> List[Tuple[np.ndarray, Optional[np.ndarray]]]:
+    """Vectorized-across-units recurrence for internal-node (MCSM) models.
+
+    Both recurrent states are bracketed in one fused pass when the ``Vo`` and
+    ``VN`` grids coincide (they do for :func:`~repro.lut.grid.voltage_axis`
+    characterizations), and the two tables' four bilinear corners are fetched
+    with a single 8-point gather per step.
+    """
+    batch = len(members)
+    num_steps = len(times)
+    steps = num_steps - 1
+    rows = np.arange(batch)
+    dt = np.diff(times)
+    o_pts, o_spans, n_out, o_inv = _axis_lookup(vo_axis)
+    n_pts, n_spans, n_int, n_inv = _axis_lookup(vn_axis)
+    shared_axis = (
+        o_inv is not None
+        and n_inv is not None
+        and n_out == n_int
+        and bool(np.array_equal(o_pts, n_pts))
+    )
+    v_low, v_high = _clip_bounds(members)
+    stationary_from = max(m.pre.stationary_from for m in members)
+    size = n_int * n_out
+
+    # Per-step tables packed (steps, B, 2 * nN * nO): Io rows then I_N rows,
+    # one contiguous block per step for the combined 8-corner gather.  The
+    # two state updates are packed as ``state + drive - vals * rate`` with
+    # drive = (Q_M/C, 0) and rate = (dt/C, dt/C_N), so one fused arithmetic
+    # sequence advances Vo and VN together.
+    table = np.empty((steps, batch, 2 * size))
+    drive = np.zeros((steps, 2, batch))
+    rate = np.empty((steps, 2, batch))
+    for b, member in enumerate(members):
+        pre = member.pre
+        table[:, b, :size] = pre.io_reduced.reshape(steps, size)
+        table[:, b, size:] = pre.in_reduced.reshape(steps, size)
+        drive[:, 0, b] = pre.charge / pre.denom
+        rate[:, 0, b] = dt / pre.denom
+        rate[:, 1, b] = dt / pre.cn
+    # Corner offsets: (i, i+1) x (j, j+1) for Io, then the same for I_N.
+    quad = np.array([0, 1, n_out, n_out + 1], dtype=np.intp)
+    offsets = np.concatenate([quad, quad + size])[:, None]  # (8, 1)
+
+    v_out = np.empty((batch, num_steps))
+    v_int = np.empty((batch, num_steps))
+    state = np.stack(
+        [
+            [m.initial_output for m in members],
+            [m.initial_internal for m in members],
+        ]
+    )
+    v_out[:, 0] = state[0]
+    v_int[:, 0] = state[1]
+    for k in range(steps):
+        if shared_axis:
+            idx, frac = _bracket_array(state, o_pts, o_spans, n_out, o_inv)
+            i, j = idx[0], idx[1]
+            fo, fn = frac[0], frac[1]
+        else:
+            i, fo = _bracket_array(state[0], o_pts, o_spans, n_out, o_inv)
+            j, fn = _bracket_array(state[1], n_pts, n_spans, n_int, n_inv)
+        base = j * n_out + i
+        corners = table[k][rows, base[None, :] + offsets]  # (8, B)
+        g = corners.reshape(2, 2, 2, batch)  # (table, j/j+1, i/i+1, B)
+        row_interp = g[:, :, 0] + fo * (g[:, :, 1] - g[:, :, 0])  # (2, 2, B)
+        vals = row_interp[:, 0] + fn * (row_interp[:, 1] - row_interp[:, 0])
+        new_state = state + (drive[k] - vals * rate[k])
+        new_state = np.maximum(np.minimum(new_state, v_high), v_low)
+        v_out[:, k + 1] = new_state[0]
+        v_int[:, k + 1] = new_state[1]
+        if k >= stationary_from and k % _EXIT_CHECK_EVERY == 0:
+            if float(np.abs(new_state - state).max()) <= _EXIT_TOLERANCE:
+                v_out[:, k + 2 :] = new_state[0][:, None]
+                v_int[:, k + 2 :] = new_state[1][:, None]
+                break
+        state = new_state
+    return [(v_out[b], v_int[b]) for b in range(batch)]

@@ -23,11 +23,12 @@ from ..cells.library import CellLibrary, default_library
 from ..cells.testbench import CellTestbench, build_testbench, fanout_capacitance
 from ..characterization.characterize import characterization_job
 from ..characterization.config import CharacterizationConfig
+from ..csm.loads import Load, as_load
 from ..csm.models import MCSM, BaselineMISCSM, SISCSM
-from ..csm.base import SimulationOptions
+from ..csm.base import ModelSimulationResult, SimulationOptions
 from ..runtime.cache import ResultCache
 from ..runtime.executor import Executor, run_jobs
-from ..runtime.jobs import Job
+from ..runtime.jobs import Job, content_hash
 from ..spice.transient import TransientAnalysis, TransientOptions, transient_analysis
 from ..technology.process import Technology, default_technology
 from ..waveform.builders import InputPattern, pattern_stimulus, pattern_waveforms
@@ -38,6 +39,9 @@ __all__ = [
     "default_context",
     "nor2_history_patterns",
     "lockstep_history_results",
+    "run_model_simulation",
+    "model_simulation_key",
+    "model_simulation_job",
     "HISTORY_LABELS",
 ]
 
@@ -101,6 +105,63 @@ def lockstep_history_results(
     ]
     results = engine.run_many(stimulus_sets, t_stop=t_stop)
     return bench, results
+
+
+def run_model_simulation(
+    model,
+    input_waveforms: Mapping[str, Waveform],
+    load: Load,
+    options: SimulationOptions,
+) -> ModelSimulationResult:
+    """Module-level dispatch target for model-simulation jobs.
+
+    SIS models take their single switching-pin waveform; the MIS flavours
+    take the full pin -> waveform mapping.  Top-level (hence picklable) so
+    the runtime can ship model sweeps to worker processes.
+    """
+    if isinstance(model, SISCSM):
+        return model.simulate(input_waveforms[model.pin], load, options=options)
+    return model.simulate(dict(input_waveforms), load, options=options)
+
+
+def model_simulation_key(
+    model,
+    input_waveforms: Mapping[str, Waveform],
+    load: Load,
+    options: SimulationOptions,
+) -> str:
+    """Content hash of one model waveform simulation.
+
+    Covers the characterized model (every table and capacitance), the input
+    waveform samples, the load and the integration options — so a cache hit
+    is guaranteed to be the same waveform the simulation would produce.
+    """
+    return content_hash(
+        "model-simulation",
+        type(model).__name__,
+        model,
+        {pin: wave for pin, wave in sorted(input_waveforms.items())},
+        load,
+        options,
+    )
+
+
+def model_simulation_job(
+    model,
+    input_waveforms: Mapping[str, Waveform],
+    load,
+    options: SimulationOptions,
+) -> Job:
+    """Package one model waveform simulation as a cacheable runtime job."""
+    load = as_load(load)
+    if isinstance(model, SISCSM):
+        input_waveforms = {model.pin: input_waveforms[model.pin]}
+    return Job(
+        fn=run_model_simulation,
+        args=(model, dict(input_waveforms), load, options),
+        name=f"model-sim:{type(model).__name__}:{model.cell_name}",
+        key=model_simulation_key(model, input_waveforms, load, options),
+    )
 
 
 @dataclass
@@ -235,6 +296,29 @@ class ExperimentContext:
             store[memo_key] = result.value
             executed += 0 if result.cache_hit else 1
         return executed
+
+    # ------------------------------------------------------------------
+    def simulate_models(
+        self,
+        requests: Sequence[Tuple],
+        options: Optional[SimulationOptions] = None,
+        parallel: bool = True,
+    ) -> List[ModelSimulationResult]:
+        """Run model waveform simulations as cached runtime jobs.
+
+        ``requests`` is a sequence of ``(model, input_waveforms, load)``
+        tuples; each becomes a content-addressed job (model tables + input
+        samples + load + options), so sweeps that re-simulate the same model
+        scenario — across benchmark repetitions or sessions — are served from
+        the disk cache, and independent sweep points fan out through the
+        context's executor.  Results come back in request order.
+        """
+        options = options or self.model_options()
+        jobs = [
+            model_simulation_job(model, waves, load, options)
+            for model, waves, load in requests
+        ]
+        return [result.value for result in self.run_jobs(jobs, parallel=parallel)]
 
     # ------------------------------------------------------------------
     def reference_history_run(

@@ -101,7 +101,7 @@ def run_fig10(
         "B": Waveform.from_function(pulse, 0.0, t_stop, 2000, name="B"),
     }
     load = CapacitiveLoad(context.fanout_load_capacitance(fanout))
-    mcsm_result = mcsm.simulate(inputs, load, options=context.model_options())
+    [mcsm_result] = context.simulate_models([(mcsm, inputs, load)])
 
     window = (pulse_start - 0.2e-9, t_stop)
     rmse = normalized_rmse(

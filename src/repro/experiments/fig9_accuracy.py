@@ -98,19 +98,29 @@ def run_fig9(
 
     _, references = context.reference_history_runs(patterns.values(), fanout=fanout)
 
+    # Both models x both history cases as one cached, parallelizable job set.
+    wave_sets = [context.model_history_waveforms(p) for p in patterns.values()]
+    sims = context.simulate_models(
+        [
+            (model, waves, CapacitiveLoad(load_cap))
+            for waves in wave_sets
+            for model in (mcsm, baseline)
+        ]
+    )
+
     cases: List[Fig9Case] = []
-    for (label, pattern_set), reference in zip(patterns.items(), references):
+    for case_index, ((label, pattern_set), reference) in enumerate(
+        zip(patterns.items(), references)
+    ):
         reference_output = reference.waveform(context.nor2.output)
         input_a = reference.waveform("A")
         reference_delay = propagation_delay(
             input_a, reference_output, context.vdd, input_direction="fall", output_direction="rise"
         )
 
-        waves = context.model_history_waveforms(pattern_set)
-        mcsm_result = mcsm.simulate(waves, CapacitiveLoad(load_cap), options=context.model_options())
-        baseline_result = baseline.simulate(
-            waves, CapacitiveLoad(load_cap), options=context.model_options()
-        )
+        waves = wave_sets[case_index]
+        mcsm_result = sims[2 * case_index]
+        baseline_result = sims[2 * case_index + 1]
         mcsm_delay = propagation_delay(
             waves["A"], mcsm_result.output, context.vdd, input_direction="fall", output_direction="rise"
         )

@@ -27,7 +27,7 @@ import numpy as np
 from ..exceptions import TableError
 from .grid import Axis
 
-__all__ = ["NDTable", "tabulate"]
+__all__ = ["NDTable", "tabulate", "contract_leading_shared"]
 
 
 class NDTable:
@@ -177,22 +177,44 @@ class NDTable:
         coords = np.asarray(coords, dtype=float)
         if coords.ndim != 2:
             raise TableError("contract_leading expects a (K, L) coordinate array")
-        num_rows, num_contracted = coords.shape
+        num_contracted = coords.shape[1]
         if not 1 <= num_contracted < self.ndim:
             raise TableError(
                 f"table {self.name!r}: cannot contract {num_contracted} of "
                 f"{self.ndim} axes (need 1 <= L < ndim)"
             )
-        rows = np.arange(num_rows)
-        reduced: Optional[np.ndarray] = None
+        lows, fracs, rows = self._contract_weights(coords)
+        return self._contract_apply(lows, fracs, rows)
+
+    def __call__(self, *coordinates: float) -> float:
+        return self.evaluate(*coordinates)
+
+    def _contract_weights(
+        self, coords: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Bracket indices and weights for :meth:`contract_leading` queries."""
+        num_rows, num_contracted = coords.shape
+        lows = np.empty((num_rows, num_contracted), dtype=np.intp)
+        fracs = np.empty((num_rows, num_contracted))
         for dim in range(num_contracted):
             points = self._axis_arrays[dim]
             clamped = np.clip(coords[:, dim], points[0], points[-1])
             low = np.searchsorted(points, clamped, side="right") - 1
             np.clip(low, 0, len(points) - 2, out=low)
-            frac = (clamped - points[low]) / (points[low + 1] - points[low])
+            fracs[:, dim] = (clamped - points[low]) / (points[low + 1] - points[low])
+            lows[:, dim] = low
+        return lows, fracs, np.arange(num_rows)
+
+    def _contract_apply(
+        self, lows: np.ndarray, fracs: np.ndarray, rows: np.ndarray
+    ) -> np.ndarray:
+        """Apply precomputed bracket weights (see :meth:`_contract_weights`)."""
+        num_rows, num_contracted = lows.shape
+        reduced: Optional[np.ndarray] = None
+        for dim in range(num_contracted):
+            low = lows[:, dim]
             tail = (1,) * (self.ndim - dim - 1)
-            high_weight = frac.reshape((num_rows,) + tail)
+            high_weight = fracs[:, dim].reshape((num_rows,) + tail)
             low_weight = 1.0 - high_weight
             if reduced is None:
                 reduced = self.values[low] * low_weight + self.values[low + 1] * high_weight
@@ -200,9 +222,6 @@ class NDTable:
                 reduced = reduced[rows, low] * low_weight + reduced[rows, low + 1] * high_weight
         assert reduced is not None
         return reduced
-
-    def __call__(self, *coordinates: float) -> float:
-        return self.evaluate(*coordinates)
 
     def evaluate_dict(self, coordinates: Mapping[str, float]) -> float:
         """Interpolate using axis names as keys."""
@@ -286,6 +305,40 @@ class NDTable:
     def from_dict(cls, data: Dict) -> "NDTable":
         axes = [Axis(name=a["name"], points=tuple(a["points"])) for a in data["axes"]]
         return cls(axes, np.asarray(data["values"], dtype=float), name=data.get("name", ""))
+
+
+def contract_leading_shared(
+    tables: Sequence[NDTable], coords: np.ndarray
+) -> Tuple[np.ndarray, ...]:
+    """:meth:`NDTable.contract_leading` over several same-axes tables.
+
+    The bracket indices and interpolation weights of the contracted axes are
+    computed once and applied to every table, which is how the model
+    integrator contracts its ``Io``/``I_N`` pair (identical axes, identical
+    per-step query points) without paying for the bracketing twice.  All
+    tables must share the leading (contracted) axes of the first table.
+    """
+    if not tables:
+        return ()
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim != 2:
+        raise TableError("contract_leading_shared expects a (K, L) coordinate array")
+    first = tables[0]
+    num_contracted = coords.shape[1]
+    if not 1 <= num_contracted < first.ndim:
+        raise TableError(
+            f"table {first.name!r}: cannot contract {num_contracted} of "
+            f"{first.ndim} axes (need 1 <= L < ndim)"
+        )
+    leading = first.axes[:num_contracted]
+    for table in tables[1:]:
+        if table.ndim != first.ndim or table.axes[:num_contracted] != leading:
+            raise TableError(
+                "contract_leading_shared requires identical leading axes "
+                f"({first.name!r} vs {table.name!r})"
+            )
+    lows, fracs, rows = first._contract_weights(coords)
+    return tuple(table._contract_apply(lows, fracs, rows) for table in tables)
 
 
 def tabulate(

@@ -54,14 +54,24 @@ def _registered_classes() -> Dict[str, Type]:
     """Dataclass result types the codec may store (imported lazily to keep
     :mod:`repro.runtime` free of upward package dependencies)."""
     from ..characterization.nldm import NLDMTable
+    from ..csm.base import ModelSimulationResult
     from ..csm.models import MCSM, BaselineMISCSM, SISCSM
 
-    return {cls.__name__: cls for cls in (SISCSM, BaselineMISCSM, MCSM, NLDMTable)}
+    return {
+        cls.__name__: cls
+        for cls in (SISCSM, BaselineMISCSM, MCSM, NLDMTable, ModelSimulationResult)
+    }
 
 
 # ----------------------------------------------------------------------
 # Payload codec: object tree <-> (manifest JSON, {array_name: ndarray})
 # ----------------------------------------------------------------------
+def _is_waveform(value: Any) -> bool:
+    from ..waveform.waveform import Waveform
+
+    return isinstance(value, Waveform)
+
+
 def _encode(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
     # Numpy scalars first: np.float64 subclasses float, and repr() of the
     # subclass ('np.float64(…)') would not round-trip through float().
@@ -91,6 +101,13 @@ def _encode(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
             "t": "ndtable",
             "name": value.name,
             "axes": [[axis.name, list(axis.points)] for axis in value.axes],
+            "values": _encode(value.values, arrays),
+        }
+    if _is_waveform(value):
+        return {
+            "t": "waveform",
+            "name": value.name,
+            "times": _encode(value.times, arrays),
             "values": _encode(value.values, arrays),
         }
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
@@ -132,6 +149,14 @@ def _decode(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
             for name, points in node["axes"]
         ]
         return NDTable(axes, _decode(node["values"], arrays), name=node["name"])
+    if tag == "waveform":
+        from ..waveform.waveform import Waveform
+
+        return Waveform(
+            _decode(node["times"], arrays),
+            _decode(node["values"], arrays),
+            name=node["name"],
+        )
     if tag == "object":
         cls = _registered_classes()[node["cls"]]
         fields = {name: _decode(child, arrays) for name, child in node["fields"].items()}

@@ -5,6 +5,7 @@ Usage::
     python -m repro.runtime.cli --figures fig5 fig9 --workers 4 --cache ~/.repro-cache
     python -m repro.runtime.cli --figures all --workers 8 --executor thread
     python -m repro.runtime.cli --figures fig3 --settings paper --json report.json
+    python -m repro.runtime.cli --sta dag:w16:d4:s3 --engine both --workers 2 --cache DIR
 
 The CLI builds one :class:`~repro.experiments.ExperimentContext` wired to the
 chosen executor and disk cache, pre-characterizes every model the requested
@@ -12,6 +13,14 @@ figures need (as one parallel job set), then runs the figures and reports
 per-figure wall-clock plus cache statistics.  A second invocation with the
 same ``--cache`` directory skips all characterization jobs — the hits are
 logged and counted in the summary.
+
+``--sta`` switches to the timing-engine mode: each argument is a synthetic
+netlist spec (``chain:inv:64``, ``tree:4:2``, ``dag:w16:d8:s42`` — see
+:mod:`repro.sta.generate`), whose models are characterized as one parallel,
+cache-aware job set before the requested engine(s) propagate seeded input
+waveforms through the design.  With ``--engine both`` the batched and
+sequential waveform engines both run and the CLI *fails* unless their
+waveforms agree to 1e-9 V, which is what the CI smoke relies on.
 """
 
 from __future__ import annotations
@@ -41,6 +50,7 @@ MODEL_KINDS: Dict[str, tuple] = {
     "fig10": ("mcsm",),
     "fig11": ("mcsm", "sis"),
     "fig12": ("mcsm",),
+    "sta": (),
 }
 
 
@@ -56,6 +66,7 @@ def _load_figures() -> None:
         run_fig10,
         run_fig11,
         run_fig12,
+        run_sta_scale,
     )
 
     FIGURES.update(
@@ -67,6 +78,7 @@ def _load_figures() -> None:
             "fig10": lambda ctx: run_fig10(ctx),
             "fig11": lambda ctx: run_fig11(ctx),
             "fig12": lambda ctx: run_fig12(ctx),
+            "sta": lambda ctx: run_sta_scale(ctx),
         }
     )
 
@@ -89,6 +101,86 @@ def build_context(settings: str, executor=None, cache: Optional[ResultCache] = N
     raise ValueError(f"unknown settings {settings!r}")
 
 
+def _run_sta_mode(args) -> int:
+    """Drive the levelized timing engine(s) over generated netlists."""
+    from ..experiments import timing_models_for
+    from ..sta.engine import CSMEngine, waveform_deviation
+    from ..sta.generate import generate_netlist, primary_input_waveforms
+
+    executor = default_executor(args.workers, args.executor)
+    cache = ResultCache(args.cache) if args.cache is not None else None
+    context = build_context(args.settings, executor=executor, cache=cache)
+    models = timing_models_for(context)
+    options = context.model_options()
+    engines = ("batched", "sequential") if args.engine == "both" else (args.engine,)
+
+    report: Dict[str, object] = {
+        "mode": "sta",
+        "settings": args.settings,
+        "workers": args.workers,
+        "executor": executor.describe(),
+        "engine": args.engine,
+        "seed": args.seed,
+        "designs": {},
+    }
+    failures = 0
+    total_start = time.perf_counter()
+    for spec in args.sta:
+        netlist = generate_netlist(context.library, spec)
+        waveforms = primary_input_waveforms(netlist, seed=args.seed)
+        start = time.perf_counter()
+        executed = models.prewarm_for_netlist(netlist, kinds=("sis", "mis"))
+        characterization = time.perf_counter() - start
+        entry: Dict[str, object] = {
+            "gates": len(netlist.instances),
+            "levels": len(netlist.topological_generations()),
+            "characterization_seconds": round(characterization, 4),
+            "models_executed": executed,
+        }
+        print(
+            f"{spec}: {entry['gates']} gates, {entry['levels']} levels "
+            f"(characterization {characterization:.3f} s, {executed} executed)"
+        )
+        results = {}
+        for engine_kind in engines:
+            engine = CSMEngine(
+                netlist, models, options=options, batched=engine_kind == "batched"
+            )
+            start = time.perf_counter()
+            results[engine_kind] = engine.run(waveforms)
+            elapsed = time.perf_counter() - start
+            entry[f"{engine_kind}_seconds"] = round(elapsed, 4)
+            print(f"  {engine_kind:<10} {elapsed:8.3f} s")
+        if len(engines) == 2:
+            batched, sequential = results["batched"], results["sequential"]
+            deviation = waveform_deviation(batched, sequential)
+            bookkeeping = batched.model_used == sequential.model_used
+            speedup = entry["sequential_seconds"] / max(entry["batched_seconds"], 1e-12)
+            entry["speedup"] = round(speedup, 3)
+            entry["max_abs_delta_v"] = deviation
+            entry["model_selection_equal"] = bookkeeping
+            ok = deviation <= 1e-9 and bookkeeping
+            failures += 0 if ok else 1
+            print(
+                f"  equivalence: max |dV| = {deviation:.2e} V, model selection "
+                f"{'identical' if bookkeeping else 'DIFFERS'}, speedup {speedup:.2f}x"
+                + ("" if ok else "  <-- FAILED")
+            )
+        report["designs"][spec] = entry
+    report["total_seconds"] = round(time.perf_counter() - total_start, 4)
+
+    if cache is not None:
+        print(f"cache: {cache.stats} ({args.cache})")
+        report["cache"] = cache.stats.as_dict()
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+    if failures:
+        print(f"{failures} design(s) FAILED the batched/sequential equivalence check")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.cli",
@@ -98,7 +190,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--figures",
         nargs="+",
         default=["all"],
-        help="figure names (fig3 fig4 fig5 fig9 fig10 fig11 fig12) or 'all'",
+        help="figure names (fig3 fig4 fig5 fig9 fig10 fig11 fig12, plus the "
+        "'sta' engine-scale sweep) — 'all' runs the paper figures only",
     )
     parser.add_argument(
         "--workers",
@@ -135,12 +228,36 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-figure result summaries"
     )
+    parser.add_argument(
+        "--sta",
+        nargs="+",
+        default=None,
+        metavar="SPEC",
+        help="timing-engine mode: synthetic netlist specs "
+        "(chain:inv:64, tree:4:2, dag:w16:d8:s42) instead of figures",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=("batched", "sequential", "both"),
+        default="batched",
+        help="--sta mode: which waveform engine(s) to run; 'both' additionally "
+        "asserts <=1e-9 V equivalence (default: batched)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="--sta mode: stimulus seed (default: 0)"
+    )
     args = parser.parse_args(argv)
 
     logging.basicConfig(level=logging.INFO, format="%(name)s: %(message)s")
 
+    if args.sta is not None:
+        return _run_sta_mode(args)
+
     _load_figures()
-    names = list(FIGURES) if args.figures == ["all"] else args.figures
+    # 'all' means the paper-figure set; the STA scale sweep is opt-in (it is
+    # by far the slowest entry and has its own --sta mode).
+    all_names = [name for name in FIGURES if name != "sta"]
+    names = all_names if args.figures == ["all"] else args.figures
     unknown = [name for name in names if name not in FIGURES]
     if unknown:
         parser.error(f"unknown figures {unknown}; available: {sorted(FIGURES)}")

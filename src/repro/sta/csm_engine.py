@@ -1,178 +1,14 @@
-"""Waveform-propagating timing engine built on the current-source models.
+"""Waveform-propagating timing engine (compatibility shim).
 
-Instead of (arrival, slew) pairs, every net carries a full voltage waveform.
-Each instance is evaluated with a characterized current-source model:
-
-* if exactly one of its inputs switches, the SIS CSM for that arc is used;
-* if two inputs switch with overlapping activity, the cell's MIS model is
-  used — the complete MCSM when the model library is configured with
-  ``use_internal_node=True`` (the default), the baseline MIS model otherwise.
-
-Output waveforms become the input waveforms of the fanout instances, so
-waveform-shape effects (noisy inputs, glitches, MIS speed-up) propagate
-through the design, which is the whole point of current-source modeling.
+The CSM and NLDM engines were merged behind the :class:`TimingEngine`
+interface in :mod:`repro.sta.engine`; this module re-exports the
+waveform-propagating side so existing imports keep working.  See
+:class:`repro.sta.engine.CSMEngine` for the levelized batched implementation
+(``batched=False`` selects the per-instance reference path).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from .engine import SWITCHING_THRESHOLD_FRACTION, CSMEngine, WaveformTimingResult
 
-from ..csm.base import SimulationOptions
-from ..csm.loads import CapacitiveLoad, ReceiverLoad
-from ..csm.models import MCSM, BaselineMISCSM
-from ..exceptions import TimingError
-from ..waveform.metrics import crossing_times, propagation_delay
-from ..waveform.waveform import Waveform
-from .models import TimingModelLibrary
-from .netlist import GateInstance, GateNetlist
-
-__all__ = ["WaveformTimingResult", "CSMEngine"]
-
-#: A net is considered switching when its waveform spans more than this
-#: fraction of Vdd.
-SWITCHING_THRESHOLD_FRACTION = 0.4
-
-
-@dataclass
-class WaveformTimingResult:
-    """Per-net waveforms plus per-instance model-choice bookkeeping."""
-
-    waveforms: Dict[str, Waveform]
-    model_used: Dict[str, str]
-    netlist_name: str
-    vdd: float
-
-    def waveform(self, net: str) -> Waveform:
-        if net not in self.waveforms:
-            raise TimingError(f"net {net!r} has no propagated waveform")
-        return self.waveforms[net]
-
-    def arrival(self, net: str, rising: Optional[bool] = None) -> float:
-        """50 % crossing time of a net (last crossing in the given direction)."""
-        waveform = self.waveform(net)
-        direction = "any" if rising is None else ("rise" if rising else "fall")
-        crossings = crossing_times(waveform, 0.5 * self.vdd, direction)
-        if not crossings:
-            raise TimingError(f"net {net!r} never crosses 50% of Vdd")
-        return crossings[-1]
-
-    def path_delay(self, from_net: str, to_net: str) -> float:
-        """Delay between the last 50 % crossings of two nets."""
-        return self.arrival(to_net) - self.arrival(from_net)
-
-    def report(self) -> str:
-        lines = [f"Waveform (CSM) timing report for {self.netlist_name!r}"]
-        for net, waveform in self.waveforms.items():
-            crossings = crossing_times(waveform, 0.5 * self.vdd)
-            arrival = f"{crossings[-1] * 1e12:9.2f} ps" if crossings else "   stable"
-            lines.append(f"  net {net:<12} last 50% crossing {arrival}")
-        for instance, model in self.model_used.items():
-            lines.append(f"  instance {instance:<10} evaluated with {model}")
-        return "\n".join(lines)
-
-
-class CSMEngine:
-    """Propagates waveforms through a gate netlist using CSM models."""
-
-    def __init__(
-        self,
-        netlist: GateNetlist,
-        models: TimingModelLibrary,
-        options: Optional[SimulationOptions] = None,
-    ):
-        self.netlist = netlist
-        self.models = models
-        self.options = options or SimulationOptions()
-        self.vdd = netlist.library.technology.vdd
-
-    # ------------------------------------------------------------------
-    def run(self, input_waveforms: Dict[str, Waveform], t_stop: Optional[float] = None) -> WaveformTimingResult:
-        """Propagate waveforms from the primary inputs through the design.
-
-        Parameters
-        ----------
-        input_waveforms:
-            Net name -> waveform for every primary input (switching or not).
-        t_stop:
-            End of the common time window; defaults to the shortest input
-            waveform end.
-        """
-        missing = [net for net in self.netlist.primary_inputs if net not in input_waveforms]
-        if missing:
-            raise TimingError(f"missing waveforms for primary inputs {missing}")
-        t_stop = t_stop or min(w.t_stop for w in input_waveforms.values())
-        t_start = max(w.t_start for w in input_waveforms.values())
-
-        waveforms: Dict[str, Waveform] = {
-            net: wave.renamed(net) for net, wave in input_waveforms.items()
-        }
-        model_used: Dict[str, str] = {}
-
-        for instance in self.netlist.topological_order():
-            cell = self.netlist.library[instance.cell_name]
-            output_net = instance.connections[cell.output]
-            pin_waves = self._pin_waveforms(instance, waveforms, t_start, t_stop)
-            switching = [pin for pin in cell.inputs if self._is_switching(pin_waves[pin])]
-            load = self._output_load(instance)
-
-            if len(switching) >= 2 and cell.num_inputs >= 2:
-                pin_a, pin_b = switching[0], switching[1]
-                model = self.models.mis_model(instance.cell_name, pin_a, pin_b)
-                result = model.simulate(
-                    {pin_a: pin_waves[pin_a], pin_b: pin_waves[pin_b]},
-                    load,
-                    options=self.options,
-                )
-                model_used[instance.name] = type(model).__name__
-            else:
-                pin = switching[0] if switching else cell.inputs[0]
-                model = self.models.sis_model(instance.cell_name, pin)
-                result = model.simulate(pin_waves[pin], load, options=self.options)
-                model_used[instance.name] = f"SISCSM[{pin}]"
-            waveforms[output_net] = result.output.renamed(output_net)
-
-        return WaveformTimingResult(
-            waveforms=waveforms,
-            model_used=model_used,
-            netlist_name=self.netlist.name,
-            vdd=self.vdd,
-        )
-
-    # ------------------------------------------------------------------
-    def _pin_waveforms(
-        self,
-        instance: GateInstance,
-        waveforms: Dict[str, Waveform],
-        t_start: float,
-        t_stop: float,
-    ) -> Dict[str, Waveform]:
-        cell = self.netlist.library[instance.cell_name]
-        result: Dict[str, Waveform] = {}
-        for pin in cell.inputs:
-            net = instance.connections[pin]
-            if net in waveforms:
-                result[pin] = waveforms[net]
-            else:
-                # A stable net: hold the pin at its non-controlling value so
-                # that the cell is sensitized through the switching pin(s).
-                level = cell.non_controlling_value(pin) * self.vdd
-                result[pin] = Waveform.constant(level, t_start, t_stop, name=pin)
-        return result
-
-    def _is_switching(self, waveform: Waveform) -> bool:
-        return (waveform.maximum() - waveform.minimum()) > SWITCHING_THRESHOLD_FRACTION * self.vdd
-
-    def _output_load(self, instance: GateInstance):
-        cell = self.netlist.library[instance.cell_name]
-        output_net = instance.connections[cell.output]
-        receiver_caps = [
-            self.models.receiver_input_capacitance(receiver.cell_name, pin)
-            for receiver, pin in self.netlist.receivers_of(output_net)
-        ]
-        wire = self.netlist.net_wire_capacitance.get(output_net, 0.0)
-        if not receiver_caps and wire == 0.0:
-            # An unloaded primary output still needs some charge storage for
-            # the output update equation to be well conditioned.
-            return CapacitiveLoad(1e-15)
-        return ReceiverLoad(receiver_caps=receiver_caps, wire_capacitance=wire)
+__all__ = ["WaveformTimingResult", "CSMEngine", "SWITCHING_THRESHOLD_FRACTION"]

@@ -1,0 +1,661 @@
+"""The unified, levelized timing engines.
+
+One :class:`TimingEngine` interface fronts both timing views of the paper:
+
+* :class:`NLDMEngine` — the conventional voltage-based STA flow: (arrival,
+  slew, direction) events looked up in pre-characterized delay/slew tables,
+  worst arc propagated, MIS situations flagged but not modeled;
+* :class:`CSMEngine` — the waveform-propagating engine built on the
+  characterized current-source models, which switches to the cell's MIS model
+  (complete MCSM or the baseline) when several inputs switch together.
+
+Both engines walk the netlist in *levelized* order — topological generations
+in which every instance's inputs are already resolved — instead of recursing
+per instance.  For the waveform engine the level is the unit of batching: all
+instances of a level are integrated in lockstep through
+:func:`repro.csm.simulate.integrate_model_many` (one vectorized update loop
+per state-grid group, regardless of cell type), which is what makes
+full-design waveform propagation tractable at hundreds to thousands of gates.
+``batched=False`` keeps the per-instance reference path; the two paths agree
+to well below the 1e-9 V equivalence budget (typically ~1e-13 V — the only
+differences are unit-last-place bracketing rounding and the lockstep loop's
+stationary-tail fill).
+
+Independent fanout cones (weakly connected components of the instance graph)
+can additionally be evaluated as parallel runtime jobs via
+:func:`run_cones`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+from ..csm.base import SimulationOptions
+from ..csm.loads import CapacitiveLoad, Load, ReceiverLoad
+from ..csm.models import MCSM, BaselineMISCSM, SISCSM
+from ..csm.simulate import BatchUnit, integrate_model_many
+from ..exceptions import TimingError
+from ..runtime.executor import Executor, run_jobs
+from ..runtime.jobs import Job
+from ..waveform.metrics import crossing_times
+from ..waveform.waveform import Waveform
+from .events import TimingEvent, detect_mis_pairs
+from .models import TimingModelLibrary
+from .netlist import GateInstance, GateNetlist, NetConnectivity
+
+__all__ = [
+    "TimingEngine",
+    "create_engine",
+    "WaveformTimingResult",
+    "CSMEngine",
+    "NLDMTimingResult",
+    "NLDMEngine",
+    "independent_cones",
+    "run_cones",
+    "waveform_deviation",
+]
+
+#: A net is considered switching when its waveform spans more than this
+#: fraction of Vdd.
+SWITCHING_THRESHOLD_FRACTION = 0.4
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class WaveformTimingResult:
+    """Per-net waveforms plus per-instance model-choice bookkeeping."""
+
+    waveforms: Dict[str, Waveform]
+    model_used: Dict[str, str]
+    netlist_name: str
+    vdd: float
+
+    def waveform(self, net: str) -> Waveform:
+        if net not in self.waveforms:
+            raise TimingError(f"net {net!r} has no propagated waveform")
+        return self.waveforms[net]
+
+    def arrival(self, net: str, rising: Optional[bool] = None) -> float:
+        """50 % crossing time of a net (last crossing in the given direction)."""
+        waveform = self.waveform(net)
+        direction = "any" if rising is None else ("rise" if rising else "fall")
+        crossings = crossing_times(waveform, 0.5 * self.vdd, direction)
+        if not crossings:
+            raise TimingError(f"net {net!r} never crosses 50% of Vdd")
+        return crossings[-1]
+
+    def path_delay(self, from_net: str, to_net: str) -> float:
+        """Delay between the last 50 % crossings of two nets."""
+        return self.arrival(to_net) - self.arrival(from_net)
+
+    def report(self) -> str:
+        lines = [f"Waveform (CSM) timing report for {self.netlist_name!r}"]
+        for net, waveform in self.waveforms.items():
+            crossings = crossing_times(waveform, 0.5 * self.vdd)
+            arrival = f"{crossings[-1] * 1e12:9.2f} ps" if crossings else "   stable"
+            lines.append(f"  net {net:<12} last 50% crossing {arrival}")
+        for instance, model in self.model_used.items():
+            lines.append(f"  instance {instance:<10} evaluated with {model}")
+        return "\n".join(lines)
+
+
+@dataclass
+class NLDMTimingResult:
+    """Per-net events plus bookkeeping produced by the NLDM engine."""
+
+    events: Dict[str, TimingEvent]
+    mis_flags: Dict[str, List[Tuple[str, str]]]
+    netlist_name: str
+
+    def arrival(self, net: str) -> float:
+        if net not in self.events:
+            raise TimingError(f"net {net!r} has no propagated event")
+        return self.events[net].arrival
+
+    def slew(self, net: str) -> float:
+        if net not in self.events:
+            raise TimingError(f"net {net!r} has no propagated event")
+        return self.events[net].slew
+
+    def instances_with_mis(self) -> List[str]:
+        """Instances whose input timing windows overlap (potential MIS)."""
+        return [name for name, pairs in self.mis_flags.items() if pairs]
+
+    def report(self) -> str:
+        lines = [f"NLDM timing report for {self.netlist_name!r}"]
+        for net, event in sorted(self.events.items(), key=lambda item: item[1].arrival):
+            direction = "rise" if event.rising else "fall"
+            lines.append(
+                f"  net {net:<12} arrival {event.arrival * 1e12:9.2f} ps  "
+                f"slew {event.slew * 1e12:7.2f} ps  ({direction})"
+            )
+        flagged = self.instances_with_mis()
+        if flagged:
+            lines.append(f"  instances with overlapping input windows (potential MIS): {flagged}")
+        return "\n".join(lines)
+
+
+def waveform_deviation(
+    candidate: WaveformTimingResult, reference: WaveformTimingResult
+) -> float:
+    """Maximum per-net |dV| between two timing results (over the reference's
+    nets).  This is THE equivalence metric between the batched and sequential
+    engines — the experiment, the CLI's ``--engine both`` check and the tests
+    all compare through it."""
+    return max(
+        float(
+            np.abs(
+                candidate.waveform(net).values - reference.waveform(net).values
+            ).max()
+        )
+        for net in reference.waveforms
+    )
+
+
+# ----------------------------------------------------------------------
+# The engine interface
+# ----------------------------------------------------------------------
+class TimingEngine:
+    """Base class: a netlist bound to a model library, walked by levels.
+
+    Subclasses implement :meth:`run` for their signal representation (events
+    for NLDM, waveforms for CSM).  The base class owns what both need: the
+    O(1) net connectivity index, the levelization, and output-load
+    construction from characterized receiver capacitances.
+    """
+
+    def __init__(self, netlist: GateNetlist, models: TimingModelLibrary):
+        self.netlist = netlist
+        self.models = models
+        self._connectivity: Optional[NetConnectivity] = None
+        self._levels: Optional[List[List[GateInstance]]] = None
+
+    # -- lazily built structural views ---------------------------------
+    @property
+    def connectivity(self) -> NetConnectivity:
+        if self._connectivity is None:
+            self._connectivity = self.netlist.connectivity()
+        return self._connectivity
+
+    def levels(self) -> List[List[GateInstance]]:
+        """Topological generations of the netlist (cached per engine)."""
+        if self._levels is None:
+            self._levels = self.netlist.topological_generations()
+        return self._levels
+
+    # -- shared helpers ------------------------------------------------
+    def _cell(self, instance: GateInstance):
+        return self.netlist.library[instance.cell_name]
+
+    def _output_net(self, instance: GateInstance) -> str:
+        return instance.connections[self._cell(instance).output]
+
+    def _lumped_output_load(self, instance: GateInstance) -> float:
+        """Scalar load: receiver input capacitances plus wire capacitance."""
+        output_net = self._output_net(instance)
+        load = self.netlist.net_wire_capacitance.get(output_net, 0.0)
+        for receiver, pin in self.connectivity.receivers_of(output_net):
+            load += self.models.receiver_input_capacitance(receiver.cell_name, pin)
+        return load
+
+    def _output_load(self, instance: GateInstance) -> Load:
+        """Structured load for the waveform engine (receiver caps + wire)."""
+        output_net = self._output_net(instance)
+        receiver_caps = [
+            self.models.receiver_input_capacitance(receiver.cell_name, pin)
+            for receiver, pin in self.connectivity.receivers_of(output_net)
+        ]
+        wire = self.netlist.net_wire_capacitance.get(output_net, 0.0)
+        if not receiver_caps and wire == 0.0:
+            # An unloaded primary output still needs some charge storage for
+            # the output update equation to be well conditioned.
+            return CapacitiveLoad(1e-15)
+        return ReceiverLoad(receiver_caps=receiver_caps, wire_capacitance=wire)
+
+    def run(self, *args, **kwargs):
+        raise NotImplementedError
+
+
+def create_engine(
+    kind: str,
+    netlist: GateNetlist,
+    models: TimingModelLibrary,
+    **kwargs,
+) -> TimingEngine:
+    """Engine factory: ``"csm"`` (levelized batched waveform propagation),
+    ``"csm-sequential"`` (the per-instance reference path) or ``"nldm"``."""
+    if kind == "csm":
+        return CSMEngine(netlist, models, **kwargs)
+    if kind == "csm-sequential":
+        kwargs.pop("batched", None)
+        return CSMEngine(netlist, models, batched=False, **kwargs)
+    if kind == "nldm":
+        return NLDMEngine(netlist, models, **kwargs)
+    raise TimingError(
+        f"unknown timing engine kind {kind!r}; expected 'csm', 'csm-sequential' or 'nldm'"
+    )
+
+
+# ----------------------------------------------------------------------
+# NLDM: event propagation per level
+# ----------------------------------------------------------------------
+class NLDMEngine(TimingEngine):
+    """Propagates (arrival, slew) events through a gate netlist."""
+
+    def run(self, input_events: Dict[str, TimingEvent]) -> NLDMTimingResult:
+        """Propagate events from the primary inputs to every net.
+
+        Parameters
+        ----------
+        input_events:
+            Net name -> event for every switching primary input.  Primary
+            inputs without an event are treated as stable.
+        """
+        for net in input_events:
+            if net not in self.netlist.primary_inputs:
+                raise TimingError(f"{net!r} is not a primary input of {self.netlist.name!r}")
+        events: Dict[str, TimingEvent] = dict(input_events)
+        mis_flags: Dict[str, List[Tuple[str, str]]] = {}
+
+        for level in self.levels():
+            for instance in level:
+                cell = self._cell(instance)
+                output_net = instance.connections[cell.output]
+                load = self._lumped_output_load(instance)
+
+                pin_nets = {pin: instance.connections[pin] for pin in cell.inputs}
+                mis_flags[instance.name] = detect_mis_pairs(events, cell.inputs, pin_nets)
+
+                candidate: Optional[TimingEvent] = None
+                for pin in cell.inputs:
+                    net = pin_nets[pin]
+                    if net not in events:
+                        continue
+                    event = events[net]
+                    table = self.models.nldm_table(
+                        instance.cell_name, pin, input_rise=event.rising
+                    )
+                    delay = table.delay(event.slew, load)
+                    output_slew = table.output_slew(event.slew, load)
+                    output_event = TimingEvent(
+                        net=output_net,
+                        arrival=event.arrival + delay,
+                        slew=output_slew,
+                        rising=table.output_rise,
+                    )
+                    if candidate is None or output_event.arrival > candidate.arrival:
+                        candidate = output_event
+                if candidate is not None:
+                    events[output_net] = candidate
+
+        return NLDMTimingResult(events=events, mis_flags=mis_flags, netlist_name=self.netlist.name)
+
+
+# ----------------------------------------------------------------------
+# CSM: waveform propagation, batched per level
+# ----------------------------------------------------------------------
+@dataclass
+class _InstancePlan:
+    """Everything needed to evaluate one instance of a level."""
+
+    instance: GateInstance
+    output_net: str
+    model: object  # SISCSM | BaselineMISCSM | MCSM
+    pins: Tuple[str, ...]
+    waves: Dict[str, Waveform]
+    load: Load
+    label: str
+
+    @property
+    def has_internal(self) -> bool:
+        return isinstance(self.model, MCSM)
+
+    def miller_caps(self) -> Dict[str, object]:
+        model = self.model
+        if isinstance(model, SISCSM):
+            return {model.pin: model.miller_cap}
+        if isinstance(model, BaselineMISCSM):
+            return model.effective_miller_caps()
+        return dict(model.miller_caps)
+
+
+class CSMEngine(TimingEngine):
+    """Propagates waveforms through a gate netlist using CSM models.
+
+    Parameters
+    ----------
+    batched:
+        When true (default) every level's instances are integrated in
+        lockstep (settle pass, then the main window) through
+        :func:`~repro.csm.simulate.integrate_model_many`.  When false each
+        instance runs through ``model.simulate`` individually — the reference
+        path the batched engine is asserted bit-equal against.
+    """
+
+    def __init__(
+        self,
+        netlist: GateNetlist,
+        models: TimingModelLibrary,
+        options: Optional[SimulationOptions] = None,
+        batched: bool = True,
+    ):
+        super().__init__(netlist, models)
+        self.options = options or SimulationOptions()
+        self.batched = batched
+        self.vdd = netlist.library.technology.vdd
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        input_waveforms: Dict[str, Waveform],
+        t_stop: Optional[float] = None,
+        t_start: Optional[float] = None,
+    ) -> WaveformTimingResult:
+        """Propagate waveforms from the primary inputs through the design.
+
+        Parameters
+        ----------
+        input_waveforms:
+            Net name -> waveform for every primary input (switching or not).
+        t_stop / t_start:
+            The common time window every net's waveform is computed over;
+            defaults to the intersection of the input waveforms' spans.
+        """
+        missing = [net for net in self.netlist.primary_inputs if net not in input_waveforms]
+        if missing:
+            raise TimingError(f"missing waveforms for primary inputs {missing}")
+        t_stop = t_stop if t_stop is not None else min(w.t_stop for w in input_waveforms.values())
+        t_start = t_start if t_start is not None else max(w.t_start for w in input_waveforms.values())
+
+        # Characterize the SIS models of every receiver pin up front (one
+        # cache-aware parallel job set).  Loads then always use characterized
+        # input capacitances, identically for the batched and sequential
+        # paths and independent of instance evaluation order.
+        self.models.prewarm_for_netlist(self.netlist, kinds=("sis",))
+
+        waveforms: Dict[str, Waveform] = {
+            net: wave.renamed(net) for net, wave in input_waveforms.items()
+        }
+        model_used: Dict[str, str] = {}
+
+        for level in self.levels():
+            plans = [self._plan(instance, waveforms, t_start, t_stop) for instance in level]
+            if self.batched:
+                self._evaluate_level_batched(plans, waveforms, t_start, t_stop)
+            else:
+                self._evaluate_level_sequential(plans, waveforms, t_start, t_stop)
+            for plan in plans:
+                model_used[plan.instance.name] = plan.label
+
+        return WaveformTimingResult(
+            waveforms=waveforms,
+            model_used=model_used,
+            netlist_name=self.netlist.name,
+            vdd=self.vdd,
+        )
+
+    # ------------------------------------------------------------------
+    def _plan(
+        self,
+        instance: GateInstance,
+        waveforms: Dict[str, Waveform],
+        t_start: float,
+        t_stop: float,
+    ) -> _InstancePlan:
+        """Select the model (SIS vs MIS), the switching pins and the load."""
+        cell = self._cell(instance)
+        output_net = instance.connections[cell.output]
+        pin_waves = self._pin_waveforms(instance, waveforms, t_start, t_stop)
+        switching = [pin for pin in cell.inputs if self._is_switching(pin_waves[pin])]
+
+        if len(switching) >= 2 and cell.num_inputs >= 2:
+            pin_a, pin_b = switching[0], switching[1]
+            model = self.models.mis_model(instance.cell_name, pin_a, pin_b)
+            pins = (pin_a, pin_b)
+            waves = {pin_a: pin_waves[pin_a], pin_b: pin_waves[pin_b]}
+            label = type(model).__name__
+        else:
+            pin = switching[0] if switching else cell.inputs[0]
+            model = self.models.sis_model(instance.cell_name, pin)
+            pins = (pin,)
+            waves = {pin: pin_waves[pin]}
+            label = f"SISCSM[{pin}]"
+        load = self._output_load(instance)
+        return _InstancePlan(
+            instance=instance,
+            output_net=output_net,
+            model=model,
+            pins=pins,
+            waves=waves,
+            load=load,
+            label=label,
+        )
+
+    def _evaluate_level_sequential(
+        self,
+        plans: Sequence[_InstancePlan],
+        waveforms: Dict[str, Waveform],
+        t_start: float,
+        t_stop: float,
+    ) -> None:
+        """Per-instance reference path: one ``model.simulate`` per plan."""
+        for plan in plans:
+            model = plan.model
+            if isinstance(model, SISCSM):
+                result = model.simulate(
+                    plan.waves[plan.pins[0]],
+                    plan.load,
+                    options=self.options,
+                    t_start=t_start,
+                    t_stop=t_stop,
+                )
+            else:
+                result = model.simulate(
+                    plan.waves, plan.load, options=self.options, t_start=t_start, t_stop=t_stop
+                )
+            waveforms[plan.output_net] = result.output.renamed(plan.output_net)
+
+    def _evaluate_level_batched(
+        self,
+        plans: Sequence[_InstancePlan],
+        waveforms: Dict[str, Waveform],
+        t_start: float,
+        t_stop: float,
+    ) -> None:
+        """Lockstep path: settle every instance of the level in one batch,
+        then integrate the main window in one batch."""
+        if not plans:
+            return
+        # Settle pass: constant inputs at each waveform's initial value,
+        # starting from Vdd/2 — exactly what the per-model ``_settle_output``
+        # / ``settle_state`` helpers do.
+        settle_units = []
+        for plan in plans:
+            constants = {
+                pin: Waveform.constant(
+                    plan.waves[pin].initial_value(), 0.0, self.options.settle_time, name=pin
+                )
+                for pin in plan.pins
+            }
+            settle_units.append(self._unit(plan, constants, self.vdd / 2.0, self.vdd / 2.0))
+        _, settled = integrate_model_many(
+            settle_units, self.options, 0.0, self.options.settle_time
+        )
+
+        units = []
+        for plan, (v_out, v_int) in zip(plans, settled):
+            initial_output = float(v_out[-1])
+            initial_internal = float(v_int[-1]) if v_int is not None else None
+            units.append(self._unit(plan, plan.waves, initial_output, initial_internal))
+        times, outputs = integrate_model_many(units, self.options, t_start, t_stop)
+        for plan, (v_out, _) in zip(plans, outputs):
+            waveforms[plan.output_net] = Waveform(times, v_out, name=plan.output_net)
+
+    def _unit(
+        self,
+        plan: _InstancePlan,
+        waves: Mapping[str, Waveform],
+        initial_output: float,
+        initial_internal: Optional[float],
+    ) -> BatchUnit:
+        model = plan.model
+        return BatchUnit(
+            pins=plan.pins,
+            input_waveforms=dict(waves),
+            output_current=model.io_table,
+            miller_caps=plan.miller_caps(),
+            output_cap=model.output_cap,
+            load=plan.load,
+            vdd=model.vdd,
+            initial_output=initial_output,
+            internal_current=model.in_table if plan.has_internal else None,
+            internal_cap=model.internal_cap if plan.has_internal else None,
+            initial_internal=initial_internal if plan.has_internal else None,
+        )
+
+    # ------------------------------------------------------------------
+    def _pin_waveforms(
+        self,
+        instance: GateInstance,
+        waveforms: Dict[str, Waveform],
+        t_start: float,
+        t_stop: float,
+    ) -> Dict[str, Waveform]:
+        cell = self._cell(instance)
+        result: Dict[str, Waveform] = {}
+        for pin in cell.inputs:
+            net = instance.connections[pin]
+            if net in waveforms:
+                result[pin] = waveforms[net]
+            else:
+                # A stable net: hold the pin at its non-controlling value so
+                # that the cell is sensitized through the switching pin(s).
+                level = cell.non_controlling_value(pin) * self.vdd
+                result[pin] = Waveform.constant(level, t_start, t_stop, name=pin)
+        return result
+
+    def _is_switching(self, waveform: Waveform) -> bool:
+        return (waveform.maximum() - waveform.minimum()) > SWITCHING_THRESHOLD_FRACTION * self.vdd
+
+
+# ----------------------------------------------------------------------
+# Independent fanout cones as parallel runtime jobs
+# ----------------------------------------------------------------------
+def independent_cones(netlist: GateNetlist) -> List[GateNetlist]:
+    """Split a netlist into its weakly connected instance components.
+
+    Each cone is a self-contained :class:`GateNetlist` (its primary inputs
+    are the parent nets feeding it, its primary outputs the parent outputs it
+    drives); evaluating all cones and merging their nets reproduces the
+    parent evaluation exactly, because no waveform crosses cone boundaries.
+    """
+    graph = netlist.instance_graph()
+    components = list(nx.weakly_connected_components(graph))
+    if len(components) <= 1:
+        return [netlist]
+    order = {name: position for position, name in enumerate(netlist.instances)}
+    cones: List[GateNetlist] = []
+    for names in sorted(components, key=lambda group: min(order[n] for n in group)):
+        members = [name for name in netlist.instances if name in names]
+        cone = GateNetlist(library=netlist.library, name=f"{netlist.name}.cone{len(cones)}")
+        driven: set = set()
+        used: set = set()
+        for name in members:
+            instance = netlist.instances[name]
+            cell = netlist.library[instance.cell_name]
+            cone.add_instance(name, instance.cell_name, instance.connections)
+            driven.add(instance.connections[cell.output])
+            used.update(instance.connections.values())
+        for net in netlist.primary_inputs:
+            if net in used and net not in driven:
+                cone.add_primary_input(net)
+        for net in netlist.primary_outputs:
+            if net in driven:
+                cone.add_primary_output(net)
+        for net, capacitance in netlist.net_wire_capacitance.items():
+            if net in used:
+                cone.set_wire_capacitance(net, capacitance)
+        cones.append(cone)
+    return cones
+
+
+def _evaluate_cone(
+    netlist: GateNetlist,
+    models: TimingModelLibrary,
+    input_waveforms: Dict[str, Waveform],
+    options: Optional[SimulationOptions],
+    batched: bool,
+    t_start: float,
+    t_stop: float,
+) -> WaveformTimingResult:
+    """Module-level job target: run one cone (picklable for process pools)."""
+    engine = CSMEngine(netlist, models, options=options, batched=batched)
+    return engine.run(input_waveforms, t_stop=t_stop, t_start=t_start)
+
+
+def run_cones(
+    netlist: GateNetlist,
+    models: TimingModelLibrary,
+    input_waveforms: Dict[str, Waveform],
+    options: Optional[SimulationOptions] = None,
+    batched: bool = True,
+    executor: Optional[Executor] = None,
+    t_stop: Optional[float] = None,
+) -> WaveformTimingResult:
+    """Evaluate the independent fanout cones of a design as parallel jobs.
+
+    The cones share one common time window (computed over *all* primary
+    inputs, exactly as :meth:`CSMEngine.run` would), are submitted through
+    :func:`repro.runtime.run_jobs` on ``executor`` and their per-net
+    waveforms merged back into one :class:`WaveformTimingResult`.  With the
+    default serial executor this degrades gracefully to an in-process loop.
+    """
+    missing = [net for net in netlist.primary_inputs if net not in input_waveforms]
+    if missing:
+        raise TimingError(f"missing waveforms for primary inputs {missing}")
+    t_stop = t_stop if t_stop is not None else min(w.t_stop for w in input_waveforms.values())
+    t_start = max(w.t_start for w in input_waveforms.values())
+
+    # Characterize shared models once, up front, so parallel cone jobs ship
+    # warm model libraries instead of re-characterizing per worker.
+    models.prewarm_for_netlist(netlist, kinds=("sis", "mis"))
+
+    cones = independent_cones(netlist)
+    jobs = [
+        Job(
+            fn=_evaluate_cone,
+            args=(
+                cone,
+                models,
+                {net: input_waveforms[net] for net in cone.primary_inputs},
+                options,
+                batched,
+                t_start,
+                t_stop,
+            ),
+            name=f"sta:{cone.name}",
+        )
+        for cone in cones
+    ]
+    results = run_jobs(jobs, executor=executor)
+
+    waveforms: Dict[str, Waveform] = {
+        net: wave.renamed(net) for net, wave in input_waveforms.items()
+    }
+    model_used: Dict[str, str] = {}
+    for result in results:
+        cone_result: WaveformTimingResult = result.value
+        waveforms.update(cone_result.waveforms)
+        model_used.update(cone_result.model_used)
+    return WaveformTimingResult(
+        waveforms=waveforms,
+        model_used=model_used,
+        netlist_name=netlist.name,
+        vdd=netlist.library.technology.vdd,
+    )

@@ -1,0 +1,299 @@
+"""Seeded synthetic netlist generators for the STA layer.
+
+The hand-built 3–5 gate designs of the examples are fine for demonstrating
+MIS effects, but exercising the levelized batched engine needs *large*
+netlists with controllable shape.  This module generates them over any cell
+library (chains, fanout trees, random layered DAGs), deterministically from a
+seed, together with matching primary-input stimuli for both engines:
+
+* :func:`inverter_chain` / :func:`gate_chain` — depth without width;
+* :func:`fanout_tree` — width that doubles (or more) per level;
+* :func:`random_dag` — configurable width × depth layered DAGs mixing cell
+  types, fanout and skip connections, the standard synthetic STA workload;
+* :func:`generate_netlist` — one-line spec strings (``"chain:inv:64"``,
+  ``"tree:4:2"``, ``"dag:w16:d8:s42"``) for CLIs and benchmarks;
+* :func:`primary_input_waveforms` / :func:`primary_input_events` — seeded
+  staggered input ramps (waveform engine) and the equivalent timing events
+  (NLDM engine); staggering makes some multi-input gates see overlapping
+  transitions, so generated designs exercise SIS and MIS arcs alike.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import TimingError
+from ..cells.library import CellLibrary
+from ..spice.sources import SaturatedRamp
+from ..waveform.waveform import Waveform
+from .events import TimingEvent
+from .netlist import GateNetlist
+
+__all__ = [
+    "inverter_chain",
+    "gate_chain",
+    "fanout_tree",
+    "random_dag",
+    "generate_netlist",
+    "default_time_window",
+    "primary_input_waveforms",
+    "primary_input_events",
+]
+
+#: Spec-string cell aliases (see :func:`generate_netlist`).
+CELL_ALIASES = {
+    "inv": "INV_X1",
+    "nand": "NAND2_X1",
+    "nand2": "NAND2_X1",
+    "nand3": "NAND3_X1",
+    "nor": "NOR2_X1",
+    "nor2": "NOR2_X1",
+    "nor3": "NOR3_X1",
+    "aoi21": "AOI21_X1",
+    "oai21": "OAI21_X1",
+}
+
+#: Cells the random DAG generator draws from by default.
+DEFAULT_DAG_CELLS = ("INV_X1", "NAND2_X1", "NOR2_X1")
+
+#: Per-level time budget used when sizing simulation windows for generated
+#: designs (a gate delay plus slew degradation headroom).
+LEVEL_TIME_BUDGET = 0.25e-9
+
+
+def _resolve_cell(library: CellLibrary, name: str) -> str:
+    resolved = CELL_ALIASES.get(name.lower(), name)
+    if resolved not in library:
+        raise TimingError(
+            f"cell {name!r} (resolved {resolved!r}) is not in library {library.name!r}"
+        )
+    return resolved
+
+
+def inverter_chain(library: CellLibrary, stages: int, name: str = "inv_chain") -> GateNetlist:
+    """A ``stages``-deep inverter chain: the minimal depth-only workload."""
+    return gate_chain(library, stages, cell_name="INV_X1", name=name)
+
+
+def gate_chain(
+    library: CellLibrary,
+    stages: int,
+    cell_name: str = "NAND2_X1",
+    name: Optional[str] = None,
+) -> GateNetlist:
+    """A chain of identical gates; every input pin ties to the previous net.
+
+    For multi-input cells all pins switch together, so every stage is a
+    multiple-input-switching event — a chain of worst-case MIS arcs.
+    """
+    if stages < 1:
+        raise TimingError("a chain needs at least one stage")
+    cell_name = _resolve_cell(library, cell_name)
+    cell = library[cell_name]
+    netlist = GateNetlist(library=library, name=name or f"{cell_name.lower()}_chain{stages}")
+    previous = netlist.add_primary_input("n0")
+    for index in range(stages):
+        net = f"n{index + 1}"
+        connections = {pin: previous for pin in cell.inputs}
+        connections[cell.output] = net
+        netlist.add_instance(f"u{index}", cell_name, connections)
+        previous = net
+    netlist.add_primary_output(previous)
+    return netlist
+
+
+def fanout_tree(
+    library: CellLibrary,
+    depth: int,
+    branching: int = 2,
+    cell_name: str = "INV_X1",
+    name: Optional[str] = None,
+) -> GateNetlist:
+    """A complete fanout tree: one root instance, ``branching`` children each.
+
+    Level ``k`` holds ``branching**k`` instances; leaves become primary
+    outputs.  Widths grow geometrically, which is the best case for the
+    level-batched engine and the worst case for per-instance evaluation.
+    """
+    if depth < 1:
+        raise TimingError("a fanout tree needs depth >= 1")
+    if branching < 1:
+        raise TimingError("branching must be >= 1")
+    cell_name = _resolve_cell(library, cell_name)
+    cell = library[cell_name]
+    netlist = GateNetlist(library=library, name=name or f"tree_d{depth}_b{branching}")
+    netlist.add_primary_input("n_root")
+    frontier = ["n_root"]
+    counter = 0
+    for level in range(depth):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(branching if level > 0 else 1):
+                net = f"t{counter}"
+                connections = {pin: parent for pin in cell.inputs}
+                connections[cell.output] = net
+                netlist.add_instance(f"u{counter}", cell_name, connections)
+                next_frontier.append(net)
+                counter += 1
+        frontier = next_frontier
+    for net in frontier:
+        netlist.add_primary_output(net)
+    return netlist
+
+
+def random_dag(
+    library: CellLibrary,
+    width: int,
+    depth: int,
+    seed: int = 0,
+    cell_names: Sequence[str] = DEFAULT_DAG_CELLS,
+    skip_probability: float = 0.15,
+    wire_cap_range: Tuple[float, float] = (0.0, 1.5e-15),
+    name: Optional[str] = None,
+) -> GateNetlist:
+    """A seeded random layered DAG: ``depth`` layers of ``width`` instances.
+
+    Each instance draws its cell type from ``cell_names`` and each input pin
+    connects to a random output of the previous layer (or a primary input for
+    layer 0) — with probability ``skip_probability`` to a random *earlier*
+    net instead, which creates long edges and uneven level populations.
+    Internal nets get a small random wire capacitance.  Identical arguments
+    produce identical netlists (``numpy.random.default_rng(seed)``).
+    """
+    if width < 1 or depth < 1:
+        raise TimingError("random_dag needs width >= 1 and depth >= 1")
+    rng = np.random.default_rng(seed)
+    cells = [_resolve_cell(library, cell) for cell in cell_names]
+    netlist = GateNetlist(library=library, name=name or f"dag_w{width}_d{depth}_s{seed}")
+
+    inputs = [netlist.add_primary_input(f"pi{i}") for i in range(width)]
+    earlier: list = list(inputs)
+    previous = list(inputs)
+    for layer in range(depth):
+        outputs = []
+        for position in range(width):
+            cell_name = cells[int(rng.integers(len(cells)))]
+            cell = library[cell_name]
+            net = f"n{layer}_{position}"
+            connections = {cell.output: net}
+            for pin in cell.inputs:
+                pool = previous
+                if len(earlier) > len(previous) and rng.random() < skip_probability:
+                    pool = earlier
+                connections[pin] = pool[int(rng.integers(len(pool)))]
+            netlist.add_instance(f"u{layer}_{position}", cell_name, connections)
+            wire = float(rng.uniform(*wire_cap_range))
+            if wire > 0:
+                netlist.set_wire_capacitance(net, wire)
+            outputs.append(net)
+        earlier.extend(outputs)
+        previous = outputs
+
+    connectivity = netlist.connectivity()
+    for net in sorted(connectivity.drivers):
+        if not connectivity.receivers_of(net):
+            netlist.add_primary_output(net)
+    return netlist
+
+
+def generate_netlist(library: CellLibrary, spec: str) -> GateNetlist:
+    """Build a synthetic netlist from a compact spec string.
+
+    Formats (case-insensitive cell aliases: inv, nand[2|3], nor[2|3], ...)::
+
+        chain:<stages>              inverter chain
+        chain:<cell>:<stages>       chain of <cell> gates (MIS chain)
+        tree:<depth>[:<branching>]  fanout tree of inverters
+        dag:w<width>:d<depth>[:s<seed>]   random layered DAG
+    """
+    parts = [part for part in spec.strip().split(":") if part]
+    if not parts:
+        raise TimingError("empty netlist spec")
+    kind = parts[0].lower()
+    try:
+        if kind == "chain":
+            if len(parts) == 2:
+                return inverter_chain(library, int(parts[1]))
+            if len(parts) == 3:
+                return gate_chain(library, int(parts[2]), cell_name=parts[1])
+        elif kind == "tree":
+            if len(parts) in (2, 3):
+                branching = int(parts[2]) if len(parts) == 3 else 2
+                return fanout_tree(library, int(parts[1]), branching=branching)
+        elif kind == "dag":
+            fields = {part[0].lower(): int(part[1:]) for part in parts[1:]}
+            unknown = set(fields) - {"w", "d", "s"}
+            if not unknown and "w" in fields and "d" in fields:
+                return random_dag(
+                    library, fields["w"], fields["d"], seed=fields.get("s", 0)
+                )
+    except ValueError as exc:
+        raise TimingError(f"bad netlist spec {spec!r}: {exc}") from None
+    raise TimingError(
+        f"bad netlist spec {spec!r}; expected chain:<stages>, chain:<cell>:<stages>, "
+        "tree:<depth>[:<branching>] or dag:w<width>:d<depth>[:s<seed>]"
+    )
+
+
+def default_time_window(netlist: GateNetlist, slack: float = 0.6e-9) -> float:
+    """A simulation ``t_stop`` sized to the design depth plus stimulus slack."""
+    return slack + netlist.depth() * LEVEL_TIME_BUDGET
+
+
+def primary_input_waveforms(
+    netlist: GateNetlist,
+    t_stop: Optional[float] = None,
+    seed: int = 0,
+    base_arrival: float = 0.3e-9,
+    arrival_window: float = 0.15e-9,
+    transition_time: float = 60e-12,
+    num_samples: int = 2000,
+) -> Dict[str, Waveform]:
+    """Seeded saturated-ramp stimuli for every primary input.
+
+    Each input starts from a random rail, switches to the other rail at a
+    random arrival inside ``[base_arrival, base_arrival + arrival_window]``,
+    and is sampled over ``[0, t_stop]``.  The staggered arrivals make a
+    fraction of the fanin cones overlap, so generated designs exercise both
+    SIS and MIS model selection.  Identical arguments give identical stimuli.
+    """
+    t_stop = t_stop if t_stop is not None else default_time_window(netlist)
+    vdd = netlist.library.technology.vdd
+    rng = np.random.default_rng(seed)
+    waveforms: Dict[str, Waveform] = {}
+    for net in netlist.primary_inputs:
+        rising = bool(rng.integers(2))
+        arrival = base_arrival + float(rng.uniform(0.0, arrival_window))
+        ramp = SaturatedRamp(
+            0.0 if rising else vdd,
+            vdd if rising else 0.0,
+            arrival - transition_time / 2.0,
+            transition_time,
+        )
+        waveforms[net] = Waveform.from_function(ramp, 0.0, t_stop, num_samples, name=net)
+    return waveforms
+
+
+def primary_input_events(
+    netlist: GateNetlist,
+    seed: int = 0,
+    base_arrival: float = 0.3e-9,
+    arrival_window: float = 0.15e-9,
+    transition_time: float = 60e-12,
+) -> Dict[str, TimingEvent]:
+    """The NLDM-engine view of :func:`primary_input_waveforms`.
+
+    Same seed, same directions and arrivals — so the two engines can be
+    driven with equivalent stimuli for cross-engine comparisons.
+    """
+    rng = np.random.default_rng(seed)
+    events: Dict[str, TimingEvent] = {}
+    for net in netlist.primary_inputs:
+        rising = bool(rng.integers(2))
+        arrival = base_arrival + float(rng.uniform(0.0, arrival_window))
+        events[net] = TimingEvent(
+            net=net, arrival=arrival, slew=transition_time, rising=rising
+        )
+    return events

@@ -17,7 +17,7 @@ import networkx as nx
 from ..cells.library import CellLibrary
 from ..exceptions import TimingError
 
-__all__ = ["GateInstance", "GateNetlist"]
+__all__ = ["GateInstance", "GateNetlist", "NetConnectivity"]
 
 
 @dataclass
@@ -40,6 +40,44 @@ class GateInstance:
 
     def input_nets(self, input_pins: Sequence[str]) -> Dict[str, str]:
         return {pin: self.connections[pin] for pin in input_pins}
+
+
+@dataclass
+class NetConnectivity:
+    """One-pass driver/receiver indexes over a :class:`GateNetlist`.
+
+    ``driver_of``/``receivers_of`` on the netlist itself rescan every instance
+    per query, which is fine for hand-built designs but quadratic when an
+    engine asks for the load of every net of a thousand-gate netlist.  This
+    snapshot is built in a single pass and queried in O(1); it reflects the
+    netlist at construction time (build it after the last ``add_instance``).
+    """
+
+    drivers: Dict[str, GateInstance]
+    receivers: Dict[str, List[Tuple[GateInstance, str]]]
+
+    @classmethod
+    def of(cls, netlist: "GateNetlist") -> "NetConnectivity":
+        drivers: Dict[str, GateInstance] = {}
+        receivers: Dict[str, List[Tuple[GateInstance, str]]] = {}
+        for instance in netlist.instances.values():
+            cell = netlist.library[instance.cell_name]
+            output_net = instance.connections[cell.output]
+            if output_net in drivers:
+                raise TimingError(
+                    f"net {output_net!r} has multiple drivers: "
+                    f"{[drivers[output_net].name, instance.name]}"
+                )
+            drivers[output_net] = instance
+            for pin in cell.inputs:
+                receivers.setdefault(instance.connections[pin], []).append((instance, pin))
+        return cls(drivers=drivers, receivers=receivers)
+
+    def driver_of(self, net: str) -> Optional[GateInstance]:
+        return self.drivers.get(net)
+
+    def receivers_of(self, net: str) -> List[Tuple[GateInstance, str]]:
+        return self.receivers.get(net, [])
 
 
 @dataclass
@@ -122,39 +160,66 @@ class GateNetlist:
             total += cell.pin_gate_capacitance(pin)
         return total
 
+    def connectivity(self) -> NetConnectivity:
+        """One-pass driver/receiver indexes (see :class:`NetConnectivity`)."""
+        return NetConnectivity.of(self)
+
     # ------------------------------------------------------------------
-    def validate(self) -> None:
-        """Check that the netlist is a well-formed combinational design."""
+    def _validated_graph(self) -> "nx.DiGraph":
+        """One connectivity pass: check well-formedness, return the DAG.
+
+        Shared by :meth:`validate`, :meth:`topological_order` and
+        :meth:`topological_generations` so a validated traversal costs a
+        single structural scan instead of three.
+        """
+        connectivity = self.connectivity()
         for net in self.nets():
-            driver = self.driver_of(net)
-            if driver is None and net not in self.primary_inputs:
+            if connectivity.driver_of(net) is None and net not in self.primary_inputs:
                 raise TimingError(f"net {net!r} has no driver and is not a primary input")
-        for net in self.primary_outputs:
-            if self.driver_of(net) is None and net not in self.primary_inputs:
-                raise TimingError(f"primary output {net!r} is undriven")
-        graph = self.instance_graph()
+        graph = self._instance_graph(connectivity)
         if not nx.is_directed_acyclic_graph(graph):
             cycle = nx.find_cycle(graph)
             raise TimingError(f"netlist contains a combinational loop: {cycle}")
+        return graph
 
-    def instance_graph(self) -> "nx.DiGraph":
-        """Directed graph of instance-to-instance dependencies."""
+    def validate(self) -> None:
+        """Check that the netlist is a well-formed combinational design."""
+        self._validated_graph()
+
+    def _instance_graph(self, connectivity: NetConnectivity) -> "nx.DiGraph":
+        drivers = connectivity.drivers
         graph = nx.DiGraph()
         graph.add_nodes_from(self.instances)
         for instance in self.instances.values():
             cell = self.library[instance.cell_name]
             for pin in cell.inputs:
-                net = instance.connections[pin]
-                driver = self.driver_of(net)
+                driver = drivers.get(instance.connections[pin])
                 if driver is not None:
                     graph.add_edge(driver.name, instance.name)
         return graph
 
+    def instance_graph(self) -> "nx.DiGraph":
+        """Directed graph of instance-to-instance dependencies."""
+        return self._instance_graph(self.connectivity())
+
     def topological_order(self) -> List[GateInstance]:
         """Instances in evaluation order (drivers before receivers)."""
-        self.validate()
-        order = nx.topological_sort(self.instance_graph())
+        order = nx.topological_sort(self._validated_graph())
         return [self.instances[name] for name in order]
+
+    def topological_generations(self) -> List[List[GateInstance]]:
+        """Levelization: lists of instances whose inputs are all resolved by
+        the previous levels.  Every instance of a level can be evaluated
+        independently — this is the unit of batching for the levelized timing
+        engines.  Instance order inside a level follows insertion order, so
+        the flattened generations are a valid topological order."""
+        graph = self._validated_graph()
+        order = {name: position for position, name in enumerate(self.instances)}
+        levels: List[List[GateInstance]] = []
+        for generation in nx.topological_generations(graph):
+            names = sorted(generation, key=order.__getitem__)
+            levels.append([self.instances[name] for name in names])
+        return levels
 
     def depth(self) -> int:
         """Length (in cells) of the longest topological path."""

@@ -1,121 +1,13 @@
-"""Voltage-based (NLDM) static timing engine.
+"""Voltage-based (NLDM) static timing engine (compatibility shim).
 
-This is the conventional STA flow the paper's introduction describes: signal
-transitions are reduced to (arrival, slew, direction) triples, cells are
-looked up in pre-characterized delay/slew tables as functions of input slew
-and lumped output load, and the worst arc is propagated.  MIS situations are
-*not* modeled — each arc is evaluated as if the other inputs were quiet —
-which is exactly the optimism the paper sets out to fix; the engine can,
-however, report where its own timing windows overlap so that the comparison
-with the waveform-based engine can be made per-instance.
+The CSM and NLDM engines were merged behind the :class:`TimingEngine`
+interface in :mod:`repro.sta.engine`; this module re-exports the
+event-propagating side so existing imports keep working.  See
+:class:`repro.sta.engine.NLDMEngine` for the levelized implementation.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-from ..exceptions import TimingError
-from .events import TimingEvent, detect_mis_pairs
-from .models import TimingModelLibrary
-from .netlist import GateInstance, GateNetlist
+from .engine import NLDMEngine, NLDMTimingResult
 
 __all__ = ["NLDMTimingResult", "NLDMEngine"]
-
-
-@dataclass
-class NLDMTimingResult:
-    """Per-net events plus bookkeeping produced by the NLDM engine."""
-
-    events: Dict[str, TimingEvent]
-    mis_flags: Dict[str, List[Tuple[str, str]]]
-    netlist_name: str
-
-    def arrival(self, net: str) -> float:
-        if net not in self.events:
-            raise TimingError(f"net {net!r} has no propagated event")
-        return self.events[net].arrival
-
-    def slew(self, net: str) -> float:
-        if net not in self.events:
-            raise TimingError(f"net {net!r} has no propagated event")
-        return self.events[net].slew
-
-    def instances_with_mis(self) -> List[str]:
-        """Instances whose input timing windows overlap (potential MIS)."""
-        return [name for name, pairs in self.mis_flags.items() if pairs]
-
-    def report(self) -> str:
-        lines = [f"NLDM timing report for {self.netlist_name!r}"]
-        for net, event in sorted(self.events.items(), key=lambda item: item[1].arrival):
-            direction = "rise" if event.rising else "fall"
-            lines.append(
-                f"  net {net:<12} arrival {event.arrival * 1e12:9.2f} ps  "
-                f"slew {event.slew * 1e12:7.2f} ps  ({direction})"
-            )
-        flagged = self.instances_with_mis()
-        if flagged:
-            lines.append(f"  instances with overlapping input windows (potential MIS): {flagged}")
-        return "\n".join(lines)
-
-
-class NLDMEngine:
-    """Propagates (arrival, slew) events through a gate netlist."""
-
-    def __init__(self, netlist: GateNetlist, models: TimingModelLibrary):
-        self.netlist = netlist
-        self.models = models
-
-    def run(self, input_events: Dict[str, TimingEvent]) -> NLDMTimingResult:
-        """Propagate events from the primary inputs to every net.
-
-        Parameters
-        ----------
-        input_events:
-            Net name -> event for every switching primary input.  Primary
-            inputs without an event are treated as stable.
-        """
-        for net in input_events:
-            if net not in self.netlist.primary_inputs:
-                raise TimingError(f"{net!r} is not a primary input of {self.netlist.name!r}")
-        events: Dict[str, TimingEvent] = dict(input_events)
-        mis_flags: Dict[str, List[Tuple[str, str]]] = {}
-
-        for instance in self.netlist.topological_order():
-            cell = self.netlist.library[instance.cell_name]
-            output_net = instance.connections[cell.output]
-            load = self._output_load(instance)
-
-            pin_nets = {pin: instance.connections[pin] for pin in cell.inputs}
-            mis_flags[instance.name] = detect_mis_pairs(events, cell.inputs, pin_nets)
-
-            candidate: Optional[TimingEvent] = None
-            for pin in cell.inputs:
-                net = pin_nets[pin]
-                if net not in events:
-                    continue
-                event = events[net]
-                table = self.models.nldm_table(instance.cell_name, pin, input_rise=event.rising)
-                delay = table.delay(event.slew, load)
-                output_slew = table.output_slew(event.slew, load)
-                arrival = event.arrival + delay
-                output_event = TimingEvent(
-                    net=output_net,
-                    arrival=arrival,
-                    slew=output_slew,
-                    rising=table.output_rise,
-                )
-                if candidate is None or output_event.arrival > candidate.arrival:
-                    candidate = output_event
-            if candidate is not None:
-                events[output_net] = candidate
-
-        return NLDMTimingResult(events=events, mis_flags=mis_flags, netlist_name=self.netlist.name)
-
-    def _output_load(self, instance: GateInstance) -> float:
-        cell = self.netlist.library[instance.cell_name]
-        output_net = instance.connections[cell.output]
-        load = self.netlist.net_wire_capacitance.get(output_net, 0.0)
-        for receiver, pin in self.netlist.receivers_of(output_net):
-            load += self.models.receiver_input_capacitance(receiver.cell_name, pin)
-        return load

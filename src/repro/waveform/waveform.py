@@ -178,6 +178,10 @@ class Waveform:
     def renamed(self, name: str) -> "Waveform":
         return Waveform(self.times.copy(), self.values.copy(), name=name)
 
+    def to_dict(self) -> dict:
+        """Canonical content representation (used for job content hashing)."""
+        return {"name": self.name, "times": self.times, "values": self.values}
+
     # ------------------------------------------------------------------
     # Algebra (on a merged time grid)
     # ------------------------------------------------------------------

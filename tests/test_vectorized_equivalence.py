@@ -226,6 +226,36 @@ class TestIntegratorFastPathEquivalence:
         else:
             assert int_f is None and int_g is None
 
+    def test_mismatched_pin_axes_still_integrate(self):
+        """Io and I_N may disagree on their leading (pin) axis grids — only
+        the trailing state axes must match for the fast path; the tables are
+        then contracted independently instead of with shared brackets."""
+        rng = np.random.default_rng(9)
+        io_table, _ = self._model_tables(rng, with_internal=True)
+        vdd = 1.2
+        coarse_pin_axes = tuple(
+            voltage_axis(f"V{d}", vdd, 4) for d in range(2)
+        )  # different grid than Io's pin axes
+        in_axes = coarse_pin_axes + io_table.axes[2:]
+        in_values = 1e-4 * np.tanh(rng.normal(size=tuple(len(a) for a in in_axes)))
+        in_table = NDTable(in_axes, in_values, name="IN")
+        waves = self._waveforms(rng, 1e-9)
+        times, v_out, v_int = integrate_model(
+            pins=("A", "B"),
+            input_waveforms=waves,
+            output_current=io_table,
+            internal_current=in_table,
+            miller_caps={"A": 0.8e-15, "B": 0.5e-15},
+            output_cap=1.2e-15,
+            internal_cap=1.0e-15,
+            load=CapacitiveLoad(3e-15),
+            vdd=vdd,
+            initial_output=vdd,
+            initial_internal=0.6,
+            options=SimulationOptions(time_step=2e-12),
+        )
+        assert np.isfinite(v_out).all() and np.isfinite(v_int).all()
+
     def test_dynamic_load_falls_back_and_still_works(self):
         rng = np.random.default_rng(5)
         io_table, _ = self._model_tables(rng, with_internal=False)
