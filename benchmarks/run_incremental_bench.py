@@ -1,0 +1,303 @@
+#!/usr/bin/env python
+"""Benchmark the incremental timing graph and the DC operating-point settle.
+
+Five measurements, written to one JSON report (``BENCH_PR4.json``):
+
+1. **Incremental STA** on ``dag:w64:d4:s7`` (256 gates): cold run against an
+   empty content-addressed cache, warm repeat with a fresh engine (must
+   integrate *zero* waveforms — asserted), and one ECO cell swap (must
+   re-integrate only the affected region while matching a cold full rebuild
+   to 1e-9 V — asserted).
+2. **DC settle accuracy**: the NOR2/NAND2 MCSM settle states for every
+   two-input logic state, DC solve vs the legacy 2 ns pre-roll vs a
+   converged 100 ns integration (the DC-vs-converged deviation must stay
+   below 1e-9 V — asserted).
+3. **DC settle cost**: full-design engine runs (cache disabled) with
+   ``settle_mode="dc"`` vs ``settle_mode="integrate"``.
+4. **fig5 executor sweep** (standing ROADMAP item): serial vs thread vs
+   process pools, with the CPU count recorded so single-core numbers read
+   honestly.
+5. **run_cones parallelism** (same standing item): a forest of independent
+   inverter chains evaluated serially and on a thread pool.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_incremental_bench.py --output BENCH_PR4.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+import numpy as np  # noqa: E402
+
+from repro.cells import default_library  # noqa: E402
+from repro.characterization import (  # noqa: E402
+    CharacterizationConfig,
+    characterize_mcsm,
+)
+from repro.csm.base import SimulationOptions  # noqa: E402
+from repro.csm.loads import CapacitiveLoad  # noqa: E402
+from repro.runtime import ResultCache, SerialExecutor, ThreadExecutor  # noqa: E402
+from repro.sta import (  # noqa: E402
+    CSMEngine,
+    GateNetlist,
+    TimingModelLibrary,
+    generate_netlist,
+    primary_input_waveforms,
+    run_cones,
+    waveform_deviation,
+)
+from repro.sta.netlist import eco_swap_candidate  # noqa: E402
+from repro.technology import default_technology  # noqa: E402
+from run_runtime_bench import bench_fig5_executors  # noqa: E402
+
+QUICK_CONFIG = CharacterizationConfig(io_grid_points=5)
+QUICK_OPTIONS = SimulationOptions(time_step=2e-12)
+
+
+def bench_incremental(spec: str = "dag:w64:d4:s7") -> dict:
+    """Cold / warm / edited runs of one design against a fresh disk cache."""
+    library = default_library(default_technology())
+    cache_dir = tempfile.mkdtemp(prefix="bench-pr4-")
+    cache = ResultCache(cache_dir)
+    models = TimingModelLibrary(library=library, config=QUICK_CONFIG, cache=cache)
+    netlist = generate_netlist(library, spec)
+    waveforms = primary_input_waveforms(netlist, seed=0)
+    instances = len(netlist.instances)
+
+    start = time.perf_counter()
+    characterized = models.prewarm_for_netlist(netlist, kinds=("sis", "mis"))
+    characterization_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    cold = CSMEngine(netlist, models, options=QUICK_OPTIONS).run(waveforms)
+    cold_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    warm = CSMEngine(netlist, models, options=QUICK_OPTIONS).run(waveforms)
+    warm_seconds = time.perf_counter() - start
+    assert warm.stats["integrations"] == 0, warm.stats
+    assert waveform_deviation(warm, cold) == 0.0
+
+    region_size, target, partner = eco_swap_candidate(netlist)
+    netlist.swap_cell(target, partner)
+    start = time.perf_counter()
+    edited = CSMEngine(netlist, models, options=QUICK_OPTIONS).run(waveforms)
+    edit_seconds = time.perf_counter() - start
+    start = time.perf_counter()
+    rebuilt = CSMEngine(netlist, models, options=QUICK_OPTIONS, use_cache=False).run(waveforms)
+    rebuild_seconds = time.perf_counter() - start
+    deviation = waveform_deviation(edited, rebuilt)
+    assert edited.stats["integrations"] <= region_size, (edited.stats, region_size)
+    assert deviation <= 1e-9, deviation
+
+    return {
+        "spec": spec,
+        "gates": instances,
+        "characterization_seconds": round(characterization_seconds, 4),
+        "models_characterized": characterized,
+        "cold_seconds": round(cold_seconds, 4),
+        "cold_stats": cold.stats,
+        "warm_seconds": round(warm_seconds, 4),
+        "warm_stats": warm.stats,
+        "warm_speedup": round(cold_seconds / max(warm_seconds, 1e-9), 1),
+        "edit": {
+            "target": target,
+            "partner": partner,
+            "affected_region": region_size,
+            "seconds": round(edit_seconds, 4),
+            "stats": edited.stats,
+            "full_rebuild_seconds": round(rebuild_seconds, 4),
+            "speedup_vs_rebuild": round(rebuild_seconds / max(edit_seconds, 1e-9), 2),
+            "max_abs_delta_v": deviation,
+        },
+        "cache": cache.stats.as_dict(),
+    }
+
+
+def bench_settle_accuracy() -> dict:
+    """DC settle vs legacy 2 ns pre-roll vs converged integration, per state."""
+    library = default_library(default_technology())
+    load = CapacitiveLoad(5e-15)
+    dc_options = SimulationOptions(time_step=1e-12)
+    legacy_options = SimulationOptions(time_step=1e-12, settle_mode="integrate")
+    converged_options = SimulationOptions(
+        time_step=1e-12, settle_time=100e-9, settle_mode="integrate"
+    )
+    report = {}
+    for cell_name in ("NOR2_X1", "NAND2_X1"):
+        model = characterize_mcsm(library[cell_name], "A", "B", QUICK_CONFIG)
+        vdd = model.vdd
+        states = {}
+        for state_a, state_b in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            values = {"A": state_a * vdd, "B": state_b * vdd}
+            start = time.perf_counter()
+            vo_dc, vn_dc = model.settle_state(values, load, dc_options)
+            dc_seconds = time.perf_counter() - start
+            start = time.perf_counter()
+            vo_legacy, vn_legacy = model.settle_state(values, load, legacy_options)
+            legacy_seconds = time.perf_counter() - start
+            vo_ref, vn_ref = model.settle_state(values, load, converged_options)
+            dc_error = max(abs(vo_dc - vo_ref), abs(vn_dc - vn_ref))
+            assert dc_error <= 1e-9, (cell_name, state_a, state_b, dc_error)
+            states[f"{state_a}{state_b}"] = {
+                "dc": {"v_out": vo_dc, "v_int": vn_dc, "seconds": round(dc_seconds, 5)},
+                "legacy_2ns": {
+                    "v_out": vo_legacy,
+                    "v_int": vn_legacy,
+                    "seconds": round(legacy_seconds, 5),
+                },
+                "converged_100ns": {"v_out": vo_ref, "v_int": vn_ref},
+                "dc_vs_converged_max_delta_v": dc_error,
+                "legacy_vs_converged_max_delta_v": max(
+                    abs(vo_legacy - vo_ref), abs(vn_legacy - vn_ref)
+                ),
+                "settle_speedup": round(legacy_seconds / max(dc_seconds, 1e-9), 1),
+            }
+        report[cell_name] = states
+    return report
+
+
+def bench_settle_cost(spec: str = "dag:w64:d4:s7") -> dict:
+    """Whole-design propagation with DC settle vs the integration pre-roll.
+
+    Measured at both the quick (2 ps) and the paper (1 ps) step: the DC
+    solve's pre-roll+polish trades against the lockstep settle's early-exit,
+    so the wall win grows with the step count of the legacy window.
+    """
+    library = default_library(default_technology())
+    models = TimingModelLibrary(library=library, config=QUICK_CONFIG)
+    netlist = generate_netlist(library, spec)
+    waveforms = primary_input_waveforms(netlist, seed=0)
+    models.prewarm_for_netlist(netlist, kinds=("sis", "mis"))
+
+    report = {"spec": spec, "gates": len(netlist.instances)}
+    for label, time_step in (("dt_2ps", 2e-12), ("dt_1ps", 1e-12)):
+        timings = {}
+        results = {}
+        for mode in ("dc", "integrate"):
+            options = SimulationOptions(time_step=time_step, settle_mode=mode)
+            engine = CSMEngine(netlist, models, options=options, use_cache=False)
+            start = time.perf_counter()
+            results[mode] = engine.run(waveforms)
+            timings[mode] = time.perf_counter() - start
+        report[label] = {
+            "dc_seconds": round(timings["dc"], 4),
+            "integrate_seconds": round(timings["integrate"], 4),
+            "speedup": round(timings["integrate"] / max(timings["dc"], 1e-9), 2),
+            # The deviation between the two modes is NOT noise: it is the
+            # initial-state correction for slow stack-leakage modes the 2 ns
+            # pre-roll never settles.
+            "max_abs_delta_v_dc_vs_integrate": waveform_deviation(
+                results["dc"], results["integrate"]
+            ),
+        }
+    return report
+
+
+def _forest(library, cones: int = 8, depth: int = 8) -> GateNetlist:
+    netlist = GateNetlist(library=library, name=f"forest{cones}x{depth}")
+    for cone in range(cones):
+        previous = netlist.add_primary_input(f"c{cone}_n0")
+        for stage in range(depth):
+            net = f"c{cone}_n{stage + 1}"
+            netlist.add_instance(f"u{cone}_{stage}", "INV_X1", {"A": previous, "out": net})
+            previous = net
+        netlist.add_primary_output(previous)
+    return netlist
+
+
+def bench_run_cones(workers: int) -> dict:
+    """Independent-cone parallelism: serial vs thread pool on one forest."""
+    library = default_library(default_technology())
+    models = TimingModelLibrary(library=library, config=QUICK_CONFIG)
+    netlist = _forest(library)
+    waveforms = primary_input_waveforms(netlist, seed=0)
+    models.prewarm_for_netlist(netlist, kinds=("sis",))
+
+    report = {"cones": 8, "gates": len(netlist.instances), "workers": workers}
+    reference = None
+    for name, executor in (
+        ("serial", SerialExecutor()),
+        ("thread", ThreadExecutor(max_workers=workers)),
+    ):
+        start = time.perf_counter()
+        result = run_cones(netlist, models, waveforms, options=QUICK_OPTIONS, executor=executor)
+        elapsed = time.perf_counter() - start
+        if hasattr(executor, "shutdown"):
+            executor.shutdown()
+        report[f"{name}_seconds"] = round(elapsed, 4)
+        if reference is None:
+            reference = result
+        else:
+            assert waveform_deviation(result, reference) == 0.0
+    report["thread_speedup"] = round(
+        report["serial_seconds"] / max(report["thread_seconds"], 1e-9), 2
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_PR4.json",
+        help="where to write the benchmark JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=max(2, os.cpu_count() or 1),
+        help="pool width for the executor sweeps (default: cpu_count, min 2)",
+    )
+    args = parser.parse_args(argv)
+
+    cpus = os.cpu_count() or 1
+    report = {
+        "settings": "quick",
+        "machine": {
+            "cpus": cpus,
+            "note": (
+                "single-core container: pool timings measure scheduling overhead, "
+                "not parallel speedup — re-measure on a multi-core machine"
+                if cpus == 1
+                else "multi-core machine"
+            ),
+        },
+    }
+    print(f"machine: {cpus} cpu(s)")
+
+    print("1/5 incremental STA (cold / warm / ECO edit) ...")
+    report["incremental"] = bench_incremental()
+    print(json.dumps(report["incremental"], indent=2)[:400])
+
+    print("2/5 DC settle accuracy per input state ...")
+    report["settle_accuracy"] = bench_settle_accuracy()
+
+    print("3/5 DC settle cost on a full design ...")
+    report["settle_cost"] = bench_settle_cost()
+    print(json.dumps(report["settle_cost"], indent=2))
+
+    print("4/5 fig5 executor sweep ...")
+    report["fig5_executors"] = bench_fig5_executors(args.workers)
+
+    print("5/5 run_cones parallelism ...")
+    report["run_cones"] = bench_run_cones(args.workers)
+    print(json.dumps(report["run_cones"], indent=2))
+
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

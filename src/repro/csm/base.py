@@ -68,21 +68,33 @@ class SimulationOptions:
         Forward-Euler step of the output/internal node update, in seconds.
     settle_time:
         Length of the constant-input pre-roll used to find the initial
-        internal-node voltage when the caller does not provide one.
+        internal-node voltage when the caller does not provide one (the full
+        window in ``"integrate"`` mode; the fallback window in ``"dc"`` mode).
     clip_margin:
         Voltages are clipped to ``[-clip_margin, vdd + clip_margin]`` during
         integration; this mirrors the characterization safety margin.
+    settle_mode:
+        How the initial output/internal state for unspecified initial
+        conditions is found.  ``"dc"`` (default) solves the model's DC
+        operating point on the characterized tables (a short pre-roll for
+        basin selection, then a Newton/crossing solve — exact even for the
+        slow stack-leakage modes that never go stationary inside
+        ``settle_time``); ``"integrate"`` keeps the legacy full-window
+        constant-input integration pre-roll.
     """
 
     time_step: float = 1e-12
     settle_time: float = 2e-9
     clip_margin: float = 0.25
+    settle_mode: str = "dc"
 
     def __post_init__(self) -> None:
         if self.time_step <= 0:
             raise ModelError("time_step must be positive")
         if self.settle_time < 0:
             raise ModelError("settle_time must be non-negative")
+        if self.settle_mode not in ("dc", "integrate"):
+            raise ModelError("settle_mode must be 'dc' or 'integrate'")
 
 
 @dataclass

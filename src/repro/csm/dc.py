@@ -1,0 +1,505 @@
+"""DC operating-point settle for the characterized current-source models.
+
+The model integrators need an initial output (and, for MCSM, internal-node)
+voltage consistent with the inputs having been stable "forever".  The legacy
+approach integrates a constant-input pre-roll over ``settle_time`` — which is
+both the dominant cost of short simulations and *wrong* for the slow
+stack-leakage modes whose internal node drifts for tens of nanoseconds (the
+NOR2 '11' state moves another ~0.3 V after the 2 ns window).
+
+This module instead solves the model's DC operating point directly on the
+characterized tables: with constant inputs the Forward-Euler recurrence of
+Eqs. (4)/(5) is an autonomous flow whose asymptote satisfies ``Io = 0`` (and
+``I_N = 0``) on the *interpolated* tables, or sits at a clip bound when the
+tables push outward everywhere.  A short pre-roll (``_PREROLL_STEPS`` steps,
+enough to cross the fast output transient and select the attraction basin) is
+followed by
+
+* a closed-form first-crossing scan along the flow direction for models
+  without an internal node (piecewise-linear ``Io(Vo)`` — the scan returns
+  the exact asymptote of the recurrence), and
+* a damped Newton solve on the bilinear ``(Io, I_N)(V_N, Vo)`` pair for
+  internal-node models, reusing the batched MNA Newton engine through
+  :func:`repro.spice.dc.newton_fixed_point_many`.
+
+Models the fast integration path cannot express (callable current sources,
+stateful loads, state-dependent capacitances) and the rare Newton failures
+fall back to the legacy integration pre-roll, so ``settle_mode="dc"`` is
+always safe to enable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import ConvergenceError
+from ..lut.table import NDTable
+from ..spice.dc import newton_fixed_point_many
+from ..spice.mna import NewtonOptions
+from ..waveform.waveform import Waveform
+from .base import Capacitance, SimulationOptions, cap_value_batch
+from .loads import Load
+from .simulate import (
+    BatchUnit,
+    _contract_current_tables,
+    _fast_eligible,
+    integrate_model,
+    integrate_model_many,
+)
+
+__all__ = ["dc_settle", "settle_units"]
+
+#: Length (in integration steps) of the basin-selection pre-roll: long enough
+#: to cross the fast output transient of a gate (~100 ps at 1-2 ps steps),
+#: far shorter than the legacy full ``settle_time`` window.
+_PREROLL_STEPS = 256
+
+#: Newton settings of the internal-node polish: every unknown is a node
+#: voltage, converged when the update drops below 1e-13 V (the bilinear pieces
+#: then pin the residual to ~machine epsilon of the table currents).
+_POLISH_OPTIONS = NewtonOptions(
+    max_iterations=80, voltage_tolerance=1e-13, damping_limit=0.2
+)
+
+
+def _constant_reduction(
+    pins: Sequence[str],
+    values: Mapping[str, float],
+    io_table: NDTable,
+    in_table: Optional[NDTable],
+) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+    """Contract the input-pin axes at one constant bias row.
+
+    Returns the reduced current tables over the recurrent state axes:
+    ``(nO,)`` for output-only models, ``(nN, nO)`` pairs for internal-node
+    models — exactly the arrays the settle recurrence interpolates.
+    """
+    row = np.array([[float(values[pin]) for pin in pins]])
+    if in_table is not None:
+        io_red, in_red = _contract_current_tables(io_table, in_table, row, len(pins))
+        return io_red[0], in_red[0]
+    return io_table.contract_leading(row)[0], None
+
+
+def _constant_caps(
+    pins: Sequence[str],
+    values: Mapping[str, float],
+    miller_caps: Mapping[str, Capacitance],
+    output_cap: Capacitance,
+    internal_cap: Optional[Capacitance],
+    load_cap: float,
+    has_internal: bool,
+) -> Tuple[float, Optional[float]]:
+    """The recurrence's denominator caps at one constant bias (for the
+    fixed-point stability check): ``(C_load + C_o + sum C_M, C_N or None)``."""
+    row = np.array([[float(values[pin]) for pin in pins]])
+    miller_total = sum(
+        float(cap_value_batch(miller_caps[pin], row[:, col : col + 1])[0])
+        for col, pin in enumerate(pins)
+    )
+    denom = load_cap + float(cap_value_batch(output_cap, row)[0]) + miller_total
+    cn = float(cap_value_batch(internal_cap, row)[0]) if has_internal else None
+    return denom, cn
+
+
+def _flow_root_1d(
+    pts: np.ndarray, vals: np.ndarray, start: float, v_low: float, v_high: float
+) -> float:
+    """Asymptote of ``dVo/dt = -f(Vo)`` from ``start``, ``f`` piecewise linear.
+
+    ``f`` is interpolated on ``(pts, vals)`` and held constant outside the
+    axis (matching the recurrence's clamped table lookups).  The state moves
+    against the sign of ``f`` until the first zero crossing; if none exists in
+    the travel direction it runs into the integration clip bound.
+    """
+    f0 = float(np.interp(start, pts, vals))
+    if f0 == 0.0:
+        return min(max(start, v_low), v_high)
+    if f0 > 0.0:
+        below = np.nonzero(pts < start)[0]
+        for i in below[::-1]:
+            if vals[i] <= 0.0:
+                span = vals[i + 1] - vals[i] if i + 1 < len(vals) else 0.0
+                if vals[i] == 0.0 or span == 0.0:
+                    return float(pts[i])
+                return float(pts[i] + (0.0 - vals[i]) * (pts[i + 1] - pts[i]) / span)
+        return v_low
+    above = np.nonzero(pts > start)[0]
+    for i in above:
+        if vals[i] >= 0.0:
+            span = vals[i] - vals[i - 1] if i >= 1 else 0.0
+            if vals[i] == 0.0 or span == 0.0:
+                return float(pts[i])
+            return float(pts[i - 1] + (0.0 - vals[i - 1]) * (pts[i] - pts[i - 1]) / span)
+    return v_high
+
+
+def _bilinear_fn(
+    io_red: np.ndarray, in_red: np.ndarray, vn_pts: np.ndarray, vo_pts: np.ndarray
+) -> Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]:
+    """Residual/Jacobian of the ``(Io, I_N) = 0`` system for the Newton polish.
+
+    The state vector is ``x = (Vo, V_N)``.  Inside the grid the residual is
+    the exact bilinear interpolant the settle recurrence uses; outside it the
+    edge cell is extrapolated so the Jacobian never goes singular — callers
+    must verify the converged root lies inside the axis domain (where the
+    extrapolation and the clamped interpolant coincide).
+    """
+
+    def locate(pts: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        idx = np.clip(np.searchsorted(pts, v, side="right") - 1, 0, len(pts) - 2)
+        span = pts[idx + 1] - pts[idx]
+        frac = (v - pts[idx]) / span
+        return idx, frac, span
+
+    def fn(x: np.ndarray, _params: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        vo, vn = x[:, 0], x[:, 1]
+        i, fo, o_span = locate(vo_pts, vo)
+        j, fn_, n_span = locate(vn_pts, vn)
+        batch = x.shape[0]
+        residual = np.empty((batch, 2))
+        jacobian = np.empty((batch, 2, 2))
+        for table, row in ((io_red, 0), (in_red, 1)):
+            c00 = table[j, i]
+            c01 = table[j, i + 1]
+            c10 = table[j + 1, i]
+            c11 = table[j + 1, i + 1]
+            lower = c00 + fo * (c01 - c00)
+            upper = c10 + fo * (c11 - c10)
+            residual[:, row] = lower + fn_ * (upper - lower)
+            jacobian[:, row, 0] = ((1.0 - fn_) * (c01 - c00) + fn_ * (c11 - c10)) / o_span
+            jacobian[:, row, 1] = (upper - lower) / n_span
+        return residual, jacobian
+
+    return fn
+
+
+#: Forward-Euler stability slack: the update map's spectral radius at the
+#: fixed point may exceed 1 by this much before the point is rejected.
+_STABILITY_SLACK = 1e-9
+
+
+def _polish(
+    pins: Sequence[str],
+    values: Mapping[str, float],
+    io_table: NDTable,
+    in_table: Optional[NDTable],
+    denom: float,
+    cn: Optional[float],
+    dt: float,
+    v_out: float,
+    v_int: Optional[float],
+    v_low: float,
+    v_high: float,
+) -> Optional[Tuple[float, Optional[float]]]:
+    """Refine a pre-rolled state to the exact table fixed point.
+
+    Returns ``None`` — the caller falls back to the integration settle —
+    when the Newton polish fails, lands outside the table domain, or when
+    the fixed point is *unstable* for the Forward-Euler map at the caller's
+    step size.  The last check matters for equivalence, not accuracy: at a
+    coarse ``dt`` the integrator cannot hold an unstable operating point (it
+    escapes onto a phase-locked oscillation, amplifying float-noise
+    differences between the batched and sequential paths on the way), so the
+    honest initial state there is the legacy settle endpoint on the
+    integrator's own attractor.
+    """
+    io_red, in_red = _constant_reduction(pins, values, io_table, in_table)
+    if in_red is None:
+        vo_pts = io_table.axes[-1].as_array()
+        root = _flow_root_1d(vo_pts, io_red, v_out, v_low, v_high)
+        if vo_pts[0] <= root <= vo_pts[-1]:
+            # Interior root: reject it if Forward-Euler at dt cannot hold it
+            # (clip-bound roots are pinned by the clamp, always holdable).
+            span = vo_pts[-1] - vo_pts[0]
+            step = 1e-6 * span
+            low = float(np.clip(root - step, vo_pts[0], vo_pts[-1]))
+            high = float(np.clip(root + step, vo_pts[0], vo_pts[-1]))
+            slope = (np.interp(high, vo_pts, io_red) - np.interp(low, vo_pts, io_red)) / (
+                high - low
+            )
+            if dt * slope / denom > 2.0 + _STABILITY_SLACK:
+                return None
+        return root, None
+    assert v_int is not None and cn is not None
+    vo_pts = io_table.axes[-1].as_array()
+    vn_pts = io_table.axes[-2].as_array()
+    fn = _bilinear_fn(io_red, in_red, vn_pts, vo_pts)
+    try:
+        solution = newton_fixed_point_many(
+            fn,
+            np.array([[v_out, v_int]]),
+            options=_POLISH_OPTIONS,
+            name="csm-dc-settle",
+        )
+    except (ConvergenceError, np.linalg.LinAlgError):
+        return None
+    vo, vn = float(solution[0, 0]), float(solution[0, 1])
+    eps = 1e-9
+    if not (vo_pts[0] - eps <= vo <= vo_pts[-1] + eps):
+        return None
+    if not (vn_pts[0] - eps <= vn <= vn_pts[-1] + eps):
+        return None
+    if not (v_low - eps <= vo <= v_high + eps and v_low - eps <= vn <= v_high + eps):
+        return None
+    # Forward-Euler stability of the 2-state map x -> x - diag(dt/C) F(x).
+    _, jacobian = fn(solution, np.zeros((1, 0)))
+    update = np.eye(2) - np.array([[dt / denom], [dt / cn]]) * jacobian[0]
+    if float(np.abs(np.linalg.eigvals(update)).max()) > 1.0 + _STABILITY_SLACK:
+        return None
+    return vo, vn
+
+
+def _preroll_window(options: SimulationOptions) -> float:
+    return min(options.settle_time, _PREROLL_STEPS * options.time_step)
+
+
+def _polish_state(
+    pins: Sequence[str],
+    values: Mapping[str, float],
+    output_current: Callable[..., float],
+    internal_current: Optional[Callable[..., float]],
+    miller_caps: Mapping[str, Capacitance],
+    output_cap: Capacitance,
+    internal_cap: Optional[Capacitance],
+    load: Load,
+    vdd: float,
+    options: SimulationOptions,
+    v_out: float,
+    v_int: Optional[float],
+) -> Optional[Tuple[float, Optional[float]]]:
+    """Eligibility check + denominator caps + fixed-point polish.
+
+    The one shared tail of :func:`dc_settle` (per-model path) and
+    :func:`settle_units` (engine batch path): both must apply the identical
+    stability-guard and fallback policy or the batched and sequential
+    engines drift apart.  ``None`` means "fall back to integration".
+    """
+    has_internal = internal_current is not None
+    if not _fast_eligible(
+        output_current,
+        internal_current,
+        miller_caps,
+        output_cap,
+        internal_cap,
+        load,
+        pins,
+        has_internal,
+    ):
+        return None
+    denom, cn = _constant_caps(
+        pins,
+        values,
+        miller_caps,
+        output_cap,
+        internal_cap,
+        load.constant_capacitance(),
+        has_internal,
+    )
+    return _polish(
+        pins,
+        values,
+        output_current,  # _fast_eligible guarantees NDTable
+        internal_current if has_internal else None,
+        denom,
+        cn,
+        options.time_step,
+        v_out,
+        v_int,
+        -options.clip_margin,
+        vdd + options.clip_margin,
+    )
+
+
+def dc_settle(
+    pins: Sequence[str],
+    values: Mapping[str, float],
+    output_current: Callable[..., float],
+    miller_caps: Mapping[str, Capacitance],
+    output_cap: Capacitance,
+    load: Load,
+    vdd: float,
+    options: SimulationOptions,
+    internal_current: Optional[Callable[..., float]] = None,
+    internal_cap: Optional[Capacitance] = None,
+    initial_output: Optional[float] = None,
+    initial_internal: Optional[float] = None,
+) -> Optional[Tuple[float, Optional[float]]]:
+    """DC operating point ``(V_out, V_N or None)`` for constant input values.
+
+    Mirrors the parameters of :func:`repro.csm.simulate.integrate_model`.
+    Returns ``None`` when the model is outside the fast path's table form or
+    the internal-node Newton polish fails — callers then fall back to the
+    legacy integration settle.
+    """
+    has_internal = internal_current is not None
+    if not _fast_eligible(
+        output_current,
+        internal_current,
+        miller_caps,
+        output_cap,
+        internal_cap,
+        load,
+        pins,
+        has_internal,
+    ):
+        return None
+    v_low = -options.clip_margin
+    v_high = vdd + options.clip_margin
+    v_out = vdd / 2.0 if initial_output is None else float(np.clip(initial_output, v_low, v_high))
+    v_int: Optional[float] = None
+    if has_internal:
+        v_int = vdd / 2.0 if initial_internal is None else float(np.clip(initial_internal, v_low, v_high))
+
+    pre_time = _preroll_window(options)
+    if pre_time > 0.0:
+        constants = {
+            pin: Waveform.constant(float(values[pin]), 0.0, pre_time, name=pin)
+            for pin in pins
+        }
+        _, out_trace, int_trace = integrate_model(
+            pins=pins,
+            input_waveforms=constants,
+            output_current=output_current,
+            miller_caps=miller_caps,
+            output_cap=output_cap,
+            load=load,
+            vdd=vdd,
+            initial_output=v_out,
+            options=options,
+            internal_current=internal_current,
+            internal_cap=internal_cap,
+            initial_internal=v_int,
+        )
+        v_out = float(out_trace[-1])
+        if int_trace is not None:
+            v_int = float(int_trace[-1])
+
+    return _polish_state(
+        pins,
+        values,
+        output_current,
+        internal_current,
+        miller_caps,
+        output_cap,
+        internal_cap,
+        load,
+        vdd,
+        options,
+        v_out,
+        v_int,
+    )
+
+
+def _constant_unit(unit: BatchUnit, window: float) -> BatchUnit:
+    """A copy of ``unit`` whose inputs are held at their initial values."""
+    return BatchUnit(
+        pins=unit.pins,
+        input_waveforms={
+            pin: Waveform.constant(
+                unit.input_waveforms[pin].initial_value(), 0.0, window, name=pin
+            )
+            for pin in unit.pins
+        },
+        output_current=unit.output_current,
+        miller_caps=unit.miller_caps,
+        output_cap=unit.output_cap,
+        load=unit.load,
+        vdd=unit.vdd,
+        initial_output=unit.initial_output,
+        internal_current=unit.internal_current,
+        internal_cap=unit.internal_cap,
+        initial_internal=unit.initial_internal,
+    )
+
+
+def settle_units(
+    units: Sequence[BatchUnit], options: SimulationOptions
+) -> List[Tuple[float, Optional[float]]]:
+    """Settle a batch of constant-input units (the engine's settle pass).
+
+    In ``"integrate"`` mode this is the legacy full-window lockstep
+    integration.  In ``"dc"`` mode the DC-eligible units are pre-rolled over
+    the short basin-selection window in lockstep and polished to their exact
+    table fixed points; ineligible units and rejected polishes (Newton
+    failure, FE-unstable operating point) fall back to the legacy
+    full-window settle, integrated together as one lockstep batch.
+
+    Returns ``(v_out, v_int or None)`` final states in unit order.
+    """
+    if options.settle_mode != "dc":
+        _, settled = integrate_model_many(units, options, 0.0, options.settle_time)
+        return [
+            (float(v_out[-1]), None if v_int is None else float(v_int[-1]))
+            for v_out, v_int in settled
+        ]
+
+    eligible = [
+        index
+        for index, unit in enumerate(units)
+        if _fast_eligible(
+            unit.output_current,
+            unit.internal_current,
+            unit.miller_caps,
+            unit.output_cap,
+            unit.internal_cap,
+            unit.load,
+            unit.pins,
+            unit.internal_current is not None,
+        )
+    ]
+    pre_time = _preroll_window(options)
+    if eligible and pre_time > 0.0:
+        pre_units = [_constant_unit(units[index], pre_time) for index in eligible]
+        _, pre_states = integrate_model_many(pre_units, options, 0.0, pre_time)
+    else:
+        pre_states = [
+            (
+                np.array([units[index].initial_output]),
+                None
+                if units[index].internal_current is None
+                else np.array([units[index].initial_internal]),
+            )
+            for index in eligible
+        ]
+
+    results: List[Optional[Tuple[float, Optional[float]]]] = [None] * len(units)
+    fallback = [index for index in range(len(units)) if index not in set(eligible)]
+    for index, (v_out, v_int) in zip(eligible, pre_states):
+        unit = units[index]
+        values = {pin: unit.input_waveforms[pin].initial_value() for pin in unit.pins}
+        settled = _polish_state(
+            unit.pins,
+            values,
+            unit.output_current,
+            unit.internal_current,
+            unit.miller_caps,
+            unit.output_cap,
+            unit.internal_cap,
+            unit.load,
+            unit.vdd,
+            options,
+            float(v_out[-1]),
+            None if v_int is None else float(v_int[-1]),
+        )
+        if settled is None:
+            fallback.append(index)
+        else:
+            results[index] = settled
+
+    if fallback:
+        fallback.sort()
+        fallback_units = [
+            _constant_unit(units[index], options.settle_time) for index in fallback
+        ]
+        _, states = integrate_model_many(fallback_units, options, 0.0, options.settle_time)
+        for index, (out_trace, int_trace) in zip(fallback, states):
+            results[index] = (
+                float(out_trace[-1]),
+                None if int_trace is None else float(int_trace[-1]),
+            )
+
+    assert all(state is not None for state in results)
+    return results  # type: ignore[return-value]

@@ -20,6 +20,7 @@ One module per figure:
 from .common import ExperimentContext, HISTORY_LABELS, default_context, nor2_history_patterns
 from .fig3_internal_node import Fig3Result, run_fig3
 from .sta_scaling import StaScalePoint, StaScaleResult, run_sta_scale, timing_models_for
+from .corner_sweep import CornerStaPoint, CornerSweepResult, corner_sta_sweep, run_corner_sweep
 from .fig4_output_history import Fig4Result, run_fig4
 from .fig5_delay_difference import Fig5Result, Fig5Row, run_fig5
 from .fig9_accuracy import Fig9Case, Fig9Result, run_fig9
@@ -52,5 +53,9 @@ __all__ = [
     "StaScalePoint",
     "StaScaleResult",
     "run_sta_scale",
+    "CornerStaPoint",
+    "CornerSweepResult",
+    "corner_sta_sweep",
+    "run_corner_sweep",
     "timing_models_for",
 ]

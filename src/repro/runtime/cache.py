@@ -56,10 +56,18 @@ def _registered_classes() -> Dict[str, Type]:
     from ..characterization.nldm import NLDMTable
     from ..csm.base import ModelSimulationResult
     from ..csm.models import MCSM, BaselineMISCSM, SISCSM
+    from ..sta.engine import WaveformTimingResult
 
     return {
         cls.__name__: cls
-        for cls in (SISCSM, BaselineMISCSM, MCSM, NLDMTable, ModelSimulationResult)
+        for cls in (
+            SISCSM,
+            BaselineMISCSM,
+            MCSM,
+            NLDMTable,
+            ModelSimulationResult,
+            WaveformTimingResult,
+        )
     }
 
 
@@ -169,17 +177,30 @@ def _decode(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
 # ----------------------------------------------------------------------
 @dataclass
 class CacheStats:
-    """Hit/miss/store counters for one :class:`ResultCache` instance."""
+    """Hit/miss/store/evict counters for one :class:`ResultCache` instance.
+
+    ``evictions`` counts corrupted or undecodable entries dropped during
+    lookup: each also counts as a miss (the caller recomputes and re-stores).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    evictions: int = 0
 
     def as_dict(self) -> Dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses, "stores": self.stores}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
 
     def __str__(self) -> str:
-        return f"{self.hits} hits, {self.misses} misses, {self.stores} stores"
+        return (
+            f"{self.hits} hits, {self.misses} misses, {self.stores} stores, "
+            f"{self.evictions} evicted"
+        )
 
 
 class ResultCache:
@@ -224,6 +245,7 @@ class ResultCache:
             logger.warning("dropping unreadable cache entry %s", path, exc_info=True)
             path.unlink(missing_ok=True)
             self.stats.misses += 1
+            self.stats.evictions += 1
             return False, None
         self.stats.hits += 1
         return True, value

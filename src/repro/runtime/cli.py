@@ -6,6 +6,8 @@ Usage::
     python -m repro.runtime.cli --figures all --workers 8 --executor thread
     python -m repro.runtime.cli --figures fig3 --settings paper --json report.json
     python -m repro.runtime.cli --sta dag:w16:d4:s3 --engine both --workers 2 --cache DIR
+    python -m repro.runtime.cli --sta dag:w16:d4:s3 --corners TT,FF,SS --cache DIR
+    python -m repro.runtime.cli --sta dag:w16:d4:s3 --incremental --cache DIR
 
 The CLI builds one :class:`~repro.experiments.ExperimentContext` wired to the
 chosen executor and disk cache, pre-characterizes every model the requested
@@ -21,6 +23,17 @@ cache-aware job set before the requested engine(s) propagate seeded input
 waveforms through the design.  With ``--engine both`` the batched and
 sequential waveform engines both run and the CLI *fails* unless their
 waveforms agree to 1e-9 V, which is what the CI smoke relies on.
+
+Two further ``--sta`` axes:
+
+* ``--corners TT,FF,SS`` times every spec across the named process corners
+  (per-corner libraries characterized as parallel content-addressed jobs)
+  and reports the primary-output arrival deltas against the TT corner;
+* ``--incremental`` exercises the content-addressed propagation cache: a
+  cold run, a warm repeat that must integrate *zero* waveforms, and one
+  ECO-style cell swap that must re-integrate only the affected cone while
+  matching a cold full rebuild to 1e-9 V — non-zero exit on any violation
+  (the CI incremental smoke).
 """
 
 from __future__ import annotations
@@ -51,6 +64,7 @@ MODEL_KINDS: Dict[str, tuple] = {
     "fig11": ("mcsm", "sis"),
     "fig12": ("mcsm",),
     "sta": (),
+    "corners": (),
 }
 
 
@@ -59,6 +73,7 @@ def _load_figures() -> None:
     if FIGURES:
         return
     from ..experiments import (
+        run_corner_sweep,
         run_fig3,
         run_fig4,
         run_fig5,
@@ -79,6 +94,7 @@ def _load_figures() -> None:
             "fig11": lambda ctx: run_fig11(ctx),
             "fig12": lambda ctx: run_fig12(ctx),
             "sta": lambda ctx: run_sta_scale(ctx),
+            "corners": lambda ctx: run_corner_sweep(ctx),
         }
     )
 
@@ -101,6 +117,147 @@ def build_context(settings: str, executor=None, cache: Optional[ResultCache] = N
     raise ValueError(f"unknown settings {settings!r}")
 
 
+def _run_corner_mode(args, context) -> int:
+    """--sta --corners: time every spec across the requested process corners."""
+    from ..experiments import corner_sta_sweep
+
+    corners = tuple(name.strip().upper() for name in args.corners.split(",") if name.strip())
+    report: Dict[str, object] = {
+        "mode": "sta-corners",
+        "settings": args.settings,
+        "workers": args.workers,
+        "corners": list(corners),
+        "seed": args.seed,
+        "designs": {},
+    }
+    total_start = time.perf_counter()
+    for spec in args.sta:
+        result = corner_sta_sweep(context, spec=spec, corners=corners, seed=args.seed)
+        print(result.summary())
+        deltas = result.deltas()
+        report["designs"][spec] = {
+            "gates": result.gates,
+            "reference_corner": result.reference_corner,
+            "corners": {
+                point.corner: {
+                    "vdd": point.vdd,
+                    "characterization_seconds": round(point.characterization_seconds, 4),
+                    "models_executed": point.models_executed,
+                    "propagation_seconds": round(point.propagation_seconds, 4),
+                    "arrivals": point.arrivals,
+                    "arrival_deltas": deltas[point.corner],
+                }
+                for point in result.points
+            },
+        }
+    report["total_seconds"] = round(time.perf_counter() - total_start, 4)
+    if context.cache is not None:
+        print(f"cache: {context.cache.stats} ({args.cache})")
+        report["cache"] = context.cache.stats.as_dict()
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+def _run_incremental_mode(args, context, models) -> int:
+    """--sta --incremental: cold run, warm no-op repeat, one ECO edit.
+
+    Fails (exit 1) unless the warm repeat integrates zero waveforms, the
+    edited run re-integrates only the affected region, and the edited result
+    matches a cold full rebuild to 1e-9 V.
+    """
+    from ..sta.engine import CSMEngine, waveform_deviation
+    from ..sta.generate import generate_netlist, primary_input_waveforms
+    from ..sta.netlist import eco_swap_candidate
+
+    options = context.model_options()
+    report: Dict[str, object] = {
+        "mode": "sta-incremental",
+        "settings": args.settings,
+        "seed": args.seed,
+        "designs": {},
+    }
+    failures = 0
+    for spec in args.sta:
+        netlist = generate_netlist(context.library, spec)
+        waveforms = primary_input_waveforms(netlist, seed=args.seed)
+        instances = len(netlist.instances)
+
+        start = time.perf_counter()
+        CSMEngine(netlist, models, options=options).run(waveforms)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = CSMEngine(netlist, models, options=options).run(waveforms)
+        warm_seconds = time.perf_counter() - start
+        warm_stats = warm.stats or {}
+        warm_ok = warm_stats.get("integrations", -1) == 0
+
+        # ECO edit: the cheapest pin-compatible cell swap in the design.
+        candidate = eco_swap_candidate(netlist)
+        if candidate is None:
+            failures += 0 if warm_ok else 1
+            print(
+                f"{spec}: cold {cold_seconds:.3f} s, warm {warm_seconds:.3f} s "
+                f"({warm_stats.get('integrations')} integrations); no pin-compatible "
+                f"swap candidate, edit phase skipped"
+                + ("" if warm_ok else "  <-- FAILED")
+            )
+            report["designs"][spec] = {
+                "gates": instances,
+                "cold_seconds": round(cold_seconds, 4),
+                "warm_seconds": round(warm_seconds, 4),
+                "warm_stats": warm_stats,
+            }
+            continue
+        region_size, target, partner = candidate
+        netlist.swap_cell(target, partner)
+        start = time.perf_counter()
+        edited = CSMEngine(netlist, models, options=options).run(waveforms)
+        edit_seconds = time.perf_counter() - start
+        edit_stats = edited.stats or {}
+        reference = CSMEngine(netlist, models, options=options, use_cache=False).run(waveforms)
+        deviation = waveform_deviation(edited, reference)
+        edit_ok = (
+            0 < edit_stats.get("integrations", 0) <= region_size
+            and deviation <= 1e-9
+            and edited.model_used == reference.model_used
+        )
+        failures += 0 if (warm_ok and edit_ok) else 1
+        print(
+            f"{spec}: cold {cold_seconds:.3f} s, warm {warm_seconds:.3f} s "
+            f"({warm_stats.get('integrations')} integrations"
+            f"{', full-run hit' if warm_stats.get('full_run_hit') else ''}); "
+            f"swap {target} -> {partner}: {edit_stats.get('integrations')}/{instances} "
+            f"re-integrated (affected region {region_size}), max |dV| {deviation:.2e} V"
+            + ("" if (warm_ok and edit_ok) else "  <-- FAILED")
+        )
+        report["designs"][spec] = {
+            "gates": instances,
+            "cold_seconds": round(cold_seconds, 4),
+            "warm_seconds": round(warm_seconds, 4),
+            "warm_stats": warm_stats,
+            "edit": {
+                "target": target,
+                "partner": partner,
+                "affected_region": region_size,
+                "seconds": round(edit_seconds, 4),
+                "stats": edit_stats,
+                "max_abs_delta_v": deviation,
+            },
+        }
+    if context.cache is not None:
+        print(f"cache: {context.cache.stats} ({args.cache})")
+        report["cache"] = context.cache.stats.as_dict()
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+    if failures:
+        print(f"{failures} design(s) FAILED the incremental-STA checks")
+        return 1
+    return 0
+
+
 def _run_sta_mode(args) -> int:
     """Drive the levelized timing engine(s) over generated netlists."""
     from ..experiments import timing_models_for
@@ -111,6 +268,13 @@ def _run_sta_mode(args) -> int:
     cache = ResultCache(args.cache) if args.cache is not None else None
     context = build_context(args.settings, executor=executor, cache=cache)
     models = timing_models_for(context)
+    if args.corners is not None:
+        return _run_corner_mode(args, context)
+    if args.incremental:
+        if cache is None:
+            print("--incremental needs --cache DIR (the warm repeat reads the disk cache)")
+            return 2
+        return _run_incremental_mode(args, context, models)
     options = context.model_options()
     engines = ("batched", "sequential") if args.engine == "both" else (args.engine,)
 
@@ -246,6 +410,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument(
         "--seed", type=int, default=0, help="--sta mode: stimulus seed (default: 0)"
     )
+    parser.add_argument(
+        "--corners",
+        default=None,
+        metavar="TT,FF,SS",
+        help="--sta mode: comma-separated process corners; characterizes one "
+        "library per corner (parallel content-addressed jobs) and reports "
+        "per-corner primary-output arrival deltas",
+    )
+    parser.add_argument(
+        "--incremental",
+        action="store_true",
+        help="--sta mode: incremental-STA smoke — cold run, warm no-op repeat "
+        "(must integrate zero waveforms), one ECO cell swap (must re-integrate "
+        "only the affected cone and match a cold rebuild to 1e-9 V)",
+    )
     args = parser.parse_args(argv)
 
     logging.basicConfig(level=logging.INFO, format="%(name)s: %(message)s")
@@ -254,9 +433,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_sta_mode(args)
 
     _load_figures()
-    # 'all' means the paper-figure set; the STA scale sweep is opt-in (it is
-    # by far the slowest entry and has its own --sta mode).
-    all_names = [name for name in FIGURES if name != "sta"]
+    # 'all' means the paper-figure set; the STA scale sweep and the corner
+    # sweep are opt-in (slow, and both have their own --sta modes).
+    all_names = [name for name in FIGURES if name not in ("sta", "corners")]
     names = all_names if args.figures == ["all"] else args.figures
     unknown = [name for name in names if name not in FIGURES]
     if unknown:

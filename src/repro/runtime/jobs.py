@@ -37,7 +37,9 @@ __all__ = ["CODE_VERSION", "Job", "job", "content_hash", "cell_fingerprint"]
 #: Salt mixed into every content hash.  Bump on any change that alters what a
 #: characterization / simulation job computes for the same inputs; this is the
 #: cache's invalidation story (old entries are simply never addressed again).
-CODE_VERSION = "pr2.1"
+#: (pr4.1: DC operating-point settle replaced the integration pre-roll, which
+#: changes every model-simulation and waveform-propagation result.)
+CODE_VERSION = "pr4.1"
 
 
 # ----------------------------------------------------------------------

@@ -7,7 +7,7 @@ backward-Euler transient analyses over the EKV-style device models from
 comparison in the reproduction runs against this simulator.
 """
 
-from .dc import DCAnalysis, dc_operating_point, dc_sweep
+from .dc import DCAnalysis, dc_operating_point, dc_sweep, newton_fixed_point_many
 from .elements import Capacitor, CurrentSource, Element, Mosfet, Resistor, VoltageSource
 from .mna import MNAAssembler, NewtonOptions, newton_solve, newton_solve_many
 from .netlist import GROUND, Circuit
@@ -48,6 +48,7 @@ __all__ = [
     "newton_solve_many",
     "DCAnalysis",
     "dc_operating_point",
+    "newton_fixed_point_many",
     "dc_sweep",
     "TransientAnalysis",
     "TransientOptions",

@@ -1,8 +1,18 @@
-"""DC operating-point and DC-sweep analyses."""
+"""DC operating-point and DC-sweep analyses.
+
+Besides the circuit-level analyses, this module exposes the batched damped
+Newton iteration behind them for *any* small residual system:
+:func:`newton_fixed_point_many` adapts a callable ``F(x), J(x)`` to the
+:func:`~repro.spice.mna.newton_solve_many` engine, so non-circuit solvers —
+notably the current-source-model DC settle in :mod:`repro.csm.dc` — reuse the
+same active-subset bookkeeping, damping and convergence policy as the MNA
+solver instead of growing their own Newton loop.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+from types import SimpleNamespace
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -13,7 +23,85 @@ from .netlist import Circuit
 from .results import OperatingPoint
 from .sources import DCValue
 
-__all__ = ["dc_operating_point", "dc_sweep", "DCAnalysis"]
+__all__ = [
+    "dc_operating_point",
+    "dc_sweep",
+    "DCAnalysis",
+    "newton_fixed_point_many",
+]
+
+
+class _ResidualAssembler:
+    """Duck-typed stand-in for :class:`~repro.spice.mna.MNAAssembler`.
+
+    Presents a batch residual/Jacobian callable through the small interface
+    :func:`~repro.spice.mna.newton_solve_many` actually consumes
+    (``num_nodes``, ``build_many``, ``circuit.name``): the Newton engine
+    solves ``J x_new = J x - F``, i.e. takes the standard damped step
+    ``x - J^{-1} F``.  Per-run residual parameters ride in the ``vs_values``
+    slot so the active-subset iteration subsets them alongside the solutions.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[[np.ndarray, np.ndarray], Tuple[np.ndarray, np.ndarray]],
+        size: int,
+        name: str,
+    ):
+        self.fn = fn
+        self.num_nodes = size
+        self.circuit = SimpleNamespace(name=name)
+
+    def build_many(self, solutions, vs_values, cs_values, cap_matrix=None, cap_rhs=None):
+        residual, jacobian = self.fn(solutions, vs_values)
+        rhs = np.einsum("bij,bj->bi", jacobian, solutions) - residual
+        return jacobian, rhs
+
+
+def newton_fixed_point_many(
+    fn: Callable[..., Tuple[np.ndarray, np.ndarray]],
+    initial: np.ndarray,
+    params: Optional[np.ndarray] = None,
+    options: Optional[NewtonOptions] = None,
+    name: str = "fixed-point",
+) -> np.ndarray:
+    """Solve ``F(x) = 0`` for a batch of small independent systems.
+
+    Parameters
+    ----------
+    fn:
+        Callable mapping a candidate batch ``x`` of shape ``(B', n)`` and the
+        matching parameter rows ``params`` of shape ``(B', k)`` to ``(F, J)``
+        with ``F`` of shape ``(B', n)`` and ``J`` of shape ``(B', n, n)``.
+        ``B'`` is the *active* subset of the batch, not necessarily the full
+        ``B`` — runs leave the iteration as they converge — so any per-run
+        constants must be passed through ``params``, never closed over by
+        full-batch position.
+    initial:
+        ``(B, n)`` starting points (one per system).
+    params:
+        Optional ``(B, k)`` per-run parameter rows (``k = 0`` when omitted).
+    options:
+        Newton settings; every row of each system is treated as a "voltage"
+        unknown (damped by ``damping_limit``, converged below
+        ``voltage_tolerance``).
+    name:
+        Label used in convergence error messages.
+
+    Raises :class:`~repro.exceptions.ConvergenceError` exactly like the MNA
+    batch solver (``metadata["failed_runs"]`` lists the offending rows).
+    """
+    initial = np.asarray(initial, dtype=float)
+    if initial.ndim != 2:
+        raise ValueError("newton_fixed_point_many expects a (B, n) initial array")
+    if params is None:
+        params = np.zeros((initial.shape[0], 0))
+    params = np.asarray(params, dtype=float)
+    if params.ndim != 2 or params.shape[0] != initial.shape[0]:
+        raise ValueError("params must be a (B, k) array matching the initial batch")
+    assembler = _ResidualAssembler(fn, initial.shape[1], name)
+    empty = np.zeros((initial.shape[0], 0))
+    return newton_solve_many(assembler, initial, params, empty, options=options)
 
 
 class DCAnalysis:

@@ -11,6 +11,7 @@ from .engine import (
     CSMEngine,
     NLDMEngine,
     NLDMTimingResult,
+    PropagationStats,
     TimingEngine,
     WaveformTimingResult,
     create_engine,
@@ -29,12 +30,14 @@ from .generate import (
     random_dag,
 )
 from .models import TimingModelLibrary
-from .netlist import GateInstance, GateNetlist, NetConnectivity
+from .netlist import GateInstance, GateNetlist, NetConnectivity, netlist_fingerprint
 
 __all__ = [
     "GateInstance",
     "GateNetlist",
     "NetConnectivity",
+    "netlist_fingerprint",
+    "PropagationStats",
     "TimingEvent",
     "switching_window",
     "windows_overlap",

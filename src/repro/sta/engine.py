@@ -35,21 +35,24 @@ import networkx as nx
 import numpy as np
 
 from ..csm.base import SimulationOptions
+from ..csm.dc import settle_units
 from ..csm.loads import CapacitiveLoad, Load, ReceiverLoad
 from ..csm.models import MCSM, BaselineMISCSM, SISCSM
 from ..csm.simulate import BatchUnit, integrate_model_many
 from ..exceptions import TimingError
+from ..runtime.cache import ResultCache
 from ..runtime.executor import Executor, run_jobs
-from ..runtime.jobs import Job
+from ..runtime.jobs import Job, content_hash
 from ..waveform.metrics import crossing_times
 from ..waveform.waveform import Waveform
 from .events import TimingEvent, detect_mis_pairs
 from .models import TimingModelLibrary
-from .netlist import GateInstance, GateNetlist, NetConnectivity
+from .netlist import GateInstance, GateNetlist, NetConnectivity, netlist_fingerprint
 
 __all__ = [
     "TimingEngine",
     "create_engine",
+    "PropagationStats",
     "WaveformTimingResult",
     "CSMEngine",
     "NLDMTimingResult",
@@ -68,6 +71,57 @@ SWITCHING_THRESHOLD_FRACTION = 0.4
 # Results
 # ----------------------------------------------------------------------
 @dataclass
+class PropagationStats:
+    """Cache accounting of one :meth:`CSMEngine.run` invocation.
+
+    Attributes
+    ----------
+    instances:
+        Instances visited (the whole design, hits included).
+    integrations:
+        Instances whose output waveform was actually integrated — the number
+        the incremental tests pin down: zero on a warm repeat, exactly the
+        dirty fan-out cone after an edit.
+    memo_hits / cache_hits:
+        Waveforms served from the engine's in-memory memo respectively the
+        content-addressed disk cache.
+    duplicates:
+        Same-level instances whose propagation key matched another instance
+        of the level (identical cell, inputs and load): integrated once,
+        shared.
+    stores:
+        Waveforms written to the disk cache.
+    full_run_hit:
+        The entire run was served from the whole-design cache entry (no
+        per-instance work at all).
+    """
+
+    instances: int = 0
+    integrations: int = 0
+    memo_hits: int = 0
+    cache_hits: int = 0
+    duplicates: int = 0
+    stores: int = 0
+    full_run_hit: bool = False
+
+    @property
+    def cone_hits(self) -> int:
+        """Instances served without integration (memo + disk + duplicates)."""
+        return self.memo_hits + self.cache_hits + self.duplicates
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "instances": self.instances,
+            "integrations": self.integrations,
+            "memo_hits": self.memo_hits,
+            "cache_hits": self.cache_hits,
+            "duplicates": self.duplicates,
+            "stores": self.stores,
+            "full_run_hit": self.full_run_hit,
+        }
+
+
+@dataclass
 class WaveformTimingResult:
     """Per-net waveforms plus per-instance model-choice bookkeeping."""
 
@@ -75,6 +129,7 @@ class WaveformTimingResult:
     model_used: Dict[str, str]
     netlist_name: str
     vdd: float
+    stats: Optional[Dict[str, int]] = None
 
     def waveform(self, net: str) -> Waveform:
         if net not in self.waveforms:
@@ -175,16 +230,31 @@ class TimingEngine:
         self.models = models
         self._connectivity: Optional[NetConnectivity] = None
         self._levels: Optional[List[List[GateInstance]]] = None
+        self._structure_revision = netlist.revision
 
     # -- lazily built structural views ---------------------------------
+    def _sync_structure(self) -> None:
+        """Drop structural caches after the netlist was edited."""
+        if self._structure_revision != self.netlist.revision:
+            self._connectivity = None
+            self._levels = None
+            self._on_structure_change()
+            self._structure_revision = self.netlist.revision
+
+    def _on_structure_change(self) -> None:
+        """Hook for subclasses holding further netlist-derived caches."""
+
     @property
     def connectivity(self) -> NetConnectivity:
+        self._sync_structure()
         if self._connectivity is None:
             self._connectivity = self.netlist.connectivity()
         return self._connectivity
 
     def levels(self) -> List[List[GateInstance]]:
-        """Topological generations of the netlist (cached per engine)."""
+        """Topological generations of the netlist (cached per engine,
+        rebuilt automatically after netlist edits)."""
+        self._sync_structure()
         if self._levels is None:
             self._levels = self.netlist.topological_generations()
         return self._levels
@@ -301,6 +371,26 @@ class NLDMEngine(TimingEngine):
 # CSM: waveform propagation, batched per level
 # ----------------------------------------------------------------------
 @dataclass
+class _StructuralPlan:
+    """Model-free description of one instance evaluation.
+
+    Everything here is derived from the netlist structure, the already
+    propagated input waveforms and the characterization *configuration* —
+    never from a characterized model — so computing it (and the propagation
+    ``key``) stays cheap on cache hits.
+    """
+
+    instance: GateInstance
+    output_net: str
+    pins: Tuple[str, ...]
+    mis: bool
+    label: str
+    load: Load
+    pin_waves: Dict[str, Waveform]
+    key: Optional[str] = None
+
+
+@dataclass
 class _InstancePlan:
     """Everything needed to evaluate one instance of a level."""
 
@@ -336,6 +426,16 @@ class CSMEngine(TimingEngine):
         :func:`~repro.csm.simulate.integrate_model_many`.  When false each
         instance runs through ``model.simulate`` individually — the reference
         path the batched engine is asserted bit-equal against.
+    cache:
+        Content-addressed disk cache for per-instance output waveforms and
+        whole-run results; defaults to the model library's cache.  Every
+        instance evaluation is keyed by the full upstream content (cell
+        fingerprint, model configuration, load, input-net keys down to the
+        stimuli), so a warm run integrates nothing and an edited run
+        re-integrates exactly the dirty fan-out cone.
+    use_cache:
+        Disable all propagation fingerprinting/memoization (the pre-PR4
+        always-integrate behaviour) when false.
     """
 
     def __init__(
@@ -344,11 +444,72 @@ class CSMEngine(TimingEngine):
         models: TimingModelLibrary,
         options: Optional[SimulationOptions] = None,
         batched: bool = True,
+        cache: Optional[ResultCache] = None,
+        use_cache: bool = True,
     ):
         super().__init__(netlist, models)
         self.options = options or SimulationOptions()
         self.batched = batched
         self.vdd = netlist.library.technology.vdd
+        self.cache = cache if cache is not None else models.cache
+        self.use_cache = use_cache
+        self.last_stats: Optional[PropagationStats] = None
+        self._memo: Dict[str, Waveform] = {}
+        self._cell_digests: Dict[str, str] = {}
+        self._netlist_digest_cache: Optional[Tuple[int, str]] = None
+
+    # -- fingerprints --------------------------------------------------
+    def _on_structure_change(self) -> None:
+        # The in-memory memo stays: its entries are content-addressed, so an
+        # edit simply stops addressing the stale ones — that is what makes a
+        # re-run after an ECO edit incremental even without a disk cache.
+        self._netlist_digest_cache = None
+
+    def _mode(self) -> str:
+        # The per-instance reference path keeps its own cache namespace so
+        # "sequential" results are never silently served from batched runs
+        # (they agree to 1e-9 V, not bitwise).
+        return "batched" if self.batched else "sequential"
+
+    def _context_digest(self, t_start: float, t_stop: float) -> str:
+        """Everything every propagation key shares for one run."""
+        return content_hash(
+            "sta-context",
+            self._mode(),
+            self.options,
+            self.models.config,
+            self.models.use_internal_node,
+            t_start,
+            t_stop,
+        )
+
+    def _cell_digest(self, cell_name: str) -> str:
+        if cell_name not in self._cell_digests:
+            from ..runtime.jobs import cell_fingerprint
+
+            self._cell_digests[cell_name] = content_hash(
+                "sta-cell", cell_fingerprint(self.netlist.library[cell_name])
+            )
+        return self._cell_digests[cell_name]
+
+    def _netlist_digest(self) -> str:
+        self._sync_structure()
+        if self._netlist_digest_cache is None:
+            digest = content_hash("sta-netlist", netlist_fingerprint(self.netlist))
+            self._netlist_digest_cache = (self.netlist.revision, digest)
+        return self._netlist_digest_cache[1]
+
+    @staticmethod
+    def stimulus_keys(input_waveforms: Mapping[str, Waveform]) -> Dict[str, str]:
+        """Content keys of the primary-input stimuli (name-independent)."""
+        return {
+            net: content_hash("sta-stimulus", wave.times, wave.values)
+            for net, wave in input_waveforms.items()
+        }
+
+    def clear_propagation_memo(self) -> None:
+        """Drop the in-memory waveform memo (the disk cache is untouched)."""
+        self._memo.clear()
 
     # ------------------------------------------------------------------
     def run(
@@ -358,6 +519,13 @@ class CSMEngine(TimingEngine):
         t_start: Optional[float] = None,
     ) -> WaveformTimingResult:
         """Propagate waveforms from the primary inputs through the design.
+
+        With caching enabled (the default) every instance consults the
+        in-memory memo and the disk cache through its propagation key before
+        integrating, and the completed result is stored under a whole-run key
+        — so an unchanged repeat is a no-op and a run after a netlist edit
+        re-integrates only the edit's fan-out cone.  ``result.stats`` (and
+        :attr:`last_stats`) record the hit/integration accounting.
 
         Parameters
         ----------
@@ -373,6 +541,26 @@ class CSMEngine(TimingEngine):
         t_stop = t_stop if t_stop is not None else min(w.t_stop for w in input_waveforms.values())
         t_start = t_start if t_start is not None else max(w.t_start for w in input_waveforms.values())
 
+        levels = self.levels()  # also re-syncs structural caches after edits
+        stats = PropagationStats(instances=len(self.netlist.instances))
+        caching = self.use_cache
+        net_keys: Dict[str, str] = {}
+        context = ""
+        run_key: Optional[str] = None
+        if caching:
+            net_keys = self.stimulus_keys(input_waveforms)
+            context = self._context_digest(t_start, t_stop)
+            if self.cache is not None:
+                run_key = content_hash(
+                    "sta-run", context, self._netlist_digest(), sorted(net_keys.items())
+                )
+                hit, value = self.cache.lookup(run_key)
+                if hit:
+                    stats.full_run_hit = True
+                    value.stats = stats.as_dict()
+                    self.last_stats = stats
+                    return value
+
         # Characterize the SIS models of every receiver pin up front (one
         # cache-aware parallel job set).  Loads then always use characterized
         # input capacitances, identically for the batched and sequential
@@ -384,57 +572,146 @@ class CSMEngine(TimingEngine):
         }
         model_used: Dict[str, str] = {}
 
-        for level in self.levels():
-            plans = [self._plan(instance, waveforms, t_start, t_stop) for instance in level]
+        for level in levels:
+            pending: List[_StructuralPlan] = []
+            duplicates: List[_StructuralPlan] = []
+            first_with_key: Dict[str, _StructuralPlan] = {}
+            for instance in level:
+                splan = self._structural_plan(
+                    instance, waveforms, t_start, t_stop, context, net_keys if caching else None
+                )
+                model_used[splan.instance.name] = splan.label
+                if splan.key is None:
+                    pending.append(splan)
+                    continue
+                net_keys[splan.output_net] = splan.key
+                wave = self._lookup_waveform(splan.key, stats)
+                if wave is not None:
+                    waveforms[splan.output_net] = wave.renamed(splan.output_net)
+                elif splan.key in first_with_key:
+                    duplicates.append(splan)
+                else:
+                    first_with_key[splan.key] = splan
+                    pending.append(splan)
+
+            plans = [self._materialize(splan) for splan in pending]
             if self.batched:
                 self._evaluate_level_batched(plans, waveforms, t_start, t_stop)
             else:
                 self._evaluate_level_sequential(plans, waveforms, t_start, t_stop)
-            for plan in plans:
-                model_used[plan.instance.name] = plan.label
+            stats.integrations += len(plans)
 
-        return WaveformTimingResult(
+            for splan in pending:
+                if splan.key is None:
+                    continue
+                wave = waveforms[splan.output_net]
+                self._memo[splan.key] = wave
+                if self.cache is not None:
+                    self.cache.store(splan.key, wave)
+                    stats.stores += 1
+            for splan in duplicates:
+                stats.duplicates += 1
+                waveforms[splan.output_net] = self._memo[splan.key].renamed(splan.output_net)
+
+        result = WaveformTimingResult(
             waveforms=waveforms,
             model_used=model_used,
             netlist_name=self.netlist.name,
             vdd=self.vdd,
+            stats=stats.as_dict(),
         )
+        if run_key is not None:
+            self.cache.store(run_key, result)
+        self.last_stats = stats
+        return result
 
     # ------------------------------------------------------------------
-    def _plan(
+    def _lookup_waveform(self, key: str, stats: PropagationStats) -> Optional[Waveform]:
+        """Memo, then disk; counts the provenance on the run's stats."""
+        if key in self._memo:
+            stats.memo_hits += 1
+            return self._memo[key]
+        if self.cache is not None:
+            hit, value = self.cache.lookup(key)
+            if hit:
+                stats.cache_hits += 1
+                self._memo[key] = value
+                return value
+        return None
+
+    def _structural_plan(
         self,
         instance: GateInstance,
         waveforms: Dict[str, Waveform],
         t_start: float,
         t_stop: float,
-    ) -> _InstancePlan:
-        """Select the model (SIS vs MIS), the switching pins and the load."""
+        context: str,
+        net_keys: Optional[Dict[str, str]],
+    ) -> _StructuralPlan:
+        """Select model kind, switching pins, load — and the propagation key.
+
+        Nothing here characterizes a model: the key depends on the cell
+        fingerprint and the configuration, not on the characterized tables
+        (which are a pure function of both), so cache hits skip model
+        construction entirely.
+        """
         cell = self._cell(instance)
         output_net = instance.connections[cell.output]
         pin_waves = self._pin_waveforms(instance, waveforms, t_start, t_stop)
         switching = [pin for pin in cell.inputs if self._is_switching(pin_waves[pin])]
 
         if len(switching) >= 2 and cell.num_inputs >= 2:
-            pin_a, pin_b = switching[0], switching[1]
-            model = self.models.mis_model(instance.cell_name, pin_a, pin_b)
-            pins = (pin_a, pin_b)
-            waves = {pin_a: pin_waves[pin_a], pin_b: pin_waves[pin_b]}
-            label = type(model).__name__
+            pins = (switching[0], switching[1])
+            mis = True
+            label = "MCSM" if self.models._mis_kind(cell) == "mcsm" else "BaselineMISCSM"
         else:
             pin = switching[0] if switching else cell.inputs[0]
-            model = self.models.sis_model(instance.cell_name, pin)
             pins = (pin,)
-            waves = {pin: pin_waves[pin]}
+            mis = False
             label = f"SISCSM[{pin}]"
         load = self._output_load(instance)
-        return _InstancePlan(
+
+        key = None
+        if net_keys is not None:
+            # Every input pin's net content participates: stable-but-driven
+            # nets still shape the output through the model's pin selection.
+            inputs = [
+                (pin, net_keys.get(instance.connections[pin], "primary-constant"))
+                for pin in cell.inputs
+            ]
+            key = content_hash(
+                "sta-propagation",
+                context,
+                self._cell_digest(instance.cell_name),
+                load,
+                inputs,
+            )
+        return _StructuralPlan(
             instance=instance,
             output_net=output_net,
-            model=model,
             pins=pins,
-            waves=waves,
-            load=load,
+            mis=mis,
             label=label,
+            load=load,
+            pin_waves=pin_waves,
+            key=key,
+        )
+
+    def _materialize(self, splan: _StructuralPlan) -> _InstancePlan:
+        """Fetch the characterized model for a cache miss."""
+        if splan.mis:
+            model = self.models.mis_model(splan.instance.cell_name, *splan.pins)
+        else:
+            model = self.models.sis_model(splan.instance.cell_name, splan.pins[0])
+        waves = {pin: splan.pin_waves[pin] for pin in splan.pins}
+        return _InstancePlan(
+            instance=splan.instance,
+            output_net=splan.output_net,
+            model=model,
+            pins=splan.pins,
+            waves=waves,
+            load=splan.load,
+            label=splan.label,
         )
 
     def _evaluate_level_sequential(
@@ -474,8 +751,9 @@ class CSMEngine(TimingEngine):
             return
         # Settle pass: constant inputs at each waveform's initial value,
         # starting from Vdd/2 — exactly what the per-model ``_settle_output``
-        # / ``settle_state`` helpers do.
-        settle_units = []
+        # / ``settle_state`` helpers do (DC operating point by default, the
+        # legacy full-window integration under ``settle_mode="integrate"``).
+        constant_units = []
         for plan in plans:
             constants = {
                 pin: Waveform.constant(
@@ -483,15 +761,11 @@ class CSMEngine(TimingEngine):
                 )
                 for pin in plan.pins
             }
-            settle_units.append(self._unit(plan, constants, self.vdd / 2.0, self.vdd / 2.0))
-        _, settled = integrate_model_many(
-            settle_units, self.options, 0.0, self.options.settle_time
-        )
+            constant_units.append(self._unit(plan, constants, self.vdd / 2.0, self.vdd / 2.0))
+        settled = settle_units(constant_units, self.options)
 
         units = []
-        for plan, (v_out, v_int) in zip(plans, settled):
-            initial_output = float(v_out[-1])
-            initial_internal = float(v_int[-1]) if v_int is not None else None
+        for plan, (initial_output, initial_internal) in zip(plans, settled):
             units.append(self._unit(plan, plan.waves, initial_output, initial_internal))
         times, outputs = integrate_model_many(units, self.options, t_start, t_stop)
         for plan, (v_out, _) in zip(plans, outputs):
@@ -627,6 +901,17 @@ def run_cones(
     models.prewarm_for_netlist(netlist, kinds=("sis", "mis"))
 
     cones = independent_cones(netlist)
+    options_used = options or SimulationOptions()
+    stimulus_keys = CSMEngine.stimulus_keys(input_waveforms)
+    cone_context = content_hash(
+        "sta-cones",
+        "batched" if batched else "sequential",
+        options_used,
+        models.config,
+        models.use_internal_node,
+        t_start,
+        t_stop,
+    )
     jobs = [
         Job(
             fn=_evaluate_cone,
@@ -640,10 +925,19 @@ def run_cones(
                 t_stop,
             ),
             name=f"sta:{cone.name}",
+            # Content key over the cone structure and its own stimuli: a
+            # repeated (or unaffected-by-an-edit) cone is served from the
+            # disk cache instead of being re-propagated.
+            key=content_hash(
+                "sta-cone-job",
+                cone_context,
+                netlist_fingerprint(cone),
+                sorted((net, stimulus_keys[net]) for net in cone.primary_inputs),
+            ),
         )
         for cone in cones
     ]
-    results = run_jobs(jobs, executor=executor)
+    results = run_jobs(jobs, executor=executor, cache=models.cache)
 
     waveforms: Dict[str, Waveform] = {
         net: wave.renamed(net) for net, wave in input_waveforms.items()

@@ -5,19 +5,36 @@ connected by nets.  It is deliberately small — enough to demonstrate how the
 characterized current-source models plug into a waveform-propagating timing
 engine and how MIS situations are detected — but it is a real netlist with
 validation, fanout queries and topological ordering (via networkx).
+
+Netlists are *editable*: :meth:`GateNetlist.swap_cell` (resize / functional
+swap onto pin-compatible cells) and :meth:`GateNetlist.rewire_pin` mutate a
+placed design in the way an ECO flow would.  Every mutation bumps
+:attr:`GateNetlist.revision`, which is how the timing engines know to drop
+their structural caches, and :func:`netlist_fingerprint` renders the design
+as a canonical content tree (cell fingerprints + connectivity + wire caps)
+for the content-addressed propagation cache — two netlists with equal
+fingerprints time identically, however they were built or edited.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 
 from ..cells.library import CellLibrary
 from ..exceptions import TimingError
+from ..runtime.jobs import cell_fingerprint
 
-__all__ = ["GateInstance", "GateNetlist", "NetConnectivity"]
+__all__ = [
+    "GateInstance",
+    "GateNetlist",
+    "NetConnectivity",
+    "netlist_fingerprint",
+    "swap_partner",
+    "eco_swap_candidate",
+]
 
 
 @dataclass
@@ -82,7 +99,13 @@ class NetConnectivity:
 
 @dataclass
 class GateNetlist:
-    """A combinational gate-level netlist bound to a cell library."""
+    """A combinational gate-level netlist bound to a cell library.
+
+    :attr:`revision` counts structural mutations (instances added, cells
+    swapped, pins rewired, wire caps changed); consumers holding derived
+    structures — connectivity indexes, levelizations, propagation fingerprints
+    — compare it to decide whether their caches are still valid.
+    """
 
     library: CellLibrary
     name: str = "design"
@@ -90,16 +113,19 @@ class GateNetlist:
     primary_inputs: List[str] = field(default_factory=list)
     primary_outputs: List[str] = field(default_factory=list)
     net_wire_capacitance: Dict[str, float] = field(default_factory=dict)
+    revision: int = 0
 
     # ------------------------------------------------------------------
     def add_primary_input(self, net: str) -> str:
         if net not in self.primary_inputs:
             self.primary_inputs.append(net)
+            self.revision += 1
         return net
 
     def add_primary_output(self, net: str) -> str:
         if net not in self.primary_outputs:
             self.primary_outputs.append(net)
+            self.revision += 1
         return net
 
     def add_instance(
@@ -117,12 +143,113 @@ class GateNetlist:
             raise TimingError(f"instance {name!r} ({cell_name}): unknown pins {extra}")
         instance = GateInstance(name=name, cell_name=cell_name, connections=dict(connections))
         self.instances[name] = instance
+        self.revision += 1
         return instance
 
     def set_wire_capacitance(self, net: str, capacitance: float) -> None:
         if capacitance < 0:
             raise TimingError("wire capacitance must be non-negative")
         self.net_wire_capacitance[net] = capacitance
+        self.revision += 1
+
+    # ------------------------------------------------------------------
+    # ECO-style edits
+    # ------------------------------------------------------------------
+    def swap_cell(self, instance_name: str, cell_name: str) -> GateInstance:
+        """Replace an instance's cell with a pin-compatible library cell.
+
+        This is the resize / functional-swap edit of an ECO flow: the new
+        cell must expose the same input pin names and output pin name, so the
+        existing connections stay valid.  Only the timing downstream of the
+        instance (and the loads of its input nets' drivers) changes.
+        """
+        if instance_name not in self.instances:
+            raise TimingError(f"no instance named {instance_name!r} in {self.name!r}")
+        instance = self.instances[instance_name]
+        old_cell = self.library[instance.cell_name]
+        new_cell = self.library[cell_name]
+        if tuple(new_cell.inputs) != tuple(old_cell.inputs) or new_cell.output != old_cell.output:
+            raise TimingError(
+                f"cannot swap {instance_name!r} from {instance.cell_name!r} to "
+                f"{cell_name!r}: pin interfaces differ "
+                f"({(*old_cell.inputs, old_cell.output)} vs {(*new_cell.inputs, new_cell.output)})"
+            )
+        if instance.cell_name != cell_name:
+            instance.cell_name = cell_name
+            self.revision += 1
+        return instance
+
+    def rewire_pin(self, instance_name: str, pin: str, net: str) -> GateInstance:
+        """Reconnect one pin of an instance to a different net.
+
+        Input pins may be moved to any net; the output pin may be renamed to
+        an undriven net.  The caller is responsible for the edited design
+        remaining a well-formed DAG (``validate()`` checks).
+        """
+        if instance_name not in self.instances:
+            raise TimingError(f"no instance named {instance_name!r} in {self.name!r}")
+        instance = self.instances[instance_name]
+        cell = self.library[instance.cell_name]
+        if pin not in (*cell.inputs, cell.output):
+            raise TimingError(
+                f"instance {instance_name!r} ({instance.cell_name}) has no pin {pin!r}"
+            )
+        if instance.connections[pin] != net:
+            instance.connections[pin] = net
+            self.revision += 1
+        return instance
+
+    def fanout_cone(
+        self, instance_name: str, graph: Optional["nx.DiGraph"] = None
+    ) -> List[str]:
+        """The instance and everything downstream of it, in insertion order.
+
+        ``graph`` accepts a prebuilt :meth:`instance_graph` so per-instance
+        scans don't rebuild the structure for every query.
+        """
+        if instance_name not in self.instances:
+            raise TimingError(f"no instance named {instance_name!r} in {self.name!r}")
+        if graph is None:
+            graph = self.instance_graph()
+        cone = set(nx.descendants(graph, instance_name)) | {instance_name}
+        return [name for name in self.instances if name in cone]
+
+    def affected_region(
+        self,
+        instance_name: str,
+        connectivity: Optional[NetConnectivity] = None,
+        graph: Optional["nx.DiGraph"] = None,
+    ) -> List[str]:
+        """The dirty region of an edit at ``instance_name``, in insertion order.
+
+        An edit at an instance dirties more than its own fan-out cone: a cell
+        swap (or a rewire) changes the instance's input capacitances, i.e. the
+        *loads* of whatever drives its input nets — so the fan-out cones of
+        those drivers are dirty too.  This is the exact upper bound on what an
+        incremental re-timing re-integrates after a single-instance edit
+        (evaluate it on the pre-edit netlist, and for rewires union it with
+        the post-edit region, since old and new driver both change load).
+
+        ``connectivity``/``graph`` accept prebuilt structural views so
+        whole-design candidate scans cost one construction, not one per call.
+        """
+        if instance_name not in self.instances:
+            raise TimingError(f"no instance named {instance_name!r} in {self.name!r}")
+        if connectivity is None:
+            connectivity = self.connectivity()
+        if graph is None:
+            graph = self._instance_graph(connectivity)
+        instance = self.instances[instance_name]
+        cell = self.library[instance.cell_name]
+        seeds = {instance_name}
+        for pin in cell.inputs:
+            driver = connectivity.driver_of(instance.connections[pin])
+            if driver is not None:
+                seeds.add(driver.name)
+        dirty = set(seeds)
+        for seed in seeds:
+            dirty |= set(nx.descendants(graph, seed))
+        return [name for name in self.instances if name in dirty]
 
     # ------------------------------------------------------------------
     def nets(self) -> Set[str]:
@@ -227,3 +354,72 @@ class GateNetlist:
         if not graph.nodes:
             return 0
         return int(nx.dag_longest_path_length(graph)) + 1
+
+
+def swap_partner(library: CellLibrary, cell_name: str) -> Optional[str]:
+    """A different library cell with the same pin interface, or ``None``.
+
+    This is what makes a :meth:`GateNetlist.swap_cell` edit possible at an
+    instance: the partner exposes identical input pin names and output pin
+    name, so the instance's connections stay valid.
+    """
+    cell = library[cell_name]
+    for other_name in library.names():
+        if other_name == cell_name:
+            continue
+        other = library[other_name]
+        if tuple(other.inputs) == tuple(cell.inputs) and other.output == cell.output:
+            return other_name
+    return None
+
+
+def eco_swap_candidate(netlist: GateNetlist) -> Optional[Tuple[int, str, str]]:
+    """Pick the cheapest single-instance cell swap for smoke tests/benches.
+
+    Scans every instance for a pin-compatible partner cell and returns
+    ``(affected_region_size, instance_name, partner_cell)`` minimizing the
+    dirty region — the edit whose incremental re-timing should touch the
+    least — or ``None`` when no instance has a partner or every region spans
+    the whole design.  One connectivity index and one instance graph serve
+    the whole scan.
+    """
+    connectivity = netlist.connectivity()
+    graph = netlist._instance_graph(connectivity)
+    best: Optional[Tuple[int, str, str]] = None
+    for name, instance in netlist.instances.items():
+        partner = swap_partner(netlist.library, instance.cell_name)
+        if partner is None:
+            continue
+        region = len(netlist.affected_region(name, connectivity=connectivity, graph=graph))
+        if region >= len(netlist.instances):
+            continue
+        if best is None or (region, name) < (best[0], best[1]):
+            best = (region, name, partner)
+    return best
+
+
+def netlist_fingerprint(netlist: GateNetlist) -> Dict[str, Any]:
+    """Canonical content identity of a gate netlist.
+
+    Covers everything that determines a timing result besides the stimuli
+    and the model/engine configuration: the fingerprint of every distinct
+    cell type used (transistor topology, geometry, technology — so a
+    process-corner or drive-strength change re-times), the instance
+    connectivity, the primary ports, and the per-net wire capacitances.
+    The netlist's display name is deliberately excluded: a renamed but
+    otherwise identical design produces identical waveforms.
+
+    The returned tree is made of primitives and dataclasses, ready for
+    :func:`repro.runtime.jobs.content_hash`.
+    """
+    cell_names = sorted({instance.cell_name for instance in netlist.instances.values()})
+    return {
+        "cells": {name: cell_fingerprint(netlist.library[name]) for name in cell_names},
+        "instances": [
+            [name, instance.cell_name, sorted(instance.connections.items())]
+            for name, instance in netlist.instances.items()
+        ],
+        "primary_inputs": list(netlist.primary_inputs),
+        "primary_outputs": list(netlist.primary_outputs),
+        "wire_capacitance": sorted(netlist.net_wire_capacitance.items()),
+    }

@@ -1,0 +1,360 @@
+"""Tests for the incremental timing graph (PR 4).
+
+Covers the four tentpole layers and their satellites:
+
+* the DC operating-point settle (exactness against converged integration,
+  the generic batched fixed-point Newton, fallback behaviour),
+* netlist fingerprints, revisions and the ECO edit API,
+* content-addressed propagation caching (warm no-op runs, dirty-region
+  re-timing after each edit kind, equivalence against cold rebuilds),
+* cache robustness (corrupted entries evict as misses) and the multi-corner
+  sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.characterization import CharacterizationConfig
+from repro.csm.base import SimulationOptions
+from repro.csm.dc import dc_settle
+from repro.csm.loads import CapacitiveLoad
+from repro.exceptions import ModelError, TimingError
+from repro.runtime import ResultCache
+from repro.spice import newton_fixed_point_many
+from repro.sta import (
+    CSMEngine,
+    TimingModelLibrary,
+    WaveformTimingResult,
+    gate_chain,
+    generate_netlist,
+    netlist_fingerprint,
+    primary_input_waveforms,
+)
+from repro.runtime.jobs import content_hash
+from repro.waveform import Waveform
+
+#: Waveform equivalence budget shared with the batched/sequential checks.
+EQUIV_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def disk_cache(tmp_path_factory):
+    return ResultCache(tmp_path_factory.mktemp("pr4-cache"))
+
+
+@pytest.fixture(scope="module")
+def models(library, disk_cache):
+    return TimingModelLibrary(
+        library=library, config=CharacterizationConfig(io_grid_points=5), cache=disk_cache
+    )
+
+
+@pytest.fixture(scope="module")
+def options():
+    return SimulationOptions(time_step=2e-12)
+
+
+def _deviation(candidate: WaveformTimingResult, reference: WaveformTimingResult) -> float:
+    return max(
+        float(np.abs(candidate.waveform(net).values - reference.waveform(net).values).max())
+        for net in reference.waveforms
+    )
+
+
+# ----------------------------------------------------------------------
+# DC operating-point settle
+# ----------------------------------------------------------------------
+class TestDCSettle:
+    def test_settle_mode_validated(self):
+        with pytest.raises(ModelError):
+            SimulationOptions(settle_mode="newton")
+
+    def test_mcsm_dc_matches_converged_integration(self, nor2_mcsm):
+        """The DC solve must land on the asymptote of the integration settle
+        — including the slow stack-leakage '11' state that is nowhere near
+        stationary at the end of the legacy 2 ns window."""
+        vdd = nor2_mcsm.vdd
+        load = CapacitiveLoad(5e-15)
+        dc = SimulationOptions(time_step=1e-12)
+        converged = SimulationOptions(
+            time_step=1e-12, settle_time=100e-9, settle_mode="integrate"
+        )
+        for state_a, state_b in ((0, 0), (0, 1), (1, 0), (1, 1)):
+            values = {"A": state_a * vdd, "B": state_b * vdd}
+            vo_dc, vn_dc = nor2_mcsm.settle_state(values, load, dc)
+            vo_ref, vn_ref = nor2_mcsm.settle_state(values, load, converged)
+            assert abs(vo_dc - vo_ref) <= EQUIV_TOL, (state_a, state_b)
+            assert abs(vn_dc - vn_ref) <= EQUIV_TOL, (state_a, state_b)
+
+    def test_sis_dc_matches_converged_integration(self, inverter_sis):
+        load = CapacitiveLoad(5e-15)
+        for vi in (0.0, inverter_sis.vdd):
+            dc_value = inverter_sis._settle_output(
+                vi, load, SimulationOptions(time_step=1e-12)
+            )
+            ref = inverter_sis._settle_output(
+                vi,
+                load,
+                SimulationOptions(time_step=1e-12, settle_time=50e-9, settle_mode="integrate"),
+            )
+            assert abs(dc_value - ref) <= EQUIV_TOL
+
+    def test_dc_settle_rejects_non_table_models(self, nor2_sis):
+        settled = dc_settle(
+            (nor2_sis.pin,),
+            {nor2_sis.pin: 0.0},
+            lambda vi, vo: 0.0,  # callable, not an NDTable: fast path ineligible
+            {nor2_sis.pin: nor2_sis.miller_cap},
+            nor2_sis.output_cap,
+            CapacitiveLoad(5e-15),
+            nor2_sis.vdd,
+            SimulationOptions(),
+        )
+        assert settled is None
+
+    def test_newton_fixed_point_many(self):
+        """Batch of independent 2-D systems: x^2 - a = 0, x*y - b = 0.
+
+        The per-run targets travel through ``params`` — runs converge (and
+        leave the active subset) at different iterations, so closing over
+        full-batch arrays by position would misalign them.
+        """
+        targets = np.array([[4.0, 6.0], [9.0, 3.0], [2.25, 1.5]])
+
+        def fn(x, params):
+            residual = np.stack(
+                [x[:, 0] ** 2 - params[:, 0], x[:, 0] * x[:, 1] - params[:, 1]], axis=1
+            )
+            jacobian = np.zeros((x.shape[0], 2, 2))
+            jacobian[:, 0, 0] = 2.0 * x[:, 0]
+            jacobian[:, 1, 0] = x[:, 1]
+            jacobian[:, 1, 1] = x[:, 0]
+            return residual, jacobian
+
+        roots = newton_fixed_point_many(fn, np.full((3, 2), 1.0), params=targets)
+        expected_x = np.sqrt(targets[:, 0])
+        np.testing.assert_allclose(roots[:, 0], expected_x, atol=1e-9)
+        np.testing.assert_allclose(roots[:, 1], targets[:, 1] / expected_x, atol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# Fingerprints, revisions, edits
+# ----------------------------------------------------------------------
+class TestNetlistEdits:
+    def test_fingerprint_is_structural_and_name_free(self, library):
+        first = generate_netlist(library, "dag:w4:d2:s5")
+        second = generate_netlist(library, "dag:w4:d2:s5")
+        second.name = "renamed"
+        assert content_hash(netlist_fingerprint(first)) == content_hash(
+            netlist_fingerprint(second)
+        )
+        second.set_wire_capacitance("n0_0", 3e-15)
+        assert content_hash(netlist_fingerprint(first)) != content_hash(
+            netlist_fingerprint(second)
+        )
+
+    def test_revision_bumps_on_every_edit(self, library):
+        netlist = gate_chain(library, 3, cell_name="NAND2_X1")
+        revision = netlist.revision
+        netlist.swap_cell("u1", "NOR2_X1")
+        assert netlist.revision == revision + 1
+        netlist.swap_cell("u1", "NOR2_X1")  # no-op swap: unchanged
+        assert netlist.revision == revision + 1
+        netlist.rewire_pin("u1", "B", "n0")
+        assert netlist.revision == revision + 2
+        netlist.set_wire_capacitance("n1", 1e-15)
+        assert netlist.revision == revision + 3
+
+    def test_swap_requires_pin_compatibility(self, library):
+        netlist = gate_chain(library, 2, cell_name="NAND2_X1")
+        with pytest.raises(TimingError):
+            netlist.swap_cell("u0", "INV_X1")
+        with pytest.raises(TimingError):
+            netlist.swap_cell("missing", "NOR2_X1")
+
+    def test_affected_region_covers_fanin_driver_cones(self, library):
+        netlist = gate_chain(library, 4, cell_name="NAND2_X1")
+        # Editing u2 changes its input capacitance, so its driver u1's load
+        # (and hence u1's output and everything downstream) is dirty too.
+        assert netlist.fanout_cone("u2") == ["u2", "u3"]
+        assert netlist.affected_region("u2") == ["u1", "u2", "u3"]
+        assert netlist.affected_region("u0") == ["u0", "u1", "u2", "u3"]
+
+
+# ----------------------------------------------------------------------
+# Content-addressed propagation cache + dirty-region re-timing
+# ----------------------------------------------------------------------
+class TestIncrementalEngine:
+    SPEC = "dag:w6:d3:s11"
+
+    @pytest.fixture()
+    def netlist(self, library):
+        return generate_netlist(library, self.SPEC)
+
+    @pytest.fixture()
+    def waveforms(self, netlist):
+        return primary_input_waveforms(netlist, seed=2)
+
+    def test_warm_repeat_integrates_nothing(self, netlist, waveforms, models, options):
+        cold = CSMEngine(netlist, models, options=options).run(waveforms)
+        assert cold.stats is not None
+        assert cold.stats["instances"] == len(netlist.instances)
+        warm = CSMEngine(netlist, models, options=options).run(waveforms)
+        assert warm.stats["integrations"] == 0
+        assert warm.stats["full_run_hit"]
+        assert warm.model_used == cold.model_used
+        assert _deviation(warm, cold) == 0.0
+
+    def test_memo_makes_rerun_incremental_without_disk(self, library, options):
+        chain = gate_chain(library, 3, cell_name="INV_X1")
+        waveforms = primary_input_waveforms(chain, seed=1)
+        models = TimingModelLibrary(
+            library=library, config=CharacterizationConfig(io_grid_points=5)
+        )
+        engine = CSMEngine(chain, models, options=options)
+        cold = engine.run(waveforms)
+        assert cold.stats["integrations"] == len(chain.instances)
+        warm = engine.run(waveforms)  # same engine: in-memory memo only
+        assert warm.stats["integrations"] == 0
+        assert warm.stats["memo_hits"] == len(chain.instances)
+        assert _deviation(warm, cold) == 0.0
+
+    def test_cell_swap_retimes_only_affected_region(
+        self, netlist, waveforms, models, options
+    ):
+        CSMEngine(netlist, models, options=options).run(waveforms)
+        target = next(
+            name
+            for name, inst in netlist.instances.items()
+            if inst.cell_name == "NAND2_X1" and len(netlist.affected_region(name)) < len(netlist.instances)
+        )
+        region = netlist.affected_region(target)
+        netlist.swap_cell(target, "NOR2_X1")
+        edited = CSMEngine(netlist, models, options=options).run(waveforms)
+        assert 0 < edited.stats["integrations"] <= len(region)
+        assert (
+            edited.stats["integrations"]
+            + edited.stats["memo_hits"]
+            + edited.stats["cache_hits"]
+            + edited.stats["duplicates"]
+            == len(netlist.instances)
+        )
+        reference = CSMEngine(netlist, models, options=options, use_cache=False).run(waveforms)
+        assert _deviation(edited, reference) <= EQUIV_TOL
+        assert edited.model_used == reference.model_used
+
+    def test_rewire_retimes_only_affected_region(self, netlist, waveforms, models, options):
+        CSMEngine(netlist, models, options=options).run(waveforms)
+        target = next(name for name in netlist.instances if name.startswith("u1_"))
+        instance = netlist.instances[target]
+        pin = next(iter(netlist.library[instance.cell_name].inputs))
+        region = set(netlist.affected_region(target))
+        netlist.rewire_pin(target, pin, netlist.primary_inputs[0])
+        netlist.validate()
+        region |= set(netlist.affected_region(target))
+        edited = CSMEngine(netlist, models, options=options).run(waveforms)
+        assert 0 < edited.stats["integrations"] <= len(region)
+        reference = CSMEngine(netlist, models, options=options, use_cache=False).run(waveforms)
+        assert _deviation(edited, reference) <= EQUIV_TOL
+
+    def test_stimulus_change_retimes_only_descendants(
+        self, netlist, waveforms, models, options
+    ):
+        CSMEngine(netlist, models, options=options).run(waveforms)
+        target_pi = netlist.primary_inputs[0]
+        connectivity = netlist.connectivity()
+        dirty = set()
+        for receiver, _pin in connectivity.receivers_of(target_pi):
+            dirty |= set(netlist.fanout_cone(receiver.name))
+        edited_waveforms = dict(waveforms)
+        original = waveforms[target_pi]
+        edited_waveforms[target_pi] = Waveform(
+            original.times, original.values[::-1].copy(), name=target_pi
+        )
+        edited = CSMEngine(netlist, models, options=options).run(edited_waveforms)
+        assert 0 < edited.stats["integrations"] <= len(dirty)
+        reference = CSMEngine(netlist, models, options=options, use_cache=False).run(
+            edited_waveforms
+        )
+        assert _deviation(edited, reference) <= EQUIV_TOL
+
+    def test_sequential_engine_keeps_its_own_namespace(
+        self, netlist, waveforms, models, options
+    ):
+        CSMEngine(netlist, models, options=options, batched=True).run(waveforms)
+        sequential = CSMEngine(netlist, models, options=options, batched=False).run(waveforms)
+        # The per-instance reference path must never be served from batched
+        # results: everything re-integrates under its own keys.
+        assert sequential.stats["integrations"] == len(netlist.instances)
+        assert not sequential.stats["full_run_hit"]
+
+
+# ----------------------------------------------------------------------
+# Cache robustness + result round-trip
+# ----------------------------------------------------------------------
+class TestCacheRobustness:
+    def test_corrupt_entry_is_evicted_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        wave = Waveform([0.0, 1e-9], [0.0, 1.2], name="n1")
+        cache.store("ab" + "0" * 62, wave)
+        path = cache._path("ab" + "0" * 62)
+        path.write_bytes(b"this is not an npz file")
+        hit, value = cache.lookup("ab" + "0" * 62)
+        assert not hit and value is None
+        assert not path.exists()
+        assert cache.stats.evictions == 1
+        assert cache.stats.misses == 1
+        # Re-storing after the eviction works and hits again.
+        cache.store("ab" + "0" * 62, wave)
+        hit, value = cache.lookup("ab" + "0" * 62)
+        assert hit and np.array_equal(value.values, wave.values)
+
+    def test_truncated_entry_is_evicted_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        wave = Waveform([0.0, 1e-9], [0.0, 1.2], name="n1")
+        key = "cd" + "1" * 62
+        cache.store(key, wave)
+        path = cache._path(key)
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        hit, _ = cache.lookup(key)
+        assert not hit
+        assert cache.stats.evictions == 1
+        assert key not in cache
+
+    def test_waveform_timing_result_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        result = WaveformTimingResult(
+            waveforms={"n1": Waveform([0.0, 1e-9], [0.1, 1.1], name="n1")},
+            model_used={"u0": "SISCSM[A]"},
+            netlist_name="demo",
+            vdd=1.2,
+            stats={"instances": 1, "integrations": 1},
+        )
+        cache.store("ef" + "2" * 62, result)
+        hit, value = cache.lookup("ef" + "2" * 62)
+        assert hit
+        assert isinstance(value, WaveformTimingResult)
+        assert value.model_used == result.model_used
+        assert value.stats == result.stats
+        assert np.array_equal(value.waveforms["n1"].values, result.waveforms["n1"].values)
+
+
+# ----------------------------------------------------------------------
+# Multi-corner sweep
+# ----------------------------------------------------------------------
+class TestCornerSweep:
+    def test_corner_arrival_deltas(self, experiment_context):
+        from repro.experiments import corner_sta_sweep
+
+        result = corner_sta_sweep(
+            experiment_context, spec="chain:inv:3", corners=("TT", "SS"), seed=0
+        )
+        assert result.reference_corner == "TT"
+        assert [point.corner for point in result.points] == ["TT", "SS"]
+        deltas = result.deltas()
+        assert all(delta == 0.0 for delta in deltas["TT"].values())
+        slow = [delta for delta in deltas["SS"].values() if delta is not None]
+        assert slow and all(delta > 0 for delta in slow)  # slow corner arrives later
+        assert "Multi-corner STA sweep" in result.summary()
