@@ -22,7 +22,8 @@ Quick tour::
 runs whole paper-figure sets through the same machinery.
 """
 
-from .cache import CacheStats, ResultCache
+from .cache import CacheStats, ResultCache, decode_payload, encode_payload
+from .store import PackedStore, migrate_npz_cache, open_result_store
 from .executor import (
     Executor,
     JobError,
@@ -42,9 +43,14 @@ __all__ = [
     "Job",
     "JobError",
     "JobResult",
+    "PackedStore",
     "ProcessExecutor",
     "ResultCache",
     "SerialExecutor",
+    "decode_payload",
+    "encode_payload",
+    "migrate_npz_cache",
+    "open_result_store",
     "ThreadExecutor",
     "cell_fingerprint",
     "content_hash",

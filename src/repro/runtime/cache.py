@@ -36,6 +36,7 @@ import json
 import logging
 import os
 import tempfile
+import time
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Type
@@ -45,7 +46,11 @@ import numpy as np
 from ..lut.grid import Axis
 from ..lut.table import NDTable
 
-__all__ = ["CacheStats", "ResultCache"]
+__all__ = ["CacheStats", "ResultCache", "encode_payload", "decode_payload"]
+
+#: A ``.tmp-*`` file older than this is a leftover of a crashed writer, not a
+#: store in flight — :meth:`ResultCache.sweep_temps` deletes it.
+STALE_TEMP_SECONDS = 3600.0
 
 logger = logging.getLogger("repro.runtime")
 
@@ -56,7 +61,8 @@ def _registered_classes() -> Dict[str, Type]:
     from ..characterization.nldm import NLDMTable
     from ..csm.base import ModelSimulationResult
     from ..csm.models import MCSM, BaselineMISCSM, SISCSM
-    from ..sta.engine import WaveformTimingResult
+    from ..sta.engine import NLDMTimingResult, WaveformTimingResult
+    from ..sta.events import TimingEvent
 
     return {
         cls.__name__: cls
@@ -67,6 +73,8 @@ def _registered_classes() -> Dict[str, Type]:
             NLDMTable,
             ModelSimulationResult,
             WaveformTimingResult,
+            TimingEvent,
+            NLDMTimingResult,
         )
     }
 
@@ -172,6 +180,24 @@ def _decode(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
     raise ValueError(f"unknown cache manifest tag {tag!r}")
 
 
+def encode_payload(value: Any) -> Tuple[Any, Dict[str, np.ndarray]]:
+    """Reduce a cacheable value to ``(manifest, {array_name: ndarray})``.
+
+    The manifest is a JSON-serializable tree referencing the arrays by name;
+    :func:`decode_payload` reverses it bitwise.  Shared by every storage
+    backend (the per-entry ``.npz`` layout here and the packed single-file
+    store in :mod:`repro.runtime.store`).
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    manifest = _encode(value, arrays)
+    return manifest, arrays
+
+
+def decode_payload(manifest: Any, arrays: Dict[str, np.ndarray]) -> Any:
+    """Rebuild the value encoded by :func:`encode_payload`."""
+    return _decode(manifest, arrays)
+
+
 # ----------------------------------------------------------------------
 # The cache itself
 # ----------------------------------------------------------------------
@@ -210,18 +236,44 @@ class ResultCache:
         self.directory = Path(directory).expanduser()
         self.directory.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
+        self.sweep_temps()
 
     # ------------------------------------------------------------------
     def _path(self, key: str) -> Path:
         return self.directory / key[:2] / f"{key}.npz"
 
     def _entries(self):
-        """Finished entries only — skips '.tmp-*' left by interrupted stores."""
+        """Finished entries only — skips '.tmp-*' left by interrupted stores.
+
+        ``Path.glob`` (unlike a shell) matches dotfiles, so without the
+        filter a crashed writer's ``.tmp-*.npz`` would count as an entry in
+        ``len()`` / ``keys()`` and get returned by :meth:`clear`.
+        """
         return (
             path
             for path in self.directory.glob("*/*.npz")
             if not path.name.startswith(".tmp-")
         )
+
+    def sweep_temps(self, max_age_seconds: float = STALE_TEMP_SECONDS) -> int:
+        """Delete ``.tmp-*`` files older than ``max_age_seconds``.
+
+        Interrupted :meth:`store` calls (a killed process between the temp
+        write and the atomic rename) leave temp files behind; they are never
+        addressed again, so they only waste disk.  Recent temps are kept —
+        they may belong to a concurrent writer mid-store.  Runs once per
+        cache construction; returns the number of files removed.
+        """
+        cutoff = time.time() - max_age_seconds
+        removed = 0
+        for path in self.directory.glob("*/.tmp-*.npz"):
+            try:
+                if path.stat().st_mtime < cutoff:
+                    path.unlink()
+                    removed += 1
+            except OSError:  # raced with a concurrent sweep or rename
+                continue
+        return removed
 
     def __contains__(self, key: str) -> bool:
         return self._path(key).exists()
@@ -252,8 +304,7 @@ class ResultCache:
 
     def store(self, key: str, value: Any) -> None:
         """Persist a value under its content key (atomic rename)."""
-        arrays: Dict[str, np.ndarray] = {}
-        manifest = _encode(value, arrays)
+        manifest, arrays = encode_payload(value)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         handle, tmp_name = tempfile.mkstemp(

@@ -29,11 +29,17 @@ Two further ``--sta`` axes:
 * ``--corners TT,FF,SS`` times every spec across the named process corners
   (per-corner libraries characterized as parallel content-addressed jobs)
   and reports the primary-output arrival deltas against the TT corner;
-* ``--incremental`` exercises the content-addressed propagation cache: a
-  cold run, a warm repeat that must integrate *zero* waveforms, and one
-  ECO-style cell swap that must re-integrate only the affected cone while
-  matching a cold full rebuild to 1e-9 V — non-zero exit on any violation
-  (the CI incremental smoke).
+* ``--incremental`` exercises the content-addressed propagation caches of
+  *both* engines: a cold run, a warm repeat that must integrate (CSM) /
+  evaluate (NLDM) *zero* instances, and one ECO-style cell swap that must
+  re-time only the affected cone while matching a cold full rebuild (1e-9 V
+  for waveforms, exact event equality for NLDM) — non-zero exit on any
+  violation (the CI incremental smoke).
+
+``--cache-format packed`` stores results in the packed single-file mmap
+store (:mod:`repro.runtime.store`) instead of per-entry ``.npz`` files;
+``auto`` (the default) keeps whatever layout the cache directory already
+uses.
 """
 
 from __future__ import annotations
@@ -46,8 +52,8 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional
 
-from .cache import ResultCache
 from .executor import default_executor
+from .store import open_result_store
 
 __all__ = ["main", "FIGURES", "MODEL_KINDS"]
 
@@ -167,8 +173,12 @@ def _run_incremental_mode(args, context, models) -> int:
     edited run re-integrates only the affected region, and the edited result
     matches a cold full rebuild to 1e-9 V.
     """
-    from ..sta.engine import CSMEngine, waveform_deviation
-    from ..sta.generate import generate_netlist, primary_input_waveforms
+    from ..sta.engine import CSMEngine, NLDMEngine, waveform_deviation
+    from ..sta.generate import (
+        generate_netlist,
+        primary_input_events,
+        primary_input_waveforms,
+    )
     from ..sta.netlist import eco_swap_candidate
 
     options = context.model_options()
@@ -182,7 +192,15 @@ def _run_incremental_mode(args, context, models) -> int:
     for spec in args.sta:
         netlist = generate_netlist(context.library, spec)
         waveforms = primary_input_waveforms(netlist, seed=args.seed)
+        input_events = primary_input_events(netlist, seed=args.seed)
         instances = len(netlist.instances)
+
+        # NLDM phase first: warm repeat must evaluate zero instances.  (The
+        # engine prewarms receiver SIS models itself, so its loads — and so
+        # its keys — are stable across the later CSM runs.)
+        NLDMEngine(netlist, models, cache=context.cache).run(input_events)
+        nldm_warm = NLDMEngine(netlist, models, cache=context.cache).run(input_events)
+        nldm_warm_ok = (nldm_warm.stats or {}).get("integrations", -1) == 0
 
         start = time.perf_counter()
         CSMEngine(netlist, models, options=options).run(waveforms)
@@ -196,12 +214,12 @@ def _run_incremental_mode(args, context, models) -> int:
         # ECO edit: the cheapest pin-compatible cell swap in the design.
         candidate = eco_swap_candidate(netlist)
         if candidate is None:
-            failures += 0 if warm_ok else 1
+            failures += 0 if (warm_ok and nldm_warm_ok) else 1
             print(
                 f"{spec}: cold {cold_seconds:.3f} s, warm {warm_seconds:.3f} s "
                 f"({warm_stats.get('integrations')} integrations); no pin-compatible "
                 f"swap candidate, edit phase skipped"
-                + ("" if warm_ok else "  <-- FAILED")
+                + ("" if (warm_ok and nldm_warm_ok) else "  <-- FAILED")
             )
             report["designs"][spec] = {
                 "gates": instances,
@@ -223,14 +241,29 @@ def _run_incremental_mode(args, context, models) -> int:
             and deviation <= 1e-9
             and edited.model_used == reference.model_used
         )
-        failures += 0 if (warm_ok and edit_ok) else 1
+
+        # NLDM edit: re-evaluates only the dirty region and matches a cold
+        # no-cache rebuild exactly (events round-trip bitwise).
+        nldm_edited = NLDMEngine(netlist, models, cache=context.cache).run(input_events)
+        nldm_reference = NLDMEngine(netlist, models, use_cache=False).run(input_events)
+        nldm_edit_stats = nldm_edited.stats or {}
+        nldm_ok = (
+            nldm_warm_ok
+            and 0 < nldm_edit_stats.get("integrations", 0) <= region_size
+            and nldm_edited.events == nldm_reference.events
+            and nldm_edited.mis_flags == nldm_reference.mis_flags
+        )
+
+        failures += 0 if (warm_ok and edit_ok and nldm_ok) else 1
         print(
             f"{spec}: cold {cold_seconds:.3f} s, warm {warm_seconds:.3f} s "
             f"({warm_stats.get('integrations')} integrations"
             f"{', full-run hit' if warm_stats.get('full_run_hit') else ''}); "
             f"swap {target} -> {partner}: {edit_stats.get('integrations')}/{instances} "
-            f"re-integrated (affected region {region_size}), max |dV| {deviation:.2e} V"
-            + ("" if (warm_ok and edit_ok) else "  <-- FAILED")
+            f"re-integrated (affected region {region_size}), max |dV| {deviation:.2e} V; "
+            f"nldm warm {(nldm_warm.stats or {}).get('integrations')} / edit "
+            f"{nldm_edit_stats.get('integrations')} evaluations"
+            + ("" if (warm_ok and edit_ok and nldm_ok) else "  <-- FAILED")
         )
         report["designs"][spec] = {
             "gates": instances,
@@ -244,6 +277,11 @@ def _run_incremental_mode(args, context, models) -> int:
                 "seconds": round(edit_seconds, 4),
                 "stats": edit_stats,
                 "max_abs_delta_v": deviation,
+            },
+            "nldm": {
+                "warm_stats": nldm_warm.stats,
+                "edit_stats": nldm_edit_stats,
+                "events_equal": nldm_edited.events == nldm_reference.events,
             },
         }
     if context.cache is not None:
@@ -265,7 +303,11 @@ def _run_sta_mode(args) -> int:
     from ..sta.generate import generate_netlist, primary_input_waveforms
 
     executor = default_executor(args.workers, args.executor)
-    cache = ResultCache(args.cache) if args.cache is not None else None
+    cache = (
+        open_result_store(args.cache, args.cache_format)
+        if args.cache is not None
+        else None
+    )
     context = build_context(args.settings, executor=executor, cache=cache)
     models = timing_models_for(context)
     if args.corners is not None:
@@ -377,6 +419,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="content-addressed result cache directory (created if missing)",
     )
     parser.add_argument(
+        "--cache-format",
+        choices=("auto", "npz", "packed"),
+        default="auto",
+        help="result-store layout: per-entry .npz files or the packed "
+        "single-file mmap store; 'auto' (default) picks packed when the "
+        "directory already holds a store.dat",
+    )
+    parser.add_argument(
         "--settings",
         choices=("quick", "paper"),
         default="quick",
@@ -442,7 +492,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"unknown figures {unknown}; available: {sorted(FIGURES)}")
 
     executor = default_executor(args.workers, args.executor)
-    cache = ResultCache(args.cache) if args.cache is not None else None
+    cache = (
+        open_result_store(args.cache, args.cache_format)
+        if args.cache is not None
+        else None
+    )
     context = build_context(args.settings, executor=executor, cache=cache)
 
     kinds = tuple(dict.fromkeys(k for name in names for k in MODEL_KINDS[name]))

@@ -32,14 +32,36 @@ from typing import Any, Callable, Dict, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["CODE_VERSION", "Job", "job", "content_hash", "cell_fingerprint"]
+__all__ = [
+    "CODE_VERSION",
+    "Job",
+    "job",
+    "content_hash",
+    "cell_fingerprint",
+    "contiguous_array",
+]
+
+
+def contiguous_array(array: np.ndarray) -> np.ndarray:
+    """A C-contiguous view/copy that preserves 0-d shapes.
+
+    ``np.ascontiguousarray`` promotes 0-d arrays to 1-d, which would make a
+    0-d input indistinguishable (in content hashes and stored payloads) from
+    its 1-element 1-d counterpart; 0-d arrays are always contiguous, so only
+    convert arrays that actually need it.  Shared by the content hasher here
+    and the packed store codec (:mod:`repro.runtime.store`).
+    """
+    return array if array.flags["C_CONTIGUOUS"] else np.ascontiguousarray(array)
 
 #: Salt mixed into every content hash.  Bump on any change that alters what a
 #: characterization / simulation job computes for the same inputs; this is the
 #: cache's invalidation story (old entries are simply never addressed again).
 #: (pr4.1: DC operating-point settle replaced the integration pre-roll, which
-#: changes every model-simulation and waveform-propagation result.)
-CODE_VERSION = "pr4.1"
+#: changes every model-simulation and waveform-propagation result.
+#: pr5.1: 0-d arrays now hash with their true shape instead of being promoted
+#: to 1-element 1-d by ascontiguousarray, so keys over 0-d inputs moved; NLDM
+#: loads are now always built from prewarmed characterized capacitances.)
+CODE_VERSION = "pr5.1"
 
 
 # ----------------------------------------------------------------------
@@ -63,7 +85,7 @@ def _canonical(obj: Any) -> Any:
         # patterns canonicalize identically and unequal ones never collide.
         return {"__float__": repr(obj)}
     if isinstance(obj, np.ndarray):
-        array = np.ascontiguousarray(obj)
+        array = contiguous_array(obj)
         return {
             "__ndarray__": {
                 "dtype": str(array.dtype),

@@ -1,0 +1,784 @@
+"""Packed, mmap-backed result store: one data file, one index, zero unzip.
+
+The per-entry ``.npz`` layout of :class:`~repro.runtime.cache.ResultCache`
+pays an open + decompress cost of roughly a millisecond per entry, which is
+what makes warm incremental re-timing I/O-bound (ROADMAP, PR 4).  This module
+replaces it with a packed single-file store in the spirit of contiguous
+shared-memory block storage:
+
+* ``store.dat`` — an append-only record log, the **source of truth**.  Every
+  record is self-describing (magic, length-prefixed JSON header, raw
+  C-contiguous array bytes) so the whole index can be rebuilt by a linear
+  scan.
+* ``store.idx`` — a JSONL acceleration index (``key`` → record offset, or the
+  payload itself for tiny entries).  Purely derived data: corrupt, stale or
+  missing indexes are reconciled against ``store.dat`` on open.
+* ``store.lock`` — ``flock`` target serializing appends across processes.
+
+Read side: ``store.dat`` is mapped once via :func:`numpy.memmap`; array
+payloads become views into the mapping (no copy, no decompression), with a
+CRC32 over the payload verified per lookup so torn or overwritten bytes
+degrade to a miss + eviction, never a wrong result.
+
+Atomicity / crash-safety guarantees:
+
+* an append happens under the file lock: record bytes are written and
+  fsynced to ``store.dat`` *before* the index line is appended — a crash
+  between the two leaves a record the next open recovers by scanning the
+  data-file tail;
+* a crash mid-record leaves trailing garbage that fails the magic/bounds
+  check; it is ignored by readers and truncated away by the next locked
+  append (the lock guarantees nobody else is mid-write);
+* a torn index line is skipped (and the newline repaired before the next
+  append); the entries it described are recovered from ``store.dat``.
+
+Tiny payloads (e.g. the NLDM engine's per-instance event tuples) are stored
+inline in the index — no data-file record at all.
+
+``python -m repro.runtime.store migrate SRC DEST`` converts a per-entry
+``.npz`` cache directory into a packed store; ``compact`` rewrites the data
+file dropping dead records; ``stats`` prints entry counts and file sizes.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import logging
+import math
+import os
+import struct
+import threading
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from .cache import CacheStats, ResultCache, decode_payload, encode_payload
+from .jobs import contiguous_array
+
+try:  # POSIX only; the store degrades to in-process locking elsewhere.
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+__all__ = ["PackedStore", "open_result_store", "migrate_npz_cache"]
+
+logger = logging.getLogger("repro.runtime")
+
+#: Record magic: bumped if the record layout ever changes.
+_MAGIC = b"PKW2"
+_PREFIX = struct.Struct("<4sII")  # magic + header length + header CRC32
+#: Records start, and payload arrays lie, on 8-byte boundaries: the header
+#: is space-padded so the payload begins at prefix+hlen ≡ 0 (mod 8), and the
+#: payload is zero-padded so every record length is a multiple of 8.
+_ALIGN = 8
+#: Encoded payloads at or below this many raw bytes live in the index line.
+_INLINE_LIMIT = 2048
+
+_DATA_NAME = "store.dat"
+_INDEX_NAME = "store.idx"
+_LOCK_NAME = "store.lock"
+
+
+def _pad(offset: int) -> int:
+    return -offset % _ALIGN
+
+
+class _FileLock:
+    """Advisory cross-process lock (flock) + in-process re-entrant lock."""
+
+    def __init__(self, path: Path):
+        self._path = path
+        self.thread_lock = threading.RLock()
+        self._handle = None
+        self._depth = 0
+
+    def __enter__(self):
+        self.thread_lock.acquire()
+        self._depth += 1
+        if self._depth == 1 and fcntl is not None:
+            self._handle = open(self._path, "ab")
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        return self
+
+    def __exit__(self, *exc):
+        self._depth -= 1
+        if self._depth == 0 and self._handle is not None:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            self._handle.close()
+            self._handle = None
+        self.thread_lock.release()
+        return False
+
+
+class PackedStore:
+    """Content-addressed packed store behind the :class:`ResultCache` API.
+
+    ``lookup`` / ``store`` / ``stats`` / ``evict`` / ``clear`` / ``keys`` are
+    drop-in compatible, so anything that accepts a ``ResultCache`` (engines,
+    :func:`repro.runtime.run_jobs`, the model library) accepts a
+    ``PackedStore`` unchanged — with one intentional difference: decoded
+    arrays are zero-copy **read-only** views into the mapping (the npz cache
+    returns fresh writable arrays).  Copy before mutating a looked-up value.
+    """
+
+    def __init__(self, directory: os.PathLike, inline_limit: int = _INLINE_LIMIT):
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.inline_limit = inline_limit
+        self.stats = CacheStats()
+        self._init_runtime_state()
+        # An (empty) data file makes the layout self-identifying, which is
+        # what ``open_result_store(..., "auto")`` keys on.
+        self._dat_path.touch(exist_ok=True)
+        self._load_index()
+
+    # -- pickling: worker processes reopen the files lazily --------------
+    def _init_runtime_state(self) -> None:
+        self._lock = _FileLock(self._lock_path)
+        self._reset_view()
+
+    def _reset_view(self) -> None:
+        self._mm: Optional[np.memmap] = None
+        #: key -> ("dat", offset, length) | ("inline", index-line dict)
+        self._entries: Dict[str, Tuple] = {}
+        self._idx_consumed = 0  # bytes of store.idx already parsed
+        self._dat_scanned = 0  # bytes of store.dat covered by _entries
+        self._idx_ino = 0  # inode of store.idx when last parsed
+        self._dat_ino = 0  # inode of store.dat when last scanned
+
+    def __getstate__(self):
+        return {
+            "directory": self.directory,
+            "inline_limit": self.inline_limit,
+            "stats": self.stats,
+        }
+
+    def __setstate__(self, state):
+        self.directory = state["directory"]
+        self.inline_limit = state["inline_limit"]
+        self.stats = state["stats"]
+        self._init_runtime_state()
+        self._load_index()
+
+    # ------------------------------------------------------------------
+    @property
+    def _dat_path(self) -> Path:
+        return self.directory / _DATA_NAME
+
+    @property
+    def _idx_path(self) -> Path:
+        return self.directory / _INDEX_NAME
+
+    @property
+    def _lock_path(self) -> Path:
+        return self.directory / _LOCK_NAME
+
+    def _dat_size(self) -> int:
+        try:
+            return self._dat_path.stat().st_size
+        except FileNotFoundError:
+            return 0
+
+    @staticmethod
+    def _file_sig(path: Path) -> Tuple[int, int]:
+        """``(inode, size)`` — the staleness signature of an index/data file.
+
+        Sizes alone cannot detect a ``clear()``/``compact()`` by another
+        process that happens to rewrite a file to the same length; the
+        inode changes on every ``os.replace``.
+        """
+        try:
+            info = path.stat()
+        except FileNotFoundError:
+            return 0, 0
+        return info.st_ino, info.st_size
+
+    def _memmap(self, min_size: int) -> np.memmap:
+        """The byte view of ``store.dat``, remapped when the file grew."""
+        if self._mm is None or self._mm.size < min_size:
+            self._mm = np.memmap(self._dat_path, dtype=np.uint8, mode="r")
+        return self._mm
+
+    # ------------------------------------------------------------------
+    # Index loading / reconciliation
+    # ------------------------------------------------------------------
+    def _load_index(self) -> None:
+        """Parse ``store.idx``, then reconcile against ``store.dat``.
+
+        The index is only an accelerator: entries pointing past the end of
+        the data file (stale index over a truncated file) are dropped as
+        evictions, records present in the data file but missing from the
+        index (crash between the two appends, or a torn index line) are
+        recovered by scanning the data-file tail.
+        """
+        evictions_before = self.stats.evictions
+        if self._parse_index_files():
+            # Records existed that the index never mentioned (crashed writer,
+            # or a lost/corrupt/stale index).  Persist a canonical snapshot so
+            # later tombstones can never be out-ordered by a future tail scan
+            # — but re-parse under the lock first: another process may have
+            # appended lines (including tombstones) between our lock-free
+            # read and the lock acquisition, and the snapshot must not
+            # clobber them.
+            with self._lock:
+                # The locked re-parse recounts the first pass's evictions.
+                self.stats.evictions = evictions_before
+                self._reset_view()
+                self._parse_index_files()
+                self._write_index_snapshot()
+
+    def _parse_index_files(self) -> int:
+        """One parse + reconcile pass; returns the tail-recovery count."""
+        self._dat_ino, dat_size = self._file_sig(self._dat_path)
+        self._idx_ino = self._file_sig(self._idx_path)[0]
+        try:
+            raw = self._idx_path.read_bytes()
+        except FileNotFoundError:
+            raw = b""
+        consumed = 0
+        for line in raw.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break  # torn tail line: repaired before the next append
+            try:
+                record = json.loads(line)
+                self._apply_index_record(record, dat_size)
+            except Exception:
+                logger.warning("skipping unreadable index line in %s", self._idx_path)
+            consumed += len(line)
+        self._idx_consumed = consumed
+        return self._recover_tail(dat_size)
+
+    def _apply_index_record(self, record: Dict[str, Any], dat_size: int) -> None:
+        op = record.get("op")
+        key = record.get("key")
+        if op == "put":
+            offset, length = int(record["off"]), int(record["len"])
+            if offset + length <= dat_size:
+                self._entries[key] = ("dat", offset, length)
+                self._dat_scanned = max(self._dat_scanned, offset + length)
+            else:  # index outlives a truncated data file
+                self._entries.pop(key, None)
+                self.stats.evictions += 1
+        elif op == "inline":
+            self._entries[key] = ("inline", record)
+        elif op == "drop":
+            self._entries.pop(key, None)
+        else:
+            raise ValueError(f"unknown index op {op!r}")
+
+    def _recover_tail(self, dat_size: int) -> int:
+        """Scan ``store.dat`` past the indexed region, adopting whole records."""
+        recovered = 0
+        for key, offset, length in self._scan_dat(self._dat_scanned, dat_size):
+            self._entries[key] = ("dat", offset, length)
+            self._dat_scanned = offset + length
+            recovered += 1
+        return recovered
+
+    def _scan_dat(
+        self, start: int, stop: int
+    ) -> Iterator[Tuple[str, int, int]]:
+        """Yield ``(key, offset, record_length)`` for intact records.
+
+        Stops at the first corrupt or truncated record — everything after a
+        bad record is unreachable garbage by construction (appends are
+        serialized and fsynced front to back).
+        """
+        if stop <= start:
+            return
+        view = self._memmap(stop)
+        offset = start
+        while offset + _PREFIX.size <= stop:
+            magic, header_len, header_crc = _PREFIX.unpack(
+                view[offset : offset + _PREFIX.size].tobytes()
+            )
+            if magic != _MAGIC:
+                return
+            header_end = offset + _PREFIX.size + header_len
+            if header_end > stop:
+                return
+            header_bytes = view[offset + _PREFIX.size : header_end].tobytes()
+            if zlib.crc32(header_bytes) != header_crc:
+                return
+            try:
+                header = json.loads(header_bytes)
+                key = header["key"]
+                payload_len = int(header["plen"])
+            except Exception:
+                return
+            record_end = header_end + payload_len
+            if record_end > stop:
+                return
+            yield key, offset, record_end - offset
+            offset = record_end
+
+    def rebuild_index(self) -> int:
+        """Re-derive ``store.idx`` and persist a canonical snapshot.
+
+        Returns the number of live entries.  Normally unnecessary — open
+        reconciles automatically — but useful after hand-editing or to drop
+        accumulated tombstone lines without a full :meth:`compact`.  The
+        existing index is parsed first (never scanned-over blind): its
+        tombstones are *applied* before the snapshot drops their lines, so
+        evicted entries stay evicted.
+        """
+        with self._lock:
+            self._reset_view()
+            self._parse_index_files()
+            self._write_index_snapshot()
+            return len(self._entries)
+
+    def _write_index_snapshot(self) -> None:
+        """Atomically replace ``store.idx`` with the in-memory entry map.
+
+        Must hold the lock.
+        """
+        lines = []
+        for key, entry in self._entries.items():
+            if entry[0] == "dat":
+                lines.append(
+                    json.dumps(
+                        {"op": "put", "key": key, "off": entry[1], "len": entry[2]},
+                        separators=(",", ":"),
+                    )
+                )
+            else:
+                lines.append(json.dumps(entry[1], separators=(",", ":")))
+        tmp = self._idx_path.with_suffix(".idx.tmp")
+        tmp.write_text("".join(line + "\n" for line in lines))
+        os.replace(tmp, self._idx_path)
+        self._idx_ino, self._idx_consumed = self._file_sig(self._idx_path)
+
+    def _refresh(self) -> None:
+        """Adopt entries appended by other processes since our last look."""
+        idx_ino, idx_size = self._file_sig(self._idx_path)
+        dat_ino, dat_size = self._file_sig(self._dat_path)
+        if (
+            idx_size < self._idx_consumed
+            or idx_ino != self._idx_ino
+            or dat_ino != self._dat_ino
+        ):
+            # The files shrank or were replaced under us (clear/compact by
+            # another process): restart from scratch.
+            self._reset_view()
+            self._load_index()
+            return
+        if idx_size == self._idx_consumed and dat_size == self._dat_scanned:
+            return
+        with open(self._idx_path, "rb") as handle:
+            handle.seek(self._idx_consumed)
+            raw = handle.read()
+        for line in raw.splitlines(keepends=True):
+            if not line.endswith(b"\n"):
+                break
+            try:
+                self._apply_index_record(json.loads(line), dat_size)
+            except Exception:
+                logger.warning("skipping unreadable index line in %s", self._idx_path)
+            self._idx_consumed += len(line)
+        self._recover_tail(dat_size)
+
+    # ------------------------------------------------------------------
+    # Store path
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _array_spec(array: np.ndarray) -> Tuple[np.ndarray, Dict[str, Any]]:
+        contiguous = contiguous_array(array)
+        return contiguous, {
+            "dtype": contiguous.dtype.str,
+            "shape": list(contiguous.shape),
+        }
+
+    def store(self, key: str, value: Any) -> None:
+        """Append a value under its content key (atomic via lock + fsync)."""
+        manifest, arrays = encode_payload(value)
+        # The manifest counts against the inline limit too: array-free
+        # payloads (e.g. a whole-run NLDM event map) can carry an arbitrarily
+        # large manifest, which belongs in the data file, not the index.
+        total_bytes = sum(array.nbytes for array in arrays.values()) + len(
+            json.dumps(manifest, separators=(",", ":"))
+        )
+        if total_bytes <= self.inline_limit:
+            self._store_inline(key, manifest, arrays)
+            return
+
+        specs: List[Dict[str, Any]] = []
+        chunks: List[bytes] = []
+        payload_len = 0
+        for name, array in arrays.items():
+            contiguous, spec = self._array_spec(array)
+            padding = _pad(payload_len)
+            if padding:
+                chunks.append(b"\x00" * padding)
+                payload_len += padding
+            spec.update({"name": name, "rel": payload_len, "nb": contiguous.nbytes})
+            chunks.append(contiguous.tobytes())
+            payload_len += contiguous.nbytes
+            specs.append(spec)
+        tail_pad = _pad(payload_len)
+        if tail_pad:  # keep the *next* record's start 8-byte aligned
+            chunks.append(b"\x00" * tail_pad)
+            payload_len += tail_pad
+        payload = b"".join(chunks)
+        crc = zlib.crc32(payload)
+        header = json.dumps(
+            {
+                "key": key,
+                "manifest": manifest,
+                "arrays": specs,
+                "plen": payload_len,
+                "crc": crc,
+            },
+            separators=(",", ":"),
+        ).encode("utf-8")
+        # Space-pad the header (JSON tolerates trailing whitespace) so the
+        # payload starts 8-byte aligned; the header CRC lives in the fixed
+        # prefix so a digit flip inside the JSON can never decode as a hit.
+        header += b" " * _pad(_PREFIX.size + len(header))
+        record = _PREFIX.pack(_MAGIC, len(header), zlib.crc32(header)) + header + payload
+
+        with self._lock:
+            self._refresh()  # adopt entries other processes appended meanwhile
+            offset = self._locked_append_dat(record)
+            self._locked_append_idx(
+                {"op": "put", "key": key, "off": offset, "len": len(record)}
+            )
+            self._entries[key] = ("dat", offset, len(record))
+            self._dat_scanned = offset + len(record)
+        self.stats.stores += 1
+
+    @staticmethod
+    def _inline_sig(manifest: Any, inline_arrays: Dict[str, Any]) -> int:
+        """Integrity checksum of an inline entry's content.
+
+        A bit flip inside an index line can keep the JSON valid (a digit in
+        a float, a base64 character); without this, such corruption would be
+        served as a hit with wrong values.
+        """
+        blob = json.dumps(
+            {"m": manifest, "a": inline_arrays}, sort_keys=True, separators=(",", ":")
+        ).encode("utf-8")
+        return zlib.crc32(blob)
+
+    def _store_inline(self, key: str, manifest: Any, arrays: Dict[str, np.ndarray]) -> None:
+        """Tiny payloads (event tuples, scalars) live directly in the index."""
+        inline_arrays = {}
+        for name, array in arrays.items():
+            contiguous, spec = self._array_spec(array)
+            spec["b64"] = base64.b64encode(contiguous.tobytes()).decode("ascii")
+            inline_arrays[name] = spec
+        record = {
+            "op": "inline",
+            "key": key,
+            "manifest": manifest,
+            "arrays": inline_arrays,
+            "crc": self._inline_sig(manifest, inline_arrays),
+        }
+        with self._lock:
+            self._refresh()
+            self._locked_append_idx(record)
+            self._entries[key] = ("inline", record)
+        self.stats.stores += 1
+
+    def _locked_append_dat(self, record: bytes) -> int:
+        """Append a record to ``store.dat``; returns its offset.
+
+        Must hold the lock.  Another process may have appended since our
+        last refresh, and a crashed one may have left a torn record at the
+        tail: adopt the former, truncate the latter (safe — the lock
+        guarantees no live writer is mid-record).
+        """
+        end = self._dat_scanned
+        with open(self._dat_path, "ab") as handle:
+            if os.fstat(handle.fileno()).st_size != end:
+                # Trailing garbage from a crashed writer ('a' mode always
+                # writes at EOF, so it must be cut off first).
+                handle.truncate(end)
+            handle.write(record)
+            handle.flush()
+            os.fsync(handle.fileno())
+            self._dat_ino = os.fstat(handle.fileno()).st_ino
+        return end
+
+    def _locked_append_idx(self, record: Dict[str, Any]) -> None:
+        """Append one JSONL line, repairing a torn tail line first."""
+        line = (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+        with open(self._idx_path, "ab") as handle:
+            end = os.fstat(handle.fileno()).st_size
+            if end:
+                with open(self._idx_path, "rb") as reader:
+                    reader.seek(end - 1)
+                    if reader.read(1) != b"\n":
+                        handle.write(b"\n")  # repair a torn tail line
+            handle.write(line)
+            handle.flush()
+        self._idx_ino, self._idx_consumed = self._file_sig(self._idx_path)
+
+    # ------------------------------------------------------------------
+    # Lookup path
+    # ------------------------------------------------------------------
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, value)``; counts the hit or miss on :attr:`stats`."""
+        with self._lock.thread_lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._refresh()
+                entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return False, None
+        # Decode outside the lock: the record bytes at a committed offset
+        # never change (appends go past them; clear/compact swap inodes), so
+        # concurrent readers should not serialize on the CRC + decode work.
+        try:
+            value = self._decode_entry(key, entry)
+        except Exception:
+            logger.warning(
+                "dropping unreadable packed-store entry %s", key, exc_info=True
+            )
+            with self._lock.thread_lock:
+                self._entries.pop(key, None)
+                self.stats.misses += 1
+                self.stats.evictions += 1
+            return False, None
+        with self._lock.thread_lock:
+            self.stats.hits += 1
+        return True, value
+
+    def _decode_entry(self, key: str, entry: Tuple) -> Any:
+        if entry[0] == "inline":
+            record = entry[1]
+            if record.get("crc") != self._inline_sig(record["manifest"], record["arrays"]):
+                raise ValueError("inline entry CRC mismatch")
+            arrays = {
+                name: np.frombuffer(
+                    base64.b64decode(spec["b64"]), dtype=np.dtype(spec["dtype"])
+                ).reshape(spec["shape"])
+                for name, spec in record["arrays"].items()
+            }
+            return decode_payload(record["manifest"], arrays)
+
+        _, offset, length = entry
+        if offset + length > self._dat_size():
+            raise ValueError("record extends past the end of the data file")
+        view = self._memmap(offset + length)
+        magic, header_len, header_crc = _PREFIX.unpack(
+            view[offset : offset + _PREFIX.size].tobytes()
+        )
+        if magic != _MAGIC:
+            raise ValueError("bad record magic")
+        header_end = offset + _PREFIX.size + header_len
+        header_bytes = view[offset + _PREFIX.size : header_end].tobytes()
+        if zlib.crc32(header_bytes) != header_crc:
+            raise ValueError("header CRC mismatch")
+        header = json.loads(header_bytes)
+        if header["key"] != key:
+            raise ValueError("record key mismatch")
+        payload_len = int(header["plen"])
+        if header_end + payload_len != offset + length:
+            raise ValueError("record length mismatch")
+        payload = view[header_end : header_end + payload_len]
+        if zlib.crc32(payload) != header["crc"]:
+            raise ValueError("payload CRC mismatch")
+        arrays = {}
+        for spec in header["arrays"]:
+            dtype = np.dtype(spec["dtype"])
+            shape = tuple(spec["shape"])
+            count = int(math.prod(shape))
+            arrays[spec["name"]] = np.frombuffer(
+                view, dtype=dtype, count=count, offset=header_end + spec["rel"]
+            ).reshape(shape)
+        return decode_payload(header["manifest"], arrays)
+
+    # ------------------------------------------------------------------
+    # Bookkeeping / maintenance
+    # ------------------------------------------------------------------
+    def __contains__(self, key: str) -> bool:
+        with self._lock.thread_lock:
+            if key not in self._entries:
+                self._refresh()
+            return key in self._entries
+
+    def __len__(self) -> int:
+        with self._lock.thread_lock:
+            self._refresh()
+            return len(self._entries)
+
+    def keys(self) -> List[str]:
+        with self._lock.thread_lock:
+            self._refresh()
+            return sorted(self._entries)
+
+    def evict(self, key: str) -> bool:
+        """Remove one entry (tombstone in the index; data reclaimed by
+        :meth:`compact`)."""
+        with self._lock:
+            self._refresh()
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self._locked_append_idx({"op": "drop", "key": key})
+            return True
+
+    def clear(self) -> int:
+        """Drop every entry, replacing both files with empty ones.
+
+        Replace — never truncate — the data file: earlier lookups handed out
+        zero-copy views into the current mapping, and truncating the mapped
+        inode would turn their next access into a SIGBUS.  The replace keeps
+        the old inode alive until the last mapping goes away.
+        """
+        with self._lock:
+            self._refresh()
+            removed = len(self._entries)
+            self._entries.clear()
+            for path in (self._dat_path, self._idx_path):
+                tmp = path.with_suffix(path.suffix + ".tmp")
+                with open(tmp, "wb"):
+                    pass
+                os.replace(tmp, path)
+            self._mm = None
+            self._idx_consumed = 0
+            self._dat_scanned = 0
+            self._idx_ino = self._file_sig(self._idx_path)[0]
+            self._dat_ino = self._file_sig(self._dat_path)[0]
+            return removed
+
+    def compact(self) -> Tuple[int, int]:
+        """Rewrite ``store.dat`` keeping only live records.
+
+        Dead bytes accumulate from overwritten keys and evictions (the data
+        file is append-only).  Returns ``(entries_kept, bytes_reclaimed)``.
+        Both files are replaced atomically; the in-memory view is reloaded.
+        """
+        with self._lock:
+            self._refresh()
+            old_size = self._dat_size()
+            view = self._memmap(old_size) if old_size else None
+            dat_tmp = self._dat_path.with_suffix(".dat.tmp")
+            idx_lines: List[str] = []
+            new_offset = 0
+            new_entries: Dict[str, Tuple] = {}
+            with open(dat_tmp, "wb") as out:
+                for key, entry in self._entries.items():
+                    if entry[0] == "inline":
+                        idx_lines.append(json.dumps(entry[1], separators=(",", ":")))
+                        new_entries[key] = entry
+                        continue
+                    _, offset, length = entry
+                    out.write(view[offset : offset + length].tobytes())
+                    idx_lines.append(
+                        json.dumps(
+                            {"op": "put", "key": key, "off": new_offset, "len": length},
+                            separators=(",", ":"),
+                        )
+                    )
+                    new_entries[key] = ("dat", new_offset, length)
+                    new_offset += length
+                out.flush()
+                os.fsync(out.fileno())
+            idx_tmp = self._idx_path.with_suffix(".idx.tmp")
+            idx_tmp.write_text("".join(line + "\n" for line in idx_lines))
+            self._mm = None
+            os.replace(dat_tmp, self._dat_path)
+            os.replace(idx_tmp, self._idx_path)
+            self._entries = new_entries
+            self._dat_scanned = new_offset
+            self._dat_ino = self._file_sig(self._dat_path)[0]
+            self._idx_ino, self._idx_consumed = self._file_sig(self._idx_path)
+            return len(new_entries), old_size - new_offset
+
+    def file_sizes(self) -> Dict[str, int]:
+        """On-disk byte sizes (reporting / benchmarks)."""
+        sizes = {}
+        for name, path in (("dat", self._dat_path), ("idx", self._idx_path)):
+            try:
+                sizes[name] = path.stat().st_size
+            except FileNotFoundError:
+                sizes[name] = 0
+        return sizes
+
+
+# ----------------------------------------------------------------------
+# Factory + migration
+# ----------------------------------------------------------------------
+def open_result_store(directory: os.PathLike, fmt: str = "auto"):
+    """Open a result store of the requested format.
+
+    ``"npz"`` → per-entry :class:`ResultCache`; ``"packed"`` →
+    :class:`PackedStore`; ``"auto"`` → packed when the directory already
+    holds a ``store.dat``, the legacy npz layout otherwise.
+    """
+    directory = Path(directory).expanduser()
+    if fmt == "auto":
+        fmt = "packed" if (directory / _DATA_NAME).exists() else "npz"
+    if fmt == "npz":
+        return ResultCache(directory)
+    if fmt == "packed":
+        return PackedStore(directory)
+    raise ValueError(f"unknown store format {fmt!r} (use 'npz', 'packed' or 'auto')")
+
+
+def migrate_npz_cache(source: os.PathLike, destination: os.PathLike) -> int:
+    """Copy every entry of a per-entry ``.npz`` cache into a packed store.
+
+    Unreadable source entries are skipped (they would have been evicted on
+    their next lookup anyway).  Returns the number of entries migrated.  The
+    destination may equal the source directory: the packed files
+    (``store.dat`` / ``store.idx``) coexist with the npz fan-out dirs, and
+    ``open_result_store(..., "auto")`` prefers the packed layout afterwards.
+    """
+    cache = ResultCache(source)
+    store = PackedStore(destination)
+    migrated = 0
+    for key in cache.keys():
+        hit, value = cache.lookup(key)
+        if not hit:
+            continue
+        store.store(key, value)
+        migrated += 1
+    return migrated
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """``python -m repro.runtime.store`` — migrate / compact / stats."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.runtime.store",
+        description="Maintain packed result stores.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    migrate = sub.add_parser("migrate", help="convert an .npz cache dir to a packed store")
+    migrate.add_argument("source", type=Path)
+    migrate.add_argument("destination", type=Path)
+    compact = sub.add_parser("compact", help="rewrite store.dat dropping dead records")
+    compact.add_argument("directory", type=Path)
+    stats = sub.add_parser("stats", help="print entry count and file sizes")
+    stats.add_argument("directory", type=Path)
+    args = parser.parse_args(argv)
+
+    if args.command == "migrate":
+        migrated = migrate_npz_cache(args.source, args.destination)
+        print(f"migrated {migrated} entries from {args.source} to {args.destination}")
+    elif args.command == "compact":
+        store = PackedStore(args.directory)
+        kept, reclaimed = store.compact()
+        print(f"compacted {args.directory}: {kept} entries kept, {reclaimed} bytes reclaimed")
+    elif args.command == "stats":
+        store = PackedStore(args.directory)
+        sizes = store.file_sizes()
+        print(
+            f"{args.directory}: {len(store)} entries, "
+            f"store.dat {sizes['dat']} bytes, store.idx {sizes['idx']} bytes"
+        )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

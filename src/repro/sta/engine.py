@@ -72,16 +72,17 @@ SWITCHING_THRESHOLD_FRACTION = 0.4
 # ----------------------------------------------------------------------
 @dataclass
 class PropagationStats:
-    """Cache accounting of one :meth:`CSMEngine.run` invocation.
+    """Cache accounting of one engine run (CSM waveforms or NLDM events).
 
     Attributes
     ----------
     instances:
         Instances visited (the whole design, hits included).
     integrations:
-        Instances whose output waveform was actually integrated — the number
-        the incremental tests pin down: zero on a warm repeat, exactly the
-        dirty fan-out cone after an edit.
+        Instances actually evaluated — waveform integrations for the CSM
+        engine, table-lookup event evaluations for the NLDM engine.  This is
+        the number the incremental tests pin down: zero on a warm repeat,
+        exactly the dirty fan-out cone after an edit.
     memo_hits / cache_hits:
         Waveforms served from the engine's in-memory memo respectively the
         content-addressed disk cache.
@@ -167,6 +168,7 @@ class NLDMTimingResult:
     events: Dict[str, TimingEvent]
     mis_flags: Dict[str, List[Tuple[str, str]]]
     netlist_name: str
+    stats: Optional[Dict[str, int]] = None
 
     def arrival(self, net: str) -> float:
         if net not in self.events:
@@ -231,6 +233,8 @@ class TimingEngine:
         self._connectivity: Optional[NetConnectivity] = None
         self._levels: Optional[List[List[GateInstance]]] = None
         self._structure_revision = netlist.revision
+        self._cell_digests: Dict[str, str] = {}
+        self._netlist_digest_cache: Optional[Tuple[int, str]] = None
 
     # -- lazily built structural views ---------------------------------
     def _sync_structure(self) -> None:
@@ -238,11 +242,29 @@ class TimingEngine:
         if self._structure_revision != self.netlist.revision:
             self._connectivity = None
             self._levels = None
+            self._netlist_digest_cache = None
             self._on_structure_change()
             self._structure_revision = self.netlist.revision
 
     def _on_structure_change(self) -> None:
         """Hook for subclasses holding further netlist-derived caches."""
+
+    # -- content fingerprints shared by both engines's caches -----------
+    def _cell_digest(self, cell_name: str) -> str:
+        if cell_name not in self._cell_digests:
+            from ..runtime.jobs import cell_fingerprint
+
+            self._cell_digests[cell_name] = content_hash(
+                "sta-cell", cell_fingerprint(self.netlist.library[cell_name])
+            )
+        return self._cell_digests[cell_name]
+
+    def _netlist_digest(self) -> str:
+        self._sync_structure()
+        if self._netlist_digest_cache is None:
+            digest = content_hash("sta-netlist", netlist_fingerprint(self.netlist))
+            self._netlist_digest_cache = (self.netlist.revision, digest)
+        return self._netlist_digest_cache[1]
 
     @property
     def connectivity(self) -> NetConnectivity:
@@ -316,9 +338,88 @@ def create_engine(
 # NLDM: event propagation per level
 # ----------------------------------------------------------------------
 class NLDMEngine(TimingEngine):
-    """Propagates (arrival, slew) events through a gate netlist."""
+    """Propagates (arrival, slew) events through a gate netlist.
 
-    def run(self, input_events: Dict[str, TimingEvent]) -> NLDMTimingResult:
+    Like :class:`CSMEngine`, event propagation is content-addressed: every
+    instance gets a per-net propagation key built bottom-up from the stimulus
+    events, the cell fingerprint and the lumped output load, and its output
+    event (plus the MIS bookkeeping) is served from an in-memory memo or the
+    disk cache on a repeat.  Event tuples are tiny, so on the packed store
+    (:class:`repro.runtime.store.PackedStore`) they live directly in the
+    index — no data-file record at all.  A warm repeat of an unchanged
+    netlist evaluates zero instances; an ECO edit re-evaluates only the
+    affected region.
+
+    Parameters
+    ----------
+    cache:
+        Content-addressed disk store for per-instance events and whole-run
+        results; defaults to the model library's cache.
+    use_cache:
+        Disable all propagation fingerprinting/memoization when false (the
+        pre-PR5 always-evaluate behaviour).
+    """
+
+    def __init__(
+        self,
+        netlist: GateNetlist,
+        models: TimingModelLibrary,
+        cache: Optional[ResultCache] = None,
+        use_cache: bool = True,
+    ):
+        super().__init__(netlist, models)
+        self.cache = cache if cache is not None else models.cache
+        self.use_cache = use_cache
+        self.last_stats: Optional[PropagationStats] = None
+        #: key -> (event fields tuple | None, MIS pin pairs); content-addressed,
+        #: so it survives netlist edits just like the CSM waveform memo.
+        self._memo: Dict[str, Tuple[Optional[Tuple[float, float, bool]], List[Tuple[str, str]]]] = {}
+
+    def _context_digest(self) -> str:
+        """Everything every NLDM propagation key shares for one run: the
+        characterized table axes.  (The characterization config shapes CSM
+        models, not the NLDM tables, so it does not participate; receiver
+        input capacitances participate through each key's load value.)"""
+        return content_hash(
+            "nldm-context", self.models.nldm_input_slews, self.models.nldm_loads
+        )
+
+    @staticmethod
+    def stimulus_keys(input_events: Mapping[str, TimingEvent]) -> Dict[str, str]:
+        """Content keys of the primary-input events (name-independent)."""
+        return {
+            net: content_hash("nldm-stimulus", event.arrival, event.slew, event.rising)
+            for net, event in input_events.items()
+        }
+
+    def clear_propagation_memo(self) -> None:
+        """Drop the in-memory event memo (the disk cache is untouched)."""
+        self._memo.clear()
+
+    def _lookup_event(
+        self, key: str, stats: PropagationStats
+    ) -> Optional[Tuple[Optional[Tuple[float, float, bool]], List[Tuple[str, str]]]]:
+        """Memo, then disk; counts the provenance on the run's stats."""
+        if key in self._memo:
+            stats.memo_hits += 1
+            return self._memo[key]
+        if self.cache is not None:
+            hit, value = self.cache.lookup(key)
+            if hit:
+                try:
+                    fields = value["event"]
+                    pairs = [tuple(pair) for pair in value["mis"]]
+                except (TypeError, KeyError):  # foreign entry under our key
+                    return None
+                cached = (tuple(fields) if fields is not None else None, pairs)
+                stats.cache_hits += 1
+                self._memo[key] = cached
+                return cached
+        return None
+
+    def run(
+        self, input_events: Dict[str, TimingEvent]
+    ) -> NLDMTimingResult:
         """Propagate events from the primary inputs to every net.
 
         Parameters
@@ -330,16 +431,69 @@ class NLDMEngine(TimingEngine):
         for net in input_events:
             if net not in self.netlist.primary_inputs:
                 raise TimingError(f"{net!r} is not a primary input of {self.netlist.name!r}")
+
+        levels = self.levels()  # also re-syncs structural caches after edits
+        stats = PropagationStats(instances=len(self.netlist.instances))
+        caching = self.use_cache
+        net_keys: Dict[str, str] = {}
+        context = ""
+        run_key: Optional[str] = None
+        if caching:
+            net_keys = self.stimulus_keys(input_events)
+            context = self._context_digest()
+            if self.cache is not None:
+                run_key = content_hash(
+                    "nldm-run", context, self._netlist_digest(), sorted(net_keys.items())
+                )
+                hit, value = self.cache.lookup(run_key)
+                if hit:
+                    stats.full_run_hit = True
+                    value.stats = stats.as_dict()
+                    self.last_stats = stats
+                    return value
+
+        # Characterize every receiver pin's SIS model up front, exactly like
+        # the waveform engine: load construction then always uses
+        # characterized input capacitances, so per-instance propagation keys
+        # (which embed the lumped load) never depend on which models some
+        # earlier run happened to characterize.
+        self.models.prewarm_for_netlist(self.netlist, kinds=("sis",))
+
         events: Dict[str, TimingEvent] = dict(input_events)
         mis_flags: Dict[str, List[Tuple[str, str]]] = {}
 
-        for level in self.levels():
+        for level in levels:
             for instance in level:
                 cell = self._cell(instance)
                 output_net = instance.connections[cell.output]
                 load = self._lumped_output_load(instance)
-
                 pin_nets = {pin: instance.connections[pin] for pin in cell.inputs}
+
+                key: Optional[str] = None
+                if caching:
+                    inputs = [
+                        (pin, net_keys.get(pin_nets[pin], "stable"))
+                        for pin in cell.inputs
+                    ]
+                    key = content_hash(
+                        "nldm-propagation",
+                        context,
+                        self._cell_digest(instance.cell_name),
+                        load,
+                        inputs,
+                    )
+                    net_keys[output_net] = key
+                    cached = self._lookup_event(key, stats)
+                    if cached is not None:
+                        fields, pairs = cached
+                        mis_flags[instance.name] = list(pairs)
+                        if fields is not None:
+                            arrival, slew, rising = fields
+                            events[output_net] = TimingEvent(
+                                net=output_net, arrival=arrival, slew=slew, rising=rising
+                            )
+                        continue
+
                 mis_flags[instance.name] = detect_mis_pairs(events, cell.inputs, pin_nets)
 
                 candidate: Optional[TimingEvent] = None
@@ -361,10 +515,34 @@ class NLDMEngine(TimingEngine):
                     )
                     if candidate is None or output_event.arrival > candidate.arrival:
                         candidate = output_event
+                stats.integrations += 1
                 if candidate is not None:
                     events[output_net] = candidate
 
-        return NLDMTimingResult(events=events, mis_flags=mis_flags, netlist_name=self.netlist.name)
+                if key is not None:
+                    fields = (
+                        (candidate.arrival, candidate.slew, candidate.rising)
+                        if candidate is not None
+                        else None
+                    )
+                    self._memo[key] = (fields, mis_flags[instance.name])
+                    if self.cache is not None:
+                        self.cache.store(
+                            key,
+                            {"event": fields, "mis": mis_flags[instance.name]},
+                        )
+                        stats.stores += 1
+
+        result = NLDMTimingResult(
+            events=events,
+            mis_flags=mis_flags,
+            netlist_name=self.netlist.name,
+            stats=stats.as_dict(),
+        )
+        if run_key is not None:
+            self.cache.store(run_key, result)
+        self.last_stats = stats
+        return result
 
 
 # ----------------------------------------------------------------------
@@ -454,17 +632,13 @@ class CSMEngine(TimingEngine):
         self.cache = cache if cache is not None else models.cache
         self.use_cache = use_cache
         self.last_stats: Optional[PropagationStats] = None
+        # The in-memory memo survives netlist edits: its entries are
+        # content-addressed, so an edit simply stops addressing the stale
+        # ones — that is what makes a re-run after an ECO edit incremental
+        # even without a disk cache.
         self._memo: Dict[str, Waveform] = {}
-        self._cell_digests: Dict[str, str] = {}
-        self._netlist_digest_cache: Optional[Tuple[int, str]] = None
 
     # -- fingerprints --------------------------------------------------
-    def _on_structure_change(self) -> None:
-        # The in-memory memo stays: its entries are content-addressed, so an
-        # edit simply stops addressing the stale ones — that is what makes a
-        # re-run after an ECO edit incremental even without a disk cache.
-        self._netlist_digest_cache = None
-
     def _mode(self) -> str:
         # The per-instance reference path keeps its own cache namespace so
         # "sequential" results are never silently served from batched runs
@@ -482,22 +656,6 @@ class CSMEngine(TimingEngine):
             t_start,
             t_stop,
         )
-
-    def _cell_digest(self, cell_name: str) -> str:
-        if cell_name not in self._cell_digests:
-            from ..runtime.jobs import cell_fingerprint
-
-            self._cell_digests[cell_name] = content_hash(
-                "sta-cell", cell_fingerprint(self.netlist.library[cell_name])
-            )
-        return self._cell_digests[cell_name]
-
-    def _netlist_digest(self) -> str:
-        self._sync_structure()
-        if self._netlist_digest_cache is None:
-            digest = content_hash("sta-netlist", netlist_fingerprint(self.netlist))
-            self._netlist_digest_cache = (self.netlist.revision, digest)
-        return self._netlist_digest_cache[1]
 
     @staticmethod
     def stimulus_keys(input_waveforms: Mapping[str, Waveform]) -> Dict[str, str]:

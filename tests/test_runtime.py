@@ -214,6 +214,53 @@ class TestResultCache:
         assert cache.clear() == 1
         assert len(cache) == 0
 
+    def test_temp_files_do_not_count_as_entries(self, tmp_path):
+        """A crashed writer's '.tmp-*.npz' must not show up in len()/keys()
+        (pathlib's glob, unlike a shell, matches dotfiles)."""
+        cache = ResultCache(tmp_path)
+        cache.store("a" * 64, 1.0)
+        temp = tmp_path / "aa" / ".tmp-crashed.npz"
+        temp.parent.mkdir(exist_ok=True)
+        temp.write_bytes(b"partial write")
+        assert len(cache) == 1
+        assert cache.keys() == ["a" * 64]
+        assert cache.clear() == 1  # does not try to count/remove the temp
+        assert temp.exists()
+
+    def test_stale_temps_are_swept_on_init(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        cache.store("a" * 64, 1.0)
+        stale = tmp_path / "aa" / ".tmp-stale.npz"
+        fresh = tmp_path / "aa" / ".tmp-fresh.npz"
+        stale.parent.mkdir(exist_ok=True)
+        stale.write_bytes(b"left by a crashed writer")
+        fresh.write_bytes(b"a concurrent writer mid-store")
+        old = time.time() - 7200
+        os.utime(stale, (old, old))
+
+        reopened = ResultCache(tmp_path)  # init sweeps stale temps
+        assert not stale.exists()
+        assert fresh.exists()  # recent temps are left alone
+        hit, value = reopened.lookup("a" * 64)
+        assert hit and value == 1.0
+
+    def test_sweep_temps_returns_removed_count(self, tmp_path):
+        import os
+        import time
+
+        cache = ResultCache(tmp_path)
+        for name in ("aa", "bb"):
+            temp = tmp_path / name / f".tmp-{name}.npz"
+            temp.parent.mkdir(exist_ok=True)
+            temp.write_bytes(b"x")
+            old = time.time() - 10
+            os.utime(temp, (old, old))
+        assert cache.sweep_temps(max_age_seconds=5.0) == 2
+        assert cache.sweep_temps(max_age_seconds=5.0) == 0
+
     def test_run_jobs_skips_cached_characterization(
         self, tmp_path, inverter, fast_config
     ):
