@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -108,7 +109,16 @@ def main(argv=None) -> int:
         timings[name] = round(wall, 4)
         print(f"{name:>6}: {wall:8.3f} s", flush=True)
 
-    report = {"settings": "quick", "timings": timings}
+    cpus = os.cpu_count() or 1
+    machine = {"cpus": cpus}
+    if cpus < 4:
+        machine["warning"] = (
+            f"only {cpus} CPU(s) visible: executor-sweep timings measure "
+            "scheduling overhead, not parallel speedup — re-measure on a "
+            "machine with >= 4 cores"
+        )
+        print(f"WARNING: {machine['warning']}", file=sys.stderr)
+    report = {"settings": "quick", "machine": machine, "timings": timings}
     if baseline is not None:
         base_timings = baseline.get("timings", baseline)
         report["baseline"] = base_timings

@@ -410,18 +410,15 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     cpus = os.cpu_count() or 1
-    report = {
-        "settings": "quick",
-        "machine": {
-            "cpus": cpus,
-            "note": (
-                "single-core container: pool timings measure scheduling overhead, "
-                "not parallel speedup — re-measure on a multi-core machine"
-                if cpus == 1
-                else "multi-core machine"
-            ),
-        },
-    }
+    machine = {"cpus": cpus}
+    if cpus < 4:
+        machine["warning"] = (
+            f"only {cpus} CPU(s) visible: pool timings measure scheduling "
+            "overhead, not parallel speedup — re-measure on a machine with "
+            ">= 4 cores"
+        )
+        print(f"WARNING: {machine['warning']}", file=sys.stderr)
+    report = {"settings": "quick", "machine": machine}
     print(f"machine: {cpus} cpu(s)")
 
     print("1/7 incremental STA (cold / warm / ECO edit) ...")

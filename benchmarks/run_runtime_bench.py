@@ -195,9 +195,19 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
+    cpus = os.cpu_count() or 1
+    machine = {"cpus": cpus}
+    if cpus < 4:
+        machine["warning"] = (
+            f"only {cpus} CPU(s) visible: executor-sweep timings measure "
+            "scheduling overhead, not parallel speedup — re-measure on a "
+            "machine with >= 4 cores"
+        )
+        print(f"WARNING: {machine['warning']}", file=sys.stderr)
     report = {
         "settings": "quick",
-        "cpu_count": os.cpu_count(),
+        "cpu_count": cpus,
+        "machine": machine,
         "fig5_executors": bench_fig5_executors(args.workers),
     }
 

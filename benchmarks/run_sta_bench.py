@@ -48,7 +48,24 @@ DEFAULT_SPECS = [
     "dag:w128:d2:s11",   # 256 gates, widest levels (best batching case)
     "dag:w128:d4:s11",   # 512 gates
     "dag:w128:d8:s11",   # 1024 gates
+    "dag:w256:d2:s11",   # 512 gates, 256-wide levels (tensor-path target)
+    "dag:w256:d4:s11",   # 1024 gates, 256-wide levels (tensor-path target)
 ]
+
+
+def machine_block() -> dict:
+    """CPU inventory for the report; warns loudly below 4 CPUs so executor
+    numbers measured in small containers are never mistaken for speedups."""
+    cpus = os.cpu_count() or 1
+    block = {"cpus": cpus}
+    if cpus < 4:
+        block["warning"] = (
+            f"only {cpus} CPU(s) visible: executor-sweep timings measure "
+            "scheduling overhead, not parallel speedup — re-measure on a "
+            "machine with >= 4 cores"
+        )
+        print(f"WARNING: {block['warning']}", file=sys.stderr)
+    return block
 
 
 def main(argv=None) -> int:
@@ -72,16 +89,20 @@ def main(argv=None) -> int:
         "--figures-baseline", type=Path, default=None,
         help="previous BENCH json; figure speedups are computed against it",
     )
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="previous BENCH json; per-design sta timings are compared against "
+        "its 'sta' section when present (older reports without one are "
+        "tolerated — the in-run tensor-vs-regroup timing is the comparison)",
+    )
     args = parser.parse_args(argv)
 
-    report = {
-        "settings": "quick",
-        "machine": {
-            "cpus": os.cpu_count(),
-            "note": "batched-vs-sequential speedups are single-core algorithmic "
-            "gains; executor sweeps need a multi-core machine",
-        },
-    }
+    machine = machine_block()
+    machine["note"] = (
+        "batched-vs-sequential speedups are single-core algorithmic gains; "
+        "executor sweeps need a multi-core machine"
+    )
+    report = {"settings": "quick", "machine": machine}
 
     context = quick_context()
     specs = args.specs or DEFAULT_SPECS
@@ -103,13 +124,42 @@ def main(argv=None) -> int:
                 "levels": p.levels,
                 "mis_instances": p.mis_instances,
                 "sequential_seconds": round(p.sequential_seconds, 4),
+                "regroup_seconds": round(p.legacy_batched_seconds, 4),
                 "batched_seconds": round(p.batched_seconds, 4),
                 "speedup": round(p.speedup, 3),
+                "tensor_speedup": round(p.tensor_speedup, 3),
                 "max_abs_delta_v": p.max_abs_delta_v,
+                "max_abs_delta_v_tensor": p.max_abs_delta_v_tensor,
             }
             for p in result.points
         },
     }
+
+    if args.baseline is not None:
+        try:
+            baseline_report = json.loads(args.baseline.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot read baseline {args.baseline}: {exc}")
+        base_designs = baseline_report.get("sta", {}).get("designs", {})
+        comparison = {"path": str(args.baseline)}
+        if base_designs:
+            comparison["batched_speedup_vs_baseline"] = {
+                spec: round(
+                    base_designs[spec]["batched_seconds"] / entry["batched_seconds"], 2
+                )
+                for spec, entry in report["sta"]["designs"].items()
+                if spec in base_designs and entry["batched_seconds"] > 0
+            }
+            for spec, factor in comparison["batched_speedup_vs_baseline"].items():
+                print(f"{spec:>18}: {factor:5.2f}x vs {args.baseline.name}")
+        else:
+            comparison["note"] = (
+                f"{args.baseline.name} has no 'sta' design timings (older report "
+                "format); the per-design regroup_seconds column above times the "
+                "previous batched path in this run instead"
+            )
+            print(comparison["note"])
+        report["sta"]["baseline"] = comparison
 
     if not args.skip_figures:
         baseline = None

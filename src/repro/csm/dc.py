@@ -47,6 +47,7 @@ from .simulate import (
     _fast_eligible,
     integrate_model,
     integrate_model_many,
+    simulation_time_grid,
 )
 
 __all__ = ["dc_settle", "settle_units"]
@@ -166,6 +167,48 @@ def _bilinear_fn(
             c01 = table[j, i + 1]
             c10 = table[j + 1, i]
             c11 = table[j + 1, i + 1]
+            lower = c00 + fo * (c01 - c00)
+            upper = c10 + fo * (c11 - c10)
+            residual[:, row] = lower + fn_ * (upper - lower)
+            jacobian[:, row, 0] = ((1.0 - fn_) * (c01 - c00) + fn_ * (c11 - c10)) / o_span
+            jacobian[:, row, 1] = (upper - lower) / n_span
+        return residual, jacobian
+
+    return fn
+
+
+def _bilinear_fn_many(
+    io_stack: np.ndarray, in_stack: np.ndarray, vn_pts: np.ndarray, vo_pts: np.ndarray
+) -> Callable[[np.ndarray], Tuple[np.ndarray, np.ndarray]]:
+    """Batch variant of :func:`_bilinear_fn`: one reduced table pair per run.
+
+    ``io_stack``/``in_stack`` are ``(B, nN, nO)`` stacks; the run's position
+    in the stack rides in as its parameter row (the Newton engine's
+    active-subset iteration hands back arbitrary sub-batches, so the tables
+    must be selected through ``params``, never by full-batch position).  Row
+    for row the arithmetic is exactly :func:`_bilinear_fn`'s, so each system's
+    Newton trajectory is bit-identical to a solo solve.
+    """
+
+    def locate(pts: np.ndarray, v: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        idx = np.clip(np.searchsorted(pts, v, side="right") - 1, 0, len(pts) - 2)
+        span = pts[idx + 1] - pts[idx]
+        frac = (v - pts[idx]) / span
+        return idx, frac, span
+
+    def fn(x: np.ndarray, params: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        runs = params[:, 0].astype(np.intp)
+        vo, vn = x[:, 0], x[:, 1]
+        i, fo, o_span = locate(vo_pts, vo)
+        j, fn_, n_span = locate(vn_pts, vn)
+        batch = x.shape[0]
+        residual = np.empty((batch, 2))
+        jacobian = np.empty((batch, 2, 2))
+        for stack, row in ((io_stack, 0), (in_stack, 1)):
+            c00 = stack[runs, j, i]
+            c01 = stack[runs, j, i + 1]
+            c10 = stack[runs, j + 1, i]
+            c11 = stack[runs, j + 1, i + 1]
             lower = c00 + fo * (c01 - c00)
             upper = c10 + fo * (c11 - c10)
             residual[:, row] = lower + fn_ * (upper - lower)
@@ -393,14 +436,178 @@ def dc_settle(
     )
 
 
-def _constant_unit(unit: BatchUnit, window: float) -> BatchUnit:
-    """A copy of ``unit`` whose inputs are held at their initial values."""
+def _polish_many(
+    units: Sequence[BatchUnit],
+    eligible: Sequence[int],
+    pre_states: Sequence[Tuple[np.ndarray, Optional[np.ndarray]]],
+    options: SimulationOptions,
+) -> List[Optional[Tuple[float, Optional[float]]]]:
+    """Batched :func:`_polish_state` over one settle pass.
+
+    Groups the eligible units by the identity of their current-source tables
+    (the same grouping — and the same shared-model assumption — as the
+    engine's shared precompute: identical table objects imply the same
+    characterized model, hence the same pins and capacitance tables), batches
+    each group's constant-bias reductions and cap lookups into single table
+    calls, and solves all of an internal-node group's fixed points as ONE
+    :func:`newton_fixed_point_many` batch.  The Newton engine's active-subset
+    iteration assembles and updates every system independently of its batch
+    neighbours, so per-unit results are bit-identical to solo
+    :func:`_polish_state` calls; a batch solve that dies without per-run
+    attribution (singular factorization) re-runs its members solo.  Returns
+    polish results aligned with ``eligible`` (``None`` = fall back).
+    """
+    results: List[Optional[Tuple[float, Optional[float]]]] = [None] * len(eligible)
+    groups: dict = {}
+    for pos, index in enumerate(eligible):
+        unit = units[index]
+        groups.setdefault(
+            (id(unit.output_current), id(unit.internal_current)), []
+        ).append(pos)
+    dt = options.time_step
+    eps = 1e-9
+    for positions in groups.values():
+        rep = units[eligible[positions[0]]]
+        pins = rep.pins
+        has_internal = rep.internal_current is not None
+        io_table = rep.output_current
+        in_table = rep.internal_current
+        rows = np.array(
+            [
+                [
+                    float(units[eligible[pos]].input_waveforms[pin].initial_value())
+                    for pin in pins
+                ]
+                for pos in positions
+            ]
+        )
+        miller_cols = [
+            cap_value_batch(rep.miller_caps[pin], rows[:, col : col + 1])
+            for col, pin in enumerate(pins)
+        ]
+        co_col = cap_value_batch(rep.output_cap, rows)
+        if has_internal:
+            cn_col = cap_value_batch(rep.internal_cap, rows)
+            io_red_all, in_red_all = _contract_current_tables(
+                io_table, in_table, rows, len(pins)
+            )
+        else:
+            cn_col = None
+            io_red_all = io_table.contract_leading(rows)
+            in_red_all = None
+        # Same float-addition order as `_constant_caps`: (load + Co) + sum(CM).
+        denoms = [
+            units[eligible[pos]].load.constant_capacitance()
+            + float(co_col[g])
+            + sum(float(col[g]) for col in miller_cols)
+            for g, pos in enumerate(positions)
+        ]
+        start_out = [float(pre_states[pos][0][-1]) for pos in positions]
+        vo_pts = io_table.axes[-1].as_array()
+
+        if not has_internal:
+            for g, pos in enumerate(positions):
+                unit = units[eligible[pos]]
+                v_low = -options.clip_margin
+                v_high = unit.vdd + options.clip_margin
+                io_red = io_red_all[g]
+                root = _flow_root_1d(vo_pts, io_red, start_out[g], v_low, v_high)
+                if vo_pts[0] <= root <= vo_pts[-1]:
+                    span = vo_pts[-1] - vo_pts[0]
+                    step = 1e-6 * span
+                    low = float(np.clip(root - step, vo_pts[0], vo_pts[-1]))
+                    high = float(np.clip(root + step, vo_pts[0], vo_pts[-1]))
+                    slope = (
+                        np.interp(high, vo_pts, io_red) - np.interp(low, vo_pts, io_red)
+                    ) / (high - low)
+                    if dt * slope / denoms[g] > 2.0 + _STABILITY_SLACK:
+                        continue
+                results[pos] = (root, None)
+            continue
+
+        vn_pts = io_table.axes[-2].as_array()
+        start_int = [float(pre_states[pos][1][-1]) for pos in positions]
+        starts = np.column_stack([start_out, start_int])
+        fn = _bilinear_fn_many(io_red_all, in_red_all, vn_pts, vo_pts)
+        params = np.arange(len(positions), dtype=float)[:, None]
+        failed: set = set()
+        try:
+            solution = newton_fixed_point_many(
+                fn, starts, params=params, options=_POLISH_OPTIONS, name="csm-dc-settle"
+            )
+        except (ConvergenceError, np.linalg.LinAlgError) as exc:
+            meta = getattr(exc, "metadata", None) or {}
+            if "failed_runs" not in meta:
+                # Singular batch factorization aborts every run at once with
+                # no per-run attribution — reproduce the solo path exactly.
+                for g, pos in enumerate(positions):
+                    unit = units[eligible[pos]]
+                    values = {
+                        pin: unit.input_waveforms[pin].initial_value()
+                        for pin in unit.pins
+                    }
+                    results[pos] = _polish_state(
+                        unit.pins,
+                        values,
+                        unit.output_current,
+                        unit.internal_current,
+                        unit.miller_caps,
+                        unit.output_cap,
+                        unit.internal_cap,
+                        unit.load,
+                        unit.vdd,
+                        options,
+                        start_out[g],
+                        start_int[g],
+                    )
+                continue
+            failed = set(meta["failed_runs"])
+            solution = meta["solutions"]
+        _, jac_all = fn(solution, params)
+        for g, pos in enumerate(positions):
+            if g in failed:
+                continue
+            unit = units[eligible[pos]]
+            vo, vn = float(solution[g, 0]), float(solution[g, 1])
+            v_low = -options.clip_margin
+            v_high = unit.vdd + options.clip_margin
+            if not (vo_pts[0] - eps <= vo <= vo_pts[-1] + eps):
+                continue
+            if not (vn_pts[0] - eps <= vn <= vn_pts[-1] + eps):
+                continue
+            if not (v_low - eps <= vo <= v_high + eps and v_low - eps <= vn <= v_high + eps):
+                continue
+            update = np.eye(2) - np.array(
+                [[dt / denoms[g]], [dt / float(cn_col[g])]]
+            ) * jac_all[g]
+            if float(np.abs(np.linalg.eigvals(update)).max()) > 1.0 + _STABILITY_SLACK:
+                continue
+            results[pos] = (vo, vn)
+    return results
+
+
+def _constant_unit(
+    unit: BatchUnit, window: float, grid: Optional[np.ndarray] = None
+) -> BatchUnit:
+    """A copy of ``unit`` whose inputs are held at their initial values.
+
+    With ``grid`` (the integration's shared sample grid) the constant rows are
+    materialized as ``input_samples`` directly, skipping the per-pin
+    ``value_at`` resampling — ``np.interp`` over a flat two-point waveform
+    returns exactly the constant, so the rows are bitwise the same.
+    """
     return BatchUnit(
         pins=unit.pins,
         input_waveforms={
             pin: Waveform.constant(
                 unit.input_waveforms[pin].initial_value(), 0.0, window, name=pin
             )
+            for pin in unit.pins
+        },
+        input_samples=None
+        if grid is None
+        else {
+            pin: np.full(grid.shape, unit.input_waveforms[pin].initial_value())
             for pin in unit.pins
         },
         output_current=unit.output_current,
@@ -416,7 +623,9 @@ def _constant_unit(unit: BatchUnit, window: float) -> BatchUnit:
 
 
 def settle_units(
-    units: Sequence[BatchUnit], options: SimulationOptions
+    units: Sequence[BatchUnit],
+    options: SimulationOptions,
+    batched_polish: bool = False,
 ) -> List[Tuple[float, Optional[float]]]:
     """Settle a batch of constant-input units (the engine's settle pass).
 
@@ -427,10 +636,18 @@ def settle_units(
     failure, FE-unstable operating point) fall back to the legacy
     full-window settle, integrated together as one lockstep batch.
 
+    ``batched_polish=True`` (the tensor engine's whole-level path) routes the
+    polish through :func:`_polish_many` — per-group table lookups and one
+    Newton batch per internal-node group — and shares precompute lookups
+    across the pre-roll/fallback integrations.  Results are bit-identical to
+    the default per-unit polish; the flag only changes the batching.
+
     Returns ``(v_out, v_int or None)`` final states in unit order.
     """
     if options.settle_mode != "dc":
-        _, settled = integrate_model_many(units, options, 0.0, options.settle_time)
+        _, settled = integrate_model_many(
+            units, options, 0.0, options.settle_time, shared_precompute=batched_polish
+        )
         return [
             (float(v_out[-1]), None if v_int is None else float(v_int[-1]))
             for v_out, v_int in settled
@@ -452,8 +669,15 @@ def settle_units(
     ]
     pre_time = _preroll_window(options)
     if eligible and pre_time > 0.0:
-        pre_units = [_constant_unit(units[index], pre_time) for index in eligible]
-        _, pre_states = integrate_model_many(pre_units, options, 0.0, pre_time)
+        pre_grid = (
+            simulation_time_grid(0.0, pre_time, options) if batched_polish else None
+        )
+        pre_units = [
+            _constant_unit(units[index], pre_time, grid=pre_grid) for index in eligible
+        ]
+        _, pre_states = integrate_model_many(
+            pre_units, options, 0.0, pre_time, shared_precompute=batched_polish
+        )
     else:
         pre_states = [
             (
@@ -467,34 +691,50 @@ def settle_units(
 
     results: List[Optional[Tuple[float, Optional[float]]]] = [None] * len(units)
     fallback = [index for index in range(len(units)) if index not in set(eligible)]
-    for index, (v_out, v_int) in zip(eligible, pre_states):
-        unit = units[index]
-        values = {pin: unit.input_waveforms[pin].initial_value() for pin in unit.pins}
-        settled = _polish_state(
-            unit.pins,
-            values,
-            unit.output_current,
-            unit.internal_current,
-            unit.miller_caps,
-            unit.output_cap,
-            unit.internal_cap,
-            unit.load,
-            unit.vdd,
-            options,
-            float(v_out[-1]),
-            None if v_int is None else float(v_int[-1]),
-        )
-        if settled is None:
-            fallback.append(index)
-        else:
-            results[index] = settled
+    if batched_polish:
+        for index, settled in zip(eligible, _polish_many(units, eligible, pre_states, options)):
+            if settled is None:
+                fallback.append(index)
+            else:
+                results[index] = settled
+    else:
+        for index, (v_out, v_int) in zip(eligible, pre_states):
+            unit = units[index]
+            values = {pin: unit.input_waveforms[pin].initial_value() for pin in unit.pins}
+            settled = _polish_state(
+                unit.pins,
+                values,
+                unit.output_current,
+                unit.internal_current,
+                unit.miller_caps,
+                unit.output_cap,
+                unit.internal_cap,
+                unit.load,
+                unit.vdd,
+                options,
+                float(v_out[-1]),
+                None if v_int is None else float(v_int[-1]),
+            )
+            if settled is None:
+                fallback.append(index)
+            else:
+                results[index] = settled
 
     if fallback:
         fallback.sort()
+        fallback_grid = (
+            simulation_time_grid(0.0, options.settle_time, options)
+            if batched_polish
+            else None
+        )
         fallback_units = [
-            _constant_unit(units[index], options.settle_time) for index in fallback
+            _constant_unit(units[index], options.settle_time, grid=fallback_grid)
+            for index in fallback
         ]
-        _, states = integrate_model_many(fallback_units, options, 0.0, options.settle_time)
+        _, states = integrate_model_many(
+            fallback_units, options, 0.0, options.settle_time,
+            shared_precompute=batched_polish,
+        )
         for index, (out_trace, int_trace) in zip(fallback, states):
             results[index] = (
                 float(out_trace[-1]),

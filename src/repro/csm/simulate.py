@@ -124,14 +124,24 @@ def _contract_current_tables(
 
 @dataclass
 class _Precomputed:
-    """Input-driven per-step arrays feeding a fast-path recurrence."""
+    """Input-driven per-step arrays feeding a fast-path recurrence.
 
-    io_reduced: np.ndarray  # (steps, *state_shape)
+    With ``core_form`` (the shared-precompute path) the reduced tables hold
+    only the moving-core rows — views into the group's batched lookup, no
+    per-member expansion copies — and step ``k`` reads row
+    ``clip(k - first_move, 0, rows - 1)``: exactly the row the expanded form
+    stores at ``k``, since the flanks replicate the core's edge rows.  The
+    1-D ``charge``/``denom``/``cn`` stay full-length either way.
+    """
+
+    io_reduced: np.ndarray  # (steps, *state_shape); (core rows, ...) if core_form
     in_reduced: Optional[np.ndarray]
     charge: np.ndarray  # (steps,)
     denom: np.ndarray  # (steps,)
     cn: Optional[np.ndarray]
     stationary_from: int  # first step index after the last input movement
+    core_form: bool = False
+    first_move: int = 0
 
 
 def _fast_precompute(
@@ -445,7 +455,12 @@ def _scalar_recurrence_output(
     v_out = np.empty(num_steps)
     v_out[0] = initial_output
     vo = initial_output
-    io_rows = pre.io_reduced.tolist()  # (steps, nO) nested lists
+    # Core-form pres hold only the moving-core rows; the clamp below maps step
+    # k onto row clip(k - first_move, 0, last) — the identity map for the
+    # full-form (first_move = 0, one row per step) layout.
+    io_rows = pre.io_reduced.tolist()  # (rows, nO) nested lists
+    first_move = pre.first_move
+    last_row = len(io_rows) - 1
     out_list = [vo]
     for k in range(steps):
         vc = vo_lo if vo < vo_lo else (vo_hi if vo > vo_hi else vo)
@@ -455,7 +470,12 @@ def _scalar_recurrence_output(
         elif i > vo_n - 2:
             i = vo_n - 2
         frac = (vc - vo_pts[i]) / vo_spans[i]
-        row = io_rows[k]
+        idx = k - first_move
+        if idx < 0:
+            idx = 0
+        elif idx > last_row:
+            idx = last_row
+        row = io_rows[idx]
         io_val = row[i] + frac * (row[i + 1] - row[i])
         vo = vo + (charge_list[k] - io_val * dt_list[k]) / denom_list[k]
         if vo < v_low:
@@ -488,8 +508,13 @@ def _scalar_recurrence_internal(
     vo_pts, vo_spans, vo_lo, vo_hi, vo_n = _bracket_lists(vo_axis)
     vn_pts, vn_spans, vn_lo, vn_hi, vn_n = _bracket_lists(vn_axis)
     n_out = len(vo_pts)
-    io_rows = pre.io_reduced.reshape(steps, -1).tolist()  # (steps, nN * nO)
-    in_rows = pre.in_reduced.reshape(steps, -1).tolist()
+    # Core-form pres hold only the moving-core rows (see
+    # :func:`_scalar_recurrence_output` for the step -> row clamp).
+    num_rows = pre.io_reduced.shape[0]
+    io_rows = pre.io_reduced.reshape(num_rows, -1).tolist()  # (rows, nN * nO)
+    in_rows = pre.in_reduced.reshape(num_rows, -1).tolist()
+    first_move = pre.first_move
+    last_row = num_rows - 1
 
     v_out = np.empty(num_steps)
     v_out[0] = initial_output
@@ -521,9 +546,14 @@ def _scalar_recurrence_internal(
         w01 = (1.0 - fn) * fo
         w10 = fn * (1.0 - fo)
         w11 = fn * fo
-        row = io_rows[k]
+        idx = k - first_move
+        if idx < 0:
+            idx = 0
+        elif idx > last_row:
+            idx = last_row
+        row = io_rows[idx]
         io_val = w00 * row[base] + w01 * row[base + 1] + w10 * row[base + n_out] + w11 * row[base + n_out + 1]
-        row = in_rows[k]
+        row = in_rows[idx]
         in_val = w00 * row[base] + w01 * row[base + 1] + w10 * row[base + n_out] + w11 * row[base + n_out + 1]
 
         dt = dt_list[k]
@@ -624,6 +654,14 @@ class BatchUnit:
     a batch may freely mix cells and model flavours — units whose current
     sources share the same state-axis grids are integrated in lockstep, the
     rest fall back to the per-instance path.
+
+    ``input_samples`` is the structure-of-arrays alternative to
+    ``input_waveforms``: pin → sample row *already on the batch's shared time
+    grid* (a view into a level tensor).  When set it skips the per-unit
+    ``value_at`` resampling entirely; rows must have exactly
+    ``len(simulation_time_grid(t_start, t_stop, options))`` samples.  Units
+    the fast path cannot express wrap their rows back into waveforms on the
+    shared grid (identity resampling, so values are untouched).
     """
 
     pins: Tuple[str, ...]
@@ -637,6 +675,7 @@ class BatchUnit:
     internal_current: Optional[Callable[..., float]] = None
     internal_cap: Optional[Capacitance] = None
     initial_internal: Optional[float] = None
+    input_samples: Optional[Mapping[str, np.ndarray]] = None
 
 
 @dataclass
@@ -650,6 +689,258 @@ class _LockstepMember:
     v_high: float
     initial_output: float
     initial_internal: Optional[float]
+
+
+@dataclass
+class _PrecomputePlan:
+    """The input-movement analysis of one unit, before any table lookups.
+
+    Mirrors the front half of :func:`_fast_precompute`: the moving core (or
+    the single representative row, for constant inputs) is identified here so
+    the shared-precompute path can batch every unit's table lookups in one
+    call and assemble the per-unit :class:`_Precomputed` afterwards.
+    """
+
+    constant: bool
+    steps: int
+    pin_core: np.ndarray  # (core_len, P); a single row for constant inputs
+    deltas_core: Optional[np.ndarray]  # (core_len, P); None for constant
+    first_move: int
+    core_stop: int
+    stationary_from: int
+
+
+@dataclass
+class _FastEntry:
+    """One fast-path unit awaiting precompute (shared or per-unit)."""
+
+    index: int
+    unit: BatchUnit
+    input_samples: Dict[str, np.ndarray]
+    io_table: NDTable
+    in_table: Optional[NDTable]
+    has_internal: bool
+    v_low: float
+    v_high: float
+    initial_output: float
+    initial_internal: Optional[float]
+    plan: Optional[_PrecomputePlan] = None
+    pre: Optional[_Precomputed] = None
+
+
+def _precompute_plan(
+    pins: Sequence[str], input_samples: Dict[str, np.ndarray], times: np.ndarray
+) -> _PrecomputePlan:
+    """Identify a unit's moving core — the same analysis (and the same edge
+    cases) as :func:`_fast_precompute`, split off so lookups can be batched
+    across units."""
+    pin_block = np.stack([input_samples[pin] for pin in pins], axis=1)
+    pin_now = pin_block[:-1]
+    deltas = pin_block[1:] - pin_block[:-1]
+    steps = pin_now.shape[0]
+    moving = np.flatnonzero((deltas != 0.0).any(axis=1))
+    stationary_from = int(moving[-1]) + 1 if moving.size else 0
+    if stationary_from == 0 and steps > 1:
+        return _PrecomputePlan(
+            constant=True,
+            steps=steps,
+            pin_core=pin_now[:1],
+            deltas_core=None,
+            first_move=0,
+            core_stop=steps,
+            stationary_from=0,
+        )
+    first_move = int(moving[0]) if moving.size else 0
+    core_stop = min(stationary_from, steps - 1) + 1
+    flanks = first_move + (steps - core_stop)
+    if flanks <= steps // 8:
+        first_move = 0
+        core_stop = steps
+    core = slice(first_move, core_stop)
+    return _PrecomputePlan(
+        constant=False,
+        steps=steps,
+        pin_core=pin_now[core],
+        deltas_core=deltas[core],
+        first_move=first_move,
+        core_stop=core_stop,
+        stationary_from=stationary_from,
+    )
+
+
+def _expand_core(
+    core_values: np.ndarray, first_move: int, core_stop: int, steps: int
+) -> np.ndarray:
+    """Broadcast a moving-core array back over the constant flanks (the
+    ``expand`` closure of :func:`_fast_precompute`, shared with the batched
+    assembly)."""
+    if first_move == 0 and core_stop == steps:
+        return core_values
+    shape = core_values.shape[1:]
+    return np.concatenate(
+        [
+            np.broadcast_to(core_values[0], (first_move,) + shape),
+            core_values,
+            np.broadcast_to(core_values[-1], (steps - core_stop,) + shape),
+        ]
+    )
+
+
+def _fill_precompute_shared(entries: Sequence[_FastEntry], times: np.ndarray) -> None:
+    """Batch every unit's table lookups across same-model groups.
+
+    Units are grouped by the identity of their current-source tables: the
+    same table objects imply the same characterized model, hence the same
+    pins, Miller/output/internal capacitances and state axes.  All per-core
+    lookups (:func:`cap_value_batch`, ``contract_leading``) are strictly
+    per-row operations, so evaluating the *concatenation* of the group's
+    moving cores in one call yields, for each unit's slice, bitwise the rows
+    its standalone :func:`_fast_precompute` call would have produced.
+    """
+    groups: Dict[Tuple[int, int], List[_FastEntry]] = {}
+    for entry in entries:
+        entry.plan = _precompute_plan(entry.unit.pins, entry.input_samples, times)
+        groups.setdefault((id(entry.io_table), id(entry.in_table)), []).append(entry)
+    for members in groups.values():
+        _assemble_group_precompute(members)
+
+
+#: Row budget for one concatenated-group lookup call.  ``contract_leading``'s
+#: first-dimension gather materializes a ``(rows, *table_slice)`` temporary;
+#: for a whole level's concatenated cores (hundreds of thousands of rows) that
+#: blows past the CPU caches and runs slower than per-unit calls.  Every
+#: lookup here is strictly per-row, so evaluating fixed-size row windows and
+#: concatenating is bitwise identical to one whole-array call.  512 rows keeps
+#: the largest gather (rows x a MIS pair's (VN, VO) slice) a few MB — measured
+#: fastest on the w256 DAG workloads among 128..8192.
+_LOOKUP_CHUNK = 512
+
+
+def _chunked_rows(lookup, coords: np.ndarray) -> np.ndarray:
+    """Apply a per-row ``lookup`` over ``coords`` in `_LOOKUP_CHUNK` windows.
+
+    Chunk results are written straight into one preallocated output (no
+    gather-then-concatenate second copy of the whole-level array)."""
+    total = coords.shape[0]
+    if total <= _LOOKUP_CHUNK:
+        return lookup(coords)
+    first = lookup(coords[:_LOOKUP_CHUNK])
+    out = np.empty((total,) + first.shape[1:], dtype=first.dtype)
+    out[:_LOOKUP_CHUNK] = first
+    for s in range(_LOOKUP_CHUNK, total, _LOOKUP_CHUNK):
+        out[s : s + _LOOKUP_CHUNK] = lookup(coords[s : s + _LOOKUP_CHUNK])
+    return out
+
+
+def _assemble_group_precompute(members: Sequence[_FastEntry]) -> None:
+    """One batched lookup pass + per-unit :class:`_Precomputed` assembly.
+
+    The per-unit arithmetic replicates the two branches of
+    :func:`_fast_precompute` operation for operation (same order, same
+    dtypes) so the default per-unit path and this one are interchangeable."""
+    rep = members[0]
+    pins = rep.unit.pins
+    num_pins = len(pins)
+    has_internal = rep.has_internal
+    miller_caps = rep.unit.miller_caps
+    output_cap = rep.unit.output_cap
+    internal_cap = rep.unit.internal_cap
+    cores = [member.plan.pin_core for member in members]
+    lengths = [core.shape[0] for core in cores]
+    coords = cores[0] if len(cores) == 1 else np.concatenate(cores, axis=0)
+    bounds = np.cumsum([0] + lengths)
+
+    miller_cols = [
+        _chunked_rows(
+            lambda rows, cap=miller_caps[pin], c=column: cap_value_batch(
+                cap, rows[:, c : c + 1]
+            ),
+            coords,
+        )
+        for column, pin in enumerate(pins)
+    ]
+    co_all = _chunked_rows(lambda rows: cap_value_batch(output_cap, rows), coords)
+    cn_all: Optional[np.ndarray] = None
+    in_all: Optional[np.ndarray] = None
+    if has_internal:
+        assert rep.in_table is not None and internal_cap is not None
+        cn_all = _chunked_rows(lambda rows: cap_value_batch(internal_cap, rows), coords)
+        total = coords.shape[0]
+        first_io, first_in = _contract_current_tables(
+            rep.io_table, rep.in_table, coords[:_LOOKUP_CHUNK], num_pins
+        )
+        if total <= _LOOKUP_CHUNK:
+            io_all, in_all = first_io, first_in
+        else:
+            io_all = np.empty((total,) + first_io.shape[1:], dtype=first_io.dtype)
+            in_all = np.empty((total,) + first_in.shape[1:], dtype=first_in.dtype)
+            io_all[:_LOOKUP_CHUNK] = first_io
+            in_all[:_LOOKUP_CHUNK] = first_in
+            for s in range(_LOOKUP_CHUNK, total, _LOOKUP_CHUNK):
+                io_all[s : s + _LOOKUP_CHUNK], in_all[s : s + _LOOKUP_CHUNK] = (
+                    _contract_current_tables(
+                        rep.io_table, rep.in_table, coords[s : s + _LOOKUP_CHUNK], num_pins
+                    )
+                )
+    else:
+        io_all = _chunked_rows(rep.io_table.contract_leading, coords)
+
+    for member, start, stop in zip(members, bounds[:-1], bounds[1:]):
+        plan = member.plan
+        steps = plan.steps
+        load_cap = member.unit.load.constant_capacitance()
+        if plan.constant:
+            miller_row = np.array([miller_cols[c][start] for c in range(num_pins)])
+            denominator_row = load_cap + co_all[start] + miller_row.sum()
+            if denominator_row <= 0:
+                raise ModelError("total output capacitance must be positive")
+            charge = np.zeros(steps)
+            denominator = np.broadcast_to(np.float64(denominator_row), (steps,))
+            in_reduced: Optional[np.ndarray] = None
+            cn: Optional[np.ndarray] = None
+            if has_internal:
+                cn_row = cn_all[start]
+                if cn_row <= 0:
+                    raise ModelError("internal-node capacitance must be positive")
+                cn = np.broadcast_to(np.float64(cn_row), (steps,))
+                in_reduced = in_all[start : start + 1]
+            io_reduced = io_all[start : start + 1]
+            member.pre = _Precomputed(
+                io_reduced, in_reduced, charge, denominator, cn, 0, core_form=True
+            )
+            continue
+
+        first_move, core_stop = plan.first_move, plan.core_stop
+        core = slice(first_move, core_stop)
+        core_len = stop - start
+        miller_matrix = np.empty((core_len, num_pins))
+        for column in range(num_pins):
+            miller_matrix[:, column] = miller_cols[column][start:stop]
+        miller_total = miller_matrix.sum(axis=1)
+        miller_charge = np.zeros(steps)
+        miller_charge[core] = (miller_matrix * plan.deltas_core).sum(axis=1)
+        co = co_all[start:stop]
+        denominator = _expand_core(load_cap + co + miller_total, first_move, core_stop, steps)
+        if np.any(denominator <= 0):
+            raise ModelError("total output capacitance must be positive")
+        in_reduced = None
+        cn = None
+        if has_internal:
+            cn = _expand_core(cn_all[start:stop], first_move, core_stop, steps)
+            if np.any(cn <= 0):
+                raise ModelError("internal-node capacitance must be positive")
+            in_reduced = in_all[start:stop]
+        io_reduced = io_all[start:stop]
+        member.pre = _Precomputed(
+            io_reduced,
+            in_reduced,
+            miller_charge,
+            denominator,
+            cn,
+            plan.stationary_from,
+            core_form=True,
+            first_move=first_move,
+        )
 
 
 #: Below these group sizes the scalar recurrence beats the numpy loop's
@@ -666,6 +957,7 @@ def integrate_model_many(
     options: SimulationOptions,
     t_start: float,
     t_stop: float,
+    shared_precompute: bool = False,
 ) -> Tuple[np.ndarray, List[Tuple[np.ndarray, Optional[np.ndarray]]]]:
     """Integrate many model evaluations in lockstep over one time window.
 
@@ -685,7 +977,11 @@ def integrate_model_many(
 
     The waveforms agree with the per-instance path to well below 1e-9 V
     (the only differences are unit-last-place rounding of the bracketing and
-    the stationary-fill tail).
+    the stationary-fill tail).  With ``shared_precompute`` the table lookups
+    of the precompute stage are additionally concatenated across units of the
+    same model (see :func:`_fill_precompute_shared`); the lookups are
+    per-row, so the precomputed arrays — and therefore the waveforms — are
+    bitwise those of the default per-unit precompute.
 
     Returns ``(times, [(v_out, v_int_or_None), ...])`` in unit order.
     """
@@ -694,9 +990,12 @@ def integrate_model_many(
     output_groups: Dict[Tuple, List[_LockstepMember]] = {}
     internal_groups: Dict[Tuple, List[_LockstepMember]] = {}
     group_axes: Dict[Tuple, Tuple] = {}
+    fast_entries: List[_FastEntry] = []
 
     for index, unit in enumerate(units):
-        missing = [pin for pin in unit.pins if pin not in unit.input_waveforms]
+        rows = unit.input_samples
+        source = rows if rows is not None else unit.input_waveforms
+        missing = [pin for pin in unit.pins if pin not in source]
         if missing:
             raise ModelError(f"missing input waveforms for pins {missing}")
         has_internal = unit.internal_current is not None
@@ -712,9 +1011,18 @@ def integrate_model_many(
             has_internal,
         )
         if not fast:
+            # Slow-path units always integrate from waveforms; SoA rows wrap
+            # back into waveforms on the shared grid (identity resampling).
+            if rows is not None:
+                input_waveforms: Mapping[str, Waveform] = {
+                    pin: Waveform(times, np.asarray(rows[pin], dtype=float), name=pin)
+                    for pin in unit.pins
+                }
+            else:
+                input_waveforms = unit.input_waveforms
             _, v_out, v_int = integrate_model(
                 pins=unit.pins,
-                input_waveforms=unit.input_waveforms,
+                input_waveforms=input_waveforms,
                 output_current=unit.output_current,
                 miller_caps=unit.miller_caps,
                 output_cap=unit.output_cap,
@@ -735,40 +1043,72 @@ def integrate_model_many(
         in_table = unit.internal_current if has_internal else None
         v_low = -options.clip_margin
         v_high = unit.vdd + options.clip_margin
-        input_samples = {
-            pin: np.asarray(unit.input_waveforms[pin].value_at(times), dtype=float)
-            for pin in unit.pins
-        }
-        pre = _fast_precompute(
-            unit.pins,
-            input_samples,
-            times,
-            io_table,
-            in_table,
-            unit.miller_caps,
-            unit.output_cap,
-            unit.internal_cap,
-            unit.load.constant_capacitance(),
-            has_internal,
-        )
+        if rows is not None:
+            input_samples = {}
+            for pin in unit.pins:
+                row = np.asarray(rows[pin], dtype=float)
+                if row.shape != times.shape:
+                    raise ModelError(
+                        f"input_samples row for pin {pin!r} has shape {row.shape}, "
+                        f"expected {times.shape}"
+                    )
+                input_samples[pin] = row
+        else:
+            input_samples = {
+                pin: np.asarray(unit.input_waveforms[pin].value_at(times), dtype=float)
+                for pin in unit.pins
+            }
         initial_output = float(np.clip(unit.initial_output, v_low, v_high))
         initial_internal = None
         if has_internal:
             if unit.initial_internal is None:
                 raise ModelError("initial_internal is required when internal_current is given")
             initial_internal = float(np.clip(unit.initial_internal, v_low, v_high))
-
-        member = _LockstepMember(
-            index=index,
-            pre=pre,
-            has_internal=has_internal,
-            v_low=v_low,
-            v_high=v_high,
-            initial_output=initial_output,
-            initial_internal=initial_internal,
+        fast_entries.append(
+            _FastEntry(
+                index=index,
+                unit=unit,
+                input_samples=input_samples,
+                io_table=io_table,
+                in_table=in_table,
+                has_internal=has_internal,
+                v_low=v_low,
+                v_high=v_high,
+                initial_output=initial_output,
+                initial_internal=initial_internal,
+            )
         )
+
+    if shared_precompute:
+        _fill_precompute_shared(fast_entries, times)
+    else:
+        for entry in fast_entries:
+            entry.pre = _fast_precompute(
+                entry.unit.pins,
+                entry.input_samples,
+                times,
+                entry.io_table,
+                entry.in_table,
+                entry.unit.miller_caps,
+                entry.unit.output_cap,
+                entry.unit.internal_cap,
+                entry.unit.load.constant_capacitance(),
+                entry.has_internal,
+            )
+
+    for entry in fast_entries:
+        member = _LockstepMember(
+            index=entry.index,
+            pre=entry.pre,
+            has_internal=entry.has_internal,
+            v_low=entry.v_low,
+            v_high=entry.v_high,
+            initial_output=entry.initial_output,
+            initial_internal=entry.initial_internal,
+        )
+        io_table = entry.io_table
         vo_axis = io_table.axes[-1]
-        if has_internal:
+        if entry.has_internal:
             vn_axis = io_table.axes[-2]
             key = (vo_axis.points, vn_axis.points)
             internal_groups.setdefault(key, []).append(member)
@@ -788,7 +1128,10 @@ def integrate_model_many(
                 )
                 results[member.index] = (v_out, None)
             continue
-        for member, out in zip(members, _lockstep_output(members, times, vo_axis)):
+        for member, out in zip(
+            members,
+            _lockstep_output(members, times, vo_axis, core_tables=shared_precompute),
+        ):
             results[member.index] = out
 
     for key, members in internal_groups.items():
@@ -802,7 +1145,12 @@ def integrate_model_many(
                 )
                 results[member.index] = (v_out, v_int)
             continue
-        for member, out in zip(members, _lockstep_internal(members, times, vn_axis, vo_axis)):
+        for member, out in zip(
+            members,
+            _lockstep_internal(
+                members, times, vn_axis, vo_axis, core_tables=shared_precompute
+            ),
+        ):
             results[member.index] = out
 
     assert all(result is not None for result in results)
@@ -868,10 +1216,37 @@ def _clip_bounds(members: Sequence[_LockstepMember]):
     )
 
 
+def _core_index_map(
+    members: Sequence[_LockstepMember], steps: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-(step, member) core-row indices for core-form reduced tables.
+
+    Step ``k`` of member ``b`` reads core row ``clip(k - first_move, 0,
+    rows_b - 1)`` — exactly the row :func:`_expand_core` would have placed at
+    ``k`` (the flanks replicate the core's edge rows), so gathering through
+    this map is bitwise identical to gathering the expanded stack.
+    """
+    lens = np.array([m.pre.io_reduced.shape[0] for m in members], dtype=np.intp)
+    fms = np.array([m.pre.first_move for m in members], dtype=np.intp)
+    idx_map = np.clip(
+        np.arange(steps, dtype=np.intp)[:, None] - fms[None, :], 0, (lens - 1)[None, :]
+    )
+    return lens, idx_map
+
+
 def _lockstep_output(
-    members: Sequence[_LockstepMember], times: np.ndarray, vo_axis
+    members: Sequence[_LockstepMember],
+    times: np.ndarray,
+    vo_axis,
+    core_tables: bool = False,
 ) -> List[Tuple[np.ndarray, Optional[np.ndarray]]]:
-    """Vectorized-across-units recurrence for models without internal node."""
+    """Vectorized-across-units recurrence for models without internal node.
+
+    ``core_tables`` (the tensor engine's shared precompute) packs only each
+    member's moving-core rows instead of the full ``(steps, B, nO)`` stack and
+    routes the per-step gather through :func:`_core_index_map`; the gather
+    reads the same values either way, so the recurrence is bitwise unchanged.
+    """
     batch = len(members)
     num_steps = len(times)
     steps = num_steps - 1
@@ -882,13 +1257,20 @@ def _lockstep_output(
     stationary_from = max(m.pre.stationary_from for m in members)
 
     # Per-step tables packed (steps, B, nO): one contiguous row per step.
-    table = np.empty((steps, batch, n_out))
-    charge = np.empty((steps, batch))
-    denom = np.empty((steps, batch))
+    core = core_tables and all(m.pre.core_form for m in members)
+    if core:
+        lens, idx_map = _core_index_map(members, steps)
+        table = np.empty((int(lens.max()), batch, n_out))
+    else:
+        table = np.empty((steps, batch, n_out))
     for b, member in enumerate(members):
-        table[:, b, :] = member.pre.io_reduced
-        charge[:, b] = member.pre.charge
-        denom[:, b] = member.pre.denom
+        if core:
+            table[: member.pre.io_reduced.shape[0], b, :] = member.pre.io_reduced
+        else:
+            table[:, b, :] = member.pre.io_reduced
+    # One stacked elementwise pass instead of B column assignments.
+    charge = np.stack([m.pre.charge for m in members], axis=1)
+    denom = np.stack([m.pre.denom for m in members], axis=1)
     offsets = np.array([[0], [1]], dtype=np.intp)  # i, i + 1
 
     v_out = np.empty((batch, num_steps))
@@ -896,7 +1278,8 @@ def _lockstep_output(
     v_out[:, 0] = vo
     for k in range(steps):
         i, frac = _bracket_array(vo, pts, spans, n_out, inv_h)
-        corners = table[k][rows, i[None, :] + offsets]  # (2, B)
+        cols = i[None, :] + offsets
+        corners = table[idx_map[k], rows, cols] if core else table[k][rows, cols]  # (2, B)
         io_val = corners[0] + frac * (corners[1] - corners[0])
         new_vo = vo + (charge[k] - io_val * dt[k]) / denom[k]
         new_vo = np.maximum(np.minimum(new_vo, v_high), v_low)
@@ -910,7 +1293,11 @@ def _lockstep_output(
 
 
 def _lockstep_internal(
-    members: Sequence[_LockstepMember], times: np.ndarray, vn_axis, vo_axis
+    members: Sequence[_LockstepMember],
+    times: np.ndarray,
+    vn_axis,
+    vo_axis,
+    core_tables: bool = False,
 ) -> List[Tuple[np.ndarray, Optional[np.ndarray]]]:
     """Vectorized-across-units recurrence for internal-node (MCSM) models.
 
@@ -918,6 +1305,13 @@ def _lockstep_internal(
     ``VN`` grids coincide (they do for :func:`~repro.lut.grid.voltage_axis`
     characterizations), and the two tables' four bilinear corners are fetched
     with a single 8-point gather per step.
+
+    ``core_tables`` (the tensor engine's shared precompute) packs only each
+    member's moving-core rows instead of the full ``(steps, B, 2 * nN * nO)``
+    stack — the stack for a whole-level settle otherwise costs a >100 MB
+    materialized copy of flank rows — and routes the per-step gather through
+    :func:`_core_index_map`.  The gather reads the same values either way, so
+    the recurrence is bitwise unchanged.
     """
     batch = len(members)
     num_steps = len(times)
@@ -941,16 +1335,26 @@ def _lockstep_internal(
     # two state updates are packed as ``state + drive - vals * rate`` with
     # drive = (Q_M/C, 0) and rate = (dt/C, dt/C_N), so one fused arithmetic
     # sequence advances Vo and VN together.
-    table = np.empty((steps, batch, 2 * size))
-    drive = np.zeros((steps, 2, batch))
-    rate = np.empty((steps, 2, batch))
+    core = core_tables and all(m.pre.core_form for m in members)
+    if core:
+        lens, idx_map = _core_index_map(members, steps)
+        table = np.empty((int(lens.max()), batch, 2 * size))
+    else:
+        table = np.empty((steps, batch, 2 * size))
     for b, member in enumerate(members):
         pre = member.pre
-        table[:, b, :size] = pre.io_reduced.reshape(steps, size)
-        table[:, b, size:] = pre.in_reduced.reshape(steps, size)
-        drive[:, 0, b] = pre.charge / pre.denom
-        rate[:, 0, b] = dt / pre.denom
-        rate[:, 1, b] = dt / pre.cn
+        rows_b = pre.io_reduced.shape[0] if core else steps
+        table[:rows_b, b, :size] = pre.io_reduced.reshape(rows_b, size)
+        table[:rows_b, b, size:] = pre.in_reduced.reshape(rows_b, size)
+    # One stacked elementwise pass instead of 3B per-member divisions.
+    charge_mat = np.stack([m.pre.charge for m in members])  # (B, steps)
+    denom_mat = np.stack([m.pre.denom for m in members])
+    cn_mat = np.stack([m.pre.cn for m in members])
+    drive = np.zeros((steps, 2, batch))
+    rate = np.empty((steps, 2, batch))
+    drive[:, 0, :] = (charge_mat / denom_mat).T
+    rate[:, 0, :] = (dt[None, :] / denom_mat).T
+    rate[:, 1, :] = (dt[None, :] / cn_mat).T
     # Corner offsets: (i, i+1) x (j, j+1) for Io, then the same for I_N.
     quad = np.array([0, 1, n_out, n_out + 1], dtype=np.intp)
     offsets = np.concatenate([quad, quad + size])[:, None]  # (8, 1)
@@ -974,7 +1378,8 @@ def _lockstep_internal(
             i, fo = _bracket_array(state[0], o_pts, o_spans, n_out, o_inv)
             j, fn = _bracket_array(state[1], n_pts, n_spans, n_int, n_inv)
         base = j * n_out + i
-        corners = table[k][rows, base[None, :] + offsets]  # (8, B)
+        cols = base[None, :] + offsets
+        corners = table[idx_map[k], rows, cols] if core else table[k][rows, cols]  # (8, B)
         g = corners.reshape(2, 2, 2, batch)  # (table, j/j+1, i/i+1, B)
         row_interp = g[:, :, 0] + fo * (g[:, :, 1] - g[:, :, 0])  # (2, 2, B)
         vals = row_interp[:, 0] + fn * (row_interp[:, 1] - row_interp[:, 0])

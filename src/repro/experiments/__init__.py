@@ -20,7 +20,15 @@ One module per figure:
 from .common import ExperimentContext, HISTORY_LABELS, default_context, nor2_history_patterns
 from .fig3_internal_node import Fig3Result, run_fig3
 from .sta_scaling import StaScalePoint, StaScaleResult, run_sta_scale, timing_models_for
-from .corner_sweep import CornerStaPoint, CornerSweepResult, corner_sta_sweep, run_corner_sweep
+from .corner_sweep import (
+    CornerStaPoint,
+    CornerSweepResult,
+    NLDMCornerPoint,
+    NLDMCornerSweepResult,
+    corner_sta_sweep,
+    nldm_corner_sweep,
+    run_corner_sweep,
+)
 from .fig4_output_history import Fig4Result, run_fig4
 from .fig5_delay_difference import Fig5Result, Fig5Row, run_fig5
 from .fig9_accuracy import Fig9Case, Fig9Result, run_fig9
@@ -55,7 +63,10 @@ __all__ = [
     "run_sta_scale",
     "CornerStaPoint",
     "CornerSweepResult",
+    "NLDMCornerPoint",
+    "NLDMCornerSweepResult",
     "corner_sta_sweep",
+    "nldm_corner_sweep",
     "run_corner_sweep",
     "timing_models_for",
 ]

@@ -19,13 +19,26 @@ from typing import Dict, List, Optional, Sequence
 
 from ..cells.library import default_library
 from ..exceptions import TimingError
-from ..sta.engine import CSMEngine
-from ..sta.generate import generate_netlist, primary_input_waveforms
+from ..runtime.cache import ResultCache
+from ..sta.engine import CSMEngine, NLDMEngine
+from ..sta.generate import (
+    generate_netlist,
+    primary_input_events,
+    primary_input_waveforms,
+)
 from ..sta.models import TimingModelLibrary
 from ..technology.corners import corner_sweep
 from .common import ExperimentContext, default_context
 
-__all__ = ["CornerStaPoint", "CornerSweepResult", "corner_sta_sweep", "run_corner_sweep"]
+__all__ = [
+    "CornerStaPoint",
+    "CornerSweepResult",
+    "NLDMCornerPoint",
+    "NLDMCornerSweepResult",
+    "corner_sta_sweep",
+    "nldm_corner_sweep",
+    "run_corner_sweep",
+]
 
 #: Default corner set and workload of the registered experiment.
 DEFAULT_CORNERS = ("TT", "FF", "SS")
@@ -143,6 +156,82 @@ def corner_sta_sweep(
     return CornerSweepResult(
         spec=spec, seed=seed, gates=gates, reference_corner=reference, points=points
     )
+
+
+@dataclass
+class NLDMCornerPoint:
+    """Event timing of one design at one process corner (NLDM view)."""
+
+    corner: str
+    vdd: float
+    arrivals: Dict[str, Optional[float]]  # primary output -> worst arrival (s)
+    stats: Dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class NLDMCornerSweepResult:
+    """An NLDM corner sweep, all corners served by one shared store."""
+
+    spec: str
+    seed: int
+    gates: int
+    points: List[NLDMCornerPoint]
+
+    def stats_by_corner(self) -> Dict[str, Dict[str, int]]:
+        return {point.corner: dict(point.stats) for point in self.points}
+
+
+def nldm_corner_sweep(
+    context: ExperimentContext,
+    spec: str = DEFAULT_SPEC,
+    corners: Sequence[str] = DEFAULT_CORNERS,
+    seed: int = 0,
+    cache: Optional[ResultCache] = None,
+) -> NLDMCornerSweepResult:
+    """Sweep one design's NLDM events across corners through ONE shared store.
+
+    Every corner's engine is handed the same content-addressed cache
+    (``cache`` or the context's): propagation keys embed the corner's
+    technology through the cell digest, so distinct corners hash to disjoint
+    keys — a cold sweep sees zero cross-corner hits — while a re-run of any
+    corner against the same store is served entirely from disk (the
+    ``full_run_hit`` / ``cache_hits`` counters the incremental tests pin
+    down).  One store for the whole sweep, not one per corner.
+    """
+    shared = cache if cache is not None else context.cache
+    technologies = corner_sweep(context.technology, corners)
+    points: List[NLDMCornerPoint] = []
+    gates = 0
+    for corner_name, technology in technologies.items():
+        library = default_library(technology)
+        models = TimingModelLibrary(
+            library=library,
+            config=context.characterization,
+            executor=context.executor,
+            cache=shared,
+        )
+        netlist = generate_netlist(library, spec)
+        gates = len(netlist.instances)
+        events = primary_input_events(netlist, seed=seed)
+
+        engine = NLDMEngine(netlist, models, cache=shared)
+        result = engine.run(events)
+
+        arrivals: Dict[str, Optional[float]] = {}
+        for net in netlist.primary_outputs:
+            try:
+                arrivals[net] = result.arrival(net)
+            except TimingError:
+                arrivals[net] = None  # output never switches at this corner
+        points.append(
+            NLDMCornerPoint(
+                corner=corner_name,
+                vdd=technology.vdd,
+                arrivals=arrivals,
+                stats=dict(result.stats or {}),
+            )
+        )
+    return NLDMCornerSweepResult(spec=spec, seed=seed, gates=gates, points=points)
 
 
 def run_corner_sweep(

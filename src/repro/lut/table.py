@@ -208,20 +208,39 @@ class NDTable:
     def _contract_apply(
         self, lows: np.ndarray, fracs: np.ndarray, rows: np.ndarray
     ) -> np.ndarray:
-        """Apply precomputed bracket weights (see :meth:`_contract_weights`)."""
+        """Apply precomputed bracket weights (see :meth:`_contract_weights`).
+
+        The ``2**L`` corner blocks (each ``(rows, *tail)``) are gathered
+        directly from a block-flattened view and combined axis by axis with
+        the same weight arithmetic, in the same order, as a sequential
+        one-axis-at-a-time reduction — bitwise the same result, without
+        materializing the ``(rows, axis_len, *tail)`` intermediate of the
+        first contracted axis (whose off-bracket elements the later axes
+        would discard anyway).
+        """
         num_rows, num_contracted = lows.shape
-        reduced: Optional[np.ndarray] = None
+        shape = self.values.shape
+        tail_shape = shape[num_contracted:]
+        tail_ones = (1,) * len(tail_shape)
+        strides = [1] * num_contracted
+        for dim in range(num_contracted - 2, -1, -1):
+            strides[dim] = strides[dim + 1] * shape[dim + 1]
+        blocks = self.values.reshape((-1,) + tail_shape)
+        base = lows[:, 0] * strides[0]
+        for dim in range(1, num_contracted):
+            base = base + lows[:, dim] * strides[dim]
+        partial = {
+            bits: blocks[base + sum(b * s for b, s in zip(bits, strides))]
+            for bits in itertools.product((0, 1), repeat=num_contracted)
+        }
         for dim in range(num_contracted):
-            low = lows[:, dim]
-            tail = (1,) * (self.ndim - dim - 1)
-            high_weight = fracs[:, dim].reshape((num_rows,) + tail)
+            high_weight = fracs[:, dim].reshape((num_rows,) + tail_ones)
             low_weight = 1.0 - high_weight
-            if reduced is None:
-                reduced = self.values[low] * low_weight + self.values[low + 1] * high_weight
-            else:
-                reduced = reduced[rows, low] * low_weight + reduced[rows, low + 1] * high_weight
-        assert reduced is not None
-        return reduced
+            partial = {
+                rest: partial[(0,) + rest] * low_weight + partial[(1,) + rest] * high_weight
+                for rest in itertools.product((0, 1), repeat=num_contracted - dim - 1)
+            }
+        return partial[()]
 
     def evaluate_dict(self, coordinates: Mapping[str, float]) -> float:
         """Interpolate using axis names as keys."""

@@ -88,6 +88,12 @@ def _is_waveform(value: Any) -> bool:
     return isinstance(value, Waveform)
 
 
+def _is_level_tensor(value: Any) -> bool:
+    from ..waveform.level_tensor import LevelTensor
+
+    return isinstance(value, LevelTensor)
+
+
 def _encode(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
     # Numpy scalars first: np.float64 subclasses float, and repr() of the
     # subclass ('np.float64(…)') would not round-trip through float().
@@ -125,6 +131,16 @@ def _encode(value: Any, arrays: Dict[str, np.ndarray]) -> Any:
             "name": value.name,
             "times": _encode(value.times, arrays),
             "values": _encode(value.values, arrays),
+        }
+    if _is_level_tensor(value):
+        # The value tensor dominates the payload; on the packed store it
+        # decodes back as a single zero-copy memmap view per level.
+        return {
+            "t": "leveltensor",
+            "names": list(value.names),
+            "values": _encode(value.values, arrays),
+            "t0": _encode(value.t0, arrays),
+            "dt": _encode(value.dt, arrays),
         }
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         cls_name = type(value).__name__
@@ -172,6 +188,15 @@ def _decode(node: Any, arrays: Dict[str, np.ndarray]) -> Any:
             _decode(node["times"], arrays),
             _decode(node["values"], arrays),
             name=node["name"],
+        )
+    if tag == "leveltensor":
+        from ..waveform.level_tensor import LevelTensor
+
+        return LevelTensor(
+            node["names"],
+            _decode(node["values"], arrays),
+            _decode(node["t0"], arrays),
+            _decode(node["dt"], arrays),
         )
     if tag == "object":
         cls = _registered_classes()[node["cls"]]

@@ -350,7 +350,11 @@ def _run_sta_mode(args) -> int:
         results = {}
         for engine_kind in engines:
             engine = CSMEngine(
-                netlist, models, options=options, batched=engine_kind == "batched"
+                netlist,
+                models,
+                options=options,
+                batched=engine_kind == "batched",
+                tensor=args.tensor == "on",
             )
             start = time.perf_counter()
             results[engine_kind] = engine.run(waveforms)
@@ -456,6 +460,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         default="batched",
         help="--sta mode: which waveform engine(s) to run; 'both' additionally "
         "asserts <=1e-9 V equivalence (default: batched)",
+    )
+    parser.add_argument(
+        "--tensor",
+        choices=("on", "off"),
+        default="on",
+        help="--sta mode: whole-level structure-of-arrays propagation for the "
+        "batched engine; 'off' falls back to per-instance batching (default: on)",
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="--sta mode: stimulus seed (default: 0)"

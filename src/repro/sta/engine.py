@@ -38,11 +38,12 @@ from ..csm.base import SimulationOptions
 from ..csm.dc import settle_units
 from ..csm.loads import CapacitiveLoad, Load, ReceiverLoad
 from ..csm.models import MCSM, BaselineMISCSM, SISCSM
-from ..csm.simulate import BatchUnit, integrate_model_many
+from ..csm.simulate import BatchUnit, integrate_model_many, simulation_time_grid
 from ..exceptions import TimingError
 from ..runtime.cache import ResultCache
 from ..runtime.executor import Executor, run_jobs
 from ..runtime.jobs import Job, content_hash
+from ..waveform.level_tensor import LevelTensor
 from ..waveform.metrics import crossing_times
 from ..waveform.waveform import Waveform
 from .events import TimingEvent, detect_mis_pairs
@@ -569,6 +570,25 @@ class _StructuralPlan:
 
 
 @dataclass
+class _TensorPlan:
+    """Model-free description of one instance on the tensor path.
+
+    The structure-of-arrays twin of :class:`_StructuralPlan`: switching
+    classification and the propagation key are computed from the level
+    tensors' sample rows, so no per-pin :class:`Waveform` objects are
+    materialized on the hot path.
+    """
+
+    instance: GateInstance
+    output_net: str
+    pins: Tuple[str, ...]
+    mis: bool
+    label: str
+    load: Load
+    key: Optional[str] = None
+
+
+@dataclass
 class _InstancePlan:
     """Everything needed to evaluate one instance of a level."""
 
@@ -614,6 +634,17 @@ class CSMEngine(TimingEngine):
     use_cache:
         Disable all propagation fingerprinting/memoization (the pre-PR4
         always-integrate behaviour) when false.
+    tensor:
+        When true (default) the batched path carries each level as one flat
+        ``(instances, corners, samples)`` :class:`LevelTensor` — per-net
+        sample rows gathered by index instead of per-instance ``Waveform``
+        regrouping — with the per-level table lookups additionally batched
+        across instances of the same model, and the propagation cache spills
+        each level as a single record (per-instance entries become row
+        pointers into it).  The produced waveforms are **bitwise** those of
+        the plain batched path (the shared lookups are per-row operations),
+        so both share the ``"batched"`` cache namespace.  Ignored when
+        ``batched`` is false.
     """
 
     def __init__(
@@ -624,10 +655,12 @@ class CSMEngine(TimingEngine):
         batched: bool = True,
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
+        tensor: bool = True,
     ):
         super().__init__(netlist, models)
         self.options = options or SimulationOptions()
         self.batched = batched
+        self.tensor = tensor
         self.vdd = netlist.library.technology.vdd
         self.cache = cache if cache is not None else models.cache
         self.use_cache = use_cache
@@ -637,6 +670,15 @@ class CSMEngine(TimingEngine):
         # ones — that is what makes a re-run after an ECO edit incremental
         # even without a disk cache.
         self._memo: Dict[str, Waveform] = {}
+        #: Level-record key -> decoded LevelTensor; content-addressed like
+        #: the waveform memo, so it too survives netlist edits.
+        self._level_tensors: Dict[str, LevelTensor] = {}
+        #: Instance name -> structured output load; purely structural, so it
+        #: is dropped whenever the netlist revision changes.
+        self._load_cache: Dict[str, Load] = {}
+
+    def _on_structure_change(self) -> None:
+        self._load_cache = {}
 
     # -- fingerprints --------------------------------------------------
     def _mode(self) -> str:
@@ -730,6 +772,55 @@ class CSMEngine(TimingEngine):
         }
         model_used: Dict[str, str] = {}
 
+        if self.batched and self.tensor:
+            self._propagate_tensor(
+                levels,
+                input_waveforms,
+                waveforms,
+                model_used,
+                stats,
+                t_start,
+                t_stop,
+                context,
+                net_keys,
+                caching,
+            )
+        else:
+            self._propagate_waveforms(
+                levels, waveforms, model_used, stats, t_start, t_stop, context, net_keys, caching
+            )
+
+        result = WaveformTimingResult(
+            waveforms=waveforms,
+            model_used=model_used,
+            netlist_name=self.netlist.name,
+            vdd=self.vdd,
+            stats=stats.as_dict(),
+        )
+        if run_key is not None:
+            self.cache.store(run_key, result)
+        self.last_stats = stats
+        return result
+
+    # ------------------------------------------------------------------
+    def _propagate_waveforms(
+        self,
+        levels: Sequence[Sequence[GateInstance]],
+        waveforms: Dict[str, Waveform],
+        model_used: Dict[str, str],
+        stats: PropagationStats,
+        t_start: float,
+        t_stop: float,
+        context: str,
+        net_keys: Dict[str, str],
+        caching: bool,
+    ) -> None:
+        """The per-instance-waveform level loop (legacy batched + sequential)."""
+        run_times: Optional[np.ndarray] = None
+        if self.batched:
+            # Needed to resolve level-row pointer entries that a tensor run
+            # may have stored under the shared "batched" namespace.
+            run_times = simulation_time_grid(t_start, t_stop, self.options)
         for level in levels:
             pending: List[_StructuralPlan] = []
             duplicates: List[_StructuralPlan] = []
@@ -743,7 +834,7 @@ class CSMEngine(TimingEngine):
                     pending.append(splan)
                     continue
                 net_keys[splan.output_net] = splan.key
-                wave = self._lookup_waveform(splan.key, stats)
+                wave = self._lookup_waveform(splan.key, stats, run_times)
                 if wave is not None:
                     waveforms[splan.output_net] = wave.renamed(splan.output_net)
                 elif splan.key in first_with_key:
@@ -771,31 +862,316 @@ class CSMEngine(TimingEngine):
                 stats.duplicates += 1
                 waveforms[splan.output_net] = self._memo[splan.key].renamed(splan.output_net)
 
-        result = WaveformTimingResult(
-            waveforms=waveforms,
-            model_used=model_used,
-            netlist_name=self.netlist.name,
-            vdd=self.vdd,
-            stats=stats.as_dict(),
-        )
-        if run_key is not None:
-            self.cache.store(run_key, result)
-        self.last_stats = stats
-        return result
-
     # ------------------------------------------------------------------
-    def _lookup_waveform(self, key: str, stats: PropagationStats) -> Optional[Waveform]:
-        """Memo, then disk; counts the provenance on the run's stats."""
+    def _lookup_waveform(
+        self, key: str, stats: PropagationStats, times: Optional[np.ndarray] = None
+    ) -> Optional[Waveform]:
+        """Memo, then disk; counts the provenance on the run's stats.
+
+        Disk entries are either plain waveforms or level-row pointers left by
+        a tensor run's whole-level spill; the latter resolve through
+        :meth:`_resolve_cached` (an unresolvable pointer is a miss — the
+        instance just re-integrates)."""
         if key in self._memo:
             stats.memo_hits += 1
             return self._memo[key]
         if self.cache is not None:
             hit, value = self.cache.lookup(key)
             if hit:
+                wave = self._resolve_cached(value, times)
+                if wave is None:
+                    return None
                 stats.cache_hits += 1
-                self._memo[key] = value
-                return value
+                self._memo[key] = wave
+                return wave
         return None
+
+    def _resolve_cached(
+        self, value: object, times: Optional[np.ndarray]
+    ) -> Optional[Waveform]:
+        """Turn a cache entry into a waveform on the run grid.
+
+        ``{"t": "level-row", "level": <key>, "row": <r>}`` pointers are
+        resolved against the in-memory level-tensor memo, then the disk
+        cache's level record; the reconstructed waveform reuses the engine's
+        run grid (``times``), which the level's rows are on by construction —
+        the context digest embeds the window and options, so a key hit
+        implies the same grid.  Anything unresolvable is reported as a miss.
+        """
+        if isinstance(value, Waveform):
+            return value
+        if not (isinstance(value, dict) and value.get("t") == "level-row"):
+            return None
+        if times is None:
+            return None
+        level_key = value.get("level")
+        row = value.get("row")
+        if not isinstance(level_key, str) or not isinstance(row, int):
+            return None
+        tensor = self._level_tensors.get(level_key)
+        if tensor is None and self.cache is not None:
+            hit, record = self.cache.lookup(level_key)
+            if hit and isinstance(record, dict):
+                candidate = record.get("tensor")
+                if isinstance(candidate, LevelTensor):
+                    tensor = candidate
+                    self._level_tensors[level_key] = tensor
+        if (
+            tensor is None
+            or tensor.num_samples != len(times)
+            or not 0 <= row < tensor.num_rows
+        ):
+            return None
+        return Waveform(times, tensor.row_values(row), name=tensor.names[row])
+
+    # ------------------------------------------------------------------
+    # Structure-of-arrays (level tensor) propagation
+    # ------------------------------------------------------------------
+    def _propagate_tensor(
+        self,
+        levels: Sequence[Sequence[GateInstance]],
+        input_waveforms: Dict[str, Waveform],
+        waveforms: Dict[str, Waveform],
+        model_used: Dict[str, str],
+        stats: PropagationStats,
+        t_start: float,
+        t_stop: float,
+        context: str,
+        net_keys: Dict[str, str],
+        caching: bool,
+    ) -> None:
+        """The tensorized level loop: every driven net lives as one row of a
+        :class:`LevelTensor` on the run grid, instances gather their input
+        rows by index, and each level's outputs are scattered into a fresh
+        tensor that the propagation cache spills as a single record.
+
+        Bitwise-equivalence bookkeeping vs the per-waveform batched loop:
+
+        * driven rows ARE the legacy waveform sample arrays (same grid, same
+          integration), so switching classification and settle initial values
+          computed from them match exactly;
+        * primary inputs are classified and settled from their *original*
+          waveforms — their resampled rows could miss inter-grid peaks and
+          ``values[0]`` when the stimulus starts before the run window;
+        * stable nets reuse the legacy constant-at-non-controlling-level
+          semantics (a constant row interpolates to exactly the level).
+        """
+        times = simulation_time_grid(t_start, t_stop, self.options)
+        step = float(times[1] - times[0])
+        threshold = SWITCHING_THRESHOLD_FRACTION * self.vdd
+        rows: Dict[str, np.ndarray] = {}
+        initials: Dict[str, float] = {}
+        switching: Dict[str, bool] = {}
+        for net, wave in input_waveforms.items():
+            rows[net] = np.asarray(wave.value_at(times), dtype=float)
+            initials[net] = float(wave.initial_value())
+            switching[net] = self._is_switching(wave)
+
+        def admit(net: str, values: np.ndarray) -> None:
+            rows[net] = values
+            initials[net] = float(values[0])
+            switching[net] = float(values.max() - values.min()) > threshold
+
+        for level in levels:
+            pending: List[_TensorPlan] = []
+            duplicates: List[_TensorPlan] = []
+            first_with_key: Dict[str, _TensorPlan] = {}
+            for instance in level:
+                tplan = self._tensor_plan(
+                    instance, switching, context, net_keys if caching else None
+                )
+                model_used[tplan.instance.name] = tplan.label
+                if tplan.key is None:
+                    pending.append(tplan)
+                    continue
+                net_keys[tplan.output_net] = tplan.key
+                wave = self._lookup_waveform(tplan.key, stats, times)
+                if wave is not None:
+                    out = wave.renamed(tplan.output_net)
+                    waveforms[tplan.output_net] = out
+                    admit(tplan.output_net, out.values)
+                elif tplan.key in first_with_key:
+                    duplicates.append(tplan)
+                else:
+                    first_with_key[tplan.key] = tplan
+                    pending.append(tplan)
+
+            if pending:
+                tensor = self._evaluate_level_tensor(
+                    pending, rows, initials, times, t_start, step, t_stop
+                )
+                stats.integrations += len(pending)
+                for r, tplan in enumerate(pending):
+                    values = tensor.row_values(r)
+                    wave = Waveform(times, values, name=tplan.output_net)
+                    waveforms[tplan.output_net] = wave
+                    admit(tplan.output_net, values)
+                if caching:
+                    self._spill_level(pending, tensor, waveforms, context, stats)
+
+            for tplan in duplicates:
+                stats.duplicates += 1
+                out = self._memo[tplan.key].renamed(tplan.output_net)
+                waveforms[tplan.output_net] = out
+                admit(tplan.output_net, out.values)
+
+    def _tensor_plan(
+        self,
+        instance: GateInstance,
+        switching: Dict[str, bool],
+        context: str,
+        net_keys: Optional[Dict[str, str]],
+    ) -> _TensorPlan:
+        """Model selection, load and propagation key from net rows alone.
+
+        The same decisions as :meth:`_structural_plan` — switching pins from
+        the already-admitted per-net classification (stable nets default to
+        not switching, exactly like their constant pin waveforms), loads from
+        the per-instance structural cache — with no ``Waveform`` objects
+        touched."""
+        cell = self._cell(instance)
+        output_net = instance.connections[cell.output]
+        switching_pins = [
+            pin for pin in cell.inputs if switching.get(instance.connections[pin], False)
+        ]
+
+        if len(switching_pins) >= 2 and cell.num_inputs >= 2:
+            pins = (switching_pins[0], switching_pins[1])
+            mis = True
+            label = "MCSM" if self.models._mis_kind(cell) == "mcsm" else "BaselineMISCSM"
+        else:
+            pin = switching_pins[0] if switching_pins else cell.inputs[0]
+            pins = (pin,)
+            mis = False
+            label = f"SISCSM[{pin}]"
+
+        load = self._load_cache.get(instance.name)
+        if load is None:
+            load = self._output_load(instance)
+            self._load_cache[instance.name] = load
+
+        key = None
+        if net_keys is not None:
+            inputs = [
+                (pin, net_keys.get(instance.connections[pin], "primary-constant"))
+                for pin in cell.inputs
+            ]
+            key = content_hash(
+                "sta-propagation",
+                context,
+                self._cell_digest(instance.cell_name),
+                load,
+                inputs,
+            )
+        return _TensorPlan(
+            instance=instance,
+            output_net=output_net,
+            pins=pins,
+            mis=mis,
+            label=label,
+            load=load,
+            key=key,
+        )
+
+    def _evaluate_level_tensor(
+        self,
+        pending: Sequence[_TensorPlan],
+        rows: Dict[str, np.ndarray],
+        initials: Dict[str, float],
+        times: np.ndarray,
+        t_start: float,
+        step: float,
+        t_stop: float,
+    ) -> LevelTensor:
+        """Settle + integrate one level from sample rows, returning the
+        level's output tensor (one row per pending instance, in order)."""
+        plans: List[_InstancePlan] = []
+        for tplan in pending:
+            if tplan.mis:
+                model = self.models.mis_model(tplan.instance.cell_name, *tplan.pins)
+            else:
+                model = self.models.sis_model(tplan.instance.cell_name, tplan.pins[0])
+            plans.append(
+                _InstancePlan(
+                    instance=tplan.instance,
+                    output_net=tplan.output_net,
+                    model=model,
+                    pins=tplan.pins,
+                    waves={},
+                    load=tplan.load,
+                    label=tplan.label,
+                )
+            )
+
+        constant_units = []
+        for tplan, plan in zip(pending, plans):
+            constants = {}
+            for pin in plan.pins:
+                net = tplan.instance.connections[pin]
+                if net in initials:
+                    value = initials[net]
+                else:
+                    value = self._cell(tplan.instance).non_controlling_value(pin) * self.vdd
+                constants[pin] = Waveform.constant(
+                    value, 0.0, self.options.settle_time, name=pin
+                )
+            constant_units.append(self._unit(plan, constants, self.vdd / 2.0, self.vdd / 2.0))
+        settled = settle_units(constant_units, self.options, batched_polish=True)
+
+        units = []
+        for tplan, plan, (initial_output, initial_internal) in zip(pending, plans, settled):
+            samples: Dict[str, np.ndarray] = {}
+            for pin in plan.pins:
+                net = tplan.instance.connections[pin]
+                if net in rows:
+                    samples[pin] = rows[net]
+                else:
+                    level_v = self._cell(tplan.instance).non_controlling_value(pin) * self.vdd
+                    samples[pin] = np.full(times.shape, float(level_v))
+            units.append(
+                self._unit(plan, {}, initial_output, initial_internal, samples=samples)
+            )
+        _, outputs = integrate_model_many(
+            units, self.options, t_start, t_stop, shared_precompute=True
+        )
+        values = np.stack([v_out for v_out, _ in outputs])
+        return LevelTensor([plan.output_net for plan in plans], values, t_start, step)
+
+    def _spill_level(
+        self,
+        pending: Sequence[_TensorPlan],
+        tensor: LevelTensor,
+        waveforms: Dict[str, Waveform],
+        context: str,
+        stats: PropagationStats,
+    ) -> None:
+        """Memoize the level's waveform views and spill the level to disk.
+
+        On disk the level becomes ONE record (the whole tensor) under a
+        content key over its instances' propagation keys; each per-instance
+        entry is a tiny ``{"t": "level-row"}`` pointer that lives inline in
+        the packed store's index.  ``stats.stores`` counts the per-instance
+        entries, matching the per-waveform path's accounting.
+        """
+        keys = [tplan.key for tplan in pending]
+        for tplan in pending:
+            self._memo[tplan.key] = waveforms[tplan.output_net]
+        if self.cache is None:
+            return
+        level_key = content_hash("sta-level", context, keys)
+        items: List[Tuple[str, object]] = [
+            (tplan.key, {"t": "level-row", "level": level_key, "row": r})
+            for r, tplan in enumerate(pending)
+        ]
+        items.append((level_key, {"keys": keys, "tensor": tensor}))
+        store_many = getattr(self.cache, "store_many", None)
+        if store_many is not None:
+            store_many(items)
+        else:
+            for item_key, item_value in items:
+                self.cache.store(item_key, item_value)
+        stats.stores += len(pending)
+        self._level_tensors[level_key] = tensor
 
     def _structural_plan(
         self,
@@ -935,6 +1311,7 @@ class CSMEngine(TimingEngine):
         waves: Mapping[str, Waveform],
         initial_output: float,
         initial_internal: Optional[float],
+        samples: Optional[Mapping[str, np.ndarray]] = None,
     ) -> BatchUnit:
         model = plan.model
         return BatchUnit(
@@ -949,6 +1326,7 @@ class CSMEngine(TimingEngine):
             internal_current=model.in_table if plan.has_internal else None,
             internal_cap=model.internal_cap if plan.has_internal else None,
             initial_internal=initial_internal if plan.has_internal else None,
+            input_samples=samples,
         )
 
     # ------------------------------------------------------------------

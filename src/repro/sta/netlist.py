@@ -72,6 +72,8 @@ class NetConnectivity:
 
     drivers: Dict[str, GateInstance]
     receivers: Dict[str, List[Tuple[GateInstance, str]]]
+    _net_index: Optional[Dict[str, int]] = field(default=None, repr=False, compare=False)
+    _csr: Optional[Tuple[Any, ...]] = field(default=None, repr=False, compare=False)
 
     @classmethod
     def of(cls, netlist: "GateNetlist") -> "NetConnectivity":
@@ -95,6 +97,60 @@ class NetConnectivity:
 
     def receivers_of(self, net: str) -> List[Tuple[GateInstance, str]]:
         return self.receivers.get(net, [])
+
+    # ------------------------------------------------------------------
+    # Index-array (structure-of-arrays) views, for the tensorized engines
+    # ------------------------------------------------------------------
+    @property
+    def net_index(self) -> Dict[str, int]:
+        """Net name -> dense integer id over every net this snapshot knows.
+
+        Ids are assigned in sorted-name order, so two snapshots of equal
+        netlists agree.  Backs the CSR receiver arrays and the level-tensor
+        row registries of the tensorized propagation path.
+        """
+        if self._net_index is None:
+            nets = sorted(set(self.drivers) | set(self.receivers))
+            object.__setattr__(  # dataclass may be frozen-by-convention
+                self, "_net_index", {net: i for i, net in enumerate(nets)}
+            )
+        return self._net_index
+
+    @property
+    def receiver_csr(self):
+        """CSR-style receiver arrays: ``(ptr, instance_names, pin_names)``.
+
+        ``ptr`` is an ``(num_nets + 1,)`` intp array; the receivers of the
+        net with id ``n`` are ``instance_names[ptr[n]:ptr[n+1]]`` paired with
+        ``pin_names[ptr[n]:ptr[n+1]]``.  Built once per snapshot; the fanout
+        sweep of a whole level becomes index arithmetic instead of repeated
+        dict lookups over ``(instance, pin)`` tuple lists.
+        """
+        if self._csr is None:
+            import numpy as np
+
+            index = self.net_index
+            counts = np.zeros(len(index) + 1, dtype=np.intp)
+            for net, sinks in self.receivers.items():
+                counts[index[net] + 1] = len(sinks)
+            ptr = np.cumsum(counts)
+            instance_names: List[str] = [""] * int(ptr[-1])
+            pin_names: List[str] = [""] * int(ptr[-1])
+            for net, sinks in self.receivers.items():
+                base = int(ptr[index[net]])
+                for offset, (instance, pin) in enumerate(sinks):
+                    instance_names[base + offset] = instance.name
+                    pin_names[base + offset] = pin
+            object.__setattr__(self, "_csr", (ptr, tuple(instance_names), tuple(pin_names)))
+        return self._csr
+
+    def receiver_slice(self, net: str) -> Tuple[int, int]:
+        """``[start, stop)`` bounds of a net's receivers in the CSR arrays."""
+        ptr, _, _ = self.receiver_csr
+        n = self.net_index.get(net)
+        if n is None:
+            return 0, 0
+        return int(ptr[n]), int(ptr[n + 1])
 
 
 @dataclass

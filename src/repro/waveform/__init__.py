@@ -20,10 +20,12 @@ from .metrics import (
     rmse,
     transition_time,
 )
+from .level_tensor import LevelTensor
 from .waveform import Waveform
 
 __all__ = [
     "Waveform",
+    "LevelTensor",
     "InputPattern",
     "ramp_waveform",
     "pattern_stimulus",

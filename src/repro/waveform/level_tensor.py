@@ -1,0 +1,218 @@
+"""Whole-level waveform tensors: structure-of-arrays signal storage.
+
+A :class:`LevelTensor` carries every net of one topological level of the
+timing graph as a single flat ``(rows, corners, samples)`` ndarray, plus the
+per-row uniform time-grid parameters (``t0``/``dt`` vectors) and the
+net-name ↔ row-index maps.  It replaces lists of per-net
+:class:`~repro.waveform.waveform.Waveform` objects on the propagation hot
+path: the levelized engines gather a level's inputs and scatter its outputs
+as row-index views into these tensors, and the propagation-cache layer
+spills each level as **one** store record (one memmap view per level rather
+than one per instance).
+
+The container is deliberately dumb storage:
+
+* ``values[row, corner]`` is the sample vector of one net at one corner;
+  the single-corner case (``corners == 1``) is today's engines, the corner
+  axis exists so MMMC sweeps can batch corners without a layout change.
+* rows may carry *different* uniform grids (``t0[row]``, ``dt[row]``) — a
+  level mixes nets only in storage, not in time semantics;
+* :meth:`waveform` hands out a cheap :class:`Waveform` **view** adapter
+  (the value vector is shared, never copied), so every API boundary that
+  speaks ``Waveform`` — results, metrics, plots — is unchanged.
+
+Mutating a tensor row mutates every view taken from it (and vice versa);
+tensors decoded from the packed store are read-only memmap views.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..exceptions import WaveformError
+from .waveform import Waveform
+
+__all__ = ["LevelTensor"]
+
+
+class LevelTensor:
+    """A level's nets as one ``(rows, corners, samples)`` value tensor.
+
+    Parameters
+    ----------
+    names:
+        One net name per row, in row order.  Names must be unique.
+    values:
+        ``(rows, corners, samples)`` sample array (volts).  A 2-D
+        ``(rows, samples)`` array is promoted to a single corner.
+    t0 / dt:
+        Per-row uniform-grid origin and spacing in seconds.  Scalars
+        broadcast over all rows.
+    """
+
+    __slots__ = ("names", "values", "t0", "dt", "_rows")
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        values: np.ndarray,
+        t0,
+        dt,
+    ):
+        values = np.asarray(values, dtype=float)
+        if values.ndim == 2:
+            values = values[:, np.newaxis, :]
+        if values.ndim != 3:
+            raise WaveformError("LevelTensor values must be (rows, corners, samples)")
+        num_rows = values.shape[0]
+        names = tuple(str(name) for name in names)
+        if len(names) != num_rows:
+            raise WaveformError(
+                f"LevelTensor has {num_rows} rows but {len(names)} names"
+            )
+        if len(set(names)) != len(names):
+            raise WaveformError("LevelTensor row names must be unique")
+        if values.shape[2] < 2:
+            raise WaveformError("LevelTensor rows need at least two samples")
+        t0 = np.broadcast_to(np.asarray(t0, dtype=float), (num_rows,)).copy()
+        dt = np.broadcast_to(np.asarray(dt, dtype=float), (num_rows,)).copy()
+        if np.any(dt <= 0):
+            raise WaveformError("LevelTensor row spacing dt must be positive")
+        self.names = names
+        self.values = values
+        self.t0 = t0
+        self.dt = dt
+        self._rows: Dict[str, int] = {name: row for row, name in enumerate(names)}
+
+    # ------------------------------------------------------------------
+    # Shape / lookup
+    # ------------------------------------------------------------------
+    @property
+    def num_rows(self) -> int:
+        return int(self.values.shape[0])
+
+    @property
+    def num_corners(self) -> int:
+        return int(self.values.shape[1])
+
+    @property
+    def num_samples(self) -> int:
+        return int(self.values.shape[2])
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._rows
+
+    def __repr__(self) -> str:
+        return (
+            f"<LevelTensor: {self.num_rows} rows x {self.num_corners} corners "
+            f"x {self.num_samples} samples>"
+        )
+
+    def row_of(self, name: str) -> int:
+        try:
+            return self._rows[name]
+        except KeyError:
+            raise WaveformError(f"net {name!r} has no row in this level tensor") from None
+
+    def rows_of(self, names: Sequence[str]) -> np.ndarray:
+        """Row-index array for a batch of nets (the gather primitive)."""
+        return np.array([self.row_of(name) for name in names], dtype=np.intp)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def row_times(self, row: int) -> np.ndarray:
+        """The uniform sample grid of one row, reconstructed from t0/dt."""
+        return self.t0[row] + self.dt[row] * np.arange(self.num_samples)
+
+    def row_values(self, row: int, corner: int = 0) -> np.ndarray:
+        """Zero-copy sample-vector view of one row at one corner."""
+        return self.values[row, corner]
+
+    def waveform(self, name: str, corner: int = 0) -> Waveform:
+        """A :class:`Waveform` view of one net (values shared, not copied)."""
+        return self.waveform_at(self.row_of(name), corner=corner)
+
+    def waveform_at(self, row: int, corner: int = 0) -> Waveform:
+        """A :class:`Waveform` view of one row (values shared, not copied)."""
+        return Waveform(self.row_times(row), self.values[row, corner], name=self.names[row])
+
+    def waveforms(self, corner: int = 0) -> Dict[str, Waveform]:
+        """Name → waveform-view map of every row at one corner."""
+        return {
+            name: self.waveform_at(row, corner=corner)
+            for name, row in self._rows.items()
+        }
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    # ------------------------------------------------------------------
+    # Construction from waveforms
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_waveforms(
+        cls, waveforms: Mapping[str, Waveform], copy: bool = True
+    ) -> "LevelTensor":
+        """Pack same-length uniform waveforms into one single-corner tensor.
+
+        Every waveform must be sampled on a *uniform* grid and all must share
+        one sample count; rows keep their own ``t0``/``dt``, so a level whose
+        nets live on different (uniform) windows still packs.
+        """
+        if not waveforms:
+            raise WaveformError("cannot build a LevelTensor from zero waveforms")
+        names: List[str] = []
+        rows: List[np.ndarray] = []
+        t0: List[float] = []
+        dt: List[float] = []
+        samples = None
+        for name, wave in waveforms.items():
+            if samples is None:
+                samples = len(wave)
+            elif len(wave) != samples:
+                raise WaveformError(
+                    f"waveform {name!r} has {len(wave)} samples, expected {samples}"
+                )
+            spacing = np.diff(wave.times)
+            step = (wave.t_stop - wave.t_start) / (len(wave) - 1)
+            if step <= 0 or np.any(np.abs(spacing - step) > 1e-9 * max(step, 1e-30)):
+                raise WaveformError(
+                    f"waveform {name!r} is not uniformly sampled; "
+                    "LevelTensor rows require uniform grids"
+                )
+            names.append(name)
+            rows.append(wave.values)
+            t0.append(wave.t_start)
+            dt.append(step)
+        stacked = np.stack(rows)[:, np.newaxis, :]
+        if copy:
+            stacked = np.ascontiguousarray(stacked)
+        return cls(names, stacked, np.array(t0), np.array(dt))
+
+    # ------------------------------------------------------------------
+    # Codec support (see repro.runtime.cache)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Canonical content representation (content hashing / reports)."""
+        return {
+            "names": list(self.names),
+            "values": self.values,
+            "t0": self.t0,
+            "dt": self.dt,
+        }
+
+    def equals(self, other: "LevelTensor") -> bool:
+        """Exact (bitwise-value) equality, for tests and codec round-trips."""
+        return (
+            self.names == other.names
+            and self.values.shape == other.values.shape
+            and bool(np.array_equal(self.values, other.values))
+            and bool(np.array_equal(self.t0, other.t0))
+            and bool(np.array_equal(self.dt, other.dt))
+        )
