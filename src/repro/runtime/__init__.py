@@ -19,11 +19,18 @@ Quick tour::
     values = [r.value for r in results]    # in job order
 
 ``python -m repro.runtime.cli --figures fig5 fig9 --workers 4 --cache DIR``
-runs whole paper-figure sets through the same machinery.
+runs whole paper-figure sets through the same machinery, and
+``python -m repro.runtime.server start`` turns the stack into a long-lived
+multi-session timing/ECO daemon (client API in :mod:`repro.runtime.client`).
 """
 
 from .cache import CacheStats, ResultCache, decode_payload, encode_payload
-from .store import PackedStore, migrate_npz_cache, open_result_store
+from .store import (
+    PackedStore,
+    ShardedPackedStore,
+    migrate_npz_cache,
+    open_result_store,
+)
 from .executor import (
     Executor,
     JobError,
@@ -47,6 +54,7 @@ __all__ = [
     "ProcessExecutor",
     "ResultCache",
     "SerialExecutor",
+    "ShardedPackedStore",
     "decode_payload",
     "encode_payload",
     "migrate_npz_cache",

@@ -304,7 +304,7 @@ def _run_sta_mode(args) -> int:
 
     executor = default_executor(args.workers, args.executor)
     cache = (
-        open_result_store(args.cache, args.cache_format)
+        open_result_store(args.cache, args.cache_format, shards=args.shards)
         if args.cache is not None
         else None
     )
@@ -424,17 +424,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--cache-format",
-        choices=("auto", "npz", "packed"),
+        choices=("auto", "npz", "packed", "sharded"),
         default="auto",
-        help="result-store layout: per-entry .npz files or the packed "
-        "single-file mmap store; 'auto' (default) picks packed when the "
-        "directory already holds a store.dat",
+        help="result-store layout: per-entry .npz files, the packed "
+        "single-file mmap store, or a hash-sharded set of packed stores; "
+        "'auto' (default) keeps whatever layout the directory already holds",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard the packed result store N ways (hash-prefix routing; "
+        "reduces lock contention under concurrent writers)",
     )
     parser.add_argument(
         "--settings",
         choices=("quick", "paper"),
         default="quick",
         help="characterization/time-step resolution (default: quick)",
+    )
+    parser.add_argument(
+        "--serve",
+        type=Path,
+        default=None,
+        metavar="SOCKET",
+        help="start the timing server on SOCKET instead of running figures "
+        "(shorthand for 'python -m repro.runtime.server start --socket "
+        "SOCKET', honouring --cache/--cache-format/--shards/--workers/"
+        "--settings)",
     )
     parser.add_argument(
         "--json",
@@ -490,6 +508,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     logging.basicConfig(level=logging.INFO, format="%(name)s: %(message)s")
 
+    if args.serve is not None:
+        from .server.__main__ import main as server_main
+
+        server_argv = ["start", "--socket", str(args.serve),
+                       "--workers", str(max(args.workers, 1)),
+                       "--settings", args.settings,
+                       "--cache-format", args.cache_format]
+        if args.cache is not None:
+            server_argv += ["--cache", str(args.cache)]
+        if args.shards is not None:
+            server_argv += ["--shards", str(args.shards)]
+        return server_main(server_argv)
+
     if args.sta is not None:
         return _run_sta_mode(args)
 
@@ -504,7 +535,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     executor = default_executor(args.workers, args.executor)
     cache = (
-        open_result_store(args.cache, args.cache_format)
+        open_result_store(args.cache, args.cache_format, shards=args.shards)
         if args.cache is not None
         else None
     )

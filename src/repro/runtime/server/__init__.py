@@ -1,0 +1,43 @@
+"""Timing-as-a-service: a long-lived daemon over the repro timing stack.
+
+The package splits along the tentpole's seams:
+
+* :mod:`~repro.runtime.server.protocol` — JSON-lines / HTTP wire format,
+  waveform base64 codec, error envelope;
+* :mod:`~repro.runtime.server.scheduler` — request-level
+  :class:`SingleFlight` coalescing and the in-flight
+  :class:`SingleFlightStore` dedupe wrapper;
+* :mod:`~repro.runtime.server.registry` — :class:`TimingService`: designs,
+  sessions, per-session engines and ECO edits (transport-agnostic, fully
+  testable in-process);
+* :mod:`~repro.runtime.server.daemon` — asyncio listeners + worker pool;
+* ``python -m repro.runtime.server`` — start/stop/status/submit/eco verbs.
+
+The synchronous client lives one level up in :mod:`repro.runtime.client`.
+"""
+
+from .daemon import ServerConfig, TimingServer, build_service, run_server
+from .protocol import (
+    PROTOCOL_VERSION,
+    ServerError,
+    decode_waveform,
+    encode_waveform,
+)
+from .registry import DesignRecord, Session, TimingService
+from .scheduler import SingleFlight, SingleFlightStore
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DesignRecord",
+    "ServerConfig",
+    "ServerError",
+    "Session",
+    "SingleFlight",
+    "SingleFlightStore",
+    "TimingServer",
+    "TimingService",
+    "build_service",
+    "decode_waveform",
+    "encode_waveform",
+    "run_server",
+]

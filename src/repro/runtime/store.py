@@ -35,6 +35,20 @@ Atomicity / crash-safety guarantees:
 Tiny payloads (e.g. the NLDM engine's per-instance event tuples) are stored
 inline in the index — no data-file record at all.
 
+Bounded disk (PR 7): ``PackedStore(max_bytes=, max_age_s=)`` turns the
+store into a self-maintaining cache — last access times ride in the index
+(``ts`` on put/inline lines plus lazily flushed ``touch`` lines), and
+:meth:`PackedStore.enforce_policy` evicts by age then by LRU order until the
+budget holds, compacting immediately afterwards so the bytes actually come
+back.  Eviction is always *miss-only* degradation: a later lookup of an
+evicted key misses and the caller recomputes.
+
+:class:`ShardedPackedStore` routes keys by hash prefix across N independent
+``PackedStore`` shards (each with its own flock), so concurrent writers —
+e.g. many timing-server sessions — never contend on a single lock.  The
+shard count is pinned in ``shards.json`` at creation, which keeps routing
+stable across processes and re-opens.
+
 ``python -m repro.runtime.store migrate SRC DEST`` converts a per-entry
 ``.npz`` cache directory into a packed store; ``compact`` rewrites the data
 file dropping dead records; ``stats`` prints entry counts and file sizes.
@@ -49,6 +63,7 @@ import math
 import os
 import struct
 import threading
+import time
 import zlib
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Tuple
@@ -63,7 +78,12 @@ try:  # POSIX only; the store degrades to in-process locking elsewhere.
 except ImportError:  # pragma: no cover - non-POSIX platforms
     fcntl = None
 
-__all__ = ["PackedStore", "open_result_store", "migrate_npz_cache"]
+__all__ = [
+    "PackedStore",
+    "ShardedPackedStore",
+    "open_result_store",
+    "migrate_npz_cache",
+]
 
 logger = logging.getLogger("repro.runtime")
 
@@ -80,6 +100,10 @@ _INLINE_LIMIT = 2048
 _DATA_NAME = "store.dat"
 _INDEX_NAME = "store.idx"
 _LOCK_NAME = "store.lock"
+_SHARD_META_NAME = "shards.json"
+#: Dirty access-time updates buffered in memory before one batched index
+#: append — bounds the write amplification of recency tracking.
+_TOUCH_FLUSH_LIMIT = 256
 
 
 def _pad(offset: int) -> int:
@@ -87,20 +111,30 @@ def _pad(offset: int) -> int:
 
 
 class _FileLock:
-    """Advisory cross-process lock (flock) + in-process re-entrant lock."""
+    """Advisory cross-process lock (flock) + in-process re-entrant lock.
+
+    Tracks how long outermost acquisitions waited (``wait_seconds`` /
+    ``acquisitions``) — the shard-contention metric reported by the stores.
+    """
 
     def __init__(self, path: Path):
         self._path = path
         self.thread_lock = threading.RLock()
         self._handle = None
         self._depth = 0
+        self.acquisitions = 0
+        self.wait_seconds = 0.0
 
     def __enter__(self):
+        start = time.perf_counter()
         self.thread_lock.acquire()
         self._depth += 1
-        if self._depth == 1 and fcntl is not None:
-            self._handle = open(self._path, "ab")
-            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+        if self._depth == 1:
+            if fcntl is not None:
+                self._handle = open(self._path, "ab")
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+            self.acquisitions += 1
+            self.wait_seconds += time.perf_counter() - start
         return self
 
     def __exit__(self, *exc):
@@ -129,6 +163,8 @@ class PackedStore:
         directory: os.PathLike,
         inline_limit: int = _INLINE_LIMIT,
         max_dead_bytes: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
     ):
         self.directory = Path(directory).expanduser()
         self.directory.mkdir(parents=True, exist_ok=True)
@@ -138,13 +174,26 @@ class PackedStore:
         #: this many unreachable bytes.  ``None`` (default) never compacts on
         #: its own — the PR 5 behaviour.
         self.max_dead_bytes = max_dead_bytes
+        #: Live-byte budget: when set, :meth:`enforce_policy` LRU-evicts until
+        #: live entries fit.  Checked on open, close and after stores.
+        self.max_bytes = max_bytes
+        #: Age budget: entries not accessed for this many seconds are evicted
+        #: by :meth:`enforce_policy`.
+        self.max_age_s = max_age_s
         self.stats = CacheStats()
+        #: Lifetime eviction-policy counters (reported via :meth:`report`).
+        self.policy_stats = {
+            "age_evictions": 0,
+            "lru_evictions": 0,
+            "policy_compactions": 0,
+        }
         self._init_runtime_state()
         # An (empty) data file makes the layout self-identifying, which is
         # what ``open_result_store(..., "auto")`` keys on.
         self._dat_path.touch(exist_ok=True)
         self._load_index()
         self._maybe_autocompact()
+        self.enforce_policy()
 
     # -- pickling: worker processes reopen the files lazily --------------
     def _init_runtime_state(self) -> None:
@@ -155,6 +204,10 @@ class PackedStore:
         self._mm: Optional[np.memmap] = None
         #: key -> ("dat", offset, length) | ("inline", index-line dict)
         self._entries: Dict[str, Tuple] = {}
+        #: key -> last access epoch seconds (persisted ``ts`` or load time)
+        self._access: Dict[str, float] = {}
+        #: keys whose in-memory access time is newer than the index
+        self._dirty_touches: set = set()
         self._idx_consumed = 0  # bytes of store.idx already parsed
         self._dat_scanned = 0  # bytes of store.dat covered by _entries
         self._idx_ino = 0  # inode of store.idx when last parsed
@@ -165,6 +218,8 @@ class PackedStore:
             "directory": self.directory,
             "inline_limit": self.inline_limit,
             "max_dead_bytes": self.max_dead_bytes,
+            "max_bytes": self.max_bytes,
+            "max_age_s": self.max_age_s,
             "stats": self.stats,
         }
 
@@ -172,7 +227,14 @@ class PackedStore:
         self.directory = state["directory"]
         self.inline_limit = state["inline_limit"]
         self.max_dead_bytes = state.get("max_dead_bytes")
+        self.max_bytes = state.get("max_bytes")
+        self.max_age_s = state.get("max_age_s")
         self.stats = state["stats"]
+        self.policy_stats = {
+            "age_evictions": 0,
+            "lru_evictions": 0,
+            "policy_compactions": 0,
+        }
         self._init_runtime_state()
         self._load_index()
 
@@ -271,14 +333,23 @@ class PackedStore:
             offset, length = int(record["off"]), int(record["len"])
             if offset + length <= dat_size:
                 self._entries[key] = ("dat", offset, length)
+                self._access[key] = float(record.get("ts") or time.time())
                 self._dat_scanned = max(self._dat_scanned, offset + length)
             else:  # index outlives a truncated data file
                 self._entries.pop(key, None)
+                self._access.pop(key, None)
                 self.stats.evictions += 1
         elif op == "inline":
             self._entries[key] = ("inline", record)
+            self._access[key] = float(record.get("ts") or time.time())
         elif op == "drop":
             self._entries.pop(key, None)
+            self._access.pop(key, None)
+        elif op == "touch":
+            # Recency-only update; pre-PR 7 readers treat these lines as
+            # unreadable and skip them, which is harmless.
+            if key in self._entries:
+                self._access[key] = float(record.get("ts") or time.time())
         else:
             raise ValueError(f"unknown index op {op!r}")
 
@@ -287,6 +358,7 @@ class PackedStore:
         recovered = 0
         for key, offset, length in self._scan_dat(self._dat_scanned, dat_size):
             self._entries[key] = ("dat", offset, length)
+            self._access.setdefault(key, time.time())
             self._dat_scanned = offset + length
             recovered += 1
         return recovered
@@ -351,15 +423,16 @@ class PackedStore:
         """
         lines = []
         for key, entry in self._entries.items():
+            ts = self._access.get(key)
             if entry[0] == "dat":
-                lines.append(
-                    json.dumps(
-                        {"op": "put", "key": key, "off": entry[1], "len": entry[2]},
-                        separators=(",", ":"),
-                    )
-                )
+                record = {"op": "put", "key": key, "off": entry[1], "len": entry[2]}
+                if ts is not None:
+                    record["ts"] = ts
+                lines.append(json.dumps(record, separators=(",", ":")))
             else:
-                lines.append(json.dumps(entry[1], separators=(",", ":")))
+                record = entry[1] if ts is None else {**entry[1], "ts": ts}
+                lines.append(json.dumps(record, separators=(",", ":")))
+        self._dirty_touches.clear()  # the snapshot carries current recency
         tmp = self._idx_path.with_suffix(".idx.tmp")
         tmp.write_text("".join(line + "\n" for line in lines))
         os.replace(tmp, self._idx_path)
@@ -421,13 +494,16 @@ class PackedStore:
         record = self._build_record(key, manifest, arrays)
         with self._lock:
             self._refresh()  # adopt entries other processes appended meanwhile
+            now = time.time()
             offset = self._locked_append_dat(record)
             self._locked_append_idx(
-                {"op": "put", "key": key, "off": offset, "len": len(record)}
+                {"op": "put", "key": key, "off": offset, "len": len(record), "ts": now}
             )
             self._entries[key] = ("dat", offset, len(record))
+            self._access[key] = now
             self._dat_scanned = offset + len(record)
         self.stats.stores += 1
+        self._maybe_enforce_after_store()
 
     def store_many(self, items) -> None:
         """Append many ``(key, value)`` pairs in ONE locked transaction.
@@ -452,6 +528,7 @@ class PackedStore:
             return
         with self._lock:
             self._refresh()
+            now = time.time()
             dat_records = [(key, record) for kind, key, record in encoded if kind == "dat"]
             offsets: Dict[str, int] = {}
             if dat_records:
@@ -463,17 +540,20 @@ class PackedStore:
             index_records = []
             for kind, key, record in encoded:
                 if kind == "inline":
+                    record = {**record, "ts": now}
                     index_records.append(record)
                     self._entries[key] = ("inline", record)
                 else:
                     offset = offsets[key]
                     index_records.append(
-                        {"op": "put", "key": key, "off": offset, "len": len(record)}
+                        {"op": "put", "key": key, "off": offset, "len": len(record), "ts": now}
                     )
                     self._entries[key] = ("dat", offset, len(record))
                     self._dat_scanned = max(self._dat_scanned, offset + len(record))
+                self._access[key] = now
             self._locked_append_idx_many(index_records)
         self.stats.stores += len(encoded)
+        self._maybe_enforce_after_store()
 
     def _build_record(self, key: str, manifest: Any, arrays: Dict[str, np.ndarray]) -> bytes:
         """Serialize one data-file record (prefix + padded header + payload)."""
@@ -546,9 +626,13 @@ class PackedStore:
         record = self._build_inline_record(key, manifest, arrays)
         with self._lock:
             self._refresh()
+            now = time.time()
+            record = {**record, "ts": now}
             self._locked_append_idx(record)
             self._entries[key] = ("inline", record)
+            self._access[key] = now
         self.stats.stores += 1
+        self._maybe_enforce_after_store()
 
     def _locked_append_dat(self, record: bytes) -> int:
         """Append a record to ``store.dat``; returns its offset.
@@ -620,7 +704,35 @@ class PackedStore:
             return False, None
         with self._lock.thread_lock:
             self.stats.hits += 1
+            self._note_access(key)
         return True, value
+
+    def _note_access(self, key: str) -> None:
+        """Record a hit's recency; persisted lazily in batched touch lines.
+
+        Must hold at least the thread lock.  Touch lines are only written
+        when an eviction policy is active — without one, recency is kept in
+        memory for reporting but never amplifies index writes.
+        """
+        self._access[key] = time.time()
+        if self.max_bytes is None and self.max_age_s is None:
+            return
+        self._dirty_touches.add(key)
+        if len(self._dirty_touches) >= _TOUCH_FLUSH_LIMIT:
+            self._flush_touches()
+
+    def _flush_touches(self) -> None:
+        with self._lock:
+            if not self._dirty_touches:
+                return
+            records = [
+                {"op": "touch", "key": key, "ts": self._access[key]}
+                for key in sorted(self._dirty_touches)
+                if key in self._entries and key in self._access
+            ]
+            self._dirty_touches.clear()
+            if records:
+                self._locked_append_idx_many(records)
 
     def _decode_entry(self, key: str, entry: Tuple) -> Any:
         if entry[0] == "inline":
@@ -694,6 +806,8 @@ class PackedStore:
             if key not in self._entries:
                 return False
             del self._entries[key]
+            self._access.pop(key, None)
+            self._dirty_touches.discard(key)
             self._locked_append_idx({"op": "drop", "key": key})
             return True
 
@@ -709,6 +823,8 @@ class PackedStore:
             self._refresh()
             removed = len(self._entries)
             self._entries.clear()
+            self._access.clear()
+            self._dirty_touches.clear()
             for path in (self._dat_path, self._idx_path):
                 tmp = path.with_suffix(path.suffix + ".tmp")
                 with open(tmp, "wb"):
@@ -738,18 +854,18 @@ class PackedStore:
             new_entries: Dict[str, Tuple] = {}
             with open(dat_tmp, "wb") as out:
                 for key, entry in self._entries.items():
+                    ts = self._access.get(key)
                     if entry[0] == "inline":
-                        idx_lines.append(json.dumps(entry[1], separators=(",", ":")))
+                        record = entry[1] if ts is None else {**entry[1], "ts": ts}
+                        idx_lines.append(json.dumps(record, separators=(",", ":")))
                         new_entries[key] = entry
                         continue
                     _, offset, length = entry
                     out.write(view[offset : offset + length].tobytes())
-                    idx_lines.append(
-                        json.dumps(
-                            {"op": "put", "key": key, "off": new_offset, "len": length},
-                            separators=(",", ":"),
-                        )
-                    )
+                    record = {"op": "put", "key": key, "off": new_offset, "len": length}
+                    if ts is not None:
+                        record["ts"] = ts
+                    idx_lines.append(json.dumps(record, separators=(",", ":")))
                     new_entries[key] = ("dat", new_offset, length)
                     new_offset += length
                 out.flush()
@@ -760,6 +876,7 @@ class PackedStore:
             os.replace(dat_tmp, self._dat_path)
             os.replace(idx_tmp, self._idx_path)
             self._entries = new_entries
+            self._dirty_touches.clear()  # the rewritten index carries recency
             self._dat_scanned = new_offset
             self._dat_ino = self._file_sig(self._dat_path)[0]
             self._idx_ino, self._idx_consumed = self._file_sig(self._idx_path)
@@ -788,6 +905,114 @@ class PackedStore:
             )
             return max(0, self._dat_size() - live)
 
+    @staticmethod
+    def _entry_bytes(entry: Tuple) -> int:
+        """Approximate on-disk cost of one live entry (record or index line)."""
+        if entry[0] == "dat":
+            return entry[2]
+        return len(json.dumps(entry[1], separators=(",", ":"))) + 1
+
+    def live_bytes(self) -> int:
+        """Bytes of live data (data-file records + inline index lines)."""
+        with self._lock.thread_lock:
+            self._refresh()
+            return sum(self._entry_bytes(entry) for entry in self._entries.values())
+
+    def last_access(self, key: str) -> Optional[float]:
+        """Epoch seconds of the key's last store/lookup, or ``None``."""
+        with self._lock.thread_lock:
+            return self._access.get(key)
+
+    def enforce_policy(self, now: Optional[float] = None) -> Dict[str, int]:
+        """Apply the LRU/age eviction policy; returns what was evicted.
+
+        Entries older than :attr:`max_age_s` (by last access) go first, then
+        least-recently-used entries until live bytes fit :attr:`max_bytes`.
+        Eviction is followed immediately by :meth:`compact` — evict-then-
+        compact — so the disk budget is actually honoured, not just the
+        logical one.  Evicted keys degrade to misses on their next lookup.
+        """
+        report = {"age_evictions": 0, "lru_evictions": 0, "reclaimed_bytes": 0}
+        if self.max_bytes is None and self.max_age_s is None:
+            return report
+        with self._lock:
+            self._refresh()
+            self._flush_touches()
+            now = time.time() if now is None else now
+            doomed: List[str] = []
+            if self.max_age_s is not None:
+                doomed = [
+                    key
+                    for key in self._entries
+                    if now - self._access.get(key, now) > self.max_age_s
+                ]
+                report["age_evictions"] = len(doomed)
+            if self.max_bytes is not None:
+                doomed_set = set(doomed)
+                sizes = {
+                    key: self._entry_bytes(entry)
+                    for key, entry in self._entries.items()
+                    if key not in doomed_set
+                }
+                live = sum(sizes.values())
+                if live > self.max_bytes:
+                    for key in sorted(sizes, key=lambda k: self._access.get(k, 0.0)):
+                        if live <= self.max_bytes:
+                            break
+                        doomed.append(key)
+                        live -= sizes[key]
+                        report["lru_evictions"] += 1
+            if doomed:
+                for key in doomed:
+                    self._entries.pop(key, None)
+                    self._access.pop(key, None)
+                    self._dirty_touches.discard(key)
+                self.stats.evictions += len(doomed)
+                self.policy_stats["age_evictions"] += report["age_evictions"]
+                self.policy_stats["lru_evictions"] += report["lru_evictions"]
+                self.policy_stats["policy_compactions"] += 1
+                # compact() snapshots the surviving entries, so the dropped
+                # keys need no tombstones and their bytes come back now.
+                _, reclaimed = self.compact()
+                report["reclaimed_bytes"] = reclaimed
+        return report
+
+    def _maybe_enforce_after_store(self) -> None:
+        """Cheap post-store budget check (one ``stat`` pair per store)."""
+        if self.max_bytes is None:
+            return
+        sizes = self.file_sizes()
+        if sizes["dat"] + sizes["idx"] > self.max_bytes:
+            self.enforce_policy()
+
+    def lock_stats(self) -> Dict[str, float]:
+        """Cross-process lock contention counters (shard metric)."""
+        return {
+            "acquisitions": self._lock.acquisitions,
+            "wait_seconds": self._lock.wait_seconds,
+        }
+
+    def report(self) -> Dict[str, Any]:
+        """One JSON-ready dict of everything an operator wants to know."""
+        with self._lock.thread_lock:
+            self._refresh()
+            entries = len(self._entries)
+        stats = self.stats
+        return {
+            "entries": entries,
+            "file_sizes": self.file_sizes(),
+            "live_bytes": self.live_bytes(),
+            "dead_bytes": self.dead_bytes(),
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "stores": stats.stores,
+                "evictions": stats.evictions,
+            },
+            "policy": dict(self.policy_stats),
+            "lock": self.lock_stats(),
+        }
+
     def _maybe_autocompact(self) -> None:
         if self.max_dead_bytes is None:
             return
@@ -801,31 +1026,260 @@ class PackedStore:
             )
 
     def close(self) -> None:
-        """Release the data-file mapping (auto-compacting first when the
-        :attr:`max_dead_bytes` budget is exceeded).  The store stays usable
-        — the next lookup simply remaps the file."""
+        """Flush recency, apply the eviction policy, auto-compact past the
+        dead-byte budget, and release the data-file mapping.  The store stays
+        usable — the next lookup simply remaps the file."""
+        self._flush_touches()
+        self.enforce_policy()
         self._maybe_autocompact()
         self._mm = None
 
 
 # ----------------------------------------------------------------------
+# Sharded store
+# ----------------------------------------------------------------------
+class ShardedPackedStore:
+    """N independent :class:`PackedStore` shards behind one store facade.
+
+    Keys route by hash prefix — ``int(key[:8], 16) % num_shards`` for the
+    hex digests produced by :func:`repro.runtime.jobs.content_hash`, with a
+    CRC32 fallback for arbitrary keys — so concurrent writers of different
+    keys land on different shards and never contend on a single ``flock``.
+    Routing depends only on the key and the shard count; the count is pinned
+    in ``shards.json`` when the store is first created, and later ``shards=``
+    arguments are ignored in favour of the persisted value, which keeps
+    routing stable across processes and re-opens.
+
+    ``max_bytes`` is a *total* budget, divided evenly across shards (hash
+    routing spreads load closely enough for a per-shard share to behave like
+    a global LRU in aggregate).  The other knobs apply per shard.
+    """
+
+    def __init__(
+        self,
+        directory: os.PathLike,
+        shards: Optional[int] = 4,
+        inline_limit: int = _INLINE_LIMIT,
+        max_dead_bytes: Optional[int] = None,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+    ):
+        self.directory = Path(directory).expanduser()
+        self.directory.mkdir(parents=True, exist_ok=True)
+        meta_path = self.directory / _SHARD_META_NAME
+        if meta_path.exists():
+            persisted = int(json.loads(meta_path.read_text())["shards"])
+            if shards is not None and shards != persisted:
+                logger.info(
+                    "using persisted shard count %d for %s (requested %d)",
+                    persisted,
+                    self.directory,
+                    shards,
+                )
+            shards = persisted
+        else:
+            shards = int(shards or 4)
+            if shards < 1:
+                raise ValueError("shard count must be >= 1")
+            tmp = meta_path.with_suffix(".json.tmp")
+            tmp.write_text(json.dumps({"shards": shards}) + "\n")
+            os.replace(tmp, meta_path)
+        self.inline_limit = inline_limit
+        self.max_dead_bytes = max_dead_bytes
+        self.max_bytes = max_bytes
+        self.max_age_s = max_age_s
+        per_shard_bytes = None if max_bytes is None else max(1, max_bytes // shards)
+        self.shards = [
+            PackedStore(
+                self.directory / f"shard-{index:02d}",
+                inline_limit=inline_limit,
+                max_dead_bytes=max_dead_bytes,
+                max_bytes=per_shard_bytes,
+                max_age_s=max_age_s,
+            )
+            for index in range(shards)
+        ]
+
+    # -- pickling: worker processes reopen the shards lazily -------------
+    def __getstate__(self):
+        return {
+            "directory": self.directory,
+            "shards": len(self.shards),
+            "inline_limit": self.inline_limit,
+            "max_dead_bytes": self.max_dead_bytes,
+            "max_bytes": self.max_bytes,
+            "max_age_s": self.max_age_s,
+        }
+
+    def __setstate__(self, state):
+        self.__init__(
+            state["directory"],
+            shards=state["shards"],
+            inline_limit=state["inline_limit"],
+            max_dead_bytes=state.get("max_dead_bytes"),
+            max_bytes=state.get("max_bytes"),
+            max_age_s=state.get("max_age_s"),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return len(self.shards)
+
+    def shard_index(self, key: str) -> int:
+        """The shard a key routes to — a pure function of key and count."""
+        try:
+            return int(key[:8], 16) % len(self.shards)
+        except ValueError:
+            return zlib.crc32(key.encode("utf-8")) % len(self.shards)
+
+    def shard_for(self, key: str) -> PackedStore:
+        return self.shards[self.shard_index(key)]
+
+    # -- ResultCache-compatible surface ----------------------------------
+    def lookup(self, key: str) -> Tuple[bool, Any]:
+        return self.shard_for(key).lookup(key)
+
+    def store(self, key: str, value: Any) -> None:
+        self.shard_for(key).store(key, value)
+
+    def store_many(self, items) -> None:
+        groups: Dict[int, List[Tuple[str, Any]]] = {}
+        for key, value in items:
+            groups.setdefault(self.shard_index(key), []).append((key, value))
+        for index, group in groups.items():
+            self.shards[index].store_many(group)
+
+    @property
+    def stats(self) -> CacheStats:
+        total = CacheStats()
+        for shard in self.shards:
+            stats = shard.stats
+            total.hits += stats.hits
+            total.misses += stats.misses
+            total.stores += stats.stores
+            total.evictions += stats.evictions
+        return total
+
+    def keys(self) -> List[str]:
+        return sorted(key for shard in self.shards for key in shard.keys())
+
+    def evict(self, key: str) -> bool:
+        return self.shard_for(key).evict(key)
+
+    def clear(self) -> int:
+        return sum(shard.clear() for shard in self.shards)
+
+    def compact(self) -> Tuple[int, int]:
+        kept = reclaimed = 0
+        for shard in self.shards:
+            shard_kept, shard_reclaimed = shard.compact()
+            kept += shard_kept
+            reclaimed += shard_reclaimed
+        return kept, reclaimed
+
+    def enforce_policy(self, now: Optional[float] = None) -> Dict[str, int]:
+        total = {"age_evictions": 0, "lru_evictions": 0, "reclaimed_bytes": 0}
+        for shard in self.shards:
+            result = shard.enforce_policy(now)
+            for name in total:
+                total[name] += result[name]
+        return total
+
+    def last_access(self, key: str) -> Optional[float]:
+        return self.shard_for(key).last_access(key)
+
+    def live_bytes(self) -> int:
+        return sum(shard.live_bytes() for shard in self.shards)
+
+    def dead_bytes(self) -> int:
+        return sum(shard.dead_bytes() for shard in self.shards)
+
+    def file_sizes(self) -> Dict[str, int]:
+        sizes = {"dat": 0, "idx": 0}
+        for shard in self.shards:
+            for name, size in shard.file_sizes().items():
+                sizes[name] += size
+        return sizes
+
+    def lock_stats(self) -> Dict[str, float]:
+        return {
+            "acquisitions": sum(s._lock.acquisitions for s in self.shards),
+            "wait_seconds": sum(s._lock.wait_seconds for s in self.shards),
+        }
+
+    def report(self) -> Dict[str, Any]:
+        shard_reports = [shard.report() for shard in self.shards]
+        stats = self.stats
+        return {
+            "num_shards": len(self.shards),
+            "entries": sum(r["entries"] for r in shard_reports),
+            "file_sizes": self.file_sizes(),
+            "live_bytes": sum(r["live_bytes"] for r in shard_reports),
+            "dead_bytes": sum(r["dead_bytes"] for r in shard_reports),
+            "cache": {
+                "hits": stats.hits,
+                "misses": stats.misses,
+                "stores": stats.stores,
+                "evictions": stats.evictions,
+            },
+            "policy": {
+                name: sum(r["policy"][name] for r in shard_reports)
+                for name in ("age_evictions", "lru_evictions", "policy_compactions")
+            },
+            "lock": self.lock_stats(),
+            "shards": shard_reports,
+        }
+
+    def __contains__(self, key: str) -> bool:
+        return key in self.shard_for(key)
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self.shards)
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+
+# ----------------------------------------------------------------------
 # Factory + migration
 # ----------------------------------------------------------------------
-def open_result_store(directory: os.PathLike, fmt: str = "auto"):
+def open_result_store(
+    directory: os.PathLike,
+    fmt: str = "auto",
+    shards: Optional[int] = None,
+    **kwargs,
+):
     """Open a result store of the requested format.
 
     ``"npz"`` → per-entry :class:`ResultCache`; ``"packed"`` →
-    :class:`PackedStore`; ``"auto"`` → packed when the directory already
-    holds a ``store.dat``, the legacy npz layout otherwise.
+    :class:`PackedStore`; ``"sharded"`` → :class:`ShardedPackedStore`;
+    ``"auto"`` → whatever the directory already holds (``shards.json`` →
+    sharded, ``store.dat`` → packed, otherwise npz — unless ``shards > 1``
+    asks for a new sharded store).  Extra keyword arguments
+    (``max_dead_bytes``, ``max_bytes``, ``max_age_s``, ``inline_limit``)
+    are forwarded to the packed layouts and ignored for npz.
     """
     directory = Path(directory).expanduser()
     if fmt == "auto":
-        fmt = "packed" if (directory / _DATA_NAME).exists() else "npz"
+        if (directory / _SHARD_META_NAME).exists():
+            fmt = "sharded"
+        elif (directory / _DATA_NAME).exists():
+            fmt = "packed"
+        elif shards is not None and shards > 1:
+            fmt = "sharded"
+        else:
+            fmt = "npz"
     if fmt == "npz":
         return ResultCache(directory)
     if fmt == "packed":
-        return PackedStore(directory)
-    raise ValueError(f"unknown store format {fmt!r} (use 'npz', 'packed' or 'auto')")
+        return PackedStore(directory, **kwargs)
+    if fmt == "sharded":
+        return ShardedPackedStore(directory, shards=shards, **kwargs)
+    raise ValueError(
+        f"unknown store format {fmt!r} (use 'npz', 'packed', 'sharded' or 'auto')"
+    )
 
 
 def migrate_npz_cache(source: os.PathLike, destination: os.PathLike) -> int:
@@ -871,17 +1325,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         migrated = migrate_npz_cache(args.source, args.destination)
         print(f"migrated {migrated} entries from {args.source} to {args.destination}")
     elif args.command == "compact":
-        store = PackedStore(args.directory)
+        store = open_result_store(args.directory, "auto")
+        if not isinstance(store, (PackedStore, ShardedPackedStore)):
+            print(f"{args.directory} is not a packed store")
+            return 1
         kept, reclaimed = store.compact()
         print(f"compacted {args.directory}: {kept} entries kept, {reclaimed} bytes reclaimed")
     elif args.command == "stats":
-        store = PackedStore(args.directory)
-        sizes = store.file_sizes()
-        print(
-            f"{args.directory}: {len(store)} entries, "
-            f"store.dat {sizes['dat']} bytes, store.idx {sizes['idx']} bytes"
-        )
-        print(f"{args.directory}: {store.dead_bytes()} dead bytes in store.dat")
+        store = open_result_store(args.directory, "auto")
+        if isinstance(store, (PackedStore, ShardedPackedStore)):
+            print(json.dumps(store.report(), indent=2, sort_keys=True))
+        else:
+            print(f"{args.directory}: {len(store.keys())} npz entries")
     return 0
 
 

@@ -28,8 +28,9 @@ can additionally be evaluated as parallel runtime jobs via
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -234,21 +235,79 @@ class TimingEngine:
         self._connectivity: Optional[NetConnectivity] = None
         self._levels: Optional[List[List[GateInstance]]] = None
         self._structure_revision = netlist.revision
+        self._structure_identity = id(netlist)
+        self._library_identity = id(netlist.library)
         self._cell_digests: Dict[str, str] = {}
         self._netlist_digest_cache: Optional[Tuple[int, str]] = None
+        #: Serializes :meth:`run` so one engine instance can be shared by
+        #: concurrent callers (the timing server's per-session engines).
+        self._run_lock = threading.RLock()
+        #: Per-run cache accounting of the most recent :meth:`run`; ``None``
+        #: until the first run *on the currently bound design* — rebinding
+        #: the engine to a different netlist resets it, so a server reusing
+        #: one engine can never report another design's stats.
+        self.last_stats: Optional[PropagationStats] = None
+        #: Lifetime accounting across runs on the bound design.
+        self.runs_completed = 0
+        self.total_stats: Dict[str, int] = self._zero_totals()
+
+    @staticmethod
+    def _zero_totals() -> Dict[str, int]:
+        return {
+            "instances": 0,
+            "integrations": 0,
+            "memo_hits": 0,
+            "cache_hits": 0,
+            "duplicates": 0,
+            "stores": 0,
+            "full_run_hits": 0,
+        }
 
     # -- lazily built structural views ---------------------------------
     def _sync_structure(self) -> None:
-        """Drop structural caches after the netlist was edited."""
-        if self._structure_revision != self.netlist.revision:
-            self._connectivity = None
-            self._levels = None
-            self._netlist_digest_cache = None
-            self._on_structure_change()
-            self._structure_revision = self.netlist.revision
+        """Drop structural caches after the netlist was edited or swapped.
+
+        Two triggers: the bound netlist's ``revision`` advanced (an ECO
+        edit), or :attr:`netlist` now refers to a *different* object (the
+        engine was rebound to another design).  Either way the structural
+        views are stale; per-run state (:attr:`last_stats`, the run totals)
+        additionally resets on a rebind, and the cell-digest cache resets
+        when the new design brings a different cell library.
+        """
+        rebound = self._structure_identity != id(self.netlist)
+        if not rebound and self._structure_revision == self.netlist.revision:
+            return
+        self._connectivity = None
+        self._levels = None
+        self._netlist_digest_cache = None
+        if rebound:
+            self.last_stats = None
+            self.runs_completed = 0
+            self.total_stats = self._zero_totals()
+        if self._library_identity != id(self.netlist.library):
+            self._cell_digests = {}
+            self._library_identity = id(self.netlist.library)
+            self._on_library_change()
+        self._on_structure_change()
+        self._structure_revision = self.netlist.revision
+        self._structure_identity = id(self.netlist)
+
+    def rebind(self, netlist: GateNetlist) -> "TimingEngine":
+        """Point the engine at another netlist, resetting per-run state.
+
+        Content-addressed memo entries survive (an identical sub-cone in the
+        new design still hits), but stats, levels and connectivity are those
+        of the new design only.  Returns ``self`` for chaining.
+        """
+        self.netlist = netlist
+        self._sync_structure()
+        return self
 
     def _on_structure_change(self) -> None:
         """Hook for subclasses holding further netlist-derived caches."""
+
+    def _on_library_change(self) -> None:
+        """Hook for subclasses holding library-derived state (e.g. vdd)."""
 
     # -- content fingerprints shared by both engines's caches -----------
     def _cell_digest(self, cell_name: str) -> str:
@@ -312,7 +371,35 @@ class TimingEngine:
         return ReceiverLoad(receiver_caps=receiver_caps, wire_capacitance=wire)
 
     def run(self, *args, **kwargs):
+        """Run the engine (thread-safe: concurrent calls serialize).
+
+        Dispatches to the subclass :meth:`_run_impl` under the run lock and
+        folds the run's :class:`PropagationStats` into the lifetime totals.
+        """
+        with self._run_lock:
+            result = self._run_impl(*args, **kwargs)
+            self.runs_completed += 1
+            stats = self.last_stats
+            if stats is not None:
+                self.total_stats["instances"] += stats.instances
+                self.total_stats["integrations"] += stats.integrations
+                self.total_stats["memo_hits"] += stats.memo_hits
+                self.total_stats["cache_hits"] += stats.cache_hits
+                self.total_stats["duplicates"] += stats.duplicates
+                self.total_stats["stores"] += stats.stores
+                self.total_stats["full_run_hits"] += int(stats.full_run_hit)
+            return result
+
+    def _run_impl(self, *args, **kwargs):
         raise NotImplementedError
+
+    def stats_summary(self) -> Dict[str, Any]:
+        """JSON-ready per-engine accounting (surfaced by the timing server)."""
+        return {
+            "runs": self.runs_completed,
+            "last": self.last_stats.as_dict() if self.last_stats else None,
+            "total": dict(self.total_stats),
+        }
 
 
 def create_engine(
@@ -371,7 +458,6 @@ class NLDMEngine(TimingEngine):
         super().__init__(netlist, models)
         self.cache = cache if cache is not None else models.cache
         self.use_cache = use_cache
-        self.last_stats: Optional[PropagationStats] = None
         #: key -> (event fields tuple | None, MIS pin pairs); content-addressed,
         #: so it survives netlist edits just like the CSM waveform memo.
         self._memo: Dict[str, Tuple[Optional[Tuple[float, float, bool]], List[Tuple[str, str]]]] = {}
@@ -418,7 +504,7 @@ class NLDMEngine(TimingEngine):
                 return cached
         return None
 
-    def run(
+    def _run_impl(
         self, input_events: Dict[str, TimingEvent]
     ) -> NLDMTimingResult:
         """Propagate events from the primary inputs to every net.
@@ -664,7 +750,6 @@ class CSMEngine(TimingEngine):
         self.vdd = netlist.library.technology.vdd
         self.cache = cache if cache is not None else models.cache
         self.use_cache = use_cache
-        self.last_stats: Optional[PropagationStats] = None
         # The in-memory memo survives netlist edits: its entries are
         # content-addressed, so an edit simply stops addressing the stale
         # ones — that is what makes a re-run after an ECO edit incremental
@@ -679,6 +764,9 @@ class CSMEngine(TimingEngine):
 
     def _on_structure_change(self) -> None:
         self._load_cache = {}
+
+    def _on_library_change(self) -> None:
+        self.vdd = self.netlist.library.technology.vdd
 
     # -- fingerprints --------------------------------------------------
     def _mode(self) -> str:
@@ -712,7 +800,7 @@ class CSMEngine(TimingEngine):
         self._memo.clear()
 
     # ------------------------------------------------------------------
-    def run(
+    def _run_impl(
         self,
         input_waveforms: Dict[str, Waveform],
         t_stop: Optional[float] = None,

@@ -209,6 +209,53 @@ class GateNetlist:
         self.revision += 1
 
     # ------------------------------------------------------------------
+    # Serialization (wire transfer / private per-session copies)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """A JSON-ready structural description (library referenced by name
+        only — the receiver rebinds against its own :class:`CellLibrary`)."""
+        return {
+            "name": self.name,
+            "primary_inputs": list(self.primary_inputs),
+            "primary_outputs": list(self.primary_outputs),
+            "instances": [
+                [instance.name, instance.cell_name, dict(instance.connections)]
+                for instance in self.instances.values()
+            ],
+            "wire_capacitance": {
+                net: cap for net, cap in sorted(self.net_wire_capacitance.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, library: CellLibrary, data: Mapping[str, Any]) -> "GateNetlist":
+        """Rebuild a netlist from :meth:`to_dict` output against ``library``.
+
+        Pin connections are validated exactly like hand-built netlists, so a
+        malformed payload raises :class:`TimingError` rather than producing a
+        half-wired design.
+        """
+        netlist = cls(library=library, name=str(data.get("name", "design")))
+        for net in data.get("primary_inputs", ()):
+            netlist.add_primary_input(str(net))
+        for name, cell_name, connections in data.get("instances", ()):
+            netlist.add_instance(str(name), str(cell_name), dict(connections))
+        for net in data.get("primary_outputs", ()):
+            netlist.add_primary_output(str(net))
+        for net, cap in (data.get("wire_capacitance") or {}).items():
+            netlist.set_wire_capacitance(str(net), float(cap))
+        return netlist
+
+    def copy(self, name: Optional[str] = None) -> "GateNetlist":
+        """A structurally independent duplicate (fresh ``revision`` counter);
+        edits to the copy never touch the original — the isolation that keeps
+        concurrent server sessions on the same design from conflicting."""
+        duplicate = GateNetlist.from_dict(self.library, self.to_dict())
+        if name is not None:
+            duplicate.name = name
+        return duplicate
+
+    # ------------------------------------------------------------------
     # ECO-style edits
     # ------------------------------------------------------------------
     def swap_cell(self, instance_name: str, cell_name: str) -> GateInstance:

@@ -1,0 +1,569 @@
+"""Timing server (PR 7): single-flight, service, sessions, daemon.
+
+Layers under test, bottom-up:
+
+* :class:`SingleFlight` / :class:`SingleFlightStore` — concurrent duplicate
+  coalescing and in-flight store dedupe with miss-only failure semantics;
+* :class:`TimingService` — designs, sessions, timing/ECO requests, error
+  frames, and the engine rebind/stats-reset satellite;
+* concurrent sessions — conflicting and non-conflicting ECOs, cross-session
+  dedupe observable in the request stats;
+* the asyncio daemon — socket + HTTP round trips through a real listener.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.characterization import CharacterizationConfig
+from repro.csm.base import SimulationOptions
+from repro.runtime import ResultCache, ShardedPackedStore
+from repro.runtime.client import TimingClient, TimingServerError
+from repro.runtime.server import (
+    ServerConfig,
+    SingleFlight,
+    SingleFlightStore,
+    TimingServer,
+    TimingService,
+)
+from repro.sta import (
+    CSMEngine,
+    NLDMEngine,
+    TimingModelLibrary,
+    generate_netlist,
+    netlist_fingerprint,
+    primary_input_events,
+)
+
+CHAIN = "chain:inv:3"
+DAG = "dag:w4:d2:s1"  # small mixed-cell design with swap candidates
+
+
+@pytest.fixture(scope="module")
+def disk_cache(tmp_path_factory):
+    return ResultCache(tmp_path_factory.mktemp("pr7-models"))
+
+
+@pytest.fixture(scope="module")
+def models(library, disk_cache):
+    return TimingModelLibrary(
+        library=library,
+        config=CharacterizationConfig(io_grid_points=5),
+        cache=disk_cache,
+    )
+
+
+@pytest.fixture()
+def service(models, tmp_path):
+    store = ShardedPackedStore(tmp_path / "store", shards=2)
+    return TimingService(
+        models=models,
+        options=SimulationOptions(time_step=2e-12),
+        store=store,
+    )
+
+
+# ----------------------------------------------------------------------
+# Single-flight request coalescing
+# ----------------------------------------------------------------------
+class TestSingleFlight:
+    def test_concurrent_duplicates_share_one_computation(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            release.wait(5)
+            return "value"
+
+        results = []
+
+        def run():
+            results.append(flight.execute("key", compute))
+
+        threads = [threading.Thread(target=run) for _ in range(4)]
+        for t in threads:
+            t.start()
+        while flight.stats()["coalesced"] < 3:
+            time.sleep(0.005)
+        release.set()
+        for t in threads:
+            t.join()
+        assert len(calls) == 1
+        assert sorted(coalesced for _, coalesced in results) == [False, True, True, True]
+        assert all(value == "value" for value, _ in results)
+        assert flight.stats() == {"leaders": 1, "coalesced": 3}
+
+    def test_sequential_calls_do_not_coalesce(self):
+        flight = SingleFlight()
+        assert flight.execute("k", lambda: 1) == (1, False)
+        assert flight.execute("k", lambda: 2) == (2, False)
+        assert flight.stats() == {"leaders": 2, "coalesced": 0}
+
+    def test_leader_exception_propagates_to_followers(self):
+        flight = SingleFlight()
+        release = threading.Event()
+        outcomes = []
+
+        def failing():
+            release.wait(5)
+            raise RuntimeError("leader failed")
+
+        def run():
+            try:
+                flight.execute("k", failing)
+            except RuntimeError as exc:
+                outcomes.append(str(exc))
+
+        threads = [threading.Thread(target=run) for _ in range(3)]
+        for t in threads:
+            t.start()
+        while flight.stats()["coalesced"] < 2:
+            time.sleep(0.005)
+        release.set()
+        for t in threads:
+            t.join()
+        assert outcomes == ["leader failed"] * 3
+        # A later retry gets a fresh leader slot (errors are not memoized).
+        assert flight.execute("k", lambda: "ok") == ("ok", False)
+
+
+class TestSingleFlightStore:
+    def _store(self, tmp_path, **kwargs):
+        return SingleFlightStore(
+            ShardedPackedStore(tmp_path / "inner", shards=2), **kwargs
+        )
+
+    def test_waiter_gets_hit_after_claimants_store(self, tmp_path):
+        store = self._store(tmp_path)
+        key = "ab" * 32
+        hit, _ = store.lookup(key)  # claims
+        assert not hit
+        results = []
+
+        def waiter():
+            results.append(store.lookup(key))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        while store.dedupe_waits == 0:
+            time.sleep(0.005)
+        store.store(key, {"data": np.arange(4.0)})
+        thread.join(5)
+        hit, value = results[0]
+        assert hit
+        np.testing.assert_array_equal(value["data"], np.arange(4.0))
+        assert store.dedupe_stats() == {"waits": 1, "hits": 1}
+
+    def test_abandoned_claim_degrades_to_miss(self, tmp_path):
+        store = self._store(tmp_path, wait_timeout=0.05)
+        key = "cd" * 32
+        assert store.lookup(key) == (False, None)  # claim, never resolved
+        start = time.perf_counter()
+        assert store.lookup(key) == (False, None)  # waits, times out, takes over
+        assert time.perf_counter() - start >= 0.05
+        assert store.dedupe_stats() == {"waits": 1, "hits": 0}
+        # The taken-over claim resolves normally.
+        store.store(key, {"data": np.zeros(2)})
+        assert store.lookup(key)[0]
+
+    def test_facade_delegates_to_inner_store(self, tmp_path):
+        store = self._store(tmp_path)
+        key = "ef" * 32
+        store.store(key, {"data": np.ones(3)})
+        assert key in store
+        assert len(store) == 1
+        assert set(store.keys()) == {key}
+        assert store.stats.stores == 1
+        assert store.report()["entries"] == 1
+
+
+# ----------------------------------------------------------------------
+# The transport-agnostic service
+# ----------------------------------------------------------------------
+class TestTimingService:
+    def test_open_session_registers_design_once(self, service):
+        a = service.handle({"op": "open_session", "design": {"generate": CHAIN}})
+        b = service.handle({"op": "open_session", "design": {"generate": CHAIN}})
+        assert a["ok"] and b["ok"]
+        assert a["session"] != b["session"]
+        assert a["design"] == b["design"]
+        assert a["gates"] == 3
+        status = service.handle({"op": "status"})
+        assert status["designs"][a["design"]]["sessions_opened"] == 2
+
+    def test_netlist_payload_roundtrip(self, service, library):
+        netlist = generate_netlist(library, CHAIN)
+        response = service.handle(
+            {"op": "open_session", "design": {"netlist": netlist.to_dict()}}
+        )
+        assert response["ok"]
+        # Same content as the generated spec -> same design id.
+        via_spec = service.handle(
+            {"op": "open_session", "design": {"generate": CHAIN}}
+        )
+        assert response["design"] == via_spec["design"]
+
+    def test_cold_then_warm_timing(self, service):
+        session = service.handle(
+            {"op": "open_session", "design": {"generate": CHAIN}}
+        )["session"]
+        cold = service.handle({"op": "timing", "session": session, "seed": 0})
+        assert cold["ok"] and not cold["coalesced"]
+        assert cold["stats"]["integrations"] == 3
+        assert cold["latency_ms"] > 0
+        warm = service.handle({"op": "timing", "session": session, "seed": 0})
+        assert warm["stats"]["integrations"] == 0
+        assert warm["stats"]["full_run_hit"]
+        assert warm["design_fingerprint"] == cold["design_fingerprint"]
+
+    def test_warm_hits_cross_sessions(self, service):
+        first = service.handle(
+            {"op": "open_session", "design": {"generate": CHAIN}}
+        )["session"]
+        second = service.handle(
+            {"op": "open_session", "design": {"generate": CHAIN}}
+        )["session"]
+        service.handle({"op": "timing", "session": first, "seed": 1})
+        other = service.handle({"op": "timing", "session": second, "seed": 1})
+        assert other["stats"]["full_run_hit"], (
+            "identical request from another session must hit the shared store"
+        )
+
+    def test_nldm_engine_and_waveform_payload(self, service):
+        session = service.handle(
+            {"op": "open_session", "design": {"generate": CHAIN}}
+        )["session"]
+        nldm = service.handle(
+            {"op": "timing", "session": session, "engine": "nldm", "seed": 0}
+        )
+        assert nldm["ok"] and nldm["engine"] == "nldm"
+        assert set(nldm["arrivals"]) == {"n3"}
+        assert nldm["slews"]["n3"] > 0
+        csm = service.handle(
+            {"op": "timing", "session": session, "seed": 0, "return_waveforms": True}
+        )
+        times, values = TimingClient.waveforms_of(csm)["n3"]
+        assert len(times) == len(values) > 0
+        assert np.isfinite(values).all()
+
+    def test_eco_swap_retimes_only_affected_region(self, service):
+        session = service.handle(
+            {"op": "open_session", "design": {"generate": DAG}}
+        )["session"]
+        cold = service.handle({"op": "timing", "session": session, "seed": 0})
+        gates = cold["stats"]["instances"]
+        eco = service.handle(
+            {"op": "eco", "session": session, "edits": [{"kind": "auto_swap"}]}
+        )
+        assert eco["ok"]
+        applied = eco["applied"][0]
+        assert applied["swapped_from"] != applied["cell"]
+        assert eco["design_fingerprint"] != cold["design_fingerprint"]
+        edited = service.handle({"op": "timing", "session": session, "seed": 0})
+        assert 0 < edited["stats"]["integrations"] <= applied["affected"] < gates
+        # Swapping back restores the original fingerprint and the warm hit.
+        service.handle(
+            {
+                "op": "eco",
+                "session": session,
+                "edits": [
+                    {
+                        "kind": "swap_cell",
+                        "instance": applied["instance"],
+                        "cell": applied["swapped_from"],
+                    }
+                ],
+            }
+        )
+        restored = service.handle({"op": "timing", "session": session, "seed": 0})
+        assert restored["design_fingerprint"] == cold["design_fingerprint"]
+        assert restored["stats"]["full_run_hit"]
+
+    def test_error_frames(self, service):
+        assert service.handle({"op": "nope"})["code"] == "bad-request"
+        missing = service.handle({"op": "timing", "session": "s9999"})
+        assert not missing["ok"] and missing["code"] == "not-found"
+        session = service.handle(
+            {"op": "open_session", "design": {"generate": CHAIN}}
+        )["session"]
+        bad_engine = service.handle(
+            {"op": "timing", "session": session, "engine": "spice"}
+        )
+        assert not bad_engine["ok"] and bad_engine["code"] == "bad-request"
+        bad_design = service.handle({"op": "open_session", "design": {}})
+        assert not bad_design["ok"] and bad_design["code"] == "bad-request"
+        bad_edit = service.handle(
+            {"op": "eco", "session": session, "edits": [{"kind": "delete"}]}
+        )
+        assert not bad_edit["ok"] and bad_edit["code"] == "bad-request"
+
+    def test_close_session(self, service):
+        session = service.handle(
+            {"op": "open_session", "design": {"generate": CHAIN}}
+        )["session"]
+        closed = service.handle({"op": "close_session", "session": session})
+        assert closed["ok"] and closed["closed"] == session
+        after = service.handle({"op": "timing", "session": session})
+        assert not after["ok"] and after["code"] == "not-found"
+
+    def test_status_sections(self, service):
+        session = service.handle(
+            {"op": "open_session", "design": {"generate": CHAIN}}
+        )["session"]
+        service.handle({"op": "timing", "session": session, "seed": 0})
+        status = service.handle({"op": "status"})
+        assert status["ok"] and status["uptime_s"] >= 0
+        record = status["sessions"][session]
+        assert record["requests"] == 1
+        assert record["engines"]["csm"]["runs"] == 1
+        assert status["counters"]["timing_requests"] == 1
+        assert status["store_dedupe"] == {"waits": 0, "hits": 0}
+        assert status["store"]["num_shards"] == 2
+
+
+# ----------------------------------------------------------------------
+# Engine rebind / per-design stats reset (the stale last_stats satellite)
+# ----------------------------------------------------------------------
+class TestEngineRebind:
+    def test_rebind_resets_run_state(self, library, models):
+        chain = generate_netlist(library, CHAIN)
+        other = generate_netlist(library, "chain:inv:5")
+        engine = NLDMEngine(chain, models)
+        engine.run(primary_input_events(chain, seed=0))
+        assert engine.runs_completed == 1
+        assert engine.last_stats is not None
+        assert engine.total_stats["instances"] == 3
+
+        engine.rebind(other)
+        assert engine.last_stats is None, "stale stats leaked across designs"
+        assert engine.runs_completed == 0
+        assert engine.total_stats["instances"] == 0
+
+        engine.run(primary_input_events(other, seed=0))
+        assert engine.last_stats.instances == 5
+
+    def test_totals_accumulate_within_one_design(self, library, models):
+        # A design no other test times, so the shared module cache cannot
+        # turn the cold run into a full-run hit.
+        chain = generate_netlist(library, "chain:inv:4")
+        engine = NLDMEngine(chain, models)
+        events = primary_input_events(chain, seed=0)
+        engine.run(events)
+        engine.run(events)
+        summary = engine.stats_summary()
+        assert summary["runs"] == 2
+        assert summary["total"]["instances"] == 8
+        assert summary["total"]["integrations"] + summary["total"]["memo_hits"] + summary[
+            "total"
+        ]["cache_hits"] >= 4
+        assert summary["last"]["instances"] == 4
+
+    def test_rebind_same_structure_keeps_memo_warm(self, library, models, tmp_path):
+        spec_netlist = generate_netlist(library, CHAIN)
+        twin = generate_netlist(library, CHAIN)
+        store = ShardedPackedStore(tmp_path / "store", shards=2)
+        engine = CSMEngine(
+            spec_netlist,
+            models,
+            options=SimulationOptions(time_step=2e-12),
+            cache=store,
+        )
+        from repro.sta import primary_input_waveforms
+
+        engine.run(primary_input_waveforms(spec_netlist, seed=0))
+        engine.rebind(twin)
+        result = engine.run(primary_input_waveforms(twin, seed=0))
+        assert result.stats["full_run_hit"] if isinstance(result.stats, dict) else (
+            result.stats.full_run_hit
+        ), "content-identical design must stay warm across rebind"
+
+
+# ----------------------------------------------------------------------
+# Concurrent sessions
+# ----------------------------------------------------------------------
+class TestConcurrentSessions:
+    def test_non_conflicting_ecos_stay_isolated(self, service):
+        sessions = [
+            service.handle({"op": "open_session", "design": {"generate": DAG}})[
+                "session"
+            ]
+            for _ in range(2)
+        ]
+        errors = []
+
+        def edit(session):
+            try:
+                response = service.handle(
+                    {"op": "eco", "session": session, "edits": [{"kind": "auto_swap"}]}
+                )
+                assert response["ok"], response
+            except AssertionError as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=edit, args=(s,)) for s in sessions]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        status = service.handle({"op": "status"})
+        # Each session edited its own private copy; both advanced.
+        assert all(
+            status["sessions"][session]["eco_edits"] == 1 for session in sessions
+        )
+
+    def test_conflicting_edits_serialize_on_one_session(self, service):
+        session = service.handle(
+            {"op": "open_session", "design": {"generate": DAG}}
+        )["session"]
+        eco = service.handle(
+            {"op": "eco", "session": session, "edits": [{"kind": "auto_swap"}]}
+        )
+        applied = eco["applied"][0]
+        results = []
+
+        def swap(cell):
+            results.append(
+                service.handle(
+                    {
+                        "op": "eco",
+                        "session": session,
+                        "edits": [
+                            {
+                                "kind": "swap_cell",
+                                "instance": applied["instance"],
+                                "cell": cell,
+                            }
+                        ],
+                    }
+                )
+            )
+
+        threads = [
+            threading.Thread(target=swap, args=(cell,))
+            for cell in (applied["cell"], applied["swapped_from"])
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r["ok"] for r in results)
+        # Both edits applied under the session lock: revision advanced twice
+        # and the final cell is whichever edit ran last.
+        final = service.handle({"op": "status"})["sessions"][session]
+        assert final["eco_edits"] == 3
+
+    def test_cross_session_dedupe_coalesces_identical_requests(self, service):
+        sessions = [
+            service.handle({"op": "open_session", "design": {"generate": DAG}})[
+                "session"
+            ]
+            for _ in range(3)
+        ]
+        barrier = threading.Barrier(len(sessions))
+        responses = []
+        lock = threading.Lock()
+
+        def request(session):
+            barrier.wait(timeout=30)
+            response = service.handle(
+                {"op": "timing", "session": session, "seed": 42}
+            )
+            with lock:
+                responses.append(response)
+
+        threads = [threading.Thread(target=request, args=(s,)) for s in sessions]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r["ok"] for r in responses)
+        coalesced = [r for r in responses if r["coalesced"]]
+        assert len(coalesced) >= 1, "concurrent identical requests must coalesce"
+        assert service.flight.stats()["coalesced"] >= 1
+        arrivals = [json.dumps(r["arrivals"], sort_keys=True) for r in responses]
+        assert len(set(arrivals)) == 1, "coalesced responses must agree"
+
+
+# ----------------------------------------------------------------------
+# The asyncio daemon: socket + HTTP round trips
+# ----------------------------------------------------------------------
+class TestDaemon:
+    @pytest.fixture()
+    def live_server(self, models, tmp_path):
+        config = ServerConfig(
+            socket_path=tmp_path / "server.sock",
+            http_port=0,
+            workers=2,
+        )
+        service = TimingService(
+            models=models,
+            options=SimulationOptions(time_step=2e-12),
+            store=ShardedPackedStore(tmp_path / "cache", shards=2),
+        )
+        server = TimingServer(service, config)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=lambda: __import__("asyncio").run(
+                server.serve(ready=lambda _s: ready.set())
+            ),
+            daemon=True,
+        )
+        thread.start()
+        assert ready.wait(15), "daemon did not come up"
+        yield server
+        if thread.is_alive():
+            try:
+                TimingClient(socket_path=config.socket_path).shutdown()
+            except (OSError, TimingServerError):
+                pass
+            thread.join(10)
+
+    def test_socket_roundtrip_and_shutdown(self, live_server):
+        client = TimingClient(socket_path=live_server.config.socket_path)
+        assert client.ping()["protocol"] == 1
+        session = client.open_session({"generate": CHAIN})["session"]
+        result = client.timing(session, seed=0)
+        assert result["stats"]["instances"] == 3
+        with pytest.raises(TimingServerError) as err:
+            client.timing("s9999")
+        assert err.value.code == "not-found"
+        assert client.shutdown()["stopping"]
+        deadline = time.monotonic() + 10
+        while time.monotonic() < deadline and live_server.config.socket_path.exists():
+            time.sleep(0.05)
+        assert not live_server.config.socket_path.exists()
+
+    def test_http_roundtrip(self, live_server):
+        address = f"127.0.0.1:{live_server.bound_http_port}"
+        client = TimingClient(http_address=address)
+        status = client.status()
+        assert status["ok"] and status["protocol"] == 1
+        session = client.open_session({"generate": CHAIN})["session"]
+        result = client.timing(session, seed=0)
+        assert result["ok"] and "arrivals" in result
+        # GET /status works for anything that just wants a health probe.
+        import http.client
+
+        conn = http.client.HTTPConnection("127.0.0.1", live_server.bound_http_port)
+        conn.request("GET", "/status")
+        response = conn.getresponse()
+        assert response.status == 200
+        assert json.loads(response.read())["ok"]
+        conn.close()
+
+    def test_malformed_socket_request_gets_error_frame(self, live_server):
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as conn:
+            conn.settimeout(10)
+            conn.connect(str(live_server.config.socket_path))
+            conn.sendall(b"this is not json\n")
+            response = json.loads(conn.makefile("rb").readline())
+        assert not response["ok"] and response["code"] == "bad-request"

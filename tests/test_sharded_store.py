@@ -1,0 +1,186 @@
+"""Sharded packed store: routing, facade behaviour, persistence (PR 7).
+
+The sharded store must route each key to a *stable* shard (hash-prefix on
+hex keys, crc32 fallback otherwise), pin the shard count in ``shards.json``
+so reopening with a different request cannot re-route existing keys, expose
+the whole :class:`PackedStore` surface as one facade (aggregated stats,
+report, eviction, compaction), and survive pickling into worker processes.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.runtime import PackedStore, ShardedPackedStore, open_result_store
+
+
+def _key(tag: str) -> str:
+    import hashlib
+
+    return hashlib.sha256(tag.encode()).hexdigest()
+
+
+def _payload(seed: int, words: int = 256) -> dict:
+    return {"data": np.random.default_rng(seed).random(words)}
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ShardedPackedStore(tmp_path / "store", shards=4)
+
+
+class TestRouting:
+    def test_roundtrip_and_distribution(self, store):
+        keys = [_key(f"k{i}") for i in range(64)]
+        for i, key in enumerate(keys):
+            store.store(key, _payload(i))
+        for i, key in enumerate(keys):
+            hit, value = store.lookup(key)
+            assert hit
+            np.testing.assert_array_equal(value["data"], _payload(i)["data"])
+        populated = sum(1 for shard in store.shards if len(shard) > 0)
+        assert populated == 4, "64 sha256 keys should touch every shard"
+
+    def test_routing_is_stable_across_reopen(self, tmp_path):
+        first = ShardedPackedStore(tmp_path / "store", shards=4)
+        keys = [_key(f"r{i}") for i in range(16)]
+        routes = {}
+        for i, key in enumerate(keys):
+            first.store(key, _payload(i))
+            routes[key] = first.shard_index(key)
+        first.close()
+
+        second = ShardedPackedStore(tmp_path / "store")
+        assert len(second.shards) == 4
+        for key in keys:
+            assert second.shard_index(key) == routes[key]
+            assert second.lookup(key)[0]
+
+    def test_shard_count_is_pinned_by_metadata(self, tmp_path):
+        first = ShardedPackedStore(tmp_path / "store", shards=2)
+        first.store(_key("pin"), _payload(0))
+        first.close()
+        # A different requested count must NOT re-route existing keys.
+        reopened = ShardedPackedStore(tmp_path / "store", shards=8)
+        assert len(reopened.shards) == 2
+        assert reopened.lookup(_key("pin"))[0]
+
+    def test_non_hex_keys_fall_back_to_crc32(self, store):
+        keys = [f"not-hex-key-{i}!" for i in range(8)]
+        for i, key in enumerate(keys):
+            store.store(key, _payload(i))
+        for key in keys:
+            assert store.shard_index(key) == store.shard_index(key)
+            assert store.lookup(key)[0]
+
+
+class TestFacade:
+    def test_contains_len_keys_and_aggregate_stats(self, store):
+        keys = [_key(f"f{i}") for i in range(12)]
+        for i, key in enumerate(keys):
+            store.store(key, _payload(i))
+        assert len(store) == 12
+        assert set(store.keys()) == set(keys)
+        assert keys[0] in store and _key("absent") not in store
+        store.lookup(keys[0])
+        store.lookup(_key("absent"))
+        stats = store.stats
+        assert stats.stores == 12
+        assert stats.hits >= 1 and stats.misses >= 1
+
+    def test_evict_clear_and_compact(self, store):
+        keys = [_key(f"e{i}") for i in range(8)]
+        for i, key in enumerate(keys):
+            store.store(key, _payload(i))
+        store.evict(keys[0])
+        assert keys[0] not in store and len(store) == 7
+        store.compact()
+        assert len(store) == 7 and store.lookup(keys[1])[0]
+        store.clear()
+        assert len(store) == 0
+
+    def test_report_aggregates_shards(self, store):
+        for i in range(8):
+            store.store(_key(f"rep{i}"), _payload(i))
+        report = store.report()
+        assert report["num_shards"] == 4
+        assert report["entries"] == 8
+        assert len(report["shards"]) == 4
+        assert report["live_bytes"] == sum(
+            shard["live_bytes"] for shard in report["shards"]
+        )
+        assert report["lock"]["acquisitions"] > 0
+
+    def test_store_many_routes_per_key(self, store):
+        items = [(_key(f"many{i}"), _payload(i)) for i in range(16)]
+        store.store_many(items)
+        assert len(store) == 16
+        for key, value in items:
+            hit, got = store.lookup(key)
+            assert hit
+            np.testing.assert_array_equal(got["data"], value["data"])
+
+    def test_pickled_facade_reopens(self, store):
+        store.store(_key("pkl"), _payload(3))
+        clone = pickle.loads(pickle.dumps(store))
+        hit, value = clone.lookup(_key("pkl"))
+        assert hit
+        np.testing.assert_array_equal(value["data"], _payload(3)["data"])
+
+
+class TestPolicyAndConcurrency:
+    def test_budget_is_divided_across_shards(self, tmp_path):
+        store = ShardedPackedStore(tmp_path / "store", shards=4, max_bytes=64 * 1024)
+        assert all(shard.max_bytes == 16 * 1024 for shard in store.shards)
+        for i in range(48):
+            store.store(_key(f"b{i}"), _payload(i, words=1024))  # ~8 KiB each
+        store.enforce_policy()
+        assert store.live_bytes() <= 64 * 1024
+        assert store.stats.evictions > 0
+        # Miss-only under eviction: every surviving key reads, evicted miss.
+        for key in store.keys():
+            assert store.lookup(key)[0]
+
+    def test_concurrent_threaded_writers(self, store):
+        errors = []
+
+        def writer(index):
+            try:
+                for i in range(20):
+                    key = _key(f"w{index}-{i}")
+                    store.store(key, _payload(index * 100 + i, words=64))
+                    hit, value = store.lookup(key)
+                    assert hit
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer, args=(t,)) for t in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert len(store) == 120
+
+
+class TestOpenResultStore:
+    def test_shards_argument_selects_sharded_layout(self, tmp_path):
+        store = open_result_store(tmp_path / "cache", shards=3)
+        assert isinstance(store, ShardedPackedStore)
+        assert len(store.shards) == 3
+
+    def test_auto_detects_existing_sharded_layout(self, tmp_path):
+        first = open_result_store(tmp_path / "cache", shards=2)
+        first.store(_key("auto"), _payload(0))
+        first.close()
+        detected = open_result_store(tmp_path / "cache")
+        assert isinstance(detected, ShardedPackedStore)
+        assert detected.lookup(_key("auto"))[0]
+
+    def test_single_shard_request_stays_packed(self, tmp_path):
+        store = open_result_store(tmp_path / "cache", fmt="packed", shards=None)
+        assert isinstance(store, PackedStore)
