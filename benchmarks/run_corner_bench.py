@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Wall-clock benchmark for the batched MMMC corner sweep.
+
+Times one generated design three ways under quick settings:
+
+* ``serial``  — one single-corner engine run per corner (the PR 7 path),
+* ``batched`` — ONE multi-corner engine run filling the level tensors'
+  corner axis for all corners at once (the PR 8 tentpole),
+* ``single``  — one corner alone, the denominator of the headline ratio.
+
+Asserts the batched waveforms match the serial per-corner runs to 1e-9 V
+and records the deviation, the batched-vs-single wall ratio (target:
+<= 2.0x for four corners) and a corners/second throughput figure.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_corner_bench.py \
+        --output BENCH_PR8.json --baseline BENCH_PR7.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC = REPO_ROOT / "src"
+if str(SRC) not in sys.path:
+    sys.path.insert(0, str(SRC))
+
+from repro.experiments import batched_corner_sta_sweep, corner_sta_sweep  # noqa: E402
+from repro.runtime import ResultCache  # noqa: E402
+from repro.sta import waveform_deviation  # noqa: E402
+from run_bench import quick_context  # noqa: E402
+
+#: Batched/serial waveform agreement budget (same as the engine tests).
+EQUIV_TOL = 1e-9
+#: Headline target: four corners batched in at most twice one corner's wall.
+RATIO_TARGET = 2.0
+
+DEFAULT_SPEC = "dag:w256:d4"
+DEFAULT_CORNERS = "TT,FF,SS,FS"
+
+
+def machine_block() -> dict:
+    """CPU inventory for the report; warns loudly below 4 CPUs so numbers
+    measured in small containers are never mistaken for parallel speedups."""
+    cpus = os.cpu_count() or 1
+    block = {"cpus": cpus}
+    if cpus < 4:
+        block["warning"] = (
+            f"only {cpus} CPU(s) visible: timings measure single-core "
+            "algorithmic behaviour under time-slicing — re-measure on a "
+            "machine with >= 4 cores before quoting concurrency numbers"
+        )
+        print(f"WARNING: {block['warning']}", file=sys.stderr)
+    return block
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output", type=Path, default=REPO_ROOT / "BENCH_PR8.json",
+        help="where to write the benchmark JSON (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--spec", default=DEFAULT_SPEC,
+        help="generator spec of the benchmark design (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--corners", default=DEFAULT_CORNERS,
+        help="comma-separated corner names (default: %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="stimulus seed")
+    parser.add_argument(
+        "--baseline", type=Path, default=None,
+        help="previous BENCH json; its 'corner' section (or single-corner "
+        "'sta' timings) are compared when present — older reports without "
+        "either are tolerated with a note",
+    )
+    args = parser.parse_args(argv)
+
+    corners = [name.strip().upper() for name in args.corners.split(",") if name.strip()]
+    context = quick_context()
+    report = {
+        "settings": "quick",
+        "machine": machine_block(),
+        "spec": args.spec,
+        "corners": corners,
+        "seed": args.seed,
+    }
+
+    with tempfile.TemporaryDirectory(prefix="corner-bench-") as tmp:
+        # One shared characterization store: every corner library (serial,
+        # batched and single alike) characterizes once.  Propagation runs
+        # stay cache-less so the wall-clock ratio is honest.
+        context.cache = ResultCache(Path(tmp) / "characterization")
+
+        print(f"corner sweep — {args.spec}, corners {','.join(corners)} (quick settings)")
+        serial = corner_sta_sweep(
+            context, args.spec, corners, seed=args.seed,
+            keep_results=True, use_cache=False,
+        )
+        print(serial.summary())
+        t_serial = sum(point.propagation_seconds for point in serial.points)
+
+        batched = batched_corner_sta_sweep(
+            context, args.spec, corners, seed=args.seed, use_cache=False
+        )
+        print(
+            f"batched MMMC: {len(batched.corners)} corners in "
+            f"{batched.propagation_seconds:.3f} s "
+            f"(serial sum {t_serial:.3f} s)"
+        )
+
+        # Single-corner denominator, after characterization is warm.
+        single = corner_sta_sweep(
+            context, args.spec, ["TT"], seed=args.seed, use_cache=False
+        )
+        t_single = single.points[0].propagation_seconds
+    print(f"single corner (TT): {t_single:.3f} s")
+
+    per_corner_dv = {}
+    for point in serial.points:
+        per_corner_dv[point.corner] = waveform_deviation(
+            batched.result.result(point.corner), point.result
+        )
+    max_dv = max(per_corner_dv.values())
+    arrival_dev = batched.max_arrival_deviation(serial)
+    ratio = batched.propagation_seconds / t_single if t_single > 0 else float("inf")
+    speedup_vs_serial = (
+        t_serial / batched.propagation_seconds
+        if batched.propagation_seconds > 0
+        else float("inf")
+    )
+    corners_per_sec = (
+        len(corners) / batched.propagation_seconds
+        if batched.propagation_seconds > 0
+        else float("inf")
+    )
+
+    print(f"max |dV| batched vs serial: {max_dv:.3e} V (budget {EQUIV_TOL:.0e})")
+    print(
+        f"batched/single ratio: {ratio:.2f}x for {len(corners)} corners "
+        f"(target <= {RATIO_TARGET:.1f}x) — {speedup_vs_serial:.2f}x vs serial, "
+        f"{corners_per_sec:.2f} corners/s"
+    )
+
+    report["corner"] = {
+        "gates": batched.gates,
+        # None = auto: the engine spends min(corners, CPUs) threads per
+        # level, so this resolves what the timed run actually used.
+        "corner_workers": min(len(corners), os.cpu_count() or 1),
+        "characterization_seconds": round(batched.characterization_seconds, 4),
+        "serial_seconds_per_corner": {
+            point.corner: round(point.propagation_seconds, 4)
+            for point in serial.points
+        },
+        "serial_seconds_total": round(t_serial, 4),
+        "batched_seconds": round(batched.propagation_seconds, 4),
+        "single_corner_seconds": round(t_single, 4),
+        "batched_vs_single_ratio": round(ratio, 3),
+        "ratio_target": RATIO_TARGET,
+        "meets_ratio_target": ratio <= RATIO_TARGET,
+        "speedup_vs_serial": round(speedup_vs_serial, 3),
+        "corners_per_second": round(corners_per_sec, 3),
+        "max_abs_delta_v_per_corner": {
+            corner: dv for corner, dv in per_corner_dv.items()
+        },
+        "max_abs_delta_v": max_dv,
+        "max_arrival_deviation_s": arrival_dev,
+        "equivalence_tolerance_v": EQUIV_TOL,
+        "integrations_per_corner": {
+            corner: stats.get("integrations")
+            for corner, stats in batched.stats.items()
+        },
+    }
+
+    if args.baseline is not None:
+        try:
+            baseline_report = json.loads(args.baseline.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            parser.error(f"cannot read baseline {args.baseline}: {exc}")
+        comparison = {"path": str(args.baseline)}
+        base_corner = baseline_report.get("corner")
+        base_designs = baseline_report.get("sta", {}).get("designs", {})
+        if base_corner and base_corner.get("batched_seconds"):
+            comparison["batched_speedup_vs_baseline"] = round(
+                base_corner["batched_seconds"] / report["corner"]["batched_seconds"], 2
+            )
+        elif base_designs:
+            # Older single-corner sweep reports: compare our single-corner
+            # run against the same spec if it was measured.
+            entry = base_designs.get(args.spec) or base_designs.get(f"{args.spec}:s11")
+            if entry and entry.get("batched_seconds"):
+                comparison["single_corner_vs_baseline_batched"] = round(
+                    entry["batched_seconds"] / t_single, 2
+                )
+            else:
+                comparison["note"] = (
+                    f"{args.baseline.name} has no timing for {args.spec}; "
+                    "no cross-report comparison possible"
+                )
+        else:
+            comparison["note"] = (
+                f"{args.baseline.name} has no 'corner' or 'sta' timings "
+                "(older report format); this run establishes the baseline"
+            )
+        if "note" in comparison:
+            print(comparison["note"])
+        report["corner"]["baseline"] = comparison
+
+    args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {args.output}")
+
+    failed = False
+    if max_dv > EQUIV_TOL:
+        print(
+            f"ERROR: batched/serial waveforms deviate by {max_dv:.3e} V "
+            f"(> {EQUIV_TOL:.0e})",
+            file=sys.stderr,
+        )
+        failed = True
+    if ratio > RATIO_TARGET:
+        if (os.cpu_count() or 1) >= 4:
+            print(
+                f"ERROR: batched sweep took {ratio:.2f}x a single corner "
+                f"(> {RATIO_TARGET:.1f}x target)",
+                file=sys.stderr,
+            )
+            failed = True
+        else:
+            # The headline ratio is delivered by corner-parallel level
+            # evaluation; below 4 CPUs the corners time-slice one core and
+            # the ratio necessarily approaches corner count.  The machine
+            # warning above already flags the report — don't fail the run.
+            print(
+                f"WARNING: ratio {ratio:.2f}x > {RATIO_TARGET:.1f}x target, "
+                "tolerated on a <4-CPU machine (corners time-slice; see "
+                "machine warning)",
+                file=sys.stderr,
+            )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

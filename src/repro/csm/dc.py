@@ -30,7 +30,7 @@ always safe to enable.
 
 from __future__ import annotations
 
-from typing import Callable, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -449,10 +449,14 @@ def _polish_many(
     engine's shared precompute: identical table objects imply the same
     characterized model, hence the same pins and capacitance tables), batches
     each group's constant-bias reductions and cap lookups into single table
-    calls, and solves all of an internal-node group's fixed points as ONE
-    :func:`newton_fixed_point_many` batch.  The Newton engine's active-subset
-    iteration assembles and updates every system independently of its batch
-    neighbours, so per-unit results are bit-identical to solo
+    calls, and solves the internal-node fixed points as ONE
+    :func:`newton_fixed_point_many` batch per state grid — model groups whose
+    ``(VN, VO)`` grids are value-equal (the corners of an MMMC set, whose
+    characterizations share one voltage grid) stack into a single Newton
+    solve.  The Newton engine's active-subset iteration assembles and updates
+    every system independently of its batch neighbours, and
+    :func:`_bilinear_fn_many` selects each run's own reduced tables through
+    ``params``, so per-unit results are bit-identical to solo
     :func:`_polish_state` calls; a batch solve that dies without per-run
     attribution (singular factorization) re-runs its members solo.  Returns
     polish results aligned with ``eligible`` (``None`` = fall back).
@@ -466,6 +470,11 @@ def _polish_many(
         ).append(pos)
     dt = options.time_step
     eps = 1e-9
+    # Internal-node systems accumulate here, bucketed by state-grid values,
+    # and solve after the per-model reduction loop.  Each run entry carries
+    # everything its post-solve stability checks need:
+    # (pos, denominator, Cn, start_out, start_int).
+    stacks: dict = {}
     for positions in groups.values():
         rep = units[eligible[positions[0]]]
         pins = rep.pins
@@ -527,9 +536,28 @@ def _polish_many(
 
         vn_pts = io_table.axes[-2].as_array()
         start_int = [float(pre_states[pos][1][-1]) for pos in positions]
-        starts = np.column_stack([start_out, start_int])
+        stack = stacks.setdefault(
+            (vo_pts.tobytes(), vn_pts.tobytes()),
+            {"vo_pts": vo_pts, "vn_pts": vn_pts, "io": [], "in": [], "runs": []},
+        )
+        stack["io"].append(io_red_all)
+        stack["in"].append(in_red_all)
+        for g, pos in enumerate(positions):
+            stack["runs"].append(
+                (pos, denoms[g], float(cn_col[g]), start_out[g], start_int[g])
+            )
+
+    for stack in stacks.values():
+        vo_pts = stack["vo_pts"]
+        vn_pts = stack["vn_pts"]
+        runs = stack["runs"]
+        io_red_all = stack["io"][0] if len(stack["io"]) == 1 else np.concatenate(stack["io"])
+        in_red_all = stack["in"][0] if len(stack["in"]) == 1 else np.concatenate(stack["in"])
+        starts = np.column_stack(
+            [[run[3] for run in runs], [run[4] for run in runs]]
+        )
         fn = _bilinear_fn_many(io_red_all, in_red_all, vn_pts, vo_pts)
-        params = np.arange(len(positions), dtype=float)[:, None]
+        params = np.arange(len(runs), dtype=float)[:, None]
         failed: set = set()
         try:
             solution = newton_fixed_point_many(
@@ -540,7 +568,7 @@ def _polish_many(
             if "failed_runs" not in meta:
                 # Singular batch factorization aborts every run at once with
                 # no per-run attribution — reproduce the solo path exactly.
-                for g, pos in enumerate(positions):
+                for pos, _denom, _cn_val, so, si in runs:
                     unit = units[eligible[pos]]
                     values = {
                         pin: unit.input_waveforms[pin].initial_value()
@@ -557,14 +585,14 @@ def _polish_many(
                         unit.load,
                         unit.vdd,
                         options,
-                        start_out[g],
-                        start_int[g],
+                        so,
+                        si,
                     )
                 continue
             failed = set(meta["failed_runs"])
             solution = meta["solutions"]
         _, jac_all = fn(solution, params)
-        for g, pos in enumerate(positions):
+        for g, (pos, denom, cn_val, _so, _si) in enumerate(runs):
             if g in failed:
                 continue
             unit = units[eligible[pos]]
@@ -578,7 +606,7 @@ def _polish_many(
             if not (v_low - eps <= vo <= v_high + eps and v_low - eps <= vn <= v_high + eps):
                 continue
             update = np.eye(2) - np.array(
-                [[dt / denoms[g]], [dt / float(cn_col[g])]]
+                [[dt / denom], [dt / cn_val]]
             ) * jac_all[g]
             if float(np.abs(np.linalg.eigvals(update)).max()) > 1.0 + _STABILITY_SLACK:
                 continue
@@ -622,6 +650,35 @@ def _constant_unit(
     )
 
 
+def _settle_key(unit: BatchUnit) -> Optional[Tuple]:
+    """Content key under which two units' settles are bitwise identical.
+
+    A settle only ever reads a unit's *initial* pin values (every integration
+    window holds them constant), its model tables/capacitances, its initial
+    states, vdd and — for constant loads — the lumped load capacitance.
+    Units agreeing on all of those produce identical results, so one
+    representative settle can serve every duplicate.  Non-constant loads
+    carry internal state through the integration; those units are never
+    deduplicated (``None``).
+    """
+    load_cap = unit.load.constant_capacitance()
+    if load_cap is None:
+        return None
+    return (
+        id(unit.output_current),
+        id(unit.internal_current),
+        id(unit.output_cap),
+        id(unit.internal_cap),
+        tuple(id(unit.miller_caps[pin]) for pin in unit.pins),
+        tuple(unit.pins),
+        tuple(unit.input_waveforms[pin].initial_value() for pin in unit.pins),
+        unit.initial_output,
+        unit.initial_internal,
+        unit.vdd,
+        load_cap,
+    )
+
+
 def settle_units(
     units: Sequence[BatchUnit],
     options: SimulationOptions,
@@ -652,6 +709,28 @@ def settle_units(
             (float(v_out[-1]), None if v_int is None else float(v_int[-1]))
             for v_out, v_int in settled
         ]
+
+    # Whole-level settle batches are dominated by duplicates (every instance
+    # of a cell parked at the same logic state and lumped load settles to the
+    # same point — and an MMMC level repeats that set once per corner).
+    # Settle one representative per content key and fan the result out.
+    if len(units) > 1:
+        positions_by_key: Dict[Tuple, List[int]] = {}
+        for position, unit in enumerate(units):
+            key = _settle_key(unit)
+            positions_by_key.setdefault(
+                key if key is not None else ("unique", position), []
+            ).append(position)
+        if len(positions_by_key) < len(units):
+            groups = list(positions_by_key.values())
+            representatives = settle_units(
+                [units[positions[0]] for positions in groups], options, batched_polish
+            )
+            fanned: List[Tuple[float, Optional[float]]] = [None] * len(units)  # type: ignore[list-item]
+            for settled_state, positions in zip(representatives, groups):
+                for position in positions:
+                    fanned[position] = settled_state
+            return fanned
 
     eligible = [
         index

@@ -32,7 +32,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 import numpy as np
 
 from ..exceptions import ModelError
-from ..lut.table import NDTable, contract_leading_shared
+from ..lut.table import NDTable, contract_leading_shared, contract_leading_spans
 from ..waveform.waveform import Waveform
 from .base import Capacitance, SimulationOptions, cap_value, cap_value_batch
 from .loads import Load
@@ -380,11 +380,45 @@ def integrate_model(
     )
 
 
-def _bracket_lists(axis) -> Tuple[List[float], List[float], float, float, int]:
-    """Axis points/spans as plain Python lists for the scalar inner loop."""
-    points = [float(p) for p in axis.points]
-    spans = [points[i + 1] - points[i] for i in range(len(points) - 1)]
-    return points, spans, points[0], points[-1], len(points)
+def _scalar_bracket(axis):
+    """A scalar closure computing the exact bracket :func:`_bracket_array`
+    would: same clip order, the same uniform-grid ``inv_h`` fast path, the
+    same truncation and clamping.  The scalar recurrences must locate
+    intervals bitwise like the lockstep loops (see
+    :func:`_scalar_recurrence_output`)."""
+    pts, spans, n, inv_h = _axis_lookup(axis)
+    pts_list = pts.tolist()
+    spans_list = spans.tolist()
+    lo = pts_list[0]
+    hi = pts_list[-1]
+    top = n - 2
+    if inv_h is not None:
+        scale = float(inv_h)
+
+        def bracket(value: float) -> Tuple[int, float]:
+            vc = value if value < hi else hi
+            if vc < lo:
+                vc = lo
+            t = (vc - lo) * scale
+            idx = int(t)
+            if idx > top:
+                idx = top
+            return idx, t - idx
+
+    else:
+
+        def bracket(value: float) -> Tuple[int, float]:
+            vc = value if value < hi else hi
+            if vc < lo:
+                vc = lo
+            idx = bisect_right(pts_list, vc) - 1
+            if idx < 0:
+                idx = 0
+            elif idx > top:
+                idx = top
+            return idx, (vc - pts_list[idx]) / spans_list[idx]
+
+    return bracket
 
 
 def _integrate_fast(
@@ -444,13 +478,22 @@ def _scalar_recurrence_output(
     v_low: float,
     v_high: float,
 ) -> np.ndarray:
-    """The per-instance update loop for models without an internal node."""
+    """The per-instance update loop for models without an internal node.
+
+    Every floating-point operation here is the scalar transcription of the
+    corresponding step in :func:`_lockstep_output` — same bracketing formula
+    (uniform-grid ``inv_h`` fast path included), same lerp association, same
+    update association.  Group-size thresholds may route the *same* unit to
+    either implementation depending on how a level batches (cache hits, MMMC
+    corner fusion), and slow-corner dynamics amplify per-step ULP differences
+    to millivolts, so the two must agree bitwise.
+    """
     num_steps = len(times)
     steps = num_steps - 1
     dt_list = np.diff(times).tolist()
     charge_list = pre.charge.tolist()
     denom_list = pre.denom.tolist()
-    vo_pts, vo_spans, vo_lo, vo_hi, vo_n = _bracket_lists(vo_axis)
+    vo_bracket = _scalar_bracket(vo_axis)
 
     v_out = np.empty(num_steps)
     v_out[0] = initial_output
@@ -463,13 +506,7 @@ def _scalar_recurrence_output(
     last_row = len(io_rows) - 1
     out_list = [vo]
     for k in range(steps):
-        vc = vo_lo if vo < vo_lo else (vo_hi if vo > vo_hi else vo)
-        i = bisect_right(vo_pts, vc) - 1
-        if i < 0:
-            i = 0
-        elif i > vo_n - 2:
-            i = vo_n - 2
-        frac = (vc - vo_pts[i]) / vo_spans[i]
+        i, frac = vo_bracket(vo)
         idx = k - first_move
         if idx < 0:
             idx = 0
@@ -497,17 +534,25 @@ def _scalar_recurrence_internal(
     v_low: float,
     v_high: float,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """The per-instance update loop for internal-node (MCSM) models."""
+    """The per-instance update loop for internal-node (MCSM) models.
+
+    Like :func:`_scalar_recurrence_output`, a bitwise scalar transcription of
+    the group loop (:func:`_lockstep_internal`): pre-divided ``drive``/``rate``
+    coefficients, nested-lerp bilinear interpolation and the lookup-style
+    bracket, in exactly the lockstep association order.
+    """
     num_steps = len(times)
     steps = num_steps - 1
     assert pre.in_reduced is not None and pre.cn is not None
-    dt_list = np.diff(times).tolist()
-    charge_list = pre.charge.tolist()
-    denom_list = pre.denom.tolist()
-    cn_list = pre.cn.tolist()
-    vo_pts, vo_spans, vo_lo, vo_hi, vo_n = _bracket_lists(vo_axis)
-    vn_pts, vn_spans, vn_lo, vn_hi, vn_n = _bracket_lists(vn_axis)
-    n_out = len(vo_pts)
+    dt = np.diff(times)
+    # Same pre-divided coefficients (and the same elementwise divisions) as
+    # the lockstep loop's drive/rate stacks.
+    drive_list = (pre.charge / pre.denom).tolist()
+    rate_o_list = (dt / pre.denom).tolist()
+    rate_n_list = (dt / pre.cn).tolist()
+    vo_bracket = _scalar_bracket(vo_axis)
+    vn_bracket = _scalar_bracket(vn_axis)
+    n_out = len(vo_axis.points)
     # Core-form pres hold only the moving-core rows (see
     # :func:`_scalar_recurrence_output` for the step -> row clamp).
     num_rows = pre.io_reduced.shape[0]
@@ -525,48 +570,34 @@ def _scalar_recurrence_internal(
     out_list = [vo]
     int_list = [vn]
     for k in range(steps):
-        vc = vo_lo if vo < vo_lo else (vo_hi if vo > vo_hi else vo)
-        i = bisect_right(vo_pts, vc) - 1
-        if i < 0:
-            i = 0
-        elif i > vo_n - 2:
-            i = vo_n - 2
-        fo = (vc - vo_pts[i]) / vo_spans[i]
-
-        nc = vn_lo if vn < vn_lo else (vn_hi if vn > vn_hi else vn)
-        j = bisect_right(vn_pts, nc) - 1
-        if j < 0:
-            j = 0
-        elif j > vn_n - 2:
-            j = vn_n - 2
-        fn = (nc - vn_pts[j]) / vn_spans[j]
+        i, fo = vo_bracket(vo)
+        j, fn = vn_bracket(vn)
 
         base = j * n_out + i
-        w00 = (1.0 - fn) * (1.0 - fo)
-        w01 = (1.0 - fn) * fo
-        w10 = fn * (1.0 - fo)
-        w11 = fn * fo
         idx = k - first_move
         if idx < 0:
             idx = 0
         elif idx > last_row:
             idx = last_row
         row = io_rows[idx]
-        io_val = w00 * row[base] + w01 * row[base + 1] + w10 * row[base + n_out] + w11 * row[base + n_out + 1]
+        io_lo = row[base] + fo * (row[base + 1] - row[base])
+        io_hi = row[base + n_out] + fo * (row[base + n_out + 1] - row[base + n_out])
+        io_val = io_lo + fn * (io_hi - io_lo)
         row = in_rows[idx]
-        in_val = w00 * row[base] + w01 * row[base + 1] + w10 * row[base + n_out] + w11 * row[base + n_out + 1]
+        in_lo = row[base] + fo * (row[base + 1] - row[base])
+        in_hi = row[base + n_out] + fo * (row[base + n_out + 1] - row[base + n_out])
+        in_val = in_lo + fn * (in_hi - in_lo)
 
-        dt = dt_list[k]
-        vo = vo + (charge_list[k] - io_val * dt) / denom_list[k]
+        vo = vo + (drive_list[k] - io_val * rate_o_list[k])
+        if vo > v_high:
+            vo = v_high
         if vo < v_low:
             vo = v_low
-        elif vo > v_high:
-            vo = v_high
-        vn = vn - in_val * dt / cn_list[k]
+        vn = vn + (0.0 - in_val * rate_n_list[k])
+        if vn > v_high:
+            vn = v_high
         if vn < v_low:
             vn = v_low
-        elif vn > v_high:
-            vn = v_high
         out_list.append(vo)
         int_list.append(vn)
 
@@ -786,6 +817,30 @@ def _expand_core(
     )
 
 
+def _fusion_key(entry: _FastEntry) -> Optional[Tuple]:
+    """The value key under which different models' lookups may fuse.
+
+    Distinct table *objects* with value-equal axes — the corners of an MMMC
+    set, whose characterizations share one voltage grid — can share the
+    bracket-weight computation of their contractions even though their value
+    grids differ.  The key captures everything the fused pass requires:
+    matching pin count (coordinate width), internal-node flavour and
+    value-equal leading + trailing axes (equal trailing point tuples imply
+    equal reduced-table shapes).  Returns ``None`` for pairs whose ``I_N``
+    leading axes diverge from ``Io``'s — those fall back to identity
+    grouping, exactly as before.
+    """
+    io_table = entry.io_table
+    num_pins = len(entry.unit.pins)
+    leading = tuple(axis.points for axis in io_table.axes[:num_pins])
+    if entry.in_table is not None and (
+        tuple(axis.points for axis in entry.in_table.axes[:num_pins]) != leading
+    ):
+        return None
+    trailing = tuple(axis.points for axis in io_table.axes[num_pins:])
+    return (num_pins, entry.has_internal, leading, trailing)
+
+
 def _fill_precompute_shared(entries: Sequence[_FastEntry], times: np.ndarray) -> None:
     """Batch every unit's table lookups across same-model groups.
 
@@ -796,13 +851,28 @@ def _fill_precompute_shared(entries: Sequence[_FastEntry], times: np.ndarray) ->
     per-row operations, so evaluating the *concatenation* of the group's
     moving cores in one call yields, for each unit's slice, bitwise the rows
     its standalone :func:`_fast_precompute` call would have produced.
+
+    Model groups whose state grids are value-equal (same cell across MMMC
+    corners, or different cells characterized on one grid) additionally fuse
+    into a single contraction pass: bracket weights are computed once per row
+    chunk and applied to each model's own value grid
+    (:func:`~repro.lut.table.contract_leading_spans`).  Fusion changes batch
+    composition only — every lookup stays per-row with per-model values, so
+    each unit's precompute is bitwise what its own model group would produce.
     """
-    groups: Dict[Tuple[int, int], List[_FastEntry]] = {}
+    groups: Dict[Tuple, Dict[Tuple[int, int], List[_FastEntry]]] = {}
     for entry in entries:
         entry.plan = _precompute_plan(entry.unit.pins, entry.input_samples, times)
-        groups.setdefault((id(entry.io_table), id(entry.in_table)), []).append(entry)
-    for members in groups.values():
-        _assemble_group_precompute(members)
+        model = (id(entry.io_table), id(entry.in_table))
+        fusion = _fusion_key(entry)
+        key = ("fused",) + fusion if fusion is not None else ("model",) + model
+        groups.setdefault(key, {}).setdefault(model, []).append(entry)
+    for subgroups in groups.values():
+        model_groups = list(subgroups.values())
+        if len(model_groups) == 1:
+            _assemble_group_precompute(model_groups[0])
+        else:
+            _assemble_fused_precompute(model_groups)
 
 
 #: Row budget for one concatenated-group lookup call.  ``contract_leading``'s
@@ -885,6 +955,92 @@ def _assemble_group_precompute(members: Sequence[_FastEntry]) -> None:
     else:
         io_all = _chunked_rows(rep.io_table.contract_leading, coords)
 
+    _assemble_members(
+        members, bounds, num_pins, has_internal, miller_cols, co_all, cn_all, io_all, in_all
+    )
+
+
+def _assemble_fused_precompute(model_groups: Sequence[Sequence[_FastEntry]]) -> None:
+    """One lookup pass across several same-grid model groups (MMMC corners).
+
+    Each model group keeps its own capacitance and current-value grids — those
+    are evaluated over that group's span of the concatenated cores — while the
+    contraction's bracket weights are computed once per row chunk for the
+    whole fused batch (:func:`~repro.lut.table.contract_leading_spans`).  The
+    per-member assembly is byte-for-byte the single-group one.
+    """
+    rep0 = model_groups[0][0]
+    num_pins = len(rep0.unit.pins)
+    has_internal = rep0.has_internal
+    flat_members: List[_FastEntry] = []
+    cores: List[np.ndarray] = []
+    spans: List[Tuple[int, int]] = []
+    offset = 0
+    for members in model_groups:
+        length = 0
+        for member in members:
+            cores.append(member.plan.pin_core)
+            length += member.plan.pin_core.shape[0]
+        flat_members.extend(members)
+        spans.append((offset, offset + length))
+        offset += length
+    coords = cores[0] if len(cores) == 1 else np.concatenate(cores, axis=0)
+    total = coords.shape[0]
+    bounds = np.cumsum([0] + [member.plan.pin_core.shape[0] for member in flat_members])
+
+    miller_cols = [np.empty(total) for _ in range(num_pins)]
+    co_all = np.empty(total)
+    cn_all: Optional[np.ndarray] = np.empty(total) if has_internal else None
+    for members, (start, stop) in zip(model_groups, spans):
+        rep = members[0]
+        block = coords[start:stop]
+        for column, pin in enumerate(rep.unit.pins):
+            miller_cols[column][start:stop] = _chunked_rows(
+                lambda rows, cap=rep.unit.miller_caps[pin], c=column: cap_value_batch(
+                    cap, rows[:, c : c + 1]
+                ),
+                block,
+            )
+        co_all[start:stop] = _chunked_rows(
+            lambda rows, cap=rep.unit.output_cap: cap_value_batch(cap, rows), block
+        )
+        if has_internal:
+            assert rep.in_table is not None and rep.unit.internal_cap is not None
+            cn_all[start:stop] = _chunked_rows(
+                lambda rows, cap=rep.unit.internal_cap: cap_value_batch(cap, rows), block
+            )
+    in_all: Optional[np.ndarray] = None
+    if has_internal:
+        table_groups = [
+            (members[0].io_table, members[0].in_table) for members in model_groups
+        ]
+        io_all, in_all = contract_leading_spans(
+            table_groups, coords, spans, chunk=_LOOKUP_CHUNK
+        )
+    else:
+        (io_all,) = contract_leading_spans(
+            [(members[0].io_table,) for members in model_groups],
+            coords,
+            spans,
+            chunk=_LOOKUP_CHUNK,
+        )
+    _assemble_members(
+        flat_members, bounds, num_pins, has_internal, miller_cols, co_all, cn_all, io_all, in_all
+    )
+
+
+def _assemble_members(
+    members: Sequence[_FastEntry],
+    bounds: np.ndarray,
+    num_pins: int,
+    has_internal: bool,
+    miller_cols: Sequence[np.ndarray],
+    co_all: np.ndarray,
+    cn_all: Optional[np.ndarray],
+    io_all: np.ndarray,
+    in_all: Optional[np.ndarray],
+) -> None:
+    """Per-unit :class:`_Precomputed` assembly over batched lookup arrays."""
     for member, start, stop in zip(members, bounds[:-1], bounds[1:]):
         plan = member.plan
         steps = plan.steps

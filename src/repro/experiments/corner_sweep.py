@@ -20,7 +20,7 @@ from typing import Dict, List, Optional, Sequence
 from ..cells.library import default_library
 from ..exceptions import TimingError
 from ..runtime.cache import ResultCache
-from ..sta.engine import CSMEngine, NLDMEngine
+from ..sta.engine import CornerSet, CSMEngine, NLDMEngine
 from ..sta.generate import (
     generate_netlist,
     primary_input_events,
@@ -33,9 +33,11 @@ from .common import ExperimentContext, default_context
 __all__ = [
     "CornerStaPoint",
     "CornerSweepResult",
+    "BatchedCornerSweepResult",
     "NLDMCornerPoint",
     "NLDMCornerSweepResult",
     "corner_sta_sweep",
+    "batched_corner_sta_sweep",
     "nldm_corner_sweep",
     "run_corner_sweep",
 ]
@@ -56,6 +58,9 @@ class CornerStaPoint:
     propagation_seconds: float
     arrivals: Dict[str, Optional[float]]  # primary output -> 50% arrival (s)
     stats: Dict[str, int] = field(default_factory=dict)
+    #: The full WaveformTimingResult, kept only on request (``keep_results``)
+    #: so the batched MMMC path can be checked waveform-by-waveform.
+    result: object = None
 
 
 @dataclass
@@ -104,12 +109,18 @@ def corner_sta_sweep(
     spec: str = DEFAULT_SPEC,
     corners: Sequence[str] = DEFAULT_CORNERS,
     seed: int = 0,
+    keep_results: bool = False,
+    use_cache: bool = True,
 ) -> CornerSweepResult:
     """Time one generated design at several process corners.
 
     Each corner characterizes its own model library through the context's
     executor and cache (one parallel job set per corner); arrivals of nets
     that never cross 50 % of the corner's Vdd are reported as ``None``.
+    ``use_cache=False`` disables the *propagation* cache only (the engines
+    otherwise inherit the context cache through their model library, which
+    would let warm level records skew timed benchmark runs); corner
+    characterization always goes through the context cache.
     """
     technologies = corner_sweep(context.technology, corners)
     reference = "TT" if "TT" in technologies else next(iter(technologies))
@@ -131,7 +142,9 @@ def corner_sta_sweep(
         executed = models.prewarm_for_netlist(netlist, kinds=("sis", "mis"))
         characterization = time.perf_counter() - start
 
-        engine = CSMEngine(netlist, models, options=context.model_options())
+        engine = CSMEngine(
+            netlist, models, options=context.model_options(), use_cache=use_cache
+        )
         start = time.perf_counter()
         result = engine.run(waveforms)
         propagation = time.perf_counter() - start
@@ -151,10 +164,120 @@ def corner_sta_sweep(
                 propagation_seconds=propagation,
                 arrivals=arrivals,
                 stats=dict(result.stats or {}),
+                result=result if keep_results else None,
             )
         )
     return CornerSweepResult(
         spec=spec, seed=seed, gates=gates, reference_corner=reference, points=points
+    )
+
+
+@dataclass
+class BatchedCornerSweepResult:
+    """All corners timed by ONE batched MMMC engine run.
+
+    ``result`` is the engine's
+    :class:`~repro.sta.mmmc.MulticornerTimingResult`; ``arrivals`` mirrors
+    the serial sweep's per-corner primary-output arrivals so the two paths
+    compare point by point.
+    """
+
+    spec: str
+    seed: int
+    gates: int
+    corners: List[str]
+    characterization_seconds: float
+    propagation_seconds: float
+    arrivals: Dict[str, Dict[str, Optional[float]]]  # corner -> output -> s
+    stats: Dict[str, Dict[str, int]]
+    result: object = None
+
+    def max_arrival_deviation(self, serial: CornerSweepResult) -> float:
+        """Largest |batched - serial| primary-output arrival over all
+        corners (``inf`` when one path resolves an arrival the other
+        does not)."""
+        worst = 0.0
+        for point in serial.points:
+            batched = self.arrivals.get(point.corner, {})
+            for net, arrival in point.arrivals.items():
+                mine = batched.get(net)
+                if arrival is None and mine is None:
+                    continue
+                if arrival is None or mine is None:
+                    return float("inf")
+                worst = max(worst, abs(mine - arrival))
+        return worst
+
+
+def batched_corner_sta_sweep(
+    context: ExperimentContext,
+    spec: str = DEFAULT_SPEC,
+    corners: Sequence[str] = DEFAULT_CORNERS,
+    seed: int = 0,
+    cache: Optional[ResultCache] = None,
+    use_cache: bool = True,
+    corner_workers: Optional[int] = None,
+) -> BatchedCornerSweepResult:
+    """Time one design across corners in a single batched MMMC engine run.
+
+    A :class:`~repro.sta.mmmc.CornerSet` binds every corner's characterized
+    model library to one :class:`CSMEngine`, which propagates all corners in
+    one levelized tensor pass — per-corner waveforms come out of the same
+    :class:`~repro.waveform.level_tensor.LevelTensor` corner axis the serial
+    sweep fills one column at a time.  Arrivals are comparable point by
+    point with :func:`corner_sta_sweep` (≤1e-9 V waveform deviation).
+
+    ``corner_workers`` caps the engine's per-level corner thread pool
+    (default: one thread per corner up to the visible CPU count; ``1``
+    forces the fused single-stack pass).
+    """
+    corner_set = CornerSet.from_names(
+        list(corners),
+        technology=context.technology,
+        config=context.characterization,
+        executor=context.executor,
+        cache=cache if cache is not None else context.cache,
+    )
+    netlist = generate_netlist(corner_set.reference.library, spec)
+    waveforms = primary_input_waveforms(netlist, seed=seed)
+
+    start = time.perf_counter()
+    for corner_context in corner_set:
+        corner_context.models.prewarm_for_netlist(netlist, kinds=("sis", "mis"))
+    characterization = time.perf_counter() - start
+
+    engine = CSMEngine(
+        netlist,
+        corner_set.reference.models,
+        options=context.model_options(),
+        corners=corner_set,
+        cache=cache,
+        use_cache=use_cache,
+        corner_workers=corner_workers,
+    )
+    start = time.perf_counter()
+    result = engine.run(waveforms)
+    propagation = time.perf_counter() - start
+
+    arrivals: Dict[str, Dict[str, Optional[float]]] = {}
+    for name in result.corner_order:
+        corner_arrivals: Dict[str, Optional[float]] = {}
+        for net in netlist.primary_outputs:
+            try:
+                corner_arrivals[net] = result.result(name).arrival(net)
+            except TimingError:
+                corner_arrivals[net] = None
+        arrivals[name] = corner_arrivals
+    return BatchedCornerSweepResult(
+        spec=spec,
+        seed=seed,
+        gates=len(netlist.instances),
+        corners=list(result.corner_order),
+        characterization_seconds=characterization,
+        propagation_seconds=propagation,
+        arrivals=arrivals,
+        stats={name: dict(stats) for name, stats in (result.stats or {}).items()},
+        result=result,
     )
 
 

@@ -27,7 +27,12 @@ import numpy as np
 from ..exceptions import TableError
 from .grid import Axis
 
-__all__ = ["NDTable", "tabulate", "contract_leading_shared"]
+__all__ = [
+    "NDTable",
+    "tabulate",
+    "contract_leading_shared",
+    "contract_leading_spans",
+]
 
 
 class NDTable:
@@ -358,6 +363,140 @@ def contract_leading_shared(
             )
     lows, fracs, rows = first._contract_weights(coords)
     return tuple(table._contract_apply(lows, fracs, rows) for table in tables)
+
+
+def contract_leading_spans(
+    table_groups: Sequence[Tuple[NDTable, ...]],
+    coords: np.ndarray,
+    spans: Sequence[Tuple[int, int]],
+    chunk: Optional[int] = None,
+) -> Tuple[np.ndarray, ...]:
+    """Shared-bracket :meth:`NDTable.contract_leading` over span-partitioned rows.
+
+    ``coords`` is one ``(K, L)`` query array partitioned into contiguous row
+    spans: rows ``spans[g] = (start, stop)`` belong to table group
+    ``table_groups[g]`` (a tuple of one or more tables, same arity for every
+    group).  All tables of all groups must share value-equal leading axes and
+    per-position value shapes, so the bracket indices and weights of a chunk
+    of rows are computed *once* (from the first table) and applied to each
+    span's own tables.  This is how the MMMC precompute folds the corner
+    dimension into one contraction pass: corners of the same cell have
+    distinct (corner-scaled) value grids but identical axes, so their lookup
+    rows batch through one vectorized bracketing.
+
+    ``chunk`` bounds the per-step temporaries (``None`` processes all rows at
+    once).  Chunk boundaries do not affect the result — every operation is
+    per-row — and each row's output is bitwise identical to
+    ``group[pos].contract_leading(coords[start:stop])``.
+
+    Returns one ``(K, *tail)`` array per table *position* (e.g. the fused
+    ``Io`` rows and, for internal-node models, the fused ``I_N`` rows).
+    """
+    if not table_groups:
+        return ()
+    coords = np.asarray(coords, dtype=float)
+    if coords.ndim != 2:
+        raise TableError("contract_leading_spans expects a (K, L) coordinate array")
+    total, num_contracted = coords.shape
+    arity = len(table_groups[0])
+    if arity == 0:
+        raise TableError("contract_leading_spans needs at least one table per group")
+    first = table_groups[0][0]
+    if not 1 <= num_contracted < first.ndim:
+        raise TableError(
+            f"table {first.name!r}: cannot contract {num_contracted} of "
+            f"{first.ndim} axes (need 1 <= L < ndim)"
+        )
+    # Bracket indices and weights depend only on the axis *points*; axis
+    # names may differ (e.g. per-cell pin labels on one shared voltage grid).
+    leading = tuple(axis.points for axis in first.axes[:num_contracted])
+    for group in table_groups:
+        if len(group) != arity:
+            raise TableError(
+                "contract_leading_spans requires the same table arity in every group"
+            )
+        for position, table in enumerate(group):
+            if (
+                table.ndim != first.ndim
+                or tuple(axis.points for axis in table.axes[:num_contracted]) != leading
+            ):
+                raise TableError(
+                    "contract_leading_spans requires value-equal leading axes "
+                    f"({first.name!r} vs {table.name!r})"
+                )
+            reference = table_groups[0][position]
+            if table.values.shape[num_contracted:] != reference.values.shape[num_contracted:]:
+                raise TableError(
+                    "contract_leading_spans requires matching trailing shapes "
+                    f"({reference.name!r} vs {table.name!r})"
+                )
+    if len(spans) != len(table_groups):
+        raise TableError("contract_leading_spans needs one span per table group")
+    cursor = 0
+    for start, stop in spans:
+        if start != cursor or stop < start:
+            raise TableError(
+                f"spans must partition the coordinate rows contiguously, got {spans}"
+            )
+        cursor = stop
+    if cursor != total:
+        raise TableError(
+            f"spans cover {cursor} rows but coords has {total}"
+        )
+    outs = tuple(
+        np.empty((total,) + table_groups[0][position].values.shape[num_contracted:])
+        for position in range(arity)
+    )
+    # One value array per table position, all groups' blocks stacked end to
+    # end, plus a per-row offset selecting the owning group's block range.
+    # A chunk then needs ONE gather-and-lerp pass per position instead of one
+    # per (group, position): per-chunk overhead stays flat as MMMC fuses more
+    # corners into the batch.  Every gather and weight op is per-row, so each
+    # row's output is bitwise the per-group ``_contract_apply`` result.
+    shape = first.values.shape
+    blocks_per_table = 1
+    for extent in shape[:num_contracted]:
+        blocks_per_table *= extent
+    stacked = []
+    for position in range(arity):
+        views = [
+            group[position].values.reshape((-1,) + group[position].values.shape[num_contracted:])
+            for group in table_groups
+        ]
+        stacked.append(views[0] if len(views) == 1 else np.concatenate(views, axis=0))
+    row_offsets = np.empty(total, dtype=np.intp)
+    for index, (start, stop) in enumerate(spans):
+        row_offsets[start:stop] = index * blocks_per_table
+    strides = [1] * num_contracted
+    for dim in range(num_contracted - 2, -1, -1):
+        strides[dim] = strides[dim + 1] * shape[dim + 1]
+
+    step = int(chunk) if chunk else max(total, 1)
+    for chunk_start in range(0, total, step):
+        chunk_stop = min(chunk_start + step, total)
+        lows, fracs, _ = first._contract_weights(coords[chunk_start:chunk_stop])
+        num_rows = chunk_stop - chunk_start
+        base = lows[:, 0] * strides[0]
+        for dim in range(1, num_contracted):
+            base = base + lows[:, dim] * strides[dim]
+        base = base + row_offsets[chunk_start:chunk_stop]
+        for position in range(arity):
+            blocks = stacked[position]
+            tail_ones = (1,) * (blocks.ndim - 1)
+            partial = {
+                bits: blocks[base + sum(b * s for b, s in zip(bits, strides))]
+                for bits in itertools.product((0, 1), repeat=num_contracted)
+            }
+            for dim in range(num_contracted):
+                high_weight = fracs[:, dim].reshape((num_rows,) + tail_ones)
+                low_weight = 1.0 - high_weight
+                partial = {
+                    rest: partial[(0,) + rest] * low_weight
+                    + partial[(1,) + rest] * high_weight
+                    for rest in itertools.product((0, 1), repeat=num_contracted - dim - 1)
+                }
+            outs[position][chunk_start:chunk_stop] = partial[()]
+    return outs
 
 
 def tabulate(

@@ -63,6 +63,7 @@ def _registered_classes() -> Dict[str, Type]:
     from ..csm.models import MCSM, BaselineMISCSM, SISCSM
     from ..sta.engine import NLDMTimingResult, WaveformTimingResult
     from ..sta.events import TimingEvent
+    from ..sta.mmmc import MulticornerNLDMResult, MulticornerTimingResult
 
     return {
         cls.__name__: cls
@@ -75,6 +76,8 @@ def _registered_classes() -> Dict[str, Type]:
             WaveformTimingResult,
             TimingEvent,
             NLDMTimingResult,
+            MulticornerTimingResult,
+            MulticornerNLDMResult,
         )
     }
 

@@ -59,6 +59,7 @@ def _config_from_args(args: argparse.Namespace) -> ServerConfig:
         settings=args.settings,
         max_bytes=args.max_bytes,
         max_age_s=args.max_age_s,
+        session_ttl_s=args.session_ttl_s,
     )
 
 
@@ -88,6 +89,8 @@ def cmd_start(args: argparse.Namespace) -> int:
             child_argv += ["--max-bytes", str(args.max_bytes)]
         if args.max_age_s is not None:
             child_argv += ["--max-age-s", str(args.max_age_s)]
+        if args.session_ttl_s is not None:
+            child_argv += ["--session-ttl-s", str(args.session_ttl_s)]
         log = open(args.log, "ab") if args.log else subprocess.DEVNULL
         try:
             child = subprocess.Popen(
@@ -139,11 +142,17 @@ def cmd_submit(args: argparse.Namespace) -> int:
     if session is None:
         opened = client.open_session({"generate": args.design})
         session = opened["session"]
+    kwargs: Dict[str, Any] = {}
+    if args.corners:
+        kwargs["corners"] = [
+            name.strip().upper() for name in args.corners.split(",") if name.strip()
+        ]
     response = client.timing(
         session,
         engine=args.engine,
         seed=args.seed,
         return_waveforms=args.waveforms,
+        **kwargs,
     )
     response["session"] = session
     _emit(response)
@@ -199,6 +208,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="store eviction budget in bytes")
     start.add_argument("--max-age-s", type=float, default=None,
                        help="evict entries idle longer than this")
+    start.add_argument("--session-ttl-s", type=float, default=None,
+                       help="reap sessions idle longer than this "
+                       "(default: never; status reports the reaped count)")
     start.add_argument("--daemon", action="store_true",
                        help="detach, wait for readiness, print pid")
     start.add_argument("--log", type=Path, default=None,
@@ -225,6 +237,10 @@ def build_parser() -> argparse.ArgumentParser:
     submit.add_argument("--seed", type=int, default=0)
     submit.add_argument("--waveforms", action="store_true",
                         help="include base64 output waveforms")
+    submit.add_argument("--corners", default=None, metavar="TT,FF,SS",
+                        help="batched MMMC: propagate all named corners in "
+                        "one pass; the response carries per-corner arrivals "
+                        "plus the cross-corner worst merge")
     submit.set_defaults(func=cmd_submit)
 
     eco = sub.add_parser("eco", help="apply an ECO edit to a session")

@@ -61,6 +61,9 @@ class ServerConfig:
     max_bytes: Optional[int] = None
     max_age_s: Optional[float] = None
     dedupe_wait_timeout: float = 60.0
+    #: Idle-session TTL in seconds (None keeps sessions forever); rides the
+    #: same wall clock as the store's max-age policy.
+    session_ttl_s: Optional[float] = None
 
 
 def build_service(config: ServerConfig) -> TimingService:
@@ -91,6 +94,7 @@ def build_service(config: ServerConfig) -> TimingService:
         options=options,
         store=store,
         dedupe_wait_timeout=config.dedupe_wait_timeout,
+        session_ttl_s=config.session_ttl_s,
     )
 
 

@@ -27,12 +27,12 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from ...cells import default_library
 from ...csm.base import SimulationOptions
 from ...exceptions import TimingError
-from ...sta.engine import CSMEngine, NLDMEngine, TimingEngine
+from ...sta.engine import CornerSet, CSMEngine, NLDMEngine, TimingEngine
 from ...sta.events import TimingEvent
 from ...sta.generate import (
     default_time_window,
@@ -77,6 +77,9 @@ class Session:
     engines: Dict[str, TimingEngine] = field(default_factory=dict)
     requests: int = 0
     eco_edits: int = 0
+    #: Last time a request addressed this session (the idle-reaper clock;
+    #: same ``time.time()`` timeline the store's age policies ride).
+    last_used: float = 0.0
 
 
 class TimingService:
@@ -95,6 +98,10 @@ class TimingService:
     options:
         CSM simulation options; defaults to the quick profile (2 ps step)
         matching the CLI's ``--settings quick``.
+    session_ttl_s:
+        Idle-session time-to-live in seconds.  Sessions untouched for longer
+        than this are reaped at the next request dispatch (``status`` reports
+        the count); ``None`` (the default) keeps sessions forever.
     """
 
     def __init__(
@@ -105,6 +112,7 @@ class TimingService:
         options: Optional[SimulationOptions] = None,
         store=None,
         dedupe_wait_timeout: float = 60.0,
+        session_ttl_s: Optional[float] = None,
     ):
         if models is not None:
             self.models = models
@@ -123,16 +131,19 @@ class TimingService:
         if self.models.cache is None and self.store is not None:
             self.models.cache = self.store
         self.options = options or SimulationOptions(time_step=2e-12)
+        self.session_ttl_s = session_ttl_s
         self.flight = SingleFlight()
         self.started_at = time.time()
         self._lock = threading.RLock()
         self._designs: Dict[str, DesignRecord] = {}
         self._sessions: Dict[str, Session] = {}
         self._session_counter = itertools.count(1)
+        self._corner_sets: Dict[Tuple[str, ...], CornerSet] = {}
         self.requests_total = 0
         self.timing_requests = 0
         self.eco_requests = 0
         self.errors = 0
+        self.sessions_reaped = 0
         self._ops = {
             "ping": self.ping,
             "status": self.status,
@@ -147,6 +158,7 @@ class TimingService:
     # ------------------------------------------------------------------
     def handle(self, request: Mapping[str, Any]) -> Dict[str, Any]:
         """One request in, one response out; failures become error frames."""
+        self._reap_idle()
         op = request.get("op")
         handler = self._ops.get(op)
         with self._lock:
@@ -157,7 +169,12 @@ class TimingService:
             return error_response(f"unknown op {op!r}", "bad-request")
         params = {key: value for key, value in request.items() if key != "op"}
         try:
-            return ok_response(**handler(**params))
+            response = ok_response(**handler(**params))
+            # Touch the session again on completion so a request that
+            # computes longer than the TTL does not leave its own session
+            # instantly reapable.
+            self._touch(request.get("session"))
+            return response
         except ServerError as exc:
             with self._lock:
                 self.errors += 1
@@ -189,11 +206,13 @@ class TimingService:
                     f"session {session_id!r} already open", "conflict"
                 )
             netlist = GateNetlist.from_dict(self.library, record.payload)
+            now = time.time()
             session = Session(
                 session_id=session_id,
                 design_id=record.design_id,
                 netlist=netlist,
-                created_at=time.time(),
+                created_at=now,
+                last_used=now,
             )
             self._sessions[session_id] = session
             record.sessions_opened += 1
@@ -220,10 +239,19 @@ class TimingService:
         events: Optional[Mapping[str, Any]] = None,
         nets: Optional[List[str]] = None,
         return_waveforms: bool = False,
+        corners: Optional[List[str]] = None,
     ) -> Dict[str, Any]:
-        """One timing run, single-flighted across sessions by content key."""
+        """One timing run, single-flighted across sessions by content key.
+
+        ``corners`` selects the batched MMMC path: every named corner is
+        propagated in one levelized pass and the response carries per-corner
+        arrivals plus a cross-corner worst merge.
+        """
         record = self._session(session)
         start = time.perf_counter()
+        corner_names = (
+            tuple(str(name).strip().upper() for name in corners) if corners else None
+        )
         with self._lock:
             self.timing_requests += 1
         with record.lock:
@@ -241,13 +269,21 @@ class TimingService:
             sorted(events.items()) if events else None,
             sorted(nets) if nets else None,
             bool(return_waveforms),
+            list(corner_names) if corner_names else None,
             self._settings_token(),
         )
 
         def compute() -> Dict[str, Any]:
             with record.lock:
                 return self._timing_locked(
-                    record, engine, seed, t_stop, events, nets, return_waveforms
+                    record,
+                    engine,
+                    seed,
+                    t_stop,
+                    events,
+                    nets,
+                    return_waveforms,
+                    corner_names,
                 )
 
         payload, coalesced = self.flight.execute(request_key, compute)
@@ -354,6 +390,7 @@ class TimingService:
                 "timing_requests": self.timing_requests,
                 "eco_requests": self.eco_requests,
                 "errors": self.errors,
+                "sessions_reaped": self.sessions_reaped,
             }
         store_report = None
         dedupe = None
@@ -364,6 +401,7 @@ class TimingService:
         return {
             "uptime_s": time.time() - self.started_at,
             "protocol": PROTOCOL_VERSION,
+            "session_ttl_s": self.session_ttl_s,
             "designs": designs,
             "sessions": sessions,
             "counters": counters,
@@ -375,12 +413,47 @@ class TimingService:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _touch(self, session_id: Any) -> None:
+        """Refresh a session's idle clock (no-op for unknown/absent ids)."""
+        if not isinstance(session_id, str):
+            return
+        with self._lock:
+            record = self._sessions.get(session_id)
+            if record is not None:
+                record.last_used = time.time()
+
     def _session(self, session_id: str) -> Session:
         with self._lock:
             record = self._sessions.get(session_id)
+            if record is not None:
+                record.last_used = time.time()
         if record is None:
             raise ServerError(f"no such session {session_id!r}", "not-found")
         return record
+
+    def _reap_idle(self) -> int:
+        """Drop sessions idle past :attr:`session_ttl_s` (no-op when unset).
+
+        Runs at every request dispatch, so the reaper needs no timer thread;
+        a request already holding its :class:`Session` object completes
+        normally even if the session is reaped underneath it (only the
+        registry entry goes away).  Returns the number of sessions reaped.
+        """
+        ttl = self.session_ttl_s
+        if ttl is None:
+            return 0
+        cutoff = time.time() - ttl
+        reaped = 0
+        with self._lock:
+            for session_id in [
+                session_id
+                for session_id, record in self._sessions.items()
+                if record.last_used < cutoff
+            ]:
+                del self._sessions[session_id]
+                reaped += 1
+            self.sessions_reaped += reaped
+        return reaped
 
     def _resolve_design(self, design: Mapping[str, Any]) -> DesignRecord:
         if "generate" in design:
@@ -415,28 +488,57 @@ class TimingService:
             self.models.use_internal_node,
         )
 
-    def _engine(self, record: Session, kind: str) -> TimingEngine:
+    def _corner_set(self, corner_names: Tuple[str, ...]) -> CornerSet:
+        """The service-wide corner set for these names (built once; corner
+        libraries characterize through the shared store)."""
+        with self._lock:
+            corner_set = self._corner_sets.get(corner_names)
+        if corner_set is None:
+            corner_set = CornerSet.from_names(
+                list(corner_names),
+                technology=self.library.technology,
+                config=self.models.config,
+                cache=self.store,
+                use_internal_node=self.models.use_internal_node,
+            )
+            with self._lock:
+                corner_set = self._corner_sets.setdefault(corner_names, corner_set)
+        return corner_set
+
+    def _engine(
+        self,
+        record: Session,
+        kind: str,
+        corner_names: Optional[Tuple[str, ...]] = None,
+    ) -> TimingEngine:
         """The session's engine of this kind (created lazily, rebound on use).
 
-        Must hold the session lock.
+        Multi-corner engines key separately per corner list (``"csm@TT,FF"``)
+        so a session can interleave single- and multi-corner requests without
+        rebuilding engines.  Must hold the session lock.
         """
-        engine = record.engines.get(kind)
+        engine_key = kind if not corner_names else f"{kind}@{','.join(corner_names)}"
+        engine = record.engines.get(engine_key)
         if engine is None:
+            corner_set = self._corner_set(corner_names) if corner_names else None
             if kind == "csm":
                 engine = CSMEngine(
                     record.netlist,
                     self.models,
                     options=self.options,
                     cache=self.store,
+                    corners=corner_set,
                 )
             elif kind == "nldm":
-                engine = NLDMEngine(record.netlist, self.models, cache=self.store)
+                engine = NLDMEngine(
+                    record.netlist, self.models, cache=self.store, corners=corner_set
+                )
             else:
                 raise ServerError(
                     f"unknown engine kind {kind!r} (use 'csm' or 'nldm')",
                     "bad-request",
                 )
-            record.engines[kind] = engine
+            record.engines[engine_key] = engine
         engine.rebind(record.netlist)
         return engine
 
@@ -449,10 +551,15 @@ class TimingService:
         events: Optional[Mapping[str, Any]],
         nets: Optional[List[str]],
         return_waveforms: bool,
+        corner_names: Optional[Tuple[str, ...]] = None,
     ) -> Dict[str, Any]:
-        engine = self._engine(record, engine_kind)
+        engine = self._engine(record, engine_kind, corner_names)
         netlist = record.netlist
         report_nets = list(nets) if nets else list(netlist.primary_outputs)
+        if corner_names:
+            return self._timing_multicorner(
+                engine, engine_kind, netlist, report_nets, seed, t_stop, events
+            )
         if engine_kind == "nldm":
             if events:
                 input_events = {
@@ -508,4 +615,72 @@ class TimingService:
                 for net in report_nets
                 if net in result.waveforms
             }
+        return payload
+
+    def _timing_multicorner(
+        self,
+        engine: TimingEngine,
+        engine_kind: str,
+        netlist: GateNetlist,
+        report_nets: List[str],
+        seed: int,
+        t_stop: Optional[float],
+        events: Optional[Mapping[str, Any]],
+    ) -> Dict[str, Any]:
+        """One batched MMMC run: per-corner arrivals + cross-corner worst
+        merge (``worst_arrivals[net]`` is ``[corner, arrival]`` or ``None``
+        for nets that never switch at any corner)."""
+        if engine_kind == "nldm":
+            if events:
+                input_events = {
+                    net: TimingEvent(
+                        net=net,
+                        arrival=float(fields["arrival"]),
+                        slew=float(fields["slew"]),
+                        rising=bool(fields["rising"]),
+                    )
+                    for net, fields in events.items()
+                }
+            else:
+                input_events = primary_input_events(netlist, seed=int(seed))
+            result = engine.run(input_events)
+            arrivals = {
+                name: {
+                    net: (
+                        result.result(name).events[net].arrival
+                        if net in result.result(name).events
+                        else None
+                    )
+                    for net in report_nets
+                }
+                for name in result.corner_order
+            }
+            payload: Dict[str, Any] = {"engine": "nldm", "t_stop": None}
+        else:
+            window = float(t_stop) if t_stop else default_time_window(netlist)
+            waveforms = primary_input_waveforms(netlist, t_stop=window, seed=int(seed))
+            result = engine.run(waveforms, t_stop=window)
+            arrivals = {}
+            for name in result.corner_order:
+                corner_result = result.result(name)
+                corner_arrivals: Dict[str, Optional[float]] = {}
+                for net in report_nets:
+                    try:
+                        corner_arrivals[net] = float(corner_result.arrival(net))
+                    except TimingError:
+                        corner_arrivals[net] = None
+                arrivals[name] = corner_arrivals
+            payload = {"engine": "csm", "t_stop": window}
+        worst = {
+            net: (list(entry) if entry is not None else None)
+            for net, entry in result.worst_arrivals(report_nets).items()
+        }
+        payload.update(
+            {
+                "corners": list(result.corner_order),
+                "arrivals": arrivals,
+                "worst_arrivals": worst,
+                "stats": result.stats,
+            }
+        )
         return payload

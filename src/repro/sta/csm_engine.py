@@ -9,6 +9,18 @@ waveform-propagating side so existing imports keep working.  See
 
 from __future__ import annotations
 
-from .engine import SWITCHING_THRESHOLD_FRACTION, CSMEngine, WaveformTimingResult
+from .engine import (
+    SWITCHING_THRESHOLD_FRACTION,
+    CSMEngine,
+    CornerSet,
+    MulticornerTimingResult,
+    WaveformTimingResult,
+)
 
-__all__ = ["WaveformTimingResult", "CSMEngine", "SWITCHING_THRESHOLD_FRACTION"]
+__all__ = [
+    "WaveformTimingResult",
+    "CSMEngine",
+    "CornerSet",
+    "MulticornerTimingResult",
+    "SWITCHING_THRESHOLD_FRACTION",
+]

@@ -28,7 +28,9 @@ can additionally be evaluated as parallel runtime jobs via
 
 from __future__ import annotations
 
+import os
 import threading
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -48,6 +50,7 @@ from ..waveform.level_tensor import LevelTensor
 from ..waveform.metrics import crossing_times
 from ..waveform.waveform import Waveform
 from .events import TimingEvent, detect_mis_pairs
+from .mmmc import CornerContext, CornerSet, MulticornerNLDMResult, MulticornerTimingResult
 from .models import TimingModelLibrary
 from .netlist import GateInstance, GateNetlist, NetConnectivity, netlist_fingerprint
 
@@ -59,6 +62,9 @@ __all__ = [
     "CSMEngine",
     "NLDMTimingResult",
     "NLDMEngine",
+    "CornerSet",
+    "MulticornerTimingResult",
+    "MulticornerNLDMResult",
     "independent_cones",
     "run_cones",
     "waveform_deviation",
@@ -229,15 +235,27 @@ class TimingEngine:
     construction from characterized receiver capacitances.
     """
 
-    def __init__(self, netlist: GateNetlist, models: TimingModelLibrary):
+    def __init__(
+        self,
+        netlist: GateNetlist,
+        models: TimingModelLibrary,
+        corners: Optional[CornerSet] = None,
+    ):
         self.netlist = netlist
         self.models = models
+        #: Optional MMMC corner set: when bound, :meth:`run` propagates every
+        #: corner in one levelized pass and returns a multi-corner result.
+        self.corners = corners
         self._connectivity: Optional[NetConnectivity] = None
         self._levels: Optional[List[List[GateInstance]]] = None
         self._structure_revision = netlist.revision
         self._structure_identity = id(netlist)
         self._library_identity = id(netlist.library)
         self._cell_digests: Dict[str, str] = {}
+        self._corner_cell_digests: Dict[Tuple[str, str], str] = {}
+        #: Cache key of the last multi-corner full-run entry (None before the
+        #: first cached multi-corner run; handy for targeted eviction).
+        self.last_run_key: Optional[str] = None
         self._netlist_digest_cache: Optional[Tuple[int, str]] = None
         #: Serializes :meth:`run` so one engine instance can be shared by
         #: concurrent callers (the timing server's per-session engines).
@@ -319,6 +337,20 @@ class TimingEngine:
             )
         return self._cell_digests[cell_name]
 
+    def _corner_cell_digest(self, corner_context: CornerContext, cell_name: str) -> str:
+        """Per-corner cell fingerprint (the corner library's cell differs
+        from the design library's even though the cell *name* matches)."""
+        key = (corner_context.name, cell_name)
+        digest = self._corner_cell_digests.get(key)
+        if digest is None:
+            from ..runtime.jobs import cell_fingerprint
+
+            digest = content_hash(
+                "sta-cell", cell_fingerprint(corner_context.library[cell_name])
+            )
+            self._corner_cell_digests[key] = digest
+        return digest
+
     def _netlist_digest(self) -> str:
         self._sync_structure()
         if self._netlist_digest_cache is None:
@@ -329,7 +361,15 @@ class TimingEngine:
     @property
     def connectivity(self) -> NetConnectivity:
         self._sync_structure()
-        if self._connectivity is None:
+        if (
+            self._connectivity is None
+            or self._connectivity.revision != self.netlist.revision
+        ):
+            # `_sync_structure` already drops the snapshot on a revision
+            # bump; this guard additionally refuses to serve a snapshot whose
+            # recorded revision disagrees with the netlist, so a stale CSR
+            # row map can never survive an ECO edit even if a subclass (or a
+            # future refactor) repopulates `_connectivity` out of band.
             self._connectivity = self.netlist.connectivity()
         return self._connectivity
 
@@ -350,17 +390,30 @@ class TimingEngine:
 
     def _lumped_output_load(self, instance: GateInstance) -> float:
         """Scalar load: receiver input capacitances plus wire capacitance."""
+        return self._lumped_output_load_for(instance, self.models)
+
+    def _lumped_output_load_for(
+        self, instance: GateInstance, models: TimingModelLibrary
+    ) -> float:
+        """Scalar load against an explicit model library (MMMC corners
+        characterize their own receiver capacitances)."""
         output_net = self._output_net(instance)
         load = self.netlist.net_wire_capacitance.get(output_net, 0.0)
         for receiver, pin in self.connectivity.receivers_of(output_net):
-            load += self.models.receiver_input_capacitance(receiver.cell_name, pin)
+            load += models.receiver_input_capacitance(receiver.cell_name, pin)
         return load
 
     def _output_load(self, instance: GateInstance) -> Load:
         """Structured load for the waveform engine (receiver caps + wire)."""
+        return self._output_load_for(instance, self.models)
+
+    def _output_load_for(
+        self, instance: GateInstance, models: TimingModelLibrary
+    ) -> Load:
+        """Structured load against an explicit model library."""
         output_net = self._output_net(instance)
         receiver_caps = [
-            self.models.receiver_input_capacitance(receiver.cell_name, pin)
+            models.receiver_input_capacitance(receiver.cell_name, pin)
             for receiver, pin in self.connectivity.receivers_of(output_net)
         ]
         wire = self.netlist.net_wire_capacitance.get(output_net, 0.0)
@@ -369,6 +422,24 @@ class TimingEngine:
             # the output update equation to be well conditioned.
             return CapacitiveLoad(1e-15)
         return ReceiverLoad(receiver_caps=receiver_caps, wire_capacitance=wire)
+
+    @staticmethod
+    def _aggregate_stats(
+        per_stats: Dict[str, PropagationStats], order: List[str]
+    ) -> PropagationStats:
+        """Fold per-corner accounting into one run-level record; the run is
+        a full hit only when *every* corner was served from the run cache."""
+        total = PropagationStats()
+        for name in order:
+            stats = per_stats[name]
+            total.instances += stats.instances
+            total.integrations += stats.integrations
+            total.memo_hits += stats.memo_hits
+            total.cache_hits += stats.cache_hits
+            total.duplicates += stats.duplicates
+            total.stores += stats.stores
+        total.full_run_hit = all(per_stats[name].full_run_hit for name in order)
+        return total
 
     def run(self, *args, **kwargs):
         """Run the engine (thread-safe: concurrent calls serialize).
@@ -454,8 +525,9 @@ class NLDMEngine(TimingEngine):
         models: TimingModelLibrary,
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
+        corners: Optional[CornerSet] = None,
     ):
-        super().__init__(netlist, models)
+        super().__init__(netlist, models, corners=corners)
         self.cache = cache if cache is not None else models.cache
         self.use_cache = use_cache
         #: key -> (event fields tuple | None, MIS pin pairs); content-addressed,
@@ -518,6 +590,8 @@ class NLDMEngine(TimingEngine):
         for net in input_events:
             if net not in self.netlist.primary_inputs:
                 raise TimingError(f"{net!r} is not a primary input of {self.netlist.name!r}")
+        if self.corners is not None:
+            return self._run_multicorner(input_events)
 
         levels = self.levels()  # also re-syncs structural caches after edits
         stats = PropagationStats(instances=len(self.netlist.instances))
@@ -631,6 +705,164 @@ class NLDMEngine(TimingEngine):
         self.last_stats = stats
         return result
 
+    def _run_multicorner(
+        self, input_events: Dict[str, TimingEvent]
+    ) -> MulticornerNLDMResult:
+        """One level walk, all corners: the structural work (levelization,
+        pin-net maps, MIS detection inputs) is shared while per-corner model
+        lookups, propagation keys and events stay fully separate.  Every key
+        embeds the corner's context digest AND the corner library's cell
+        fingerprint, so per-corner cache entries can never collide."""
+        corners = self.corners
+        order = corners.names
+        levels = self.levels()
+        per_stats = {
+            name: PropagationStats(instances=len(self.netlist.instances))
+            for name in order
+        }
+        caching = self.use_cache
+        net_keys: Dict[str, Dict[str, str]] = {name: {} for name in order}
+        contexts: Dict[str, str] = {name: "" for name in order}
+        run_key: Optional[str] = None
+        if caching:
+            stimuli = self.stimulus_keys(input_events)
+            for cc in corners:
+                base = content_hash(
+                    "nldm-context", cc.models.nldm_input_slews, cc.models.nldm_loads
+                )
+                contexts[cc.name] = content_hash(
+                    "nldm-context-mmmc", base, cc.name, cc.corner
+                )
+                net_keys[cc.name] = dict(stimuli)
+            if self.cache is not None:
+                run_key = content_hash(
+                    "nldm-run-mmmc",
+                    [contexts[name] for name in order],
+                    self._netlist_digest(),
+                    sorted(stimuli.items()),
+                )
+                self.last_run_key = run_key
+                hit, value = self.cache.lookup(run_key)
+                if hit:
+                    for name in order:
+                        per_stats[name].full_run_hit = True
+                        result = value.results.get(name)
+                        if result is not None:
+                            result.stats = per_stats[name].as_dict()
+                    value.stats = {name: per_stats[name].as_dict() for name in order}
+                    self.last_stats = self._aggregate_stats(per_stats, order)
+                    return value
+
+        for cc in corners:
+            cc.models.prewarm_for_netlist(self.netlist, kinds=("sis",))
+
+        events: Dict[str, Dict[str, TimingEvent]] = {
+            name: dict(input_events) for name in order
+        }
+        mis_flags: Dict[str, Dict[str, List[Tuple[str, str]]]] = {
+            name: {} for name in order
+        }
+
+        for level in levels:
+            for instance in level:
+                cell = self._cell(instance)
+                output_net = instance.connections[cell.output]
+                pin_nets = {pin: instance.connections[pin] for pin in cell.inputs}
+                for cc in corners:
+                    name = cc.name
+                    stats = per_stats[name]
+                    corner_events = events[name]
+                    load = self._lumped_output_load_for(instance, cc.models)
+
+                    key: Optional[str] = None
+                    if caching:
+                        inputs = [
+                            (pin, net_keys[name].get(pin_nets[pin], "stable"))
+                            for pin in cell.inputs
+                        ]
+                        key = content_hash(
+                            "nldm-propagation",
+                            contexts[name],
+                            self._corner_cell_digest(cc, instance.cell_name),
+                            load,
+                            inputs,
+                        )
+                        net_keys[name][output_net] = key
+                        cached = self._lookup_event(key, stats)
+                        if cached is not None:
+                            fields, pairs = cached
+                            mis_flags[name][instance.name] = list(pairs)
+                            if fields is not None:
+                                arrival, slew, rising = fields
+                                corner_events[output_net] = TimingEvent(
+                                    net=output_net,
+                                    arrival=arrival,
+                                    slew=slew,
+                                    rising=rising,
+                                )
+                            continue
+
+                    mis_flags[name][instance.name] = detect_mis_pairs(
+                        corner_events, cell.inputs, pin_nets
+                    )
+
+                    candidate: Optional[TimingEvent] = None
+                    for pin in cell.inputs:
+                        net = pin_nets[pin]
+                        if net not in corner_events:
+                            continue
+                        event = corner_events[net]
+                        table = cc.models.nldm_table(
+                            instance.cell_name, pin, input_rise=event.rising
+                        )
+                        delay = table.delay(event.slew, load)
+                        output_slew = table.output_slew(event.slew, load)
+                        output_event = TimingEvent(
+                            net=output_net,
+                            arrival=event.arrival + delay,
+                            slew=output_slew,
+                            rising=table.output_rise,
+                        )
+                        if candidate is None or output_event.arrival > candidate.arrival:
+                            candidate = output_event
+                    stats.integrations += 1
+                    if candidate is not None:
+                        corner_events[output_net] = candidate
+
+                    if key is not None:
+                        fields = (
+                            (candidate.arrival, candidate.slew, candidate.rising)
+                            if candidate is not None
+                            else None
+                        )
+                        self._memo[key] = (fields, mis_flags[name][instance.name])
+                        if self.cache is not None:
+                            self.cache.store(
+                                key,
+                                {"event": fields, "mis": mis_flags[name][instance.name]},
+                            )
+                            stats.stores += 1
+
+        results = {
+            name: NLDMTimingResult(
+                events=events[name],
+                mis_flags=mis_flags[name],
+                netlist_name=self.netlist.name,
+                stats=per_stats[name].as_dict(),
+            )
+            for name in order
+        }
+        merged = MulticornerNLDMResult(
+            results=results,
+            corner_order=list(order),
+            netlist_name=self.netlist.name,
+            stats={name: per_stats[name].as_dict() for name in order},
+        )
+        if run_key is not None:
+            self.cache.store(run_key, merged)
+        self.last_stats = self._aggregate_stats(per_stats, order)
+        return merged
+
 
 # ----------------------------------------------------------------------
 # CSM: waveform propagation, batched per level
@@ -742,11 +974,18 @@ class CSMEngine(TimingEngine):
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
         tensor: bool = True,
+        corners: Optional[CornerSet] = None,
+        corner_workers: Optional[int] = None,
     ):
-        super().__init__(netlist, models)
+        super().__init__(netlist, models, corners=corners)
         self.options = options or SimulationOptions()
         self.batched = batched
         self.tensor = tensor
+        #: Thread count for per-corner level evaluation.  ``None`` resolves
+        #: to ``min(corner count, visible CPUs)`` at each level, so a
+        #: single-core box (or a single-corner run) keeps the fused
+        #: single-stack pass with zero thread overhead.
+        self.corner_workers = corner_workers
         self.vdd = netlist.library.technology.vdd
         self.cache = cache if cache is not None else models.cache
         self.use_cache = use_cache
@@ -761,12 +1000,34 @@ class CSMEngine(TimingEngine):
         #: Instance name -> structured output load; purely structural, so it
         #: is dropped whenever the netlist revision changes.
         self._load_cache: Dict[str, Load] = {}
+        #: (corner name, instance name) -> structured output load against the
+        #: corner's characterized receiver capacitances.
+        self._corner_load_cache: Dict[Tuple[str, str], Load] = {}
+        if corners is not None:
+            if not (self.batched and self.tensor):
+                raise TimingError(
+                    "multi-corner propagation requires the batched tensor path"
+                )
+            for cc in corners:
+                corner_vdd = cc.library.technology.vdd
+                if abs(corner_vdd - self.vdd) > 1e-12:
+                    raise TimingError(
+                        f"corner {cc.name!r} has vdd {corner_vdd} != design vdd "
+                        f"{self.vdd}; per-corner voltage grids are not batchable"
+                    )
 
     def _on_structure_change(self) -> None:
         self._load_cache = {}
+        self._corner_load_cache = {}
 
     def _on_library_change(self) -> None:
         self.vdd = self.netlist.library.technology.vdd
+
+    def _corner_worker_count(self, num_corners: int) -> int:
+        """Threads to spend on one multi-corner level evaluation."""
+        if self.corner_workers is not None:
+            return max(1, min(self.corner_workers, num_corners))
+        return max(1, min(num_corners, os.cpu_count() or 1))
 
     # -- fingerprints --------------------------------------------------
     def _mode(self) -> str:
@@ -828,6 +1089,8 @@ class CSMEngine(TimingEngine):
             raise TimingError(f"missing waveforms for primary inputs {missing}")
         t_stop = t_stop if t_stop is not None else min(w.t_stop for w in input_waveforms.values())
         t_start = t_start if t_start is not None else max(w.t_start for w in input_waveforms.values())
+        if self.corners is not None:
+            return self._run_multicorner(input_waveforms, t_stop, t_start)
 
         levels = self.levels()  # also re-syncs structural caches after edits
         stats = PropagationStats(instances=len(self.netlist.instances))
@@ -994,7 +1257,14 @@ class CSMEngine(TimingEngine):
             return None
         level_key = value.get("level")
         row = value.get("row")
-        if not isinstance(level_key, str) or not isinstance(row, int):
+        # Multi-corner spills add a "corner" field selecting the tensor's
+        # corner-axis column; single-corner pointers omit it (column 0).
+        corner = value.get("corner", 0)
+        if (
+            not isinstance(level_key, str)
+            or not isinstance(row, int)
+            or not isinstance(corner, int)
+        ):
             return None
         tensor = self._level_tensors.get(level_key)
         if tensor is None and self.cache is not None:
@@ -1008,9 +1278,10 @@ class CSMEngine(TimingEngine):
             tensor is None
             or tensor.num_samples != len(times)
             or not 0 <= row < tensor.num_rows
+            or not 0 <= corner < tensor.num_corners
         ):
             return None
-        return Waveform(times, tensor.row_values(row), name=tensor.names[row])
+        return Waveform(times, tensor.row_values(row, corner), name=tensor.names[row])
 
     # ------------------------------------------------------------------
     # Structure-of-arrays (level tensor) propagation
@@ -1259,6 +1530,419 @@ class CSMEngine(TimingEngine):
             for item_key, item_value in items:
                 self.cache.store(item_key, item_value)
         stats.stores += len(pending)
+        self._level_tensors[level_key] = tensor
+
+    # ------------------------------------------------------------------
+    # Batched MMMC: all corners in one tensor pass
+    # ------------------------------------------------------------------
+    def _corner_tensor_plan(
+        self,
+        cc: CornerContext,
+        instance: GateInstance,
+        switching: Dict[str, bool],
+        context: str,
+        net_keys: Optional[Dict[str, str]],
+    ) -> _TensorPlan:
+        """:meth:`_tensor_plan` against one corner's model library.
+
+        Model-kind selection uses the design cell (pin structure is
+        corner-invariant); the load and the cell fingerprint come from the
+        corner's characterized library, so the propagation key dedupes per
+        corner with zero namespace collisions."""
+        cell = self._cell(instance)
+        output_net = instance.connections[cell.output]
+        switching_pins = [
+            pin for pin in cell.inputs if switching.get(instance.connections[pin], False)
+        ]
+
+        if len(switching_pins) >= 2 and cell.num_inputs >= 2:
+            pins = (switching_pins[0], switching_pins[1])
+            mis = True
+            label = "MCSM" if cc.models._mis_kind(cell) == "mcsm" else "BaselineMISCSM"
+        else:
+            pin = switching_pins[0] if switching_pins else cell.inputs[0]
+            pins = (pin,)
+            mis = False
+            label = f"SISCSM[{pin}]"
+
+        load_key = (cc.name, instance.name)
+        load = self._corner_load_cache.get(load_key)
+        if load is None:
+            load = self._output_load_for(instance, cc.models)
+            self._corner_load_cache[load_key] = load
+
+        key = None
+        if net_keys is not None:
+            inputs = [
+                (pin, net_keys.get(instance.connections[pin], "primary-constant"))
+                for pin in cell.inputs
+            ]
+            key = content_hash(
+                "sta-propagation",
+                context,
+                self._corner_cell_digest(cc, instance.cell_name),
+                load,
+                inputs,
+            )
+        return _TensorPlan(
+            instance=instance,
+            output_net=output_net,
+            pins=pins,
+            mis=mis,
+            label=label,
+            load=load,
+            key=key,
+        )
+
+    def _run_multicorner(
+        self,
+        input_waveforms: Dict[str, Waveform],
+        t_stop: float,
+        t_start: float,
+    ) -> MulticornerTimingResult:
+        """Propagate every corner of :attr:`corners` in ONE levelized pass.
+
+        The level walk is shared: each level gathers its per-corner input
+        rows, integrates every still-missing ``(instance, corner)`` pair
+        through one :func:`settle_units` stack and one
+        :func:`integrate_model_many` call (same-vdd corners share voltage
+        grids, so their table lookups fuse into the existing row-chunked
+        lockstep batches), and scatters the outputs into a single
+        ``(instances, corners, samples)`` :class:`LevelTensor`.  Per-corner
+        propagation keys embed the corner's context digest and the corner
+        library's cell fingerprint, so the memo, the packed store's level
+        spills and run keys all dedupe per corner without collisions.
+        """
+        corners = self.corners
+        order = corners.names
+        levels = self.levels()
+        per_stats = {
+            name: PropagationStats(instances=len(self.netlist.instances))
+            for name in order
+        }
+        caching = self.use_cache
+        net_keys: Dict[str, Dict[str, str]] = {name: {} for name in order}
+        contexts: Dict[str, str] = {name: "" for name in order}
+        run_key: Optional[str] = None
+        if caching:
+            stimuli = self.stimulus_keys(input_waveforms)
+            base_context = self._context_digest(t_start, t_stop)
+            for cc in corners:
+                contexts[cc.name] = content_hash(
+                    "sta-context-mmmc", base_context, cc.name, cc.corner
+                )
+                net_keys[cc.name] = dict(stimuli)
+            if self.cache is not None:
+                run_key = content_hash(
+                    "sta-run-mmmc",
+                    [contexts[name] for name in order],
+                    self._netlist_digest(),
+                    sorted(stimuli.items()),
+                )
+                self.last_run_key = run_key
+                hit, value = self.cache.lookup(run_key)
+                if hit:
+                    for name in order:
+                        per_stats[name].full_run_hit = True
+                        result = value.results.get(name)
+                        if result is not None:
+                            result.stats = per_stats[name].as_dict()
+                    value.stats = {name: per_stats[name].as_dict() for name in order}
+                    self.last_stats = self._aggregate_stats(per_stats, order)
+                    return value
+
+        for cc in corners:
+            cc.models.prewarm_for_netlist(self.netlist, kinds=("sis",))
+
+        times = simulation_time_grid(t_start, t_stop, self.options)
+        step = float(times[1] - times[0])
+        threshold = SWITCHING_THRESHOLD_FRACTION * self.vdd
+        # Per-corner propagation state.  Primary-input rows, initial values
+        # and switching classification are identical across corners (one
+        # stimulus set, one vdd), so the seed entries are shared references;
+        # driven nets diverge per corner from the first level on.
+        rows: Dict[str, Dict[str, np.ndarray]] = {name: {} for name in order}
+        initials: Dict[str, Dict[str, float]] = {name: {} for name in order}
+        switching: Dict[str, Dict[str, bool]] = {name: {} for name in order}
+        waveforms: Dict[str, Dict[str, Waveform]] = {
+            name: {net: wave.renamed(net) for net, wave in input_waveforms.items()}
+            for name in order
+        }
+        model_used: Dict[str, Dict[str, str]] = {name: {} for name in order}
+        for net, wave in input_waveforms.items():
+            row = np.asarray(wave.value_at(times), dtype=float)
+            initial = float(wave.initial_value())
+            is_switching = self._is_switching(wave)
+            for name in order:
+                rows[name][net] = row
+                initials[name][net] = initial
+                switching[name][net] = is_switching
+
+        def admit(name: str, net: str, values: np.ndarray) -> None:
+            rows[name][net] = values
+            initials[name][net] = float(values[0])
+            switching[name][net] = float(values.max() - values.min()) > threshold
+
+        for level in levels:
+            # Each entry: (instance, {corner: plan}, {corner: hit waveform}).
+            pending: List[Tuple[GateInstance, Dict[str, _TensorPlan], Dict[str, Waveform]]] = []
+            duplicates: List[Tuple[GateInstance, Dict[str, _TensorPlan], Dict[str, Waveform]]] = []
+            first_with_key: Dict[Tuple[str, ...], GateInstance] = {}
+            for instance in level:
+                plans: Dict[str, _TensorPlan] = {}
+                hits: Dict[str, Waveform] = {}
+                for cc in corners:
+                    name = cc.name
+                    tplan = self._corner_tensor_plan(
+                        cc,
+                        instance,
+                        switching[name],
+                        contexts[name],
+                        net_keys[name] if caching else None,
+                    )
+                    plans[name] = tplan
+                    model_used[name][instance.name] = tplan.label
+                    if tplan.key is not None:
+                        net_keys[name][tplan.output_net] = tplan.key
+                        wave = self._lookup_waveform(tplan.key, per_stats[name], times)
+                        if wave is not None:
+                            hits[name] = wave
+                if len(hits) == len(order):
+                    for name in order:
+                        out = hits[name].renamed(plans[name].output_net)
+                        waveforms[name][plans[name].output_net] = out
+                        admit(name, plans[name].output_net, out.values)
+                    continue
+                key_tuple = (
+                    tuple(plans[name].key for name in order)
+                    if caching and all(plans[name].key is not None for name in order)
+                    else None
+                )
+                if key_tuple is not None and key_tuple in first_with_key:
+                    duplicates.append((instance, plans, hits))
+                    continue
+                if key_tuple is not None:
+                    first_with_key[key_tuple] = instance
+                pending.append((instance, plans, hits))
+
+            if pending:
+                tensor = self._evaluate_level_tensor_multi(
+                    pending, order, rows, initials, times, t_start, step, t_stop, per_stats
+                )
+                for r, (instance, plans, hits) in enumerate(pending):
+                    output_net = plans[order[0]].output_net
+                    for c, name in enumerate(order):
+                        values = tensor.row_values(r, c)
+                        wave = Waveform(times, values, name=output_net)
+                        waveforms[name][output_net] = wave
+                        admit(name, output_net, values)
+                if caching:
+                    self._spill_level_multi(pending, order, tensor, waveforms, per_stats)
+
+            for instance, plans, hits in duplicates:
+                for name in order:
+                    tplan = plans[name]
+                    if name in hits:
+                        out = hits[name].renamed(tplan.output_net)
+                    else:
+                        per_stats[name].duplicates += 1
+                        out = self._memo[tplan.key].renamed(tplan.output_net)
+                    waveforms[name][tplan.output_net] = out
+                    admit(name, tplan.output_net, out.values)
+
+        results = {
+            name: WaveformTimingResult(
+                waveforms=waveforms[name],
+                model_used=model_used[name],
+                netlist_name=self.netlist.name,
+                vdd=self.vdd,
+                stats=per_stats[name].as_dict(),
+            )
+            for name in order
+        }
+        merged = MulticornerTimingResult(
+            results=results,
+            corner_order=list(order),
+            netlist_name=self.netlist.name,
+            vdd=self.vdd,
+            stats={name: per_stats[name].as_dict() for name in order},
+        )
+        if run_key is not None:
+            self.cache.store(run_key, merged)
+        self.last_stats = self._aggregate_stats(per_stats, order)
+        return merged
+
+    def _evaluate_level_tensor_multi(
+        self,
+        pending: Sequence[Tuple[GateInstance, Dict[str, _TensorPlan], Dict[str, Waveform]]],
+        order: List[str],
+        rows: Dict[str, Dict[str, np.ndarray]],
+        initials: Dict[str, Dict[str, float]],
+        times: np.ndarray,
+        t_start: float,
+        step: float,
+        t_stop: float,
+        per_stats: Dict[str, PropagationStats],
+    ) -> LevelTensor:
+        """Settle + integrate one level's missing ``(instance, corner)``
+        pairs, returning the level's ``(instances, corners, samples)``
+        tensor.  Per-corner cache hits are scattered into their tensor slots
+        without re-integration, so every row comes back complete."""
+        corners = self.corners
+        values = np.empty((len(pending), len(order), len(times)))
+        jobs: List[Tuple[int, int, str, _TensorPlan]] = []
+        for r, (instance, plans, hits) in enumerate(pending):
+            for c, name in enumerate(order):
+                if name in hits:
+                    values[r, c] = hits[name].values
+                else:
+                    jobs.append((r, c, name, plans[name]))
+
+        plans_flat: List[_InstancePlan] = []
+        for r, c, name, tplan in jobs:
+            cc = corners[name]
+            if tplan.mis:
+                model = cc.models.mis_model(tplan.instance.cell_name, *tplan.pins)
+            else:
+                model = cc.models.sis_model(tplan.instance.cell_name, tplan.pins[0])
+            plans_flat.append(
+                _InstancePlan(
+                    instance=tplan.instance,
+                    output_net=tplan.output_net,
+                    model=model,
+                    pins=tplan.pins,
+                    waves={},
+                    load=tplan.load,
+                    label=tplan.label,
+                )
+            )
+
+        constant_units = []
+        for (r, c, name, tplan), plan in zip(jobs, plans_flat):
+            constants = {}
+            for pin in plan.pins:
+                net = tplan.instance.connections[pin]
+                if net in initials[name]:
+                    value = initials[name][net]
+                else:
+                    value = self._cell(tplan.instance).non_controlling_value(pin) * self.vdd
+                constants[pin] = Waveform.constant(
+                    value, 0.0, self.options.settle_time, name=pin
+                )
+            constant_units.append(self._unit(plan, constants, self.vdd / 2.0, self.vdd / 2.0))
+
+        def integration_unit(position: int, initial_output: float, initial_internal):
+            _, _, name, tplan = jobs[position]
+            plan = plans_flat[position]
+            samples: Dict[str, np.ndarray] = {}
+            for pin in plan.pins:
+                net = tplan.instance.connections[pin]
+                if net in rows[name]:
+                    samples[pin] = rows[name][net]
+                else:
+                    level_v = self._cell(tplan.instance).non_controlling_value(pin) * self.vdd
+                    samples[pin] = np.full(times.shape, float(level_v))
+            return self._unit(plan, {}, initial_output, initial_internal, samples=samples)
+
+        workers = self._corner_worker_count(len(order))
+        if workers <= 1:
+            # Single-core: ONE settle stack and ONE integration batch with
+            # the corner dimension folded into the row axis (the fused MMMC
+            # pass — per-chunk lookup and per-step loop overheads are paid
+            # once for all corners).
+            settled = settle_units(constant_units, self.options, batched_polish=True)
+            units = [
+                integration_unit(position, initial_output, initial_internal)
+                for position, (initial_output, initial_internal) in enumerate(settled)
+            ]
+            _, outputs = integrate_model_many(
+                units, self.options, t_start, t_stop, shared_precompute=True
+            )
+        else:
+            # Multi-core: corners are data-independent within a level, so
+            # each corner's settle + integration runs as one task on a
+            # shared-memory thread pool (numpy releases the GIL inside its
+            # lookup/gather loops).  Each corner's batches have exactly the
+            # composition its serial single-corner run would build, so the
+            # per-corner results match that reference bitwise.
+            by_corner: Dict[str, List[int]] = {}
+            for position, (r, c, name, tplan) in enumerate(jobs):
+                by_corner.setdefault(name, []).append(position)
+
+            def evaluate_corner(positions: List[int]):
+                corner_settled = settle_units(
+                    [constant_units[p] for p in positions],
+                    self.options,
+                    batched_polish=True,
+                )
+                corner_units = [
+                    integration_unit(position, initial_output, initial_internal)
+                    for position, (initial_output, initial_internal) in zip(
+                        positions, corner_settled
+                    )
+                ]
+                _, corner_outputs = integrate_model_many(
+                    corner_units, self.options, t_start, t_stop, shared_precompute=True
+                )
+                return corner_outputs
+
+            outputs = [None] * len(jobs)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                for positions, corner_outputs in zip(
+                    by_corner.values(), pool.map(evaluate_corner, by_corner.values())
+                ):
+                    for position, output in zip(positions, corner_outputs):
+                        outputs[position] = output
+
+        for (r, c, name, tplan), (v_out, _) in zip(jobs, outputs):
+            values[r, c] = v_out
+            per_stats[name].integrations += 1
+
+        names = [plans[order[0]].output_net for _, plans, _ in pending]
+        return LevelTensor(names, values, t_start, step)
+
+    def _spill_level_multi(
+        self,
+        pending: Sequence[Tuple[GateInstance, Dict[str, _TensorPlan], Dict[str, Waveform]]],
+        order: List[str],
+        tensor: LevelTensor,
+        waveforms: Dict[str, Dict[str, Waveform]],
+        per_stats: Dict[str, PropagationStats],
+    ) -> None:
+        """Multi-corner whole-level spill: ONE tensor record for the level,
+        plus a ``{"t": "level-row", ..., "corner": c}`` pointer per freshly
+        integrated ``(instance, corner)`` pair (pairs served from the cache
+        already have their entries)."""
+        flat_keys: List[str] = []
+        for instance, plans, hits in pending:
+            for name in order:
+                flat_keys.append(plans[name].key)
+        for instance, plans, hits in pending:
+            for name in order:
+                tplan = plans[name]
+                self._memo[tplan.key] = waveforms[name][tplan.output_net]
+        if self.cache is None:
+            return
+        level_key = content_hash("sta-level-mmmc", flat_keys)
+        items: List[Tuple[str, object]] = []
+        for r, (instance, plans, hits) in enumerate(pending):
+            for c, name in enumerate(order):
+                if name in hits:
+                    continue
+                items.append(
+                    (
+                        plans[name].key,
+                        {"t": "level-row", "level": level_key, "row": r, "corner": c},
+                    )
+                )
+                per_stats[name].stores += 1
+        items.append((level_key, {"keys": flat_keys, "tensor": tensor}))
+        store_many = getattr(self.cache, "store_many", None)
+        if store_many is not None:
+            store_many(items)
+        else:
+            for item_key, item_value in items:
+                self.cache.store(item_key, item_value)
         self._level_tensors[level_key] = tensor
 
     def _structural_plan(

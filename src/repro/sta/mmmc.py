@@ -1,0 +1,290 @@
+"""Multi-mode multi-corner (MMMC) timing: corner sets and merged results.
+
+PR 4 introduced process corners as *serial jobs* — N corners, N independent
+engine runs over N separately characterized libraries.  This module provides
+the batched alternative the level-tensor layout was built for: a
+:class:`CornerSet` bundles every requested corner's cornered technology, cell
+library and :class:`~repro.sta.models.TimingModelLibrary` into one object the
+engines accept directly (``CSMEngine(..., corners=...)``), so one levelized
+pass propagates all M corners along the tensor's corner axis.
+
+Results come back as :class:`MulticornerTimingResult` /
+:class:`MulticornerNLDMResult`: per-corner result objects (each exactly what
+a single-corner run of that corner produces), plus the cross-corner merges an
+MMMC flow reports — worst arrival per net and worst slack against a required
+time, each annotated with the corner that sets it.
+
+The standard five-point corner spread keeps the nominal supply
+(``vdd_scale == 1.0``), which is what makes corner batching structurally
+free: every corner's characterization lives on the same voltage grids, so
+same-cell units of different corners fall into one lockstep recurrence group
+and their DC polish stacks into one Newton batch.  Corners that scale the
+supply would need per-corner grids and are rejected by the engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..cells.library import CellLibrary, default_library
+from ..exceptions import TimingError
+from ..technology.corners import STANDARD_CORNERS, Corner, apply_corner
+from ..technology.process import Technology, default_technology
+
+__all__ = [
+    "CornerContext",
+    "CornerSet",
+    "MulticornerTimingResult",
+    "MulticornerNLDMResult",
+]
+
+
+@dataclass
+class CornerContext:
+    """Everything one corner contributes to a batched MMMC run."""
+
+    name: str
+    corner: Corner
+    technology: Technology
+    library: CellLibrary
+    models: "object"  # TimingModelLibrary (kept untyped to avoid an import cycle)
+
+
+class CornerSet:
+    """An ordered, named set of corner contexts for one batched run.
+
+    Build one with :meth:`from_names` (the standard five-point corners) or
+    directly from prepared :class:`CornerContext` objects.  Order matters:
+    it is the corner axis order of the level tensors and of every per-corner
+    result map.
+    """
+
+    def __init__(self, contexts: Sequence[CornerContext]):
+        contexts = list(contexts)
+        if not contexts:
+            raise TimingError("a CornerSet needs at least one corner")
+        names = [context.name for context in contexts]
+        if len(set(names)) != len(names):
+            raise TimingError(f"corner names must be unique, got {names}")
+        self.contexts = contexts
+        self._by_name: Dict[str, CornerContext] = {c.name: c for c in contexts}
+
+    @classmethod
+    def from_names(
+        cls,
+        names: Sequence[str],
+        technology: Optional[Technology] = None,
+        config=None,
+        executor=None,
+        cache=None,
+        use_internal_node: bool = True,
+    ) -> "CornerSet":
+        """Corner contexts for standard corner names over one base technology.
+
+        Every corner applies its shifts to ``technology`` (the default one
+        when omitted), builds the cornered default cell library and wraps it
+        in a :class:`~repro.sta.models.TimingModelLibrary` sharing the given
+        ``executor``/``cache`` — characterizations of all corners run as one
+        content-addressed job population against one store.
+        """
+        from .models import TimingModelLibrary
+
+        technology = technology if technology is not None else default_technology()
+        contexts: List[CornerContext] = []
+        for name in names:
+            if name not in STANDARD_CORNERS:
+                raise TimingError(
+                    f"unknown corner {name!r}; available: {sorted(STANDARD_CORNERS)}"
+                )
+            corner = STANDARD_CORNERS[name]
+            cornered = apply_corner(technology, corner)
+            library = default_library(cornered)
+            kwargs = {} if config is None else {"config": config}
+            models = TimingModelLibrary(
+                library=library,
+                use_internal_node=use_internal_node,
+                executor=executor,
+                cache=cache,
+                **kwargs,
+            )
+            contexts.append(
+                CornerContext(
+                    name=name,
+                    corner=corner,
+                    technology=cornered,
+                    library=library,
+                    models=models,
+                )
+            )
+        return cls(contexts)
+
+    # ------------------------------------------------------------------
+    @property
+    def names(self) -> List[str]:
+        return [context.name for context in self.contexts]
+
+    @property
+    def reference(self) -> CornerContext:
+        """The delta-reference corner: ``TT`` when present, else the first."""
+        return self._by_name.get("TT", self.contexts[0])
+
+    def __len__(self) -> int:
+        return len(self.contexts)
+
+    def __iter__(self) -> Iterator[CornerContext]:
+        return iter(self.contexts)
+
+    def __getitem__(self, name: str) -> CornerContext:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TimingError(
+                f"corner {name!r} is not in this CornerSet ({self.names})"
+            ) from None
+
+
+class _MulticornerMerge:
+    """Cross-corner merge helpers shared by both result flavours.
+
+    Subclasses provide ``results`` (corner name → per-corner result whose
+    ``arrival(net)`` raises :class:`TimingError` for never-switching nets),
+    ``corner_order`` and :meth:`nets`.
+    """
+
+    def result(self, corner: str):
+        try:
+            return self.results[corner]
+        except KeyError:
+            raise TimingError(
+                f"no result for corner {corner!r} (have {self.corner_order})"
+            ) from None
+
+    def arrival(self, net: str, corner: Optional[str] = None) -> float:
+        """A net's arrival: one corner's, or the worst across all corners."""
+        if corner is not None:
+            return self.result(corner).arrival(net)
+        return self.worst_arrival(net)[1]
+
+    def worst_arrival(self, net: str) -> Tuple[str, float]:
+        """``(corner, arrival)`` of the latest arrival across the corners."""
+        worst: Optional[Tuple[str, float]] = None
+        for name in self.corner_order:
+            try:
+                arrival = self.results[name].arrival(net)
+            except TimingError:
+                continue  # never switches at this corner
+            if worst is None or arrival > worst[1]:
+                worst = (name, arrival)
+        if worst is None:
+            raise TimingError(f"net {net!r} never switches at any corner")
+        return worst
+
+    def worst_arrivals(
+        self, nets: Optional[Sequence[str]] = None
+    ) -> Dict[str, Optional[Tuple[str, float]]]:
+        """Per-net worst arrival map (``None`` for never-switching nets)."""
+        merged: Dict[str, Optional[Tuple[str, float]]] = {}
+        for net in nets if nets is not None else self.nets():
+            try:
+                merged[net] = self.worst_arrival(net)
+            except TimingError:
+                merged[net] = None
+        return merged
+
+    def worst_slacks(
+        self,
+        required: Union[float, Mapping[str, float]],
+        nets: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Optional[Tuple[str, float]]]:
+        """The MMMC merge: per net the *minimum* slack over all corners.
+
+        ``required`` is one required time for every net or a per-net mapping;
+        slack is ``required - arrival``, so the corner with the latest arrival
+        sets it.  Returns ``net -> (corner, slack)`` (``None`` when no corner
+        ever switches the net).
+        """
+        slacks: Dict[str, Optional[Tuple[str, float]]] = {}
+        for net, worst in self.worst_arrivals(nets).items():
+            if worst is None:
+                slacks[net] = None
+                continue
+            corner, arrival = worst
+            bound = required[net] if isinstance(required, Mapping) else float(required)
+            slacks[net] = (corner, bound - arrival)
+        return slacks
+
+
+@dataclass
+class MulticornerTimingResult(_MulticornerMerge):
+    """One batched CSM run's per-corner waveforms plus the worst-case merge.
+
+    ``results[name]`` is exactly the :class:`WaveformTimingResult` a
+    single-corner run of that corner produces; ``stats`` carries each
+    corner's own propagation accounting (the per-corner warm-repeat and
+    cache-separation invariants are asserted against these, not against an
+    aggregate).
+    """
+
+    results: Dict[str, object]  # corner name -> WaveformTimingResult
+    corner_order: List[str]
+    netlist_name: str
+    vdd: float
+    stats: Optional[Dict[str, Dict[str, int]]] = None
+
+    def nets(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for name in self.corner_order:
+            for net in self.results[name].waveforms:
+                seen.setdefault(net, None)
+        return list(seen)
+
+    def waveform(self, net: str, corner: str):
+        return self.result(corner).waveform(net)
+
+    def report(self) -> str:
+        lines = [
+            f"Multi-corner CSM timing report for {self.netlist_name!r} "
+            f"(corners: {', '.join(self.corner_order)})"
+        ]
+        for net, worst in self.worst_arrivals().items():
+            if worst is None:
+                lines.append(f"  net {net:<12} stable at every corner")
+            else:
+                corner, arrival = worst
+                lines.append(
+                    f"  net {net:<12} worst arrival {arrival * 1e12:9.2f} ps  ({corner})"
+                )
+        return "\n".join(lines)
+
+
+@dataclass
+class MulticornerNLDMResult(_MulticornerMerge):
+    """One batched NLDM run's per-corner events plus the worst-case merge."""
+
+    results: Dict[str, object]  # corner name -> NLDMTimingResult
+    corner_order: List[str]
+    netlist_name: str
+    stats: Optional[Dict[str, Dict[str, int]]] = None
+
+    def nets(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for name in self.corner_order:
+            for net in self.results[name].events:
+                seen.setdefault(net, None)
+        return list(seen)
+
+    def report(self) -> str:
+        lines = [
+            f"Multi-corner NLDM timing report for {self.netlist_name!r} "
+            f"(corners: {', '.join(self.corner_order)})"
+        ]
+        for net, worst in self.worst_arrivals().items():
+            if worst is None:
+                lines.append(f"  net {net:<12} no event at any corner")
+            else:
+                corner, arrival = worst
+                lines.append(
+                    f"  net {net:<12} worst arrival {arrival * 1e12:9.2f} ps  ({corner})"
+                )
+        return "\n".join(lines)

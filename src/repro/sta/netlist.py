@@ -68,10 +68,16 @@ class NetConnectivity:
     engine asks for the load of every net of a thousand-gate netlist.  This
     snapshot is built in a single pass and queried in O(1); it reflects the
     netlist at construction time (build it after the last ``add_instance``).
+
+    :attr:`revision` records the netlist revision the snapshot (and its lazy
+    CSR index arrays) was built from; holders compare it against the live
+    ``netlist.revision`` so an ECO edit can never be served stale receiver
+    rows.  Snapshots built outside :meth:`of` carry ``-1`` (always stale).
     """
 
     drivers: Dict[str, GateInstance]
     receivers: Dict[str, List[Tuple[GateInstance, str]]]
+    revision: int = -1
     _net_index: Optional[Dict[str, int]] = field(default=None, repr=False, compare=False)
     _csr: Optional[Tuple[Any, ...]] = field(default=None, repr=False, compare=False)
 
@@ -90,7 +96,7 @@ class NetConnectivity:
             drivers[output_net] = instance
             for pin in cell.inputs:
                 receivers.setdefault(instance.connections[pin], []).append((instance, pin))
-        return cls(drivers=drivers, receivers=receivers)
+        return cls(drivers=drivers, receivers=receivers, revision=netlist.revision)
 
     def driver_of(self, net: str) -> Optional[GateInstance]:
         return self.drivers.get(net)

@@ -8,6 +8,6 @@ event-propagating side so existing imports keep working.  See
 
 from __future__ import annotations
 
-from .engine import NLDMEngine, NLDMTimingResult
+from .engine import MulticornerNLDMResult, NLDMEngine, NLDMTimingResult
 
-__all__ = ["NLDMTimingResult", "NLDMEngine"]
+__all__ = ["NLDMTimingResult", "NLDMEngine", "MulticornerNLDMResult"]

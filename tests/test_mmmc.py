@@ -1,0 +1,397 @@
+"""Batched MMMC tests (PR 8).
+
+The tentpole invariants:
+
+* one batched run over a :class:`CornerSet` matches M independent
+  single-corner runs to ``1e-9`` V per corner (CSM) / per event (NLDM);
+* per-corner cache namespaces are disjoint — a warm repeat is a full-run
+  hit for every corner, and after evicting the whole-run entry each
+  instance-corner pair resolves through its own level-row pointer;
+* the multi-corner level tensor round-trips bitwise through the result
+  store codec (hypothesis property over the corner axis);
+* :class:`TimingEngine.connectivity` rebuilds when an ECO bumps the
+  netlist revision (the stale receiver-CSR regression).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.characterization import CharacterizationConfig
+from repro.csm.base import SimulationOptions
+from repro.exceptions import TimingError
+from repro.runtime import ResultCache
+from repro.runtime.cache import decode_payload, encode_payload
+from repro.sta import (
+    CSMEngine,
+    NLDMEngine,
+    generate_netlist,
+    primary_input_events,
+    primary_input_waveforms,
+    waveform_deviation,
+)
+from repro.sta.generate import default_time_window
+from repro.sta.mmmc import CornerSet, MulticornerNLDMResult, MulticornerTimingResult
+from repro.waveform.level_tensor import LevelTensor
+
+#: Per-corner agreement budget between the batched and the serial engines.
+EQUIV_TOL = 1e-9
+
+CORNERS = ["TT", "FF", "SS"]
+
+
+@pytest.fixture(scope="module")
+def corner_set(technology):
+    """Three standard corners over the shared base technology (coarse grids)."""
+    return CornerSet.from_names(
+        CORNERS,
+        technology=technology,
+        config=CharacterizationConfig(io_grid_points=5),
+    )
+
+
+@pytest.fixture(scope="module")
+def options():
+    return SimulationOptions(time_step=2e-12)
+
+
+@pytest.fixture(scope="module")
+def netlist(corner_set):
+    return generate_netlist(corner_set.reference.library, "dag:w6:d3:s5")
+
+
+@pytest.fixture(scope="module")
+def stimulus(netlist):
+    t_stop = default_time_window(netlist)
+    return primary_input_waveforms(netlist, t_stop=t_stop, seed=0), t_stop
+
+
+# ----------------------------------------------------------------------
+# CornerSet basics
+# ----------------------------------------------------------------------
+class TestCornerSet:
+    def test_names_and_reference(self, corner_set):
+        assert corner_set.names == CORNERS
+        assert corner_set.reference.name == "TT"
+        assert [cc.name for cc in corner_set.contexts] == CORNERS
+
+    def test_reference_falls_back_to_first(self, technology):
+        cs = CornerSet.from_names(["FF", "SS"], technology=technology)
+        assert cs.reference.name == "FF"
+
+    def test_unknown_corner_rejected(self, technology):
+        with pytest.raises(TimingError, match="unknown corner"):
+            CornerSet.from_names(["TT", "XX"], technology=technology)
+
+    def test_duplicate_corner_rejected(self, technology):
+        with pytest.raises(TimingError, match="unique"):
+            CornerSet.from_names(["TT", "TT"], technology=technology)
+
+
+# ----------------------------------------------------------------------
+# Batched vs per-corner-serial equivalence
+# ----------------------------------------------------------------------
+class TestBatchedEquivalence:
+    def test_csm_matches_serial_per_corner(self, corner_set, netlist, options, stimulus):
+        waveforms, t_stop = stimulus
+        batched = CSMEngine(
+            netlist, corner_set.reference.models, options=options, corners=corner_set
+        )
+        multi = batched.run(waveforms, t_stop=t_stop)
+        assert isinstance(multi, MulticornerTimingResult)
+        assert multi.corner_order == CORNERS
+        for name in CORNERS:
+            serial = CSMEngine(netlist, corner_set[name].models, options=options)
+            reference = serial.run(waveforms, t_stop=t_stop)
+            deviation = waveform_deviation(multi.result(name), reference)
+            assert deviation <= EQUIV_TOL, f"{name}: {deviation:.3e} V"
+            assert multi.result(name).model_used == reference.model_used
+
+    def test_corner_threads_match_fused_pass(
+        self, corner_set, netlist, options, stimulus
+    ):
+        """The corner-parallel level evaluation (``corner_workers > 1``)
+        rebuilds, per corner, exactly the settle/integration batches that
+        corner's serial single-corner run would build — so it matches the
+        serial reference **bitwise**, and the fused single-stack pass (whose
+        mixed-corner batch composition shifts group thresholds by a few ULP)
+        within the usual budget."""
+        waveforms, t_stop = stimulus
+        fused = CSMEngine(
+            netlist,
+            corner_set.reference.models,
+            options=options,
+            corners=corner_set,
+            corner_workers=1,
+        ).run(waveforms, t_stop=t_stop)
+        threaded = CSMEngine(
+            netlist,
+            corner_set.reference.models,
+            options=options,
+            corners=corner_set,
+            corner_workers=len(CORNERS),
+        ).run(waveforms, t_stop=t_stop)
+        for name in CORNERS:
+            serial = CSMEngine(
+                netlist, corner_set[name].models, options=options
+            ).run(waveforms, t_stop=t_stop)
+            exact = waveform_deviation(threaded.result(name), serial)
+            assert exact == 0.0, f"{name} vs serial: {exact:.3e} V"
+            fused_dev = waveform_deviation(threaded.result(name), fused.result(name))
+            assert fused_dev <= EQUIV_TOL, f"{name} vs fused: {fused_dev:.3e} V"
+
+    def test_nldm_matches_serial_per_corner(self, corner_set, netlist):
+        events = primary_input_events(netlist, seed=0)
+        batched = NLDMEngine(
+            netlist, corner_set.reference.models, corners=corner_set
+        )
+        multi = batched.run(events)
+        assert isinstance(multi, MulticornerNLDMResult)
+        for name in CORNERS:
+            serial = NLDMEngine(netlist, corner_set[name].models)
+            reference = serial.run(events)
+            got = multi.result(name).events
+            assert set(got) == set(reference.events)
+            for net, event in reference.events.items():
+                assert got[net].arrival == pytest.approx(event.arrival, abs=1e-15)
+                assert got[net].slew == pytest.approx(event.slew, abs=1e-15)
+
+    def test_worst_merge_is_max_over_corners(self, corner_set, netlist, options, stimulus):
+        waveforms, t_stop = stimulus
+        engine = CSMEngine(
+            netlist, corner_set.reference.models, options=options, corners=corner_set
+        )
+        multi = engine.run(waveforms, t_stop=t_stop)
+        merged = multi.worst_arrivals()
+        assert set(merged) == set(multi.nets())
+        for net, worst in merged.items():
+            per_corner = {}
+            for name in CORNERS:
+                try:
+                    per_corner[name] = multi.result(name).arrival(net)
+                except TimingError:
+                    pass
+            if not per_corner:
+                assert worst is None
+                continue
+            corner, arrival = worst
+            assert arrival == max(per_corner.values())
+            assert per_corner[corner] == arrival
+            assert multi.arrival(net) == arrival
+        # Slack merge: the worst-arrival corner sets the minimum slack.
+        slacks = multi.worst_slacks(1e-9)
+        for net, worst in merged.items():
+            if worst is None:
+                assert slacks[net] is None
+            else:
+                assert slacks[net] == (worst[0], 1e-9 - worst[1])
+
+    def test_multicorner_requires_tensor_path(self, corner_set, netlist, options):
+        with pytest.raises(TimingError, match="batched tensor path"):
+            CSMEngine(
+                netlist,
+                corner_set.reference.models,
+                options=options,
+                corners=corner_set,
+                batched=False,
+            )
+
+
+# ----------------------------------------------------------------------
+# Per-corner caching: warm repeats, pointer resolution, namespaces
+# ----------------------------------------------------------------------
+class TestMulticornerCaching:
+    @pytest.fixture()
+    def cache(self, tmp_path):
+        return ResultCache(tmp_path / "store")
+
+    def _engine(self, corner_set, netlist, options, cache):
+        return CSMEngine(
+            netlist,
+            corner_set.reference.models,
+            options=options,
+            corners=corner_set,
+            cache=cache,
+        )
+
+    def test_warm_repeat_is_free_per_corner(
+        self, corner_set, netlist, options, stimulus, cache
+    ):
+        waveforms, t_stop = stimulus
+        engine = self._engine(corner_set, netlist, options, cache)
+        cold = engine.run(waveforms, t_stop=t_stop)
+        n = len(netlist.instances)
+        for name in CORNERS:
+            assert cold.stats[name]["integrations"] + cold.stats[name]["duplicates"] == n
+            assert not cold.stats[name]["full_run_hit"]
+        # Same engine, same stimuli: the whole-run entry answers every corner.
+        warm = engine.run(waveforms, t_stop=t_stop)
+        for name in CORNERS:
+            assert warm.stats[name]["full_run_hit"]
+            assert warm.stats[name]["integrations"] == 0
+            for net in cold.result(name).waveforms:
+                np.testing.assert_array_equal(
+                    warm.result(name).waveform(net).values,
+                    cold.result(name).waveform(net).values,
+                )
+        # A fresh engine over the same store gets the same full-run hit.
+        fresh = self._engine(corner_set, netlist, options, cache)
+        again = fresh.run(waveforms, t_stop=t_stop)
+        for name in CORNERS:
+            assert again.stats[name]["full_run_hit"]
+            assert again.stats[name]["integrations"] == 0
+
+    def test_level_row_pointers_resolve_per_corner(
+        self, corner_set, netlist, options, stimulus, cache
+    ):
+        """Evict the whole-run entry: every instance-corner pair must come
+        back through its own level-row pointer (disjoint per-corner keys)."""
+        waveforms, t_stop = stimulus
+        engine = self._engine(corner_set, netlist, options, cache)
+        cold = engine.run(waveforms, t_stop=t_stop)
+        assert engine.last_run_key is not None
+        cache.evict(engine.last_run_key)
+        fresh = self._engine(corner_set, netlist, options, cache)
+        served = fresh.run(waveforms, t_stop=t_stop)
+        n = len(netlist.instances)
+        for name in CORNERS:
+            stats = served.stats[name]
+            assert not stats["full_run_hit"]
+            assert stats["integrations"] == 0
+            assert stats["cache_hits"] == n
+            for net in cold.result(name).waveforms:
+                np.testing.assert_array_equal(
+                    served.result(name).waveform(net).values,
+                    cold.result(name).waveform(net).values,
+                )
+
+    def test_serial_namespace_is_separate(
+        self, corner_set, netlist, options, stimulus, cache
+    ):
+        """A batched run must not poison (or feed) the single-corner caches:
+        a serial TT engine over the same store starts cold, computes
+        everything itself, and still agrees with the batched TT slice."""
+        waveforms, t_stop = stimulus
+        batched = self._engine(corner_set, netlist, options, cache)
+        multi = batched.run(waveforms, t_stop=t_stop)
+        serial = CSMEngine(
+            netlist, corner_set["TT"].models, options=options, cache=cache
+        )
+        reference = serial.run(waveforms, t_stop=t_stop)
+        stats = reference.stats
+        assert not stats["full_run_hit"]
+        assert stats["cache_hits"] == 0
+        assert stats["integrations"] + stats["duplicates"] == len(netlist.instances)
+        assert waveform_deviation(multi.result("TT"), reference) <= EQUIV_TOL
+
+
+# ----------------------------------------------------------------------
+# Corner-axis codec round-trip (hypothesis)
+# ----------------------------------------------------------------------
+finite = st.floats(
+    allow_nan=False, allow_infinity=False, width=64, min_value=-10.0, max_value=10.0
+)
+
+
+@st.composite
+def level_tensors(draw):
+    rows = draw(st.integers(min_value=1, max_value=4))
+    corners = draw(st.integers(min_value=1, max_value=4))
+    samples = draw(st.integers(min_value=2, max_value=12))
+    values = np.array(
+        draw(
+            st.lists(
+                st.lists(
+                    st.lists(finite, min_size=samples, max_size=samples),
+                    min_size=corners,
+                    max_size=corners,
+                ),
+                min_size=rows,
+                max_size=rows,
+            )
+        ),
+        dtype=float,
+    )
+    t0 = np.array(
+        draw(st.lists(finite, min_size=rows, max_size=rows)), dtype=float
+    )
+    dt = np.array(
+        draw(
+            st.lists(
+                st.floats(min_value=1e-13, max_value=1e-9, allow_nan=False),
+                min_size=rows,
+                max_size=rows,
+            )
+        ),
+        dtype=float,
+    )
+    names = [f"n{i}" for i in range(rows)]
+    return LevelTensor(names, values, t0, dt)
+
+
+class TestCornerAxisCodec:
+    @settings(max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(tensor=level_tensors())
+    def test_payload_round_trip(self, tensor):
+        manifest, arrays = encode_payload(tensor)
+        decoded = decode_payload(manifest, {k: np.copy(v) for k, v in arrays.items()})
+        assert isinstance(decoded, LevelTensor)
+        assert decoded.num_corners == tensor.num_corners
+        assert decoded.equals(tensor)
+        np.testing.assert_array_equal(decoded.values, tensor.values)
+
+    def test_store_round_trip_multicorner(self, tmp_path):
+        cache = ResultCache(tmp_path / "store")
+        rng = np.random.default_rng(7)
+        tensor = LevelTensor(
+            ["a", "b"], rng.normal(size=(2, 3, 9)), [0.0, 1e-12], [2e-12, 3e-12]
+        )
+        key = "f" * 64
+        cache.store(key, tensor)
+        hit, value = cache.lookup(key)
+        assert hit and value.equals(tensor)
+        assert value.num_corners == 3
+
+
+# ----------------------------------------------------------------------
+# ECO revision guard (stale receiver-CSR regression)
+# ----------------------------------------------------------------------
+class TestRevisionGuard:
+    def test_connectivity_rebuilds_on_revision_change(self, corner_set, options):
+        net = generate_netlist(corner_set.reference.library, "dag:w4:d2:s2")
+        engine = CSMEngine(net, corner_set.reference.models, options=options)
+        first = engine.connectivity
+        assert first.revision == net.revision
+        assert engine.connectivity is first  # cached while revision is stable
+        net.add_instance(
+            "u_guard", "INV_X1", {"A": net.primary_inputs[0], "out": "n_guard"}
+        )
+        rebuilt = engine.connectivity
+        assert rebuilt is not first
+        assert rebuilt.revision == net.revision
+
+    def test_swap_cell_run_matches_fresh_engine(self, corner_set, options):
+        """ECO then tensor run: the long-lived engine must match an engine
+        built after the edit, exactly (a stale row map would misgather)."""
+        models = corner_set.reference.models
+        net = generate_netlist(corner_set.reference.library, "dag:w4:d3:s9")
+        t_stop = default_time_window(net)
+        waveforms = primary_input_waveforms(net, t_stop=t_stop, seed=3)
+        engine = CSMEngine(net, models, options=options)
+        engine.run(waveforms, t_stop=t_stop)
+        swapped = None
+        for name, instance in net.instances.items():
+            if instance.cell_name == "NAND2_X1":
+                net.swap_cell(name, "NOR2_X1")
+                swapped = name
+                break
+        assert swapped is not None
+        after = engine.run(waveforms, t_stop=t_stop)
+        assert engine.connectivity.revision == net.revision
+        fresh = CSMEngine(net, models, options=options)
+        reference = fresh.run(waveforms, t_stop=t_stop)
+        assert after.model_used[swapped] == reference.model_used[swapped]
+        assert waveform_deviation(after, reference) == 0.0
