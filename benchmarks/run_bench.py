@@ -118,6 +118,9 @@ def main(argv=None) -> int:
             "machine with >= 4 cores"
         )
         print(f"WARNING: {machine['warning']}", file=sys.stderr)
+    from _mem import peak_rss_bytes
+
+    machine["peak_rss_bytes"] = peak_rss_bytes()
     report = {"settings": "quick", "machine": machine, "timings": timings}
     if baseline is not None:
         base_timings = baseline.get("timings", baseline)

@@ -215,6 +215,9 @@ def main(argv=None) -> int:
             print(comparison["note"])
         report["corner"]["baseline"] = comparison
 
+    from _mem import peak_rss_bytes
+
+    report["machine"]["peak_rss_bytes"] = peak_rss_bytes()
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
 

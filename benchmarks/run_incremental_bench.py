@@ -447,6 +447,9 @@ def main(argv=None) -> int:
     report["run_cones"] = bench_run_cones(args.workers)
     print(json.dumps(report["run_cones"], indent=2))
 
+    from _mem import peak_rss_bytes
+
+    report["machine"]["peak_rss_bytes"] = peak_rss_bytes()
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
     return 0

@@ -221,6 +221,9 @@ def main(argv=None) -> int:
         finally:
             shutil.rmtree(scratch, ignore_errors=True)
 
+    from _mem import peak_rss_bytes
+
+    report["machine"]["peak_rss_bytes"] = peak_rss_bytes()
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
     return 0

@@ -192,6 +192,9 @@ def main(argv=None) -> int:
                 print(f"{name:>6}: {factor:5.2f}x vs baseline")
         report["figures"] = figures
 
+    from _mem import peak_rss_bytes
+
+    report["machine"]["peak_rss_bytes"] = peak_rss_bytes()
     args.output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     print(f"wrote {args.output}")
     return 0

@@ -358,6 +358,8 @@ def _run_incremental_mode(args, context, models) -> int:
 
 def _run_sta_mode(args) -> int:
     """Drive the levelized timing engine(s) over generated netlists."""
+    import numpy as np
+
     from ..experiments import timing_models_for
     from ..sta.engine import CSMEngine, waveform_deviation
     from ..sta.generate import generate_netlist, primary_input_waveforms
@@ -370,6 +372,14 @@ def _run_sta_mode(args) -> int:
     )
     context = build_context(args.settings, executor=executor, cache=cache)
     models = timing_models_for(context)
+    streaming = args.memory_mode == "stream"
+    if streaming:
+        if cache is None:
+            print("--memory-mode stream needs --cache DIR (retired levels spill there)")
+            return 2
+        if args.corners is not None or args.incremental:
+            print("--memory-mode stream composes with neither --corners nor --incremental")
+            return 2
     if args.corners is not None:
         return _run_corner_mode(args, context)
     if args.incremental:
@@ -379,6 +389,9 @@ def _run_sta_mode(args) -> int:
         return _run_incremental_mode(args, context, models)
     options = context.model_options()
     engines = ("batched", "sequential") if args.engine == "both" else (args.engine,)
+    if streaming and "batched" not in engines:
+        print("--memory-mode stream needs the batched engine (--engine batched/both)")
+        return 2
 
     report: Dict[str, object] = {
         "mode": "sta",
@@ -387,6 +400,8 @@ def _run_sta_mode(args) -> int:
         "executor": executor.describe(),
         "engine": args.engine,
         "seed": args.seed,
+        "memory_mode": args.memory_mode,
+        "memory_budget_bytes": args.memory_budget,
         "designs": {},
     }
     failures = 0
@@ -409,18 +424,58 @@ def _run_sta_mode(args) -> int:
         )
         results = {}
         for engine_kind in engines:
+            stream_kind = streaming and engine_kind == "batched"
             engine = CSMEngine(
                 netlist,
                 models,
                 options=options,
                 batched=engine_kind == "batched",
                 tensor=args.tensor == "on",
+                memory_mode="stream" if stream_kind else "resident",
+                memory_budget_bytes=args.memory_budget if stream_kind else None,
             )
             start = time.perf_counter()
             results[engine_kind] = engine.run(waveforms)
             elapsed = time.perf_counter() - start
             entry[f"{engine_kind}_seconds"] = round(elapsed, 4)
             print(f"  {engine_kind:<10} {elapsed:8.3f} s")
+            if stream_kind:
+                stream_stats = engine.last_stats
+                # Bitwise equivalence against a pure-compute resident run
+                # (use_cache=False so nothing is read back from the spilled
+                # store): the streaming mode must change memory behaviour
+                # only, never a single sample.
+                reference_engine = CSMEngine(
+                    netlist,
+                    models,
+                    options=options,
+                    batched=True,
+                    tensor=args.tensor == "on",
+                    use_cache=False,
+                )
+                reference = reference_engine.run(waveforms)
+                streamed = results[engine_kind]
+                bitwise = streamed.model_used == reference.model_used and all(
+                    np.array_equal(
+                        streamed.waveforms[net].values, reference.waveforms[net].values
+                    )
+                    for net in reference.waveforms
+                )
+                entry["stream"] = {
+                    "budget_bytes": args.memory_budget,
+                    "spills": stream_stats.spills if stream_stats else 0,
+                    "faults": stream_stats.faults if stream_stats else 0,
+                    "bitwise_equal_vs_resident": bitwise,
+                    "max_abs_delta_v_vs_resident": waveform_deviation(
+                        streamed, reference
+                    ),
+                }
+                failures += 0 if bitwise else 1
+                print(
+                    f"  stream: {entry['stream']['spills']} spills, "
+                    f"{entry['stream']['faults']} faults, resident equivalence "
+                    f"{'bitwise' if bitwise else 'FAILED'}"
+                )
         if len(engines) == 2:
             batched, sequential = results["batched"], results["sequential"]
             deviation = waveform_deviation(batched, sequential)
@@ -548,6 +603,23 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="--sta mode: stimulus seed (default: 0)"
+    )
+    parser.add_argument(
+        "--memory-mode",
+        choices=("resident", "stream"),
+        default="resident",
+        help="--sta mode: 'stream' propagates the batched engine with bounded "
+        "memory (retired levels spill to --cache and fault back as memmap "
+        "views); a resident reference run is repeated for a bitwise "
+        "equivalence check",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        help="--memory-mode stream: hot-level LRU budget in bytes "
+        "(default: keep the whole active frontier hot)",
     )
     parser.add_argument(
         "--corners",

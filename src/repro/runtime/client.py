@@ -137,7 +137,21 @@ class TimingClient:
             params["session_name"] = session_name
         return self.request("open_session", **params)
 
-    def timing(self, session: str, **params: Any) -> Dict[str, Any]:
+    def timing(
+        self,
+        session: str,
+        memory_mode: Optional[str] = None,
+        memory_budget_bytes: Optional[int] = None,
+        **params: Any,
+    ) -> Dict[str, Any]:
+        """One timing request.  ``memory_mode="stream"`` (optionally with a
+        ``memory_budget_bytes`` hot-set cap) asks the server to propagate
+        with the bounded-memory streaming engine; spill/fault counts come
+        back in the response ``stats``."""
+        if memory_mode is not None:
+            params["memory_mode"] = memory_mode
+        if memory_budget_bytes is not None:
+            params["memory_budget_bytes"] = memory_budget_bytes
         return self.request("timing", session=session, **params)
 
     def eco(self, session: str, edits: List[Mapping[str, Any]]) -> Dict[str, Any]:

@@ -147,6 +147,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
         kwargs["corners"] = [
             name.strip().upper() for name in args.corners.split(",") if name.strip()
         ]
+    if args.memory_mode != "resident":
+        kwargs["memory_mode"] = args.memory_mode
+    if args.memory_budget is not None:
+        kwargs["memory_budget_bytes"] = args.memory_budget
     response = client.timing(
         session,
         engine=args.engine,
@@ -241,6 +245,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="batched MMMC: propagate all named corners in "
                         "one pass; the response carries per-corner arrivals "
                         "plus the cross-corner worst merge")
+    submit.add_argument("--memory-mode", default="resident",
+                        choices=["resident", "stream"],
+                        help="'stream' propagates with the bounded-memory "
+                        "engine: retired levels spill to the server store "
+                        "and fault back in as memmap views on demand")
+    submit.add_argument("--memory-budget", type=int, default=None,
+                        metavar="BYTES",
+                        help="streaming hot-level LRU budget in bytes "
+                        "(default: unbounded frontier)")
     submit.set_defaults(func=cmd_submit)
 
     eco = sub.add_parser("eco", help="apply an ECO edit to a session")

@@ -240,13 +240,36 @@ class TimingService:
         nets: Optional[List[str]] = None,
         return_waveforms: bool = False,
         corners: Optional[List[str]] = None,
+        memory_mode: str = "resident",
+        memory_budget_bytes: Optional[int] = None,
     ) -> Dict[str, Any]:
         """One timing run, single-flighted across sessions by content key.
 
         ``corners`` selects the batched MMMC path: every named corner is
         propagated in one levelized pass and the response carries per-corner
-        arrivals plus a cross-corner worst merge.
+        arrivals plus a cross-corner worst merge.  ``memory_mode="stream"``
+        propagates with the bounded-memory streaming engine (spilling retired
+        levels to the server's store); spill/fault counts show up in the
+        response stats and the session's ``status`` entry.
         """
+        if memory_mode not in ("resident", "stream"):
+            raise ServerError(
+                f"unknown memory_mode {memory_mode!r} (use 'resident' or 'stream')",
+                "bad-request",
+            )
+        if memory_mode == "stream":
+            if corners:
+                raise ServerError(
+                    "memory_mode='stream' does not support multi-corner "
+                    "requests; submit corners one at a time",
+                    "bad-request",
+                )
+            if self.store is None:
+                raise ServerError(
+                    "memory_mode='stream' needs a server store (start the "
+                    "server with --cache)",
+                    "bad-request",
+                )
         record = self._session(session)
         start = time.perf_counter()
         corner_names = (
@@ -271,6 +294,8 @@ class TimingService:
             bool(return_waveforms),
             list(corner_names) if corner_names else None,
             self._settings_token(),
+            memory_mode,
+            memory_budget_bytes,
         )
 
         def compute() -> Dict[str, Any]:
@@ -284,6 +309,8 @@ class TimingService:
                     nets,
                     return_waveforms,
                     corner_names,
+                    memory_mode,
+                    memory_budget_bytes,
                 )
 
         payload, coalesced = self.flight.execute(request_key, compute)
@@ -380,6 +407,16 @@ class TimingService:
                     "revision": record.netlist.revision,
                     "requests": record.requests,
                     "eco_edits": record.eco_edits,
+                    # Streaming-mode accounting, summed across the session's
+                    # engines (always present; zero for resident-only use).
+                    "spills": sum(
+                        engine.total_stats.get("spills", 0)
+                        for engine in record.engines.values()
+                    ),
+                    "faults": sum(
+                        engine.total_stats.get("faults", 0)
+                        for engine in record.engines.values()
+                    ),
                     "engines": {
                         kind: engine.stats_summary()
                         for kind, engine in record.engines.items()
@@ -510,14 +547,20 @@ class TimingService:
         record: Session,
         kind: str,
         corner_names: Optional[Tuple[str, ...]] = None,
+        memory_mode: str = "resident",
+        memory_budget_bytes: Optional[int] = None,
     ) -> TimingEngine:
         """The session's engine of this kind (created lazily, rebound on use).
 
         Multi-corner engines key separately per corner list (``"csm@TT,FF"``)
         so a session can interleave single- and multi-corner requests without
-        rebuilding engines.  Must hold the session lock.
+        rebuilding engines; streaming engines key separately per budget
+        (``"csm#stream:33554432"``) for the same reason.  Must hold the
+        session lock.
         """
         engine_key = kind if not corner_names else f"{kind}@{','.join(corner_names)}"
+        if memory_mode == "stream":
+            engine_key += f"#stream:{memory_budget_bytes or 0}"
         engine = record.engines.get(engine_key)
         if engine is None:
             corner_set = self._corner_set(corner_names) if corner_names else None
@@ -528,10 +571,17 @@ class TimingService:
                     options=self.options,
                     cache=self.store,
                     corners=corner_set,
+                    memory_mode=memory_mode,
+                    memory_budget_bytes=memory_budget_bytes,
                 )
             elif kind == "nldm":
                 engine = NLDMEngine(
-                    record.netlist, self.models, cache=self.store, corners=corner_set
+                    record.netlist,
+                    self.models,
+                    cache=self.store,
+                    corners=corner_set,
+                    memory_mode=memory_mode,
+                    memory_budget_bytes=memory_budget_bytes,
                 )
             else:
                 raise ServerError(
@@ -552,8 +602,12 @@ class TimingService:
         nets: Optional[List[str]],
         return_waveforms: bool,
         corner_names: Optional[Tuple[str, ...]] = None,
+        memory_mode: str = "resident",
+        memory_budget_bytes: Optional[int] = None,
     ) -> Dict[str, Any]:
-        engine = self._engine(record, engine_kind, corner_names)
+        engine = self._engine(
+            record, engine_kind, corner_names, memory_mode, memory_budget_bytes
+        )
         netlist = record.netlist
         report_nets = list(nets) if nets else list(netlist.primary_outputs)
         if corner_names:

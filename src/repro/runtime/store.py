@@ -60,6 +60,7 @@ import base64
 import json
 import logging
 import math
+import mmap
 import os
 import struct
 import threading
@@ -198,6 +199,9 @@ class PackedStore:
     # -- pickling: worker processes reopen the files lazily --------------
     def _init_runtime_state(self) -> None:
         self._lock = _FileLock(self._lock_path)
+        #: key -> pin refcount; pinned keys survive evict()/enforce_policy().
+        #: Process-local (pins guard live memmap views in *this* process).
+        self._pins: Dict[str, int] = {}
         self._reset_view()
 
     def _reset_view(self) -> None:
@@ -798,12 +802,76 @@ class PackedStore:
             self._refresh()
             return sorted(self._entries)
 
+    def pin(self, key: str) -> bool:
+        """Protect an entry from eviction while a view into it is live.
+
+        Pins are refcounted and process-local.  A pinned entry is skipped by
+        :meth:`evict` and :meth:`enforce_policy`, so a streaming engine can
+        hold zero-copy memmap views across a policy sweep without risking a
+        compaction pulling the record out from under them.  Returns ``False``
+        when the key does not exist (nothing to pin).
+        """
+        with self._lock.thread_lock:
+            if key not in self._entries:
+                self._refresh()
+            if key not in self._entries:
+                return False
+            self._pins[key] = self._pins.get(key, 0) + 1
+            return True
+
+    def unpin(self, key: str) -> None:
+        """Drop one pin reference; the entry becomes evictable at zero."""
+        with self._lock.thread_lock:
+            count = self._pins.get(key, 0) - 1
+            if count > 0:
+                self._pins[key] = count
+            else:
+                self._pins.pop(key, None)
+
+    def pinned_keys(self) -> List[str]:
+        with self._lock.thread_lock:
+            return sorted(self._pins)
+
+    def release_record_pages(self, key: str) -> int:
+        """Drop the resident pages backing one data-file record.
+
+        The data file is mapped ``MAP_SHARED`` read-only, so
+        ``MADV_DONTNEED`` only evicts the pages from this process's resident
+        set — a later touch refaults them from the page cache / disk with
+        identical contents.  This is how the streaming engine keeps peak RSS
+        bounded: spilled level tensors stay addressable (the view survives)
+        but stop counting against resident memory.  Returns the number of
+        bytes advised away (0 when the record is inline, unmapped, or the
+        platform lacks ``madvise``).
+        """
+        if not hasattr(mmap, "MADV_DONTNEED"):
+            return 0
+        with self._lock.thread_lock:
+            entry = self._entries.get(key)
+            if entry is None or entry[0] != "dat" or self._mm is None:
+                return 0
+            _, offset, length = entry
+            page = mmap.PAGESIZE
+            # Round *inward*: never advise pages shared with a neighbour.
+            start = ((offset + page - 1) // page) * page
+            stop = ((offset + length) // page) * page
+            if stop <= start or stop > len(self._mm):
+                return 0
+            try:
+                raw = self._mm._mmap  # the underlying mmap object
+                raw.madvise(mmap.MADV_DONTNEED, start, stop - start)
+            except (AttributeError, ValueError, OSError):
+                return 0
+            return stop - start
+
     def evict(self, key: str) -> bool:
         """Remove one entry (tombstone in the index; data reclaimed by
-        :meth:`compact`)."""
+        :meth:`compact`).  Pinned entries are refused."""
         with self._lock:
             self._refresh()
             if key not in self._entries:
+                return False
+            if self._pins.get(key, 0) > 0:
                 return False
             del self._entries[key]
             self._access.pop(key, None)
@@ -939,12 +1007,14 @@ class PackedStore:
             self._refresh()
             self._flush_touches()
             now = time.time() if now is None else now
+            pinned = {key for key, count in self._pins.items() if count > 0}
             doomed: List[str] = []
             if self.max_age_s is not None:
                 doomed = [
                     key
                     for key in self._entries
-                    if now - self._access.get(key, now) > self.max_age_s
+                    if key not in pinned
+                    and now - self._access.get(key, now) > self.max_age_s
                 ]
                 report["age_evictions"] = len(doomed)
             if self.max_bytes is not None:
@@ -959,6 +1029,8 @@ class PackedStore:
                     for key in sorted(sizes, key=lambda k: self._access.get(k, 0.0)):
                         if live <= self.max_bytes:
                             break
+                        if key in pinned:
+                            continue
                         doomed.append(key)
                         live -= sizes[key]
                         report["lru_evictions"] += 1
@@ -997,9 +1069,11 @@ class PackedStore:
         with self._lock.thread_lock:
             self._refresh()
             entries = len(self._entries)
+            pinned = len(self._pins)
         stats = self.stats
         return {
             "entries": entries,
+            "pinned": pinned,
             "file_sizes": self.file_sizes(),
             "live_bytes": self.live_bytes(),
             "dead_bytes": self.dead_bytes(),
@@ -1167,6 +1241,18 @@ class ShardedPackedStore:
     def evict(self, key: str) -> bool:
         return self.shard_for(key).evict(key)
 
+    def pin(self, key: str) -> bool:
+        return self.shard_for(key).pin(key)
+
+    def unpin(self, key: str) -> None:
+        self.shard_for(key).unpin(key)
+
+    def pinned_keys(self) -> List[str]:
+        return sorted(key for shard in self.shards for key in shard.pinned_keys())
+
+    def release_record_pages(self, key: str) -> int:
+        return self.shard_for(key).release_record_pages(key)
+
     def clear(self) -> int:
         return sum(shard.clear() for shard in self.shards)
 
@@ -1214,6 +1300,7 @@ class ShardedPackedStore:
         return {
             "num_shards": len(self.shards),
             "entries": sum(r["entries"] for r in shard_reports),
+            "pinned": sum(r["pinned"] for r in shard_reports),
             "file_sizes": self.file_sizes(),
             "live_bytes": sum(r["live_bytes"] for r in shard_reports),
             "dead_bytes": sum(r["dead_bytes"] for r in shard_reports),

@@ -30,9 +30,11 @@ from __future__ import annotations
 
 import os
 import threading
+from collections import OrderedDict
+from collections.abc import Mapping as AbstractMapping
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 import numpy as np
@@ -103,6 +105,14 @@ class PropagationStats:
     full_run_hit:
         The entire run was served from the whole-design cache entry (no
         per-instance work at all).
+    spills:
+        Streaming mode only: waveform rows retired from RAM once every
+        reader level consumed them (their bytes live on in the packed
+        store's data file).
+    faults:
+        Streaming mode only: spilled level tensors transparently mapped back
+        in (zero-copy memmap views) because a later level, an ECO or a
+        report touched a retired net.
     """
 
     instances: int = 0
@@ -112,6 +122,8 @@ class PropagationStats:
     duplicates: int = 0
     stores: int = 0
     full_run_hit: bool = False
+    spills: int = 0
+    faults: int = 0
 
     @property
     def cone_hits(self) -> int:
@@ -127,14 +139,22 @@ class PropagationStats:
             "duplicates": self.duplicates,
             "stores": self.stores,
             "full_run_hit": self.full_run_hit,
+            "spills": self.spills,
+            "faults": self.faults,
         }
 
 
 @dataclass
 class WaveformTimingResult:
-    """Per-net waveforms plus per-instance model-choice bookkeeping."""
+    """Per-net waveforms plus per-instance model-choice bookkeeping.
 
-    waveforms: Dict[str, Waveform]
+    ``waveforms`` is a plain dict for resident runs; a streaming run hands
+    back a lazy mapping (:class:`_SpilledWaveforms`) whose entries fault
+    spilled levels back in as zero-copy memmap views on access — same
+    interface, bounded memory.
+    """
+
+    waveforms: Mapping[str, Waveform]
     model_used: Dict[str, str]
     netlist_name: str
     vdd: float
@@ -223,6 +243,51 @@ def waveform_deviation(
     )
 
 
+class _SpilledWaveforms(AbstractMapping):
+    """Lazy per-net waveform mapping produced by a streaming run.
+
+    Primary inputs (and plain-waveform cache hits) stay resident; every other
+    net holds only a ``(level record key, row, corner)`` pointer and
+    materializes on access through the engine's hot-level LRU — a zero-copy
+    memmap view when the level has to come back from the packed store.  The
+    mapping quacks like the resident result's dict (iteration, ``in``,
+    ``len``, indexing), so reports, deviation checks and arrival queries work
+    unchanged; only the memory behaviour differs.
+    """
+
+    def __init__(
+        self,
+        resident: Dict[str, Waveform],
+        pointers: Dict[str, Tuple[str, int, int]],
+        fetch,
+    ):
+        self._resident = resident
+        self._pointers = pointers
+        self._fetch = fetch  # (net, level_key, row, corner) -> Waveform
+
+    def __getitem__(self, net: str) -> Waveform:
+        wave = self._resident.get(net)
+        if wave is not None:
+            return wave
+        pointer = self._pointers.get(net)
+        if pointer is None:
+            raise KeyError(net)
+        return self._fetch(net, *pointer)
+
+    def __iter__(self):
+        yield from self._resident
+        for net in self._pointers:
+            if net not in self._resident:
+                yield net
+
+    def __len__(self) -> int:
+        extra = sum(1 for net in self._pointers if net not in self._resident)
+        return len(self._resident) + extra
+
+    def __contains__(self, net) -> bool:  # the Mapping default would fault
+        return net in self._resident or net in self._pointers
+
+
 # ----------------------------------------------------------------------
 # The engine interface
 # ----------------------------------------------------------------------
@@ -279,6 +344,8 @@ class TimingEngine:
             "duplicates": 0,
             "stores": 0,
             "full_run_hits": 0,
+            "spills": 0,
+            "faults": 0,
         }
 
     # -- lazily built structural views ---------------------------------
@@ -438,6 +505,8 @@ class TimingEngine:
             total.cache_hits += stats.cache_hits
             total.duplicates += stats.duplicates
             total.stores += stats.stores
+            total.spills += stats.spills
+            total.faults += stats.faults
         total.full_run_hit = all(per_stats[name].full_run_hit for name in order)
         return total
 
@@ -459,6 +528,8 @@ class TimingEngine:
                 self.total_stats["duplicates"] += stats.duplicates
                 self.total_stats["stores"] += stats.stores
                 self.total_stats["full_run_hits"] += int(stats.full_run_hit)
+                self.total_stats["spills"] += stats.spills
+                self.total_stats["faults"] += stats.faults
             return result
 
     def _run_impl(self, *args, **kwargs):
@@ -491,6 +562,20 @@ def create_engine(
     raise TimingError(
         f"unknown timing engine kind {kind!r}; expected 'csm', 'csm-sequential' or 'nldm'"
     )
+
+
+def _validate_memory_mode(memory_mode: str, use_cache: bool, cache) -> None:
+    """Shared engine-constructor guard for ``memory_mode=``."""
+    if memory_mode not in ("resident", "stream"):
+        raise TimingError(
+            f"unknown memory_mode {memory_mode!r}; expected 'resident' or 'stream'"
+        )
+    if memory_mode == "stream" and (not use_cache or cache is None):
+        raise TimingError(
+            "memory_mode='stream' spills working-set data to the "
+            "content-addressed store; construct the engine with a cache and "
+            "use_cache=True"
+        )
 
 
 # ----------------------------------------------------------------------
@@ -526,10 +611,19 @@ class NLDMEngine(TimingEngine):
         cache: Optional[ResultCache] = None,
         use_cache: bool = True,
         corners: Optional[CornerSet] = None,
+        memory_mode: str = "resident",
+        memory_budget_bytes: Optional[int] = None,
     ):
         super().__init__(netlist, models, corners=corners)
         self.cache = cache if cache is not None else models.cache
         self.use_cache = use_cache
+        _validate_memory_mode(memory_mode, use_cache, self.cache)
+        #: ``"resident"`` keeps every propagated event memoized in RAM;
+        #: ``"stream"`` makes the disk store the working set (no in-memory
+        #: memo, no whole-run entry) — events are tiny, so this mostly buys
+        #: uniform semantics with the CSM engine's streaming mode.
+        self.memory_mode = memory_mode
+        self.memory_budget_bytes = memory_budget_bytes
         #: key -> (event fields tuple | None, MIS pin pairs); content-addressed,
         #: so it survives netlist edits just like the CSM waveform memo.
         self._memo: Dict[str, Tuple[Optional[Tuple[float, float, bool]], List[Tuple[str, str]]]] = {}
@@ -572,7 +666,10 @@ class NLDMEngine(TimingEngine):
                     return None
                 cached = (tuple(fields) if fields is not None else None, pairs)
                 stats.cache_hits += 1
-                self._memo[key] = cached
+                if self.memory_mode == "stream":
+                    stats.faults += 1  # served straight from the store
+                else:
+                    self._memo[key] = cached
                 return cached
         return None
 
@@ -591,21 +688,32 @@ class NLDMEngine(TimingEngine):
             if net not in self.netlist.primary_inputs:
                 raise TimingError(f"{net!r} is not a primary input of {self.netlist.name!r}")
         if self.corners is not None:
+            if self.memory_mode == "stream":
+                raise TimingError(
+                    "memory_mode='stream' does not support multi-corner runs; "
+                    "propagate corners one engine at a time"
+                )
             return self._run_multicorner(input_events)
 
         levels = self.levels()  # also re-syncs structural caches after edits
         stats = PropagationStats(instances=len(self.netlist.instances))
         caching = self.use_cache
+        streaming = self.memory_mode == "stream"
         net_keys: Dict[str, str] = {}
         context = ""
         run_key: Optional[str] = None
         if caching:
             net_keys = self.stimulus_keys(input_events)
             context = self._context_digest()
-            if self.cache is not None:
+            # Streaming skips the whole-run entry both ways: looking one up
+            # would materialize every event at once, and storing one would
+            # let a later resident run be served by a streaming run (the
+            # per-instance entries are shared — and identical — either way).
+            if self.cache is not None and not streaming:
                 run_key = content_hash(
                     "nldm-run", context, self._netlist_digest(), sorted(net_keys.items())
                 )
+                self.last_run_key = run_key
                 hit, value = self.cache.lookup(run_key)
                 if hit:
                     stats.full_run_hit = True
@@ -686,7 +794,10 @@ class NLDMEngine(TimingEngine):
                         if candidate is not None
                         else None
                     )
-                    self._memo[key] = (fields, mis_flags[instance.name])
+                    if streaming:
+                        stats.spills += 1  # the store is the only copy
+                    else:
+                        self._memo[key] = (fields, mis_flags[instance.name])
                     if self.cache is not None:
                         self.cache.store(
                             key,
@@ -976,6 +1087,8 @@ class CSMEngine(TimingEngine):
         tensor: bool = True,
         corners: Optional[CornerSet] = None,
         corner_workers: Optional[int] = None,
+        memory_mode: str = "resident",
+        memory_budget_bytes: Optional[int] = None,
     ):
         super().__init__(netlist, models, corners=corners)
         self.options = options or SimulationOptions()
@@ -1003,6 +1116,33 @@ class CSMEngine(TimingEngine):
         #: (corner name, instance name) -> structured output load against the
         #: corner's characterized receiver capacitances.
         self._corner_load_cache: Dict[Tuple[str, str], Load] = {}
+        _validate_memory_mode(memory_mode, use_cache, self.cache)
+        if memory_mode == "stream":
+            if not (self.batched and self.tensor):
+                raise TimingError(
+                    "memory_mode='stream' requires the batched tensor path "
+                    "(batched=True, tensor=True)"
+                )
+            if corners is not None:
+                raise TimingError(
+                    "memory_mode='stream' does not support multi-corner runs; "
+                    "propagate corners one engine at a time"
+                )
+        #: ``"resident"`` (default) keeps every propagated waveform in RAM;
+        #: ``"stream"`` retires each level's sample rows to the packed store
+        #: once their last reader level consumed them, keeping only a pinned
+        #: LRU of hot level tensors bounded by :attr:`memory_budget_bytes`.
+        self.memory_mode = memory_mode
+        #: Soft cap (bytes) on the hot level-tensor LRU in streaming mode;
+        #: ``None`` keeps every tensor of the active frontier hot.
+        self.memory_budget_bytes = memory_budget_bytes
+        #: Streaming hot set: level record key -> (tensor, nbytes), oldest
+        #: first (an OrderedDict used as an LRU).
+        self._hot_levels: "OrderedDict[str, Tuple[LevelTensor, int]]" = OrderedDict()
+        self._hot_bytes = 0
+        #: Level record keys this engine pinned in the store (never evicted
+        #: or compacted away while a run's views may still reference them).
+        self._stream_pins: Set[str] = set()
         if corners is not None:
             if not (self.batched and self.tensor):
                 raise TimingError(
@@ -1095,16 +1235,23 @@ class CSMEngine(TimingEngine):
         levels = self.levels()  # also re-syncs structural caches after edits
         stats = PropagationStats(instances=len(self.netlist.instances))
         caching = self.use_cache
+        streaming = self.memory_mode == "stream"
         net_keys: Dict[str, str] = {}
         context = ""
         run_key: Optional[str] = None
         if caching:
             net_keys = self.stimulus_keys(input_waveforms)
             context = self._context_digest(t_start, t_stop)
-            if self.cache is not None:
+            # Streaming skips the whole-run entry both ways: looking one up
+            # would materialize every waveform at once, and storing one would
+            # let a later resident run skip re-populating its memo.  The
+            # per-instance propagation keys are identical in both modes, so
+            # the run entry is the only namespace difference.
+            if self.cache is not None and not streaming:
                 run_key = content_hash(
                     "sta-run", context, self._netlist_digest(), sorted(net_keys.items())
                 )
+                self.last_run_key = run_key
                 hit, value = self.cache.lookup(run_key)
                 if hit:
                     stats.full_run_hit = True
@@ -1118,10 +1265,32 @@ class CSMEngine(TimingEngine):
         # paths and independent of instance evaluation order.
         self.models.prewarm_for_netlist(self.netlist, kinds=("sis",))
 
+        model_used: Dict[str, str] = {}
+
+        if streaming:
+            stream_waveforms = self._propagate_tensor_stream(
+                levels,
+                input_waveforms,
+                model_used,
+                stats,
+                t_start,
+                t_stop,
+                context,
+                net_keys,
+            )
+            result = WaveformTimingResult(
+                waveforms=stream_waveforms,
+                model_used=model_used,
+                netlist_name=self.netlist.name,
+                vdd=self.vdd,
+                stats=stats.as_dict(),
+            )
+            self.last_stats = stats
+            return result
+
         waveforms: Dict[str, Waveform] = {
             net: wave.renamed(net) for net, wave in input_waveforms.items()
         }
-        model_used: Dict[str, str] = {}
 
         if self.batched and self.tensor:
             self._propagate_tensor(
@@ -1531,6 +1700,347 @@ class CSMEngine(TimingEngine):
                 self.cache.store(item_key, item_value)
         stats.stores += len(pending)
         self._level_tensors[level_key] = tensor
+
+    # ------------------------------------------------------------------
+    # Streaming propagation: bounded-memory level walk
+    # ------------------------------------------------------------------
+    def _propagate_tensor_stream(
+        self,
+        levels: Sequence[Sequence[GateInstance]],
+        input_waveforms: Dict[str, Waveform],
+        model_used: Dict[str, str],
+        stats: PropagationStats,
+        t_start: float,
+        t_stop: float,
+        context: str,
+        net_keys: Dict[str, str],
+    ) -> _SpilledWaveforms:
+        """The bounded-memory level walk behind ``memory_mode="stream"``.
+
+        Identical numerics to :meth:`_propagate_tensor` — the same plans,
+        the same settle/integrate calls on the same sample rows, so results
+        are **bitwise** equal to a resident run — with the memory behaviour
+        inverted: the packed store is the working set, RAM holds only
+
+        * the scalar per-net classification (``initials``/``switching``,
+          a few bytes per net — these never retire, which is what keeps the
+          propagation keys identical to resident mode),
+        * the sample rows of *live* nets (a net is live until the liveness
+          pass's last reader level has consumed it, then its row retires),
+        * a pinned LRU of hot level tensors capped by
+          :attr:`memory_budget_bytes` (evicted tensors drop to memmap views
+          whose resident pages are released via ``MADV_DONTNEED``).
+
+        Nothing is written to the in-memory waveform memo and no whole-run
+        entry is stored; a retired net reached again (an ECO, a report, a
+        duplicate, a deep skip-connection) faults its level back in
+        transparently.
+        """
+        times = simulation_time_grid(t_start, t_stop, self.options)
+        step = float(times[1] - times[0])
+        threshold = SWITCHING_THRESHOLD_FRACTION * self.vdd
+
+        # Pins of the previous streaming run are released: its result mapping
+        # (if anyone still holds it) keeps old records readable through the
+        # already-open memmap even if they get evicted now.
+        self._release_stream_pins()
+
+        # Liveness pass: the last level whose instances read each net.  Rows
+        # retire immediately after that level — exact retire points, not a
+        # heuristic.  A net nobody reads (a primary output tail) retires at
+        # its own producing level.
+        last_read: Dict[str, int] = {}
+        for position, level in enumerate(levels):
+            for instance in level:
+                for pin in self._cell(instance).inputs:
+                    last_read[instance.connections[pin]] = position
+        retire_at: Dict[int, List[str]] = {}
+        for position, level in enumerate(levels):
+            for instance in level:
+                out = self._output_net(instance)
+                retire_at.setdefault(max(last_read.get(out, position), position), []).append(out)
+        for net in input_waveforms:
+            if net in last_read:
+                retire_at.setdefault(last_read[net], []).append(net)
+
+        rows: Dict[str, np.ndarray] = {}
+        initials: Dict[str, float] = {}
+        switching: Dict[str, bool] = {}
+        #: nets whose waveform stays materialized in the result (primary
+        #: inputs and plain-waveform cache hits).
+        resident: Dict[str, Waveform] = {}
+        #: net -> (level record key, row, corner) for every spilled net.
+        pointers: Dict[str, Tuple[str, int, int]] = {}
+        #: level record key -> nets whose `rows` entry views that tensor; a
+        #: budget eviction drops those strong references so the tensor's
+        #: memory actually comes back (the nets re-fault later if re-read).
+        live_rows: Dict[str, Set[str]] = {}
+
+        for net, wave in input_waveforms.items():
+            rows[net] = np.asarray(wave.value_at(times), dtype=float)
+            initials[net] = float(wave.initial_value())
+            switching[net] = self._is_switching(wave)
+            resident[net] = wave.renamed(net)
+
+        def admit(net: str, values: np.ndarray) -> None:
+            rows[net] = values
+            initials[net] = float(values[0])
+            switching[net] = float(values.max() - values.min()) > threshold
+
+        def on_evict(level_key: str) -> None:
+            for net in live_rows.pop(level_key, ()):
+                if rows.pop(net, None) is not None:
+                    stats.spills += 1
+
+        def track(net: str, pointer: Tuple[str, int, int]) -> None:
+            pointers[net] = pointer
+            live_rows.setdefault(pointer[0], set()).add(net)
+
+        def fault_rows(net: str) -> np.ndarray:
+            level_key, row, corner = pointers[net]
+            tensor = self._fault_level(level_key, stats)
+            if (
+                tensor is None
+                or tensor.num_samples != len(times)
+                or not 0 <= row < tensor.num_rows
+                or not 0 <= corner < tensor.num_corners
+            ):
+                raise TimingError(
+                    f"streaming run lost the spilled level record for net "
+                    f"{net!r}; the store evicted or corrupted a pinned level"
+                )
+            values = tensor.row_values(row, corner)
+            rows[net] = values
+            live_rows.setdefault(level_key, set()).add(net)
+            return values
+
+        for position, level in enumerate(levels):
+            pending: List[_TensorPlan] = []
+            duplicates: List[_TensorPlan] = []
+            first_with_key: Dict[str, _TensorPlan] = {}
+            for instance in level:
+                tplan = self._tensor_plan(instance, switching, context, net_keys)
+                model_used[tplan.instance.name] = tplan.label
+                net_keys[tplan.output_net] = tplan.key
+                hit = self._stream_lookup(tplan.key, stats, times)
+                if hit is not None:
+                    values, pointer = hit
+                    admit(tplan.output_net, values)
+                    if pointer is not None:
+                        track(tplan.output_net, pointer)
+                    else:
+                        resident[tplan.output_net] = Waveform(
+                            times, values, name=tplan.output_net
+                        )
+                elif tplan.key in first_with_key:
+                    duplicates.append(tplan)
+                else:
+                    first_with_key[tplan.key] = tplan
+                    pending.append(tplan)
+
+            if pending:
+                # Re-materialize any retired (or budget-evicted) input rows
+                # this level still needs — skip connections can reach past
+                # the hot frontier.
+                for tplan in pending:
+                    for pin in tplan.pins:
+                        net = tplan.instance.connections[pin]
+                        if net not in rows and net in pointers:
+                            fault_rows(net)
+                tensor = self._evaluate_level_tensor(
+                    pending, rows, initials, times, t_start, step, t_stop
+                )
+                stats.integrations += len(pending)
+                level_key = self._spill_level_stream(pending, tensor, context, stats)
+                for r, tplan in enumerate(pending):
+                    admit(tplan.output_net, tensor.row_values(r))
+                    track(tplan.output_net, (level_key, r, 0))
+                self._hot_put(level_key, tensor)
+
+            for tplan in duplicates:
+                stats.duplicates += 1
+                first = first_with_key[tplan.key]
+                values = rows.get(first.output_net)
+                if values is None:
+                    values = fault_rows(first.output_net)
+                admit(tplan.output_net, values)
+                pointer = pointers.get(first.output_net)
+                if pointer is not None:
+                    track(tplan.output_net, pointer)
+                else:
+                    resident[tplan.output_net] = Waveform(
+                        times, values, name=tplan.output_net
+                    )
+
+            for net in retire_at.get(position, ()):
+                if rows.pop(net, None) is None:
+                    continue
+                stats.spills += 1
+                pointer = pointers.get(net)
+                if pointer is not None:
+                    live = live_rows.get(pointer[0])
+                    if live is not None:
+                        live.discard(net)
+            self._enforce_hot_budget(on_evict)
+
+        def fetch(net: str, level_key: str, row: int, corner: int) -> Waveform:
+            tensor = self._fault_level(level_key, None)
+            self._enforce_hot_budget()
+            if (
+                tensor is None
+                or tensor.num_samples != len(times)
+                or not 0 <= row < tensor.num_rows
+                or not 0 <= corner < tensor.num_corners
+            ):
+                raise TimingError(
+                    f"net {net!r}: the spilled level record backing this "
+                    "waveform is gone from the store"
+                )
+            return Waveform(times, tensor.row_values(row, corner), name=net)
+
+        return _SpilledWaveforms(resident, pointers, fetch)
+
+    def _spill_level_stream(
+        self,
+        pending: Sequence[_TensorPlan],
+        tensor: LevelTensor,
+        context: str,
+        stats: PropagationStats,
+    ) -> str:
+        """Spill one level to the store as the run's *working set* copy.
+
+        Same record layout as :meth:`_spill_level` (one tensor record +
+        inline per-instance row pointers, one transaction), but nothing is
+        memoized in RAM and the level record is pinned so the store's
+        eviction policy can never compact away a record that live views (or
+        the run's pointers) still reference.
+        """
+        keys = [tplan.key for tplan in pending]
+        level_key = content_hash("sta-level", context, keys)
+        items: List[Tuple[str, object]] = [
+            (tplan.key, {"t": "level-row", "level": level_key, "row": r})
+            for r, tplan in enumerate(pending)
+        ]
+        items.append((level_key, {"keys": keys, "tensor": tensor}))
+        store_many = getattr(self.cache, "store_many", None)
+        if store_many is not None:
+            store_many(items)
+        else:
+            for item_key, item_value in items:
+                self.cache.store(item_key, item_value)
+        stats.stores += len(pending)
+        self._pin_level(level_key)
+        return level_key
+
+    def _stream_lookup(
+        self, key: str, stats: PropagationStats, times: np.ndarray
+    ) -> Optional[Tuple[np.ndarray, Optional[Tuple[str, int, int]]]]:
+        """Disk-only propagation-key lookup for the streaming path.
+
+        Unlike :meth:`_lookup_waveform` nothing is memoized in RAM; a hit
+        returns the raw sample row plus its level pointer (``None`` for
+        plain-waveform entries, which stay resident).  Unresolvable entries
+        are misses — the instance just re-integrates.
+        """
+        hit, value = self.cache.lookup(key)
+        if not hit:
+            return None
+        if isinstance(value, Waveform):
+            if len(value.values) != len(times):
+                return None
+            stats.cache_hits += 1
+            return np.asarray(value.values, dtype=float), None
+        if not (isinstance(value, dict) and value.get("t") == "level-row"):
+            return None
+        level_key = value.get("level")
+        row = value.get("row")
+        corner = value.get("corner", 0)
+        if (
+            not isinstance(level_key, str)
+            or not isinstance(row, int)
+            or not isinstance(corner, int)
+        ):
+            return None
+        tensor = self._fault_level(level_key, stats)
+        if (
+            tensor is None
+            or tensor.num_samples != len(times)
+            or not 0 <= row < tensor.num_rows
+            or not 0 <= corner < tensor.num_corners
+        ):
+            return None
+        stats.cache_hits += 1
+        return tensor.row_values(row, corner), (level_key, row, corner)
+
+    def _fault_level(
+        self, level_key: str, stats: Optional[PropagationStats]
+    ) -> Optional[LevelTensor]:
+        """Hot LRU first, then the store (a zero-copy memmap view decode).
+
+        Faulted levels are pinned and enter the hot LRU; the caller is
+        responsible for enforcing the budget afterwards (during a run that
+        must also drop the evicted levels' live rows).
+        """
+        entry = self._hot_levels.get(level_key)
+        if entry is not None:
+            self._hot_levels.move_to_end(level_key)
+            return entry[0]
+        if self.cache is None:
+            return None
+        hit, record = self.cache.lookup(level_key)
+        tensor: Optional[LevelTensor] = None
+        if hit and isinstance(record, dict):
+            candidate = record.get("tensor")
+            if isinstance(candidate, LevelTensor):
+                tensor = candidate
+        if tensor is None:
+            return None
+        if stats is not None:
+            stats.faults += 1
+        self._pin_level(level_key)
+        self._hot_put(level_key, tensor)
+        return tensor
+
+    def _hot_put(self, level_key: str, tensor: LevelTensor) -> None:
+        entry = self._hot_levels.pop(level_key, None)
+        if entry is not None:
+            self._hot_bytes -= entry[1]
+        nbytes = int(tensor.values.nbytes)
+        self._hot_levels[level_key] = (tensor, nbytes)
+        self._hot_bytes += nbytes
+
+    def _enforce_hot_budget(self, on_evict=None) -> None:
+        """Evict oldest hot levels until the budget fits (keeping at least
+        the newest — evicting the level just produced would thrash).  Evicted
+        store records get their resident pages released; ``on_evict`` lets
+        the run drop the strong row references that would otherwise keep the
+        tensor's memory alive."""
+        budget = self.memory_budget_bytes
+        if budget is None:
+            return
+        release = getattr(self.cache, "release_record_pages", None)
+        while self._hot_bytes > budget and len(self._hot_levels) > 1:
+            level_key, (_tensor, nbytes) = next(iter(self._hot_levels.items()))
+            del self._hot_levels[level_key]
+            self._hot_bytes -= nbytes
+            if on_evict is not None:
+                on_evict(level_key)
+            if release is not None:
+                release(level_key)
+
+    def _pin_level(self, level_key: str) -> None:
+        if level_key in self._stream_pins:
+            return
+        pin = getattr(self.cache, "pin", None)
+        if pin is not None and pin(level_key):
+            self._stream_pins.add(level_key)
+
+    def _release_stream_pins(self) -> None:
+        unpin = getattr(self.cache, "unpin", None)
+        if unpin is not None:
+            for level_key in self._stream_pins:
+                unpin(level_key)
+        self._stream_pins.clear()
 
     # ------------------------------------------------------------------
     # Batched MMMC: all corners in one tensor pass

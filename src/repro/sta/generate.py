@@ -11,16 +11,24 @@ seed, together with matching primary-input stimuli for both engines:
 * :func:`random_dag` — configurable width × depth layered DAGs mixing cell
   types, fanout and skip connections, the standard synthetic STA workload;
 * :func:`generate_netlist` — one-line spec strings (``"chain:inv:64"``,
-  ``"tree:4:2"``, ``"dag:w16:d8:s42"``) for CLIs and benchmarks;
+  ``"tree:4:2"``, ``"dag:w16:d8:s42"``, ``"bench:circuits/c880.bench"``) for
+  CLIs and benchmarks;
+* :func:`import_bench` — an ISCAS/EPFL-style ``.bench`` importer mapping the
+  benchmark's AND/OR/NOT/... gates onto library cells as timing surrogates;
 * :func:`primary_input_waveforms` / :func:`primary_input_events` — seeded
   staggered input ramps (waveform engine) and the equivalent timing events
   (NLDM engine); staggering makes some multi-input gates see overlapping
   transitions, so generated designs exercise SIS and MIS arcs alike.
+
+The scale tier: ``dag:w4096:d25:s1`` builds a 10^5-gate seeded layered DAG
+(width × depth gates), the reference workload of the streaming engine mode —
+see ``benchmarks/run_stream_bench.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Tuple
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -36,6 +44,8 @@ __all__ = [
     "gate_chain",
     "fanout_tree",
     "random_dag",
+    "import_bench",
+    "import_bench_text",
     "generate_netlist",
     "default_time_window",
     "primary_input_waveforms",
@@ -198,6 +208,139 @@ def random_dag(
     return netlist
 
 
+#: ``.bench`` gate function -> (2-input cell, 3-input cell) timing-surrogate
+#: family.  The mapping is structural, not logic-preserving: an ``.bench``
+#: benchmark drives the *timing* engines, so AND/XOR map onto the NAND
+#: family and OR/XNOR onto the NOR family — same pin counts, same load and
+#: arc structure, library-available cells.
+_BENCH_FAMILIES = {
+    "AND": ("NAND2_X1", "NAND3_X1"),
+    "NAND": ("NAND2_X1", "NAND3_X1"),
+    "XOR": ("NAND2_X1", "NAND3_X1"),
+    "OR": ("NOR2_X1", "NOR3_X1"),
+    "NOR": ("NOR2_X1", "NOR3_X1"),
+    "XNOR": ("NOR2_X1", "NOR3_X1"),
+}
+
+
+def import_bench_text(
+    library: CellLibrary, text: str, name: str = "bench"
+) -> GateNetlist:
+    """Parse ISCAS/EPFL-style ``.bench`` source into a :class:`GateNetlist`.
+
+    Supported statements (``#`` comments ignored, case-insensitive)::
+
+        INPUT(g)                    primary input
+        OUTPUT(g)                   primary output
+        y = FUNC(a, b, ...)         gate; FUNC in NOT/BUFF/AND/NAND/OR/NOR/
+                                    XOR/XNOR/DFF
+
+    Mapping rules (documented structural approximation — the import is a
+    *timing workload*, not a logic-equivalent design):
+
+    * ``NOT``/``BUFF`` become ``INV_X1``;
+    * 2-/3-input gates map per :data:`_BENCH_FAMILIES`; wider gates are
+      decomposed into a left-deep chain of the family's 2-input cell
+      (intermediate nets ``<out>__b<i>``);
+    * ``DFF`` state elements are cut sequentially: the flop's output becomes
+      a primary input, its data input a primary output — the standard
+      combinational extraction of ISCAS-89 benches.
+    """
+    pi: List[str] = []
+    po: List[str] = []
+    gates: List[Tuple[str, str, List[str]]] = []  # (output, func, args)
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        upper = line.upper()
+        if upper.startswith("INPUT(") and line.endswith(")"):
+            pi.append(line[line.index("(") + 1 : -1].strip())
+            continue
+        if upper.startswith("OUTPUT(") and line.endswith(")"):
+            po.append(line[line.index("(") + 1 : -1].strip())
+            continue
+        if "=" not in line or "(" not in line or not line.endswith(")"):
+            raise TimingError(f".bench line {lineno}: cannot parse {raw.strip()!r}")
+        target, expr = (part.strip() for part in line.split("=", 1))
+        func = expr[: expr.index("(")].strip().upper()
+        args = [a.strip() for a in expr[expr.index("(") + 1 : -1].split(",") if a.strip()]
+        if not target or not func or not args:
+            raise TimingError(f".bench line {lineno}: cannot parse {raw.strip()!r}")
+        gates.append((target, func, args))
+
+    netlist = GateNetlist(library=library, name=name)
+    seen_pi = set()
+
+    def add_pi(net: str) -> None:
+        if net not in seen_pi:
+            netlist.add_primary_input(net)
+            seen_pi.add(net)
+
+    for net in pi:
+        add_pi(net)
+    # Sequential cut: DFF outputs are pseudo primary inputs, DFF data inputs
+    # pseudo primary outputs.
+    for target, func, args in gates:
+        if func == "DFF":
+            add_pi(target)
+            po.extend(args)
+
+    counter = 0
+
+    def add_gate(cell_name: str, inputs: List[str], output: str) -> None:
+        nonlocal counter
+        cell_name = _resolve_cell(library, cell_name)
+        cell = library[cell_name]
+        if len(inputs) != cell.num_inputs:
+            raise TimingError(
+                f".bench import: {cell_name} expects {cell.num_inputs} inputs, "
+                f"got {len(inputs)} for net {output!r}"
+            )
+        connections = dict(zip(cell.inputs, inputs))
+        connections[cell.output] = output
+        netlist.add_instance(f"u{counter}", cell_name, connections)
+        counter += 1
+
+    for target, func, args in gates:
+        if func == "DFF":
+            continue
+        if func in ("NOT", "BUFF") or len(args) == 1:
+            add_gate("INV_X1", [args[0]], target)
+            continue
+        family = _BENCH_FAMILIES.get(func)
+        if family is None:
+            raise TimingError(f".bench import: unsupported gate function {func!r}")
+        two_input, three_input = family
+        if len(args) == 2:
+            add_gate(two_input, list(args), target)
+        elif len(args) == 3 and three_input in library:
+            add_gate(three_input, list(args), target)
+        else:
+            # Left-deep chain of the 2-input family cell.
+            current = args[0]
+            for i, arg in enumerate(args[1:], 1):
+                out = target if i == len(args) - 1 else f"{target}__b{i}"
+                add_gate(two_input, [current, arg], out)
+                current = out
+    for net in po:
+        netlist.add_primary_output(net)
+    netlist.validate()
+    return netlist
+
+
+def import_bench(
+    library: CellLibrary, path: os.PathLike, name: Optional[str] = None
+) -> GateNetlist:
+    """Read a ``.bench`` file from disk (see :func:`import_bench_text`)."""
+    path = os.fspath(path)
+    with open(path, "r") as handle:
+        text = handle.read()
+    if name is None:
+        name = os.path.splitext(os.path.basename(path))[0]
+    return import_bench_text(library, text, name=name)
+
+
 def generate_netlist(library: CellLibrary, spec: str) -> GateNetlist:
     """Build a synthetic netlist from a compact spec string.
 
@@ -207,7 +350,16 @@ def generate_netlist(library: CellLibrary, spec: str) -> GateNetlist:
         chain:<cell>:<stages>       chain of <cell> gates (MIS chain)
         tree:<depth>[:<branching>]  fanout tree of inverters
         dag:w<width>:d<depth>[:s<seed>]   random layered DAG
+        bench:<path>                import an ISCAS/EPFL-style .bench file
+
+    The ``dag`` form is the scale tier: widths up to 4096+ and depths of
+    25+ build seeded 10^5-gate designs (e.g. ``dag:w4096:d25:s1``).
     """
+    head, _, tail = spec.strip().partition(":")
+    if head.lower() == "bench":
+        if not tail:
+            raise TimingError(f"bad netlist spec {spec!r}; expected bench:<path>")
+        return import_bench(library, tail)
     parts = [part for part in spec.strip().split(":") if part]
     if not parts:
         raise TimingError("empty netlist spec")

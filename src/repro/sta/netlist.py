@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
+import numpy as np
 
 from ..cells.library import CellLibrary
 from ..exceptions import TimingError
@@ -61,30 +62,37 @@ class GateInstance:
 
 @dataclass
 class NetConnectivity:
-    """One-pass driver/receiver indexes over a :class:`GateNetlist`.
+    """One-pass driver/receiver indexes over a :class:`GateNetlist`, CSR-first.
 
-    ``driver_of``/``receivers_of`` on the netlist itself rescan every instance
-    per query, which is fine for hand-built designs but quadratic when an
-    engine asks for the load of every net of a thousand-gate netlist.  This
-    snapshot is built in a single pass and queried in O(1); it reflects the
-    netlist at construction time (build it after the last ``add_instance``).
+    ``driver_of``/``receivers_of`` on the netlist itself used to rescan every
+    instance per query — fine for hand-built designs but quadratic when an
+    engine asks for the load of every net of a 10^5-gate netlist.  This
+    snapshot is built in a single pass and stored as flat arrays: a dense
+    ``net_index`` plus CSR receiver arrays (``receiver_ptr`` and the aligned
+    ``receiver_instances``/``receiver_pins``).  There is no dict-of-lists
+    receiver map anymore; ``receivers_of`` is a CSR slice, so the whole
+    connectivity of a large design is a handful of contiguous arrays.
 
-    :attr:`revision` records the netlist revision the snapshot (and its lazy
-    CSR index arrays) was built from; holders compare it against the live
-    ``netlist.revision`` so an ECO edit can never be served stale receiver
-    rows.  Snapshots built outside :meth:`of` carry ``-1`` (always stale).
+    :attr:`revision` records the netlist revision the snapshot was built
+    from; holders compare it against the live ``netlist.revision`` so an ECO
+    edit can never be served stale receiver rows.  Snapshots built outside
+    :meth:`of` carry ``-1`` (always stale).
     """
 
     drivers: Dict[str, GateInstance]
-    receivers: Dict[str, List[Tuple[GateInstance, str]]]
+    net_index: Dict[str, int]
+    receiver_ptr: Any  # (num_nets + 1,) intp array
+    receiver_instances: List[GateInstance]
+    receiver_pins: List[str]
     revision: int = -1
-    _net_index: Optional[Dict[str, int]] = field(default=None, repr=False, compare=False)
     _csr: Optional[Tuple[Any, ...]] = field(default=None, repr=False, compare=False)
 
     @classmethod
     def of(cls, netlist: "GateNetlist") -> "NetConnectivity":
         drivers: Dict[str, GateInstance] = {}
-        receivers: Dict[str, List[Tuple[GateInstance, str]]] = {}
+        sink_nets: List[str] = []
+        sink_instances: List[GateInstance] = []
+        sink_pins: List[str] = []
         for instance in netlist.instances.values():
             cell = netlist.library[instance.cell_name]
             output_net = instance.connections[cell.output]
@@ -95,67 +103,69 @@ class NetConnectivity:
                 )
             drivers[output_net] = instance
             for pin in cell.inputs:
-                receivers.setdefault(instance.connections[pin], []).append((instance, pin))
-        return cls(drivers=drivers, receivers=receivers, revision=netlist.revision)
+                sink_nets.append(instance.connections[pin])
+                sink_instances.append(instance)
+                sink_pins.append(pin)
+        # Dense ids in sorted-name order, so two snapshots of equal netlists
+        # agree; counting sort keeps per-net receiver order = insertion order.
+        nets = sorted(set(drivers).union(sink_nets))
+        net_index = {net: i for i, net in enumerate(nets)}
+        counts = np.zeros(len(net_index) + 1, dtype=np.intp)
+        sink_ids = [net_index[net] for net in sink_nets]
+        for n in sink_ids:
+            counts[n + 1] += 1
+        ptr = np.cumsum(counts)
+        cursor = ptr[:-1].copy()
+        receiver_instances: List[GateInstance] = [None] * len(sink_ids)  # type: ignore[list-item]
+        receiver_pins: List[str] = [""] * len(sink_ids)
+        for n, instance, pin in zip(sink_ids, sink_instances, sink_pins):
+            slot = int(cursor[n])
+            cursor[n] += 1
+            receiver_instances[slot] = instance
+            receiver_pins[slot] = pin
+        return cls(
+            drivers=drivers,
+            net_index=net_index,
+            receiver_ptr=ptr,
+            receiver_instances=receiver_instances,
+            receiver_pins=receiver_pins,
+            revision=netlist.revision,
+        )
 
     def driver_of(self, net: str) -> Optional[GateInstance]:
         return self.drivers.get(net)
 
     def receivers_of(self, net: str) -> List[Tuple[GateInstance, str]]:
-        return self.receivers.get(net, [])
+        start, stop = self.receiver_slice(net)
+        return list(
+            zip(self.receiver_instances[start:stop], self.receiver_pins[start:stop])
+        )
 
     # ------------------------------------------------------------------
     # Index-array (structure-of-arrays) views, for the tensorized engines
     # ------------------------------------------------------------------
-    @property
-    def net_index(self) -> Dict[str, int]:
-        """Net name -> dense integer id over every net this snapshot knows.
-
-        Ids are assigned in sorted-name order, so two snapshots of equal
-        netlists agree.  Backs the CSR receiver arrays and the level-tensor
-        row registries of the tensorized propagation path.
-        """
-        if self._net_index is None:
-            nets = sorted(set(self.drivers) | set(self.receivers))
-            object.__setattr__(  # dataclass may be frozen-by-convention
-                self, "_net_index", {net: i for i, net in enumerate(nets)}
-            )
-        return self._net_index
-
     @property
     def receiver_csr(self):
         """CSR-style receiver arrays: ``(ptr, instance_names, pin_names)``.
 
         ``ptr`` is an ``(num_nets + 1,)`` intp array; the receivers of the
         net with id ``n`` are ``instance_names[ptr[n]:ptr[n+1]]`` paired with
-        ``pin_names[ptr[n]:ptr[n+1]]``.  Built once per snapshot; the fanout
-        sweep of a whole level becomes index arithmetic instead of repeated
-        dict lookups over ``(instance, pin)`` tuple lists.
+        ``pin_names[ptr[n]:ptr[n+1]]``.  A name-only view of the stored
+        instance/pin arrays, materialized once per snapshot.
         """
         if self._csr is None:
-            import numpy as np
-
-            index = self.net_index
-            counts = np.zeros(len(index) + 1, dtype=np.intp)
-            for net, sinks in self.receivers.items():
-                counts[index[net] + 1] = len(sinks)
-            ptr = np.cumsum(counts)
-            instance_names: List[str] = [""] * int(ptr[-1])
-            pin_names: List[str] = [""] * int(ptr[-1])
-            for net, sinks in self.receivers.items():
-                base = int(ptr[index[net]])
-                for offset, (instance, pin) in enumerate(sinks):
-                    instance_names[base + offset] = instance.name
-                    pin_names[base + offset] = pin
-            object.__setattr__(self, "_csr", (ptr, tuple(instance_names), tuple(pin_names)))
+            names = tuple(instance.name for instance in self.receiver_instances)
+            object.__setattr__(  # dataclass may be frozen-by-convention
+                self, "_csr", (self.receiver_ptr, names, tuple(self.receiver_pins))
+            )
         return self._csr
 
     def receiver_slice(self, net: str) -> Tuple[int, int]:
         """``[start, stop)`` bounds of a net's receivers in the CSR arrays."""
-        ptr, _, _ = self.receiver_csr
         n = self.net_index.get(net)
         if n is None:
             return 0, 0
+        ptr = self.receiver_ptr
         return int(ptr[n]), int(ptr[n + 1])
 
 
@@ -176,6 +186,9 @@ class GateNetlist:
     primary_outputs: List[str] = field(default_factory=list)
     net_wire_capacitance: Dict[str, float] = field(default_factory=dict)
     revision: int = 0
+    _conn_cache: Optional[NetConnectivity] = field(
+        default=None, repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     def add_primary_input(self, net: str) -> str:
@@ -369,24 +382,11 @@ class GateNetlist:
 
     def driver_of(self, net: str) -> Optional[GateInstance]:
         """The instance whose output drives ``net`` (None for primary inputs)."""
-        drivers = [
-            instance
-            for instance in self.instances.values()
-            if instance.connections[self.library[instance.cell_name].output] == net
-        ]
-        if len(drivers) > 1:
-            raise TimingError(f"net {net!r} has multiple drivers: {[d.name for d in drivers]}")
-        return drivers[0] if drivers else None
+        return self.connectivity().driver_of(net)
 
     def receivers_of(self, net: str) -> List[Tuple[GateInstance, str]]:
         """(instance, input pin) pairs whose input connects to ``net``."""
-        receivers: List[Tuple[GateInstance, str]] = []
-        for instance in self.instances.values():
-            cell = self.library[instance.cell_name]
-            for pin in cell.inputs:
-                if instance.connections[pin] == net:
-                    receivers.append((instance, pin))
-        return receivers
+        return self.connectivity().receivers_of(net)
 
     def fanout_capacitance(self, net: str) -> float:
         """Structural load estimate of a net: receiver gate caps + wire cap."""
@@ -397,8 +397,18 @@ class GateNetlist:
         return total
 
     def connectivity(self) -> NetConnectivity:
-        """One-pass driver/receiver indexes (see :class:`NetConnectivity`)."""
-        return NetConnectivity.of(self)
+        """Driver/receiver CSR indexes (see :class:`NetConnectivity`).
+
+        Cached per :attr:`revision`: repeated structural queries — every
+        ``driver_of``/``receivers_of``/``fanout_capacitance`` call delegates
+        here — cost one single-pass build per edit instead of a full rescan
+        per query.
+        """
+        cached = self._conn_cache
+        if cached is None or cached.revision != self.revision:
+            cached = NetConnectivity.of(self)
+            self._conn_cache = cached
+        return cached
 
     # ------------------------------------------------------------------
     def _validated_graph(self) -> "nx.DiGraph":

