@@ -388,6 +388,14 @@ def _run_sta_mode(args) -> int:
             return 2
         return _run_incremental_mode(args, context, models)
     options = context.model_options()
+    if args.engine == "hybrid":
+        if streaming:
+            print("--engine hybrid does not support --memory-mode stream")
+            return 2
+        return _run_hybrid_mode(args, context, models)
+    if args.required is not None or args.top_k != "all":
+        print("--required/--top-k only apply to --engine hybrid")
+        return 2
     engines = ("batched", "sequential") if args.engine == "both" else (args.engine,)
     if streaming and "batched" not in engines:
         print("--memory-mode stream needs the batched engine (--engine batched/both)")
@@ -506,6 +514,151 @@ def _run_sta_mode(args) -> int:
     return 0
 
 
+def _run_hybrid_mode(args, context, models) -> int:
+    """--engine hybrid: criticality-adaptive NLDM+CSM vs a full-CSM reference.
+
+    Every spec is run through :class:`HybridEngine` (with the --required /
+    --top-k knobs) and through a plain full CSM engine on the same stimuli.
+    The report records the speed-vs-exactness point: wall-clocks, the
+    fraction of instances refined through CSM, and the max endpoint-arrival
+    error against the reference.  When top-k covers every endpoint the
+    refinement must be bitwise-identical to the full run (exit 1 otherwise)
+    — that is the contract the CI hybrid smoke leg asserts.
+    """
+    import numpy as np
+
+    from ..exceptions import TimingError
+    from ..sta.engine import CSMEngine
+    from ..sta.generate import generate_netlist, primary_input_waveforms
+    from ..sta.hybrid import HybridEngine, events_from_waveforms
+
+    if args.top_k == "all":
+        top_k: object = "all"
+    else:
+        try:
+            top_k = int(args.top_k)
+        except ValueError:
+            print(f"--top-k must be an integer or 'all', got {args.top_k!r}")
+            return 2
+        if top_k < 0:
+            print(f"--top-k must be >= 0, got {top_k}")
+            return 2
+    options = context.model_options()
+    report: Dict[str, object] = {
+        "mode": "sta-hybrid",
+        "settings": args.settings,
+        "engine": "hybrid",
+        "seed": args.seed,
+        "required": args.required,
+        "top_k": args.top_k,
+        "designs": {},
+    }
+    failures = 0
+    total_start = time.perf_counter()
+    for spec in args.sta:
+        netlist = generate_netlist(context.library, spec)
+        waveforms = primary_input_waveforms(netlist, seed=args.seed)
+        start = time.perf_counter()
+        executed = models.prewarm_for_netlist(netlist, kinds=("sis", "mis"))
+        characterization = time.perf_counter() - start
+        endpoints = list(netlist.primary_outputs)
+        covers_all = top_k == "all" or top_k >= len(endpoints)
+        print(
+            f"{spec}: {len(netlist.instances)} gates, {len(endpoints)} endpoints "
+            f"(characterization {characterization:.3f} s, {executed} executed)"
+        )
+        hybrid_kwargs: Dict[str, object] = {"top_k": top_k}
+        if args.required is not None:
+            hybrid_kwargs["required"] = args.required
+        hybrid = HybridEngine(netlist, models, options=options, **hybrid_kwargs)
+        start = time.perf_counter()
+        result = hybrid.run(waveforms)
+        hybrid_seconds = time.perf_counter() - start
+        reference_engine = CSMEngine(netlist, models, options=options)
+        start = time.perf_counter()
+        reference = reference_engine.run(waveforms)
+        full_seconds = time.perf_counter() - start
+        reference_arrivals = {
+            net: event.arrival
+            for net, event in events_from_waveforms(
+                reference.waveforms, result.vdd
+            ).items()
+        }
+        max_error = 0.0
+        presence_mismatch = []
+        for net in endpoints:
+            try:
+                hybrid_arrival = result.arrival(net)
+            except TimingError:
+                hybrid_arrival = None
+            full_arrival = reference_arrivals.get(net)
+            if (hybrid_arrival is None) != (full_arrival is None):
+                presence_mismatch.append(net)
+            elif hybrid_arrival is not None:
+                max_error = max(max_error, abs(hybrid_arrival - full_arrival))
+        bitwise = all(
+            np.array_equal(
+                result.waveforms[net].values, reference.waveforms[net].values
+            )
+            for net in result.exact_nets
+        )
+        max_exact_dv = max(
+            (
+                float(
+                    np.abs(
+                        result.waveforms[net].values - reference.waveforms[net].values
+                    ).max()
+                )
+                for net in result.exact_nets
+            ),
+            default=0.0,
+        )
+        entry: Dict[str, object] = {
+            "gates": len(netlist.instances),
+            "endpoints": len(endpoints),
+            "characterization_seconds": round(characterization, 4),
+            "hybrid_seconds": round(hybrid_seconds, 4),
+            "full_csm_seconds": round(full_seconds, 4),
+            "csm_fraction": round(result.csm_fraction, 6),
+            "iterations": len(result.iterations),
+            "refined_instances": len(result.refined_instances),
+            "exact_nets": len(result.exact_nets),
+            "max_arrival_error_s": max_error,
+            "arrival_presence_mismatches": presence_mismatch,
+            "max_exact_value_error_v": max_exact_dv,
+            "exact_nets_bitwise_vs_full": bitwise,
+            "covers_all_endpoints": covers_all,
+        }
+        # Partial refinement re-batches the levels, so exact nets agree with
+        # the full run only to the integrator's cross-batch rounding (1e-9 V);
+        # full cover normalizes to an unrestricted run and must be bitwise,
+        # with endpoint arrivals (including switches-vs-stable presence)
+        # agreeing too.
+        ok = max_exact_dv <= 1e-9
+        if covers_all:
+            ok = bitwise and max_error <= 1e-9 and not presence_mismatch
+        failures += 0 if ok else 1
+        print(
+            f"  hybrid {hybrid_seconds:8.3f} s vs full CSM {full_seconds:8.3f} s, "
+            f"csm fraction {result.csm_fraction:.3f}, "
+            f"{len(result.iterations)} iteration(s), "
+            f"max arrival error {max_error:.2e} s"
+            + ("" if ok else "  <-- FAILED")
+        )
+        report["designs"][spec] = entry
+    report["total_seconds"] = round(time.perf_counter() - total_start, 4)
+    if context.cache is not None:
+        print(f"cache: {context.cache.stats} ({args.cache})")
+        report["cache"] = context.cache.stats.as_dict()
+    if args.json is not None:
+        args.json.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+        print(f"wrote {args.json}")
+    if failures:
+        print(f"{failures} design(s) FAILED the hybrid-vs-CSM checks")
+        return 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.runtime.cli",
@@ -589,10 +742,28 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--engine",
-        choices=("batched", "sequential", "both"),
+        choices=("batched", "sequential", "both", "hybrid"),
         default="batched",
         help="--sta mode: which waveform engine(s) to run; 'both' additionally "
-        "asserts <=1e-9 V equivalence (default: batched)",
+        "asserts <=1e-9 V equivalence; 'hybrid' runs the criticality-adaptive "
+        "NLDM+CSM engine against a full-CSM reference (see --required/--top-k) "
+        "(default: batched)",
+    )
+    parser.add_argument(
+        "--required",
+        type=float,
+        default=None,
+        metavar="T",
+        help="--engine hybrid: required time (seconds) for the slack ranking; "
+        "omitted means rank endpoints by latest arrival",
+    )
+    parser.add_argument(
+        "--top-k",
+        default="all",
+        metavar="K",
+        help="--engine hybrid: number of critical endpoints to refine with CSM "
+        "per iteration — an integer, 0 (pure NLDM) or 'all' (full CSM, "
+        "bitwise-checked against the reference; default: all)",
     )
     parser.add_argument(
         "--tensor",

@@ -142,16 +142,26 @@ class TimingClient:
         session: str,
         memory_mode: Optional[str] = None,
         memory_budget_bytes: Optional[int] = None,
+        required: Optional[Any] = None,
+        top_k: Optional[Any] = None,
         **params: Any,
     ) -> Dict[str, Any]:
         """One timing request.  ``memory_mode="stream"`` (optionally with a
         ``memory_budget_bytes`` hot-set cap) asks the server to propagate
         with the bounded-memory streaming engine; spill/fault counts come
-        back in the response ``stats``."""
+        back in the response ``stats``.  With ``engine="hybrid"``,
+        ``required`` (scalar or per-net mapping) and ``top_k`` (int or
+        ``"all"``) tune the criticality-adaptive refinement; the response
+        adds per-net ``exact`` flags, ``csm_fraction`` and per-iteration
+        refinement stats."""
         if memory_mode is not None:
             params["memory_mode"] = memory_mode
         if memory_budget_bytes is not None:
             params["memory_budget_bytes"] = memory_budget_bytes
+        if required is not None:
+            params["required"] = required
+        if top_k is not None:
+            params["top_k"] = top_k
         return self.request("timing", session=session, **params)
 
     def eco(self, session: str, edits: List[Mapping[str, Any]]) -> Dict[str, Any]:

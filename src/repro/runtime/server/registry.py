@@ -34,6 +34,7 @@ from ...csm.base import SimulationOptions
 from ...exceptions import TimingError
 from ...sta.engine import CornerSet, CSMEngine, NLDMEngine, TimingEngine
 from ...sta.events import TimingEvent
+from ...sta.hybrid import HybridEngine
 from ...sta.generate import (
     default_time_window,
     generate_netlist,
@@ -242,6 +243,8 @@ class TimingService:
         corners: Optional[List[str]] = None,
         memory_mode: str = "resident",
         memory_budget_bytes: Optional[int] = None,
+        required: Optional[Any] = None,
+        top_k: Optional[Any] = None,
     ) -> Dict[str, Any]:
         """One timing run, single-flighted across sessions by content key.
 
@@ -251,12 +254,33 @@ class TimingService:
         propagates with the bounded-memory streaming engine (spilling retired
         levels to the server's store); spill/fault counts show up in the
         response stats and the session's ``status`` entry.
+        ``engine="hybrid"`` runs the criticality-adaptive NLDM+CSM engine;
+        ``required`` (scalar or per-net mapping) and ``top_k`` (int or
+        ``"all"``) tune its slack ranking, and the response adds per-net
+        exactness flags plus per-iteration refinement stats.
         """
         if memory_mode not in ("resident", "stream"):
             raise ServerError(
                 f"unknown memory_mode {memory_mode!r} (use 'resident' or 'stream')",
                 "bad-request",
             )
+        if (required is not None or top_k is not None) and engine != "hybrid":
+            raise ServerError(
+                "'required'/'top_k' only apply to engine='hybrid'",
+                "bad-request",
+            )
+        if engine == "hybrid":
+            if corners:
+                raise ServerError(
+                    "engine='hybrid' is single-corner; submit corners one at "
+                    "a time",
+                    "bad-request",
+                )
+            if memory_mode == "stream":
+                raise ServerError(
+                    "engine='hybrid' does not support memory_mode='stream'",
+                    "bad-request",
+                )
         if memory_mode == "stream":
             if corners:
                 raise ServerError(
@@ -296,6 +320,8 @@ class TimingService:
             self._settings_token(),
             memory_mode,
             memory_budget_bytes,
+            sorted(required.items()) if isinstance(required, Mapping) else required,
+            top_k,
         )
 
         def compute() -> Dict[str, Any]:
@@ -311,6 +337,8 @@ class TimingService:
                     corner_names,
                     memory_mode,
                     memory_budget_bytes,
+                    required,
+                    top_k,
                 )
 
         payload, coalesced = self.flight.execute(request_key, compute)
@@ -329,19 +357,25 @@ class TimingService:
         applied: List[Dict[str, Any]] = []
         with record.lock:
             record.requests += 1
+            # Every edit kind reports the same thing: the size of the union
+            # of the pre- and post-edit affected regions (what an incremental
+            # re-timing may re-integrate).  ``swap_cell``/``auto_swap`` used
+            # to report only the pre-swap region, diverging from
+            # ``rewire_pin``'s before|after union.
             for edit in edits:
                 kind = edit.get("kind")
                 if kind == "swap_cell":
-                    affected = record.netlist.affected_region(edit["instance"])
+                    before = record.netlist.affected_region(edit["instance"])
                     previous = record.netlist.instances[edit["instance"]].cell_name
                     record.netlist.swap_cell(edit["instance"], edit["cell"])
+                    after = record.netlist.affected_region(edit["instance"])
                     applied.append(
                         {
                             "kind": kind,
                             "instance": edit["instance"],
                             "cell": edit["cell"],
                             "swapped_from": previous,
-                            "affected": len(affected),
+                            "affected": len(set(before) | set(after)),
                         }
                     )
                 elif kind == "rewire_pin":
@@ -367,16 +401,17 @@ class TimingService:
                             "not-found",
                         )
                     _, instance_name, partner = candidate
-                    affected = record.netlist.affected_region(instance_name)
+                    before = record.netlist.affected_region(instance_name)
                     previous = record.netlist.instances[instance_name].cell_name
                     record.netlist.swap_cell(instance_name, partner)
+                    after = record.netlist.affected_region(instance_name)
                     applied.append(
                         {
                             "kind": "swap_cell",
                             "instance": instance_name,
                             "cell": partner,
                             "swapped_from": previous,
-                            "affected": len(affected),
+                            "affected": len(set(before) | set(after)),
                         }
                     )
                 else:
@@ -583,9 +618,19 @@ class TimingService:
                     memory_mode=memory_mode,
                     memory_budget_bytes=memory_budget_bytes,
                 )
+            elif kind == "hybrid":
+                engine = HybridEngine(
+                    record.netlist,
+                    self.models,
+                    options=self.options,
+                    cache=self.store,
+                    corners=corner_set,
+                    memory_mode=memory_mode,
+                    memory_budget_bytes=memory_budget_bytes,
+                )
             else:
                 raise ServerError(
-                    f"unknown engine kind {kind!r} (use 'csm' or 'nldm')",
+                    f"unknown engine kind {kind!r} (use 'csm', 'nldm' or 'hybrid')",
                     "bad-request",
                 )
             record.engines[engine_key] = engine
@@ -604,6 +649,8 @@ class TimingService:
         corner_names: Optional[Tuple[str, ...]] = None,
         memory_mode: str = "resident",
         memory_budget_bytes: Optional[int] = None,
+        required: Optional[Any] = None,
+        top_k: Optional[Any] = None,
     ) -> Dict[str, Any]:
         engine = self._engine(
             record, engine_kind, corner_names, memory_mode, memory_budget_bytes
@@ -614,6 +661,45 @@ class TimingService:
             return self._timing_multicorner(
                 engine, engine_kind, netlist, report_nets, seed, t_stop, events
             )
+        if engine_kind == "hybrid":
+            window = float(t_stop) if t_stop else default_time_window(netlist)
+            waveforms = primary_input_waveforms(netlist, t_stop=window, seed=int(seed))
+            run_kwargs: Dict[str, Any] = {}
+            if required is not None:
+                run_kwargs["required"] = required
+            if top_k is not None:
+                run_kwargs["top_k"] = top_k
+            result = engine.run(waveforms, t_stop=window, **run_kwargs)
+            arrivals = {}
+            exact = {}
+            for net in report_nets:
+                try:
+                    arrivals[net] = float(result.arrival(net))
+                except TimingError:
+                    arrivals[net] = None  # stable or unpropagated
+                exact[net] = result.is_exact(net)
+            payload: Dict[str, Any] = {
+                "engine": "hybrid",
+                "arrivals": arrivals,
+                "exact": exact,
+                "slacks": {
+                    net: (list(entry) if entry is not None else None)
+                    for net, entry in result.endpoint_slacks.items()
+                },
+                "csm_fraction": result.csm_fraction,
+                "iterations": result.iterations,
+                "t_stop": window,
+                "stats": result.stats,
+            }
+            if return_waveforms:
+                payload["waveforms"] = {
+                    net: encode_waveform(
+                        result.waveforms[net].times, result.waveforms[net].values
+                    )
+                    for net in report_nets
+                    if net in result.waveforms
+                }
+            return payload
         if engine_kind == "nldm":
             if events:
                 input_events = {

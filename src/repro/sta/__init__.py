@@ -20,6 +20,7 @@ from .engine import (
     waveform_deviation,
 )
 from .events import TimingEvent, detect_mis_pairs, switching_window, windows_overlap
+from .hybrid import HybridEngine, HybridTimingResult, events_from_waveforms
 from .generate import (
     fanout_tree,
     gate_chain,
@@ -49,6 +50,9 @@ __all__ = [
     "NLDMTimingResult",
     "CSMEngine",
     "WaveformTimingResult",
+    "HybridEngine",
+    "HybridTimingResult",
+    "events_from_waveforms",
     "independent_cones",
     "run_cones",
     "waveform_deviation",

@@ -34,7 +34,7 @@ from collections import OrderedDict
 from collections.abc import Mapping as AbstractMapping
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 import numpy as np
@@ -551,7 +551,8 @@ def create_engine(
     **kwargs,
 ) -> TimingEngine:
     """Engine factory: ``"csm"`` (levelized batched waveform propagation),
-    ``"csm-sequential"`` (the per-instance reference path) or ``"nldm"``."""
+    ``"csm-sequential"`` (the per-instance reference path), ``"nldm"`` or
+    ``"hybrid"`` (NLDM everywhere, CSM on the critical cones)."""
     if kind == "csm":
         return CSMEngine(netlist, models, **kwargs)
     if kind == "csm-sequential":
@@ -559,8 +560,13 @@ def create_engine(
         return CSMEngine(netlist, models, batched=False, **kwargs)
     if kind == "nldm":
         return NLDMEngine(netlist, models, **kwargs)
+    if kind == "hybrid":
+        from .hybrid import HybridEngine
+
+        return HybridEngine(netlist, models, **kwargs)
     raise TimingError(
-        f"unknown timing engine kind {kind!r}; expected 'csm', 'csm-sequential' or 'nldm'"
+        f"unknown timing engine kind {kind!r}; expected 'csm', 'csm-sequential', "
+        "'nldm' or 'hybrid'"
     )
 
 
@@ -1206,6 +1212,8 @@ class CSMEngine(TimingEngine):
         input_waveforms: Dict[str, Waveform],
         t_stop: Optional[float] = None,
         t_start: Optional[float] = None,
+        only: Optional[Iterable[str]] = None,
+        boundary_waveforms: Optional[Dict[str, Waveform]] = None,
     ) -> WaveformTimingResult:
         """Propagate waveforms from the primary inputs through the design.
 
@@ -1223,17 +1231,65 @@ class CSMEngine(TimingEngine):
         t_stop / t_start:
             The common time window every net's waveform is computed over;
             defaults to the intersection of the input waveforms' spans.
+        only:
+            Restrict propagation to these instance names (the hybrid engine's
+            critical cones).  Loads, grids and stimuli are those of the FULL
+            design, so every in-cone instance whose whole fan-in is in the
+            cone gets the *same* propagation key — and therefore the same
+            bitwise waveform — as a full run.  Requires the batched tensor
+            path, a single corner and resident memory.  A cone covering every
+            instance is normalized back to an unrestricted run so even the
+            whole-run cache entry is shared.
+        boundary_waveforms:
+            Net name -> stimulus for nets driven *outside* a truncated cone
+            (only valid together with ``only``).  Boundary nets chain their
+            content keys from the stimulus samples, so approximate boundary
+            values can never collide with the exact namespace; they are not
+            part of the result's waveforms.
         """
         missing = [net for net in self.netlist.primary_inputs if net not in input_waveforms]
         if missing:
             raise TimingError(f"missing waveforms for primary inputs {missing}")
         t_stop = t_stop if t_stop is not None else min(w.t_stop for w in input_waveforms.values())
         t_start = t_start if t_start is not None else max(w.t_start for w in input_waveforms.values())
+        boundary_waveforms = dict(boundary_waveforms or {})
+        if boundary_waveforms and only is None:
+            raise TimingError("boundary_waveforms requires a restricted cone (only=)")
+        if only is not None:
+            if self.corners is not None:
+                raise TimingError(
+                    "restricted propagation (only=) does not support multi-corner runs"
+                )
+            if not (self.batched and self.tensor):
+                raise TimingError(
+                    "restricted propagation (only=) requires the batched tensor path"
+                )
+            if self.memory_mode == "stream":
+                raise TimingError(
+                    "restricted propagation (only=) requires memory_mode='resident'"
+                )
+            names = set(self.netlist.instances)
+            only = set(only)
+            unknown = sorted(only - names)
+            if unknown:
+                raise TimingError(
+                    f"restricted cone names unknown instances {unknown} "
+                    f"in {self.netlist.name!r}"
+                )
+            overlap = sorted(set(boundary_waveforms) & set(input_waveforms))
+            if overlap:
+                raise TimingError(
+                    f"boundary waveforms shadow primary inputs {overlap}"
+                )
+            if only == names and not boundary_waveforms:
+                only = None  # full cover IS a plain run: share its run key
         if self.corners is not None:
             return self._run_multicorner(input_waveforms, t_stop, t_start)
 
         levels = self.levels()  # also re-syncs structural caches after edits
-        stats = PropagationStats(instances=len(self.netlist.instances))
+        stats = PropagationStats(
+            instances=len(only) if only is not None else len(self.netlist.instances)
+        )
         caching = self.use_cache
         streaming = self.memory_mode == "stream"
         net_keys: Dict[str, str] = {}
@@ -1241,6 +1297,8 @@ class CSMEngine(TimingEngine):
         run_key: Optional[str] = None
         if caching:
             net_keys = self.stimulus_keys(input_waveforms)
+            if boundary_waveforms:
+                net_keys.update(self.stimulus_keys(boundary_waveforms))
             context = self._context_digest(t_start, t_stop)
             # Streaming skips the whole-run entry both ways: looking one up
             # would materialize every waveform at once, and storing one would
@@ -1248,9 +1306,20 @@ class CSMEngine(TimingEngine):
             # per-instance propagation keys are identical in both modes, so
             # the run entry is the only namespace difference.
             if self.cache is not None and not streaming:
-                run_key = content_hash(
-                    "sta-run", context, self._netlist_digest(), sorted(net_keys.items())
-                )
+                if only is not None:
+                    # Restricted runs get their own whole-run namespace: a
+                    # partial result must never be served to a full run.
+                    run_key = content_hash(
+                        "sta-run-restricted",
+                        context,
+                        self._netlist_digest(),
+                        sorted(net_keys.items()),
+                        sorted(only),
+                    )
+                else:
+                    run_key = content_hash(
+                        "sta-run", context, self._netlist_digest(), sorted(net_keys.items())
+                    )
                 self.last_run_key = run_key
                 hit, value = self.cache.lookup(run_key)
                 if hit:
@@ -1304,6 +1373,8 @@ class CSMEngine(TimingEngine):
                 context,
                 net_keys,
                 caching,
+                only=only,
+                boundary_waveforms=boundary_waveforms,
             )
         else:
             self._propagate_waveforms(
@@ -1467,11 +1538,21 @@ class CSMEngine(TimingEngine):
         context: str,
         net_keys: Dict[str, str],
         caching: bool,
+        only: Optional[Set[str]] = None,
+        boundary_waveforms: Optional[Dict[str, Waveform]] = None,
     ) -> None:
         """The tensorized level loop: every driven net lives as one row of a
         :class:`LevelTensor` on the run grid, instances gather their input
         rows by index, and each level's outputs are scattered into a fresh
         tensor that the propagation cache spills as a single record.
+
+        ``only`` restricts the walk to the named instances (everything else
+        is skipped outright — no plan, no key, no row); ``boundary_waveforms``
+        seed rows and chained content keys for cut nets of a truncated cone
+        without entering the result's waveforms.  An in-cone instance reading
+        a driven net that neither the cone nor the boundary provides is a
+        closure violation and raises, because silently treating it as a
+        constant-at-non-controlling net would corrupt the "exact" guarantee.
 
         Bitwise-equivalence bookkeeping vs the per-waveform batched loop:
 
@@ -1494,6 +1575,10 @@ class CSMEngine(TimingEngine):
             rows[net] = np.asarray(wave.value_at(times), dtype=float)
             initials[net] = float(wave.initial_value())
             switching[net] = self._is_switching(wave)
+        for net, wave in (boundary_waveforms or {}).items():
+            rows[net] = np.asarray(wave.value_at(times), dtype=float)
+            initials[net] = float(wave.initial_value())
+            switching[net] = self._is_switching(wave)
 
         def admit(net: str, values: np.ndarray) -> None:
             rows[net] = values
@@ -1505,6 +1590,18 @@ class CSMEngine(TimingEngine):
             duplicates: List[_TensorPlan] = []
             first_with_key: Dict[str, _TensorPlan] = {}
             for instance in level:
+                if only is not None:
+                    if instance.name not in only:
+                        continue
+                    for pin in self._cell(instance).inputs:
+                        net = instance.connections[pin]
+                        if net not in rows and self.connectivity.driver_of(net) is not None:
+                            raise TimingError(
+                                f"restricted cone is not closed: instance "
+                                f"{instance.name!r} reads net {net!r}, which is "
+                                "driven outside the cone and has no boundary "
+                                "waveform"
+                            )
                 tplan = self._tensor_plan(
                     instance, switching, context, net_keys if caching else None
                 )

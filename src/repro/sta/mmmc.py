@@ -37,7 +37,37 @@ __all__ = [
     "CornerSet",
     "MulticornerTimingResult",
     "MulticornerNLDMResult",
+    "required_time",
 ]
+
+_MISSING = object()
+
+
+def required_time(
+    required: Union[float, Mapping[str, float]],
+    net: str,
+    default: Optional[float] = None,
+) -> float:
+    """Resolve one net's required time from a scalar or a per-net mapping.
+
+    These are the merge semantics every slack ranking shares (the MMMC
+    ``worst_slacks`` merge and the hybrid engine's endpoint ranking): a
+    scalar applies to every net, a mapping is consulted per net.  A mapping
+    that lacks ``net`` falls back to ``default`` when one is given and raises
+    a descriptive :class:`TimingError` naming the net otherwise.
+    """
+    if isinstance(required, Mapping):
+        bound = required.get(net, _MISSING)
+        if bound is _MISSING:
+            if default is not None:
+                return float(default)
+            raise TimingError(
+                f"per-net required-time mapping has no entry for net {net!r} "
+                "and no default= fallback was given "
+                f"(mapping covers {len(required)} net(s))"
+            )
+        return float(bound)
+    return float(required)
 
 
 @dataclass
@@ -177,6 +207,14 @@ class _MulticornerMerge:
             if worst is None or arrival > worst[1]:
                 worst = (name, arrival)
         if worst is None:
+            # Distinguish "you asked about a net no corner knows" from "the
+            # net exists but is stable everywhere" — both used to claim the
+            # latter, sending users hunting for a stability bug on a typo.
+            if net not in self.nets():
+                raise TimingError(
+                    f"unknown net {net!r}: no corner propagated it "
+                    f"(corners: {self.corner_order})"
+                )
             raise TimingError(f"net {net!r} never switches at any corner")
         return worst
 
@@ -196,13 +234,16 @@ class _MulticornerMerge:
         self,
         required: Union[float, Mapping[str, float]],
         nets: Optional[Sequence[str]] = None,
+        default: Optional[float] = None,
     ) -> Dict[str, Optional[Tuple[str, float]]]:
         """The MMMC merge: per net the *minimum* slack over all corners.
 
         ``required`` is one required time for every net or a per-net mapping;
         slack is ``required - arrival``, so the corner with the latest arrival
-        sets it.  Returns ``net -> (corner, slack)`` (``None`` when no corner
-        ever switches the net).
+        sets it.  A mapping missing a net uses ``default`` when given and
+        raises a :class:`TimingError` naming the net otherwise (this used to
+        escape as a bare ``KeyError``).  Returns ``net -> (corner, slack)``
+        (``None`` when no corner ever switches the net).
         """
         slacks: Dict[str, Optional[Tuple[str, float]]] = {}
         for net, worst in self.worst_arrivals(nets).items():
@@ -210,8 +251,7 @@ class _MulticornerMerge:
                 slacks[net] = None
                 continue
             corner, arrival = worst
-            bound = required[net] if isinstance(required, Mapping) else float(required)
-            slacks[net] = (corner, bound - arrival)
+            slacks[net] = (corner, required_time(required, net, default) - arrival)
         return slacks
 
 

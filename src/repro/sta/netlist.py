@@ -18,8 +18,9 @@ fingerprints time identically, however they were built or edited.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Any, Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 import networkx as nx
 import numpy as np
@@ -334,6 +335,46 @@ class GateNetlist:
         if graph is None:
             graph = self.instance_graph()
         cone = set(nx.descendants(graph, instance_name)) | {instance_name}
+        return [name for name in self.instances if name in cone]
+
+    def fanin_cone(
+        self,
+        net: str,
+        connectivity: Optional[NetConnectivity] = None,
+        depth: Optional[int] = None,
+    ) -> List[str]:
+        """Instances transitively driving ``net``, in insertion order.
+
+        The complete fan-in cone of an endpoint is *closed*: every input net
+        of a cone instance is either driven by another cone instance or is a
+        primary input, so re-propagating exactly these instances from the
+        primary-input stimuli reproduces the endpoint's signal exactly.
+        ``depth`` truncates the walk that many instance hops behind the
+        endpoint; a truncated cone is NOT closed and its cut nets need
+        boundary stimuli.  ``connectivity`` accepts a prebuilt snapshot so
+        per-endpoint scans don't rebuild the CSR index for every query.
+        """
+        if connectivity is None:
+            connectivity = self.connectivity()
+        if net not in self.nets():
+            raise TimingError(f"no net named {net!r} in {self.name!r}")
+        cone: Dict[str, None] = {}
+        visited = {net}
+        frontier: Deque[Tuple[str, int]] = deque([(net, 0)])
+        while frontier:
+            current, hops = frontier.popleft()
+            if depth is not None and hops >= depth:
+                continue
+            driver = connectivity.driver_of(current)
+            if driver is None:
+                continue  # primary input: the cone boundary
+            cone[driver.name] = None
+            cell = self.library[driver.cell_name]
+            for pin in cell.inputs:
+                upstream = driver.connections[pin]
+                if upstream not in visited:
+                    visited.add(upstream)
+                    frontier.append((upstream, hops + 1))
         return [name for name in self.instances if name in cone]
 
     def affected_region(

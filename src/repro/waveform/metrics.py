@@ -49,26 +49,24 @@ def crossing_times(
     """
     if direction not in ("rise", "fall", "any"):
         raise WaveformError(f"unknown crossing direction {direction!r}")
-    times = waveform.times
-    values = waveform.values
+    times = np.asarray(waveform.times, dtype=float)
+    values = np.asarray(waveform.values, dtype=float)
+    if len(values) < 2:
+        return ()
+    # Vectorized sweep: a crossing lives between samples whose below-threshold
+    # flags differ (so v0 != v1 is guaranteed and the interpolation is safe).
     below = values < threshold
-    crossings = []
-    for idx in range(1, len(values)):
-        if below[idx - 1] == below[idx]:
-            continue
-        rising = below[idx - 1] and not below[idx]
-        if direction == "rise" and not rising:
-            continue
-        if direction == "fall" and rising:
-            continue
-        v0, v1 = values[idx - 1], values[idx]
-        t0, t1 = times[idx - 1], times[idx]
-        if v1 == v0:
-            crossings.append(float(t1))
-        else:
-            frac = (threshold - v0) / (v1 - v0)
-            crossings.append(float(t0 + frac * (t1 - t0)))
-    return tuple(crossings)
+    flips = np.nonzero(below[:-1] != below[1:])[0]
+    if direction == "rise":
+        flips = flips[below[flips]]
+    elif direction == "fall":
+        flips = flips[~below[flips]]
+    if flips.size == 0:
+        return ()
+    v0, v1 = values[flips], values[flips + 1]
+    t0, t1 = times[flips], times[flips + 1]
+    frac = (threshold - v0) / (v1 - v0)
+    return tuple(float(t) for t in t0 + frac * (t1 - t0))
 
 
 def crossing_time(

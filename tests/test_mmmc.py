@@ -34,7 +34,12 @@ from repro.sta import (
     waveform_deviation,
 )
 from repro.sta.generate import default_time_window
-from repro.sta.mmmc import CornerSet, MulticornerNLDMResult, MulticornerTimingResult
+from repro.sta.mmmc import (
+    CornerSet,
+    MulticornerNLDMResult,
+    MulticornerTimingResult,
+    required_time,
+)
 from repro.waveform.level_tensor import LevelTensor
 
 #: Per-corner agreement budget between the batched and the serial engines.
@@ -198,6 +203,52 @@ class TestBatchedEquivalence:
                 corners=corner_set,
                 batched=False,
             )
+
+    def test_worst_slacks_mapping_miss_raises_or_falls_back(
+        self, corner_set, netlist, options, stimulus
+    ):
+        waveforms, t_stop = stimulus
+        engine = CSMEngine(
+            netlist, corner_set.reference.models, options=options, corners=corner_set
+        )
+        multi = engine.run(waveforms, t_stop=t_stop)
+        switching = [net for net, worst in multi.worst_arrivals().items() if worst]
+        covered, uncovered = switching[0], switching[1]
+        # A mapping that misses a queried net is a descriptive TimingError
+        # naming the net (this used to escape as a bare KeyError) ...
+        with pytest.raises(TimingError, match=repr(uncovered)):
+            multi.worst_slacks({covered: 1e-9}, nets=[covered, uncovered])
+        # ... unless a default= fallback is given.
+        slacks = multi.worst_slacks(
+            {covered: 1e-9}, nets=[covered, uncovered], default=2e-9
+        )
+        corner, arrival = multi.worst_arrival(covered)
+        assert slacks[covered] == (corner, 1e-9 - arrival)
+        corner, arrival = multi.worst_arrival(uncovered)
+        assert slacks[uncovered] == (corner, 2e-9 - arrival)
+        # The shared resolver has the same semantics standalone.
+        assert required_time({covered: 1e-9}, uncovered, 2e-9) == 2e-9
+        with pytest.raises(TimingError, match="no entry for net"):
+            required_time({covered: 1e-9}, uncovered)
+
+    def test_worst_arrival_distinguishes_unknown_from_stable(
+        self, corner_set, netlist, options, stimulus
+    ):
+        waveforms, t_stop = stimulus
+        engine = CSMEngine(
+            netlist, corner_set.reference.models, options=options, corners=corner_set
+        )
+        multi = engine.run(waveforms, t_stop=t_stop)
+        with pytest.raises(TimingError, match="unknown net 'no_such_net'"):
+            multi.worst_arrival("no_such_net")
+        stable = [
+            net
+            for net, worst in multi.worst_arrivals().items()
+            if worst is None
+        ]
+        if stable:  # the seeded DAG usually has at least one stable net
+            with pytest.raises(TimingError, match="never switches at any corner"):
+                multi.worst_arrival(stable[0])
 
 
 # ----------------------------------------------------------------------

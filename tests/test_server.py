@@ -40,6 +40,7 @@ from repro.sta import (
     netlist_fingerprint,
     primary_input_events,
 )
+from repro.sta.netlist import eco_swap_candidate
 
 CHAIN = "chain:inv:3"
 DAG = "dag:w4:d2:s1"  # small mixed-cell design with swap candidates
@@ -286,6 +287,95 @@ class TestTimingService:
         restored = service.handle({"op": "timing", "session": session, "seed": 0})
         assert restored["design_fingerprint"] == cold["design_fingerprint"]
         assert restored["stats"]["full_run_hit"]
+
+    def test_auto_swap_affected_is_before_after_union(self, service, library):
+        """auto_swap reports the union of the pre- and post-edit regions,
+        the same contract rewire_pin always had (it used to report only the
+        pre-swap region)."""
+        session = service.handle(
+            {"op": "open_session", "design": {"generate": DAG}}
+        )["session"]
+        # Replay the deterministic candidate choice on a private replica to
+        # compute the expected union from outside the server.
+        replica = generate_netlist(library, DAG)
+        _, instance, partner = eco_swap_candidate(replica)
+        before = replica.affected_region(instance)
+        replica.swap_cell(instance, partner)
+        after = replica.affected_region(instance)
+        eco = service.handle(
+            {"op": "eco", "session": session, "edits": [{"kind": "auto_swap"}]}
+        )
+        applied = eco["applied"][0]
+        assert applied["instance"] == instance
+        assert applied["cell"] == partner
+        assert applied["affected"] == len(set(before) | set(after))
+
+    def test_hybrid_timing_verb(self, service):
+        session = service.handle(
+            {"op": "open_session", "design": {"generate": DAG}}
+        )["session"]
+        full = service.handle(
+            {
+                "op": "timing",
+                "session": session,
+                "engine": "hybrid",
+                "seed": 0,
+                "top_k": "all",
+            }
+        )
+        assert full["ok"] and full["engine"] == "hybrid"
+        assert full["csm_fraction"] == 1.0
+        assert full["exact"] and all(full["exact"].values())
+        assert len(full["iterations"]) == 1
+        for entry in full["slacks"].values():
+            if entry is not None:
+                assert entry[0] == "csm"
+        survey = service.handle(
+            {
+                "op": "timing",
+                "session": session,
+                "engine": "hybrid",
+                "seed": 0,
+                "top_k": 0,
+            }
+        )
+        assert survey["ok"] and survey["csm_fraction"] == 0.0
+        assert not any(survey["exact"].values())
+        # The hybrid engine surfaces its per-iteration accounting in status.
+        status = service.handle({"op": "status"})
+        summaries = status["sessions"][session]["engines"]
+        hybrid_summary = next(
+            summary for kind, summary in summaries.items() if kind.startswith("hybrid")
+        )
+        assert hybrid_summary["csm_instance_fraction"] == 0.0  # last run: top_k=0
+        assert "nldm" in hybrid_summary and "csm" in hybrid_summary
+
+    def test_hybrid_request_validation(self, service):
+        session = service.handle(
+            {"op": "open_session", "design": {"generate": DAG}}
+        )["session"]
+        stray = service.handle(
+            {"op": "timing", "session": session, "engine": "csm", "top_k": 2}
+        )
+        assert not stray["ok"] and stray["code"] == "bad-request"
+        corners = service.handle(
+            {
+                "op": "timing",
+                "session": session,
+                "engine": "hybrid",
+                "corners": ["TT"],
+            }
+        )
+        assert not corners["ok"] and corners["code"] == "bad-request"
+        stream = service.handle(
+            {
+                "op": "timing",
+                "session": session,
+                "engine": "hybrid",
+                "memory_mode": "stream",
+            }
+        )
+        assert not stream["ok"] and stream["code"] == "bad-request"
 
     def test_error_frames(self, service):
         assert service.handle({"op": "nope"})["code"] == "bad-request"
